@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks: encode/decode throughput of the five
+//! compression codecs on a realistic d-gap distribution.
+
+use boss_compress::{codec_for, ALL_SCHEMES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn gap_block() -> Vec<u32> {
+    // 128 d-gaps shaped like a mid-frequency posting list.
+    (0..128u32)
+        .map(|i| {
+            let h = i.wrapping_mul(2654435761);
+            if h % 23 == 0 {
+                (h % 100_000) + 1000
+            } else {
+                h % 37
+            }
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let values = gap_block();
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    for s in ALL_SCHEMES {
+        let codec = codec_for(s);
+        group.bench_with_input(BenchmarkId::new("encode", s.label()), &values, |b, v| {
+            let mut buf = Vec::with_capacity(1024);
+            b.iter(|| {
+                buf.clear();
+                codec.encode(black_box(v), &mut buf).unwrap()
+            });
+        });
+        let mut buf = Vec::new();
+        let info = codec.encode(&values, &mut buf).unwrap();
+        group.bench_with_input(BenchmarkId::new("decode", s.label()), &buf, |b, data| {
+            let mut out = Vec::with_capacity(128);
+            b.iter(|| {
+                out.clear();
+                codec.decode(black_box(data), &info, &mut out).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_programmable_engine(c: &mut Criterion) {
+    use boss_decomp::DecompEngine;
+    let values = gap_block();
+    let mut group = c.benchmark_group("decomp-engine");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    for s in ALL_SCHEMES {
+        let codec = codec_for(s);
+        let mut buf = Vec::new();
+        let info = codec.encode(&values, &mut buf).unwrap();
+        let engine = DecompEngine::for_scheme(s).unwrap();
+        group.bench_with_input(BenchmarkId::new("interpret", s.label()), &buf, |b, data| {
+            b.iter(|| engine.decode(black_box(data), &info).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_programmable_engine);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion macro-benchmark: full BOSS query execution (functional +
+//! timing simulation) per Table II query type on a smoke-scale corpus.
+
+use boss_core::{BossConfig, BossDevice, EtMode};
+use boss_workload::corpus::{CorpusSpec, Scale};
+use boss_workload::queries::{QuerySampler, ALL_QUERY_TYPES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let index = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+    let mut sampler = QuerySampler::new(&index, 404);
+    let mut group = c.benchmark_group("boss-query");
+    for qt in ALL_QUERY_TYPES {
+        let q = sampler.sample(qt).expr;
+        for et in [EtMode::Exhaustive, EtMode::Full] {
+            let cfg = BossConfig::default().with_et(et).with_k(100);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{:?}", et), qt.label()),
+                &q,
+                |b, q| {
+                    let mut dev = BossDevice::new(&index, cfg.clone());
+                    b.iter(|| dev.search_expr(black_box(q), 100).unwrap().hits.len());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation: block size (64/128/256 postings) vs skip precision and
+//! metadata overhead — the design choice behind the paper's 128.
+
+use boss_bench::{f, header, row, BenchArgs};
+use boss_index::{Bm25, Bm25Params, EncodedList, PostingList};
+use boss_workload::rng;
+use rand::RngExt;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut r = rng::rng(args.seed);
+    // A clustered list (skipping-friendly) and a uniform probe list.
+    let n_docs = 400_000u32;
+    let clustered: Vec<u32> = {
+        let mut v = Vec::new();
+        for _ in 0..40 {
+            let base = r.random_range(0..n_docs - 2000);
+            v.extend(rng::sorted_distinct(&mut r, 800, 2000).into_iter().map(|x| base + x));
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let probes = rng::sorted_distinct(&mut r, 3_000, n_docs);
+
+    let bm25 = Bm25::new(Bm25Params::default(), n_docs, 100.0);
+    let norms = vec![1.2f32; n_docs as usize];
+    let tfs = vec![1u32; clustered.len()];
+    let list = PostingList::from_columns(clustered.clone(), tfs).expect("valid");
+
+    println!("# Ablation: block size vs skip precision (clustered list, uniform probes)");
+    header(&["block_size", "blocks", "meta_bytes", "data_bytes", "blocks_touched", "touch_frac"]);
+    for bs in [32usize, 64, 128, 256, 512] {
+        let enc = EncodedList::encode_with_block_size(
+            &list,
+            boss_compress::Scheme::OptPfd,
+            &bm25,
+            1.5,
+            &norms,
+            bs,
+        )
+        .expect("encodes");
+        // Blocks an intersection with the probe list must fetch: any block
+        // whose [first,last] range contains a probe.
+        let mut touched = 0usize;
+        let mut pi = 0usize;
+        for b in enc.blocks() {
+            while pi < probes.len() && probes[pi] < b.first_doc {
+                pi += 1;
+            }
+            if pi < probes.len() && probes[pi] <= b.last_doc {
+                touched += 1;
+            }
+        }
+        row(&[
+            bs.to_string(),
+            enc.n_blocks().to_string(),
+            enc.meta_bytes().to_string(),
+            enc.data_bytes().to_string(),
+            touched.to_string(),
+            f(touched as f64 / enc.n_blocks().max(1) as f64),
+        ]);
+    }
+    println!("# smaller blocks skip more precisely but cost more metadata; 128 balances both");
+}

@@ -1,0 +1,33 @@
+//! Ablation: core scaling beyond the paper's 8, exposing the SCM
+//! bandwidth ceiling — the "scale-out further" argument of Section III-A.
+
+use boss_bench::{f, header, row, run_boss, run_iiu, BenchArgs};
+use boss_core::EtMode;
+use boss_scm::MemoryConfig;
+use boss_workload::corpus::CorpusSpec;
+use boss_workload::queries::QuerySampler;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let index = CorpusSpec::clueweb12_like(args.scale).build().expect("corpus builds");
+    let mut sampler = QuerySampler::new(&index, args.seed);
+    let queries: Vec<_> = sampler
+        .trec_like_mix(args.queries_per_type * 6)
+        .into_iter()
+        .map(|t| t.expr)
+        .collect();
+    println!("# Ablation: core-count sweep on the TREC-like mix (k={})", args.k);
+    header(&["cores", "boss_qps", "iiu_qps", "boss_gbps", "iiu_gbps", "boss_speedup_vs_iiu"]);
+    for cores in [1u32, 2, 4, 8, 16, 32] {
+        let b = run_boss(&index, &queries, cores, EtMode::Full, MemoryConfig::optane_dcpmm(), args.k);
+        let i = run_iiu(&index, &queries, cores, MemoryConfig::optane_dcpmm(), args.k);
+        row(&[
+            cores.to_string(),
+            f(b.qps),
+            f(i.qps),
+            f(b.bandwidth_gbps),
+            f(i.bandwidth_gbps),
+            f(b.qps / i.qps.max(1e-9)),
+        ]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Ablation: timing fidelity — the bottleneck-stage roofline vs the
+//! event-driven pipeline replay, per query type. Functional results are
+//! identical by construction (enforced by tests); this quantifies how
+//! much latency the roofline's `max()` hides.
+
+use boss_bench::{f, header, row, BenchArgs, TypedSuite};
+use boss_core::{BossConfig, BossDevice, TimingFidelity};
+use boss_workload::corpus::CorpusSpec;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let index = CorpusSpec::ccnews_like(args.scale).build().expect("corpus builds");
+    let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
+    println!("# Ablation: timing fidelity (1 BOSS core, k={})", args.k);
+    header(&["qtype", "roofline_us", "pipelined_us", "ratio"]);
+    for (qt, queries) in &suite.per_type {
+        let mut total = [0u64; 2];
+        for (slot, fid) in [(0usize, TimingFidelity::Roofline), (1, TimingFidelity::Pipelined)] {
+            let mut dev = BossDevice::new(
+                &index,
+                BossConfig::with_cores(1).with_k(args.k).with_fidelity(fid),
+            );
+            for q in queries {
+                total[slot] += dev.search_expr(q, args.k).expect("runs").cycles;
+            }
+        }
+        let n = queries.len() as f64;
+        row(&[
+            qt.label().into(),
+            f(total[0] as f64 / n / 1e3),
+            f(total[1] as f64 / n / 1e3),
+            f(total[1] as f64 / total[0].max(1) as f64),
+        ]);
+    }
+    println!("# ratio > 1 = stage imbalance the roofline hides; both models share the functional layer");
+}

@@ -1,0 +1,50 @@
+//! Ablation: hybrid per-list compression vs a single fixed scheme —
+//! index footprint and posting-fetch traffic for the same query set.
+
+use boss_bench::{f, header, row, BenchArgs};
+use boss_compress::ALL_SCHEMES;
+use boss_workload::corpus::CorpusSpec;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let spec = CorpusSpec::ccnews_like(args.scale);
+    println!("# Ablation: hybrid vs fixed-scheme index footprint");
+    header(&["scheme", "data_mb", "vs_hybrid", "vs_raw"]);
+    // Build once per policy by re-deriving from raw postings.
+    let hybrid = spec.build().expect("corpus builds");
+    let raw = hybrid.total_raw_bytes() as f64;
+    let hybrid_bytes = hybrid.total_data_bytes() as f64;
+    row(&[
+        "hybrid".into(),
+        f(hybrid_bytes / 1e6),
+        "1.00".into(),
+        f(hybrid_bytes / raw),
+    ]);
+    for s in ALL_SCHEMES {
+        // Re-encode each list under the fixed scheme.
+        let mut total = 0u64;
+        let mut representable = true;
+        for id in hybrid.term_ids() {
+            let (docs, tfs) = hybrid.list(id).decode_all().expect("decodes");
+            let list = boss_index::PostingList::from_columns(docs, tfs).expect("valid");
+            let idf = hybrid.term_info(id).idf;
+            match boss_index::EncodedList::encode(&list, s, hybrid.bm25(), idf, hybrid.doc_norms()) {
+                Ok(enc) => total += enc.data_bytes() as u64,
+                Err(_) => {
+                    representable = false;
+                    break;
+                }
+            }
+        }
+        if representable {
+            row(&[
+                s.label().into(),
+                f(total as f64 / 1e6),
+                f(total as f64 / hybrid_bytes),
+                f(total as f64 / raw),
+            ]);
+        } else {
+            row(&[s.label().into(), "n/a".into(), "n/a".into(), "n/a".into()]);
+        }
+    }
+}

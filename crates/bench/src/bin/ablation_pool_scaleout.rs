@@ -1,0 +1,57 @@
+//! Ablation: memory-pool scale-out (Figure 2 / Section III-A).
+//!
+//! Splits the corpus across 1..16 memory nodes, each with its own BOSS
+//! device, behind one shared 64 GB/s CXL-like link, and compares the
+//! interconnect traffic of BOSS's hardware top-k against a host-side
+//! design that ships every node's full scored candidate list to the CPU.
+
+use boss_bench::{f, header, row, BenchArgs};
+use boss_core::pool::{InterconnectConfig, MemoryPool};
+use boss_core::BossConfig;
+use boss_index::shard::ShardedIndex;
+use boss_workload::corpus::CorpusSpec;
+use boss_workload::queries::{QuerySampler, QueryType};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let index = CorpusSpec::ccnews_like(args.scale).build().expect("corpus builds");
+    let mut sampler = QuerySampler::new(&index, args.seed);
+    let queries: Vec<_> = (0..args.queries_per_type.max(4))
+        .map(|i| {
+            sampler
+                .sample(if i % 2 == 0 { QueryType::Q3 } else { QueryType::Q5 })
+                .expr
+        })
+        .collect();
+
+    println!("# Ablation: pool scale-out, k={} — interconnect bytes per query", args.k);
+    header(&[
+        "nodes",
+        "topk_link_bytes",
+        "hostside_link_bytes",
+        "reduction_x",
+        "mean_query_us",
+    ]);
+    for nodes in [1u32, 2, 4, 8, 16] {
+        let sharded = ShardedIndex::split(&index, nodes).expect("splits");
+        let mut pool = MemoryPool::new(&sharded, BossConfig::with_cores(2), InterconnectConfig::default());
+        let mut link = 0u64;
+        let mut host = 0u64;
+        let mut cycles = 0u64;
+        for q in &queries {
+            let out = pool.search(q, args.k).expect("pool search runs");
+            link += out.interconnect_bytes;
+            host += pool.hostside_interconnect_bytes(q).expect("hostside estimate");
+            cycles += out.cycles;
+        }
+        let n = queries.len() as f64;
+        row(&[
+            nodes.to_string(),
+            f(link as f64 / n),
+            f(host as f64 / n),
+            f(host as f64 / link.max(1) as f64),
+            f(cycles as f64 / n / 1e3),
+        ]);
+    }
+    println!("# top-k traffic grows with nodes*k; host-side traffic stays at the full candidate volume");
+}

@@ -1,0 +1,50 @@
+//! Corpus statistics report: the evidence behind DESIGN.md §2's claim that
+//! the synthetic corpora match the statistical properties the paper's
+//! experiments exercise (Zipfian df, small clustered d-gaps, skewed tf,
+//! per-list scheme diversity).
+
+use boss_bench::{both_corpora, f, header, row, BenchArgs};
+use boss_compress::ALL_SCHEMES;
+
+fn main() {
+    let args = BenchArgs::parse();
+    for (name, index) in both_corpora(args.scale) {
+        println!("# {name}: {} docs, {} terms", index.n_docs(), index.n_terms());
+        // Document-frequency distribution.
+        let mut dfs: Vec<u32> = index.term_ids().map(|t| index.term_info(t).df).collect();
+        dfs.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = dfs.iter().map(|&d| u64::from(d)).sum();
+        let top1pct: u64 = dfs[..dfs.len() / 100].iter().map(|&d| u64::from(d)).sum();
+        header(&["stat", "value"]);
+        row(&["postings".into(), total.to_string()]);
+        row(&["df_max".into(), dfs[0].to_string()]);
+        row(&["df_median".into(), dfs[dfs.len() / 2].to_string()]);
+        row(&["top1pct_posting_share".into(), f(top1pct as f64 / total as f64)]);
+        // Document lengths.
+        let lens = index.doc_lens();
+        let mut sorted = lens.to_vec();
+        sorted.sort_unstable();
+        row(&["doclen_p50".into(), sorted[sorted.len() / 2].to_string()]);
+        row(&["doclen_p99".into(), sorted[sorted.len() * 99 / 100].to_string()]);
+        // Compression: per-list scheme histogram + overall ratio.
+        let mut counts = std::collections::HashMap::new();
+        for t in index.term_ids() {
+            *counts.entry(index.list(t).scheme()).or_insert(0u32) += 1;
+        }
+        for s in ALL_SCHEMES {
+            row(&[
+                format!("lists_encoded_{s}"),
+                counts.get(&s).copied().unwrap_or(0).to_string(),
+            ]);
+        }
+        row(&[
+            "bits_per_posting".into(),
+            f(index.total_data_bytes() as f64 * 8.0 / total as f64),
+        ]);
+        row(&[
+            "compression_vs_raw".into(),
+            f(index.total_raw_bytes() as f64 / index.total_data_bytes() as f64),
+        ]);
+        println!();
+    }
+}

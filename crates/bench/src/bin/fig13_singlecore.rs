@@ -1,0 +1,12 @@
+//! Figure 13: single-core throughput analysis on both corpora,
+//! normalized to 1-core Lucene on SCM.
+
+use boss_bench::{both_corpora, figures, BenchArgs, TypedSuite};
+
+fn main() {
+    let args = BenchArgs::parse();
+    for (name, index) in both_corpora(args.scale) {
+        let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
+        figures::single_core(name, &index, &suite, args.k);
+    }
+}

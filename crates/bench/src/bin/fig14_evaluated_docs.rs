@@ -1,0 +1,12 @@
+//! Figure 14: normalized number of evaluated documents (Q1/Q3/Q5) for
+//! IIU, BOSS-block-only, and full BOSS.
+
+use boss_bench::{both_corpora, figures, BenchArgs, TypedSuite};
+
+fn main() {
+    let args = BenchArgs::parse();
+    for (name, index) in both_corpora(args.scale) {
+        let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
+        figures::evaluated_docs(name, &index, &suite, args.k);
+    }
+}

@@ -1,0 +1,12 @@
+//! Figure 15: normalized memory access volume by category (LD List,
+//! LD Score, LD Inter, ST Inter, ST Result) for IIU vs BOSS.
+
+use boss_bench::{both_corpora, figures, BenchArgs, TypedSuite};
+
+fn main() {
+    let args = BenchArgs::parse();
+    for (name, index) in both_corpora(args.scale) {
+        let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
+        figures::memory_accesses(name, &index, &suite, args.k);
+    }
+}

@@ -1,0 +1,12 @@
+//! Figure 16: Lucene / IIU / BOSS on DRAM vs SCM at 8 cores, normalized
+//! to 8-core Lucene on SCM.
+
+use boss_bench::{both_corpora, figures, BenchArgs, TypedSuite};
+
+fn main() {
+    let args = BenchArgs::parse();
+    for (name, index) in both_corpora(args.scale) {
+        let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
+        figures::dram_vs_scm(name, &index, &suite, args.k);
+    }
+}

@@ -1,0 +1,12 @@
+//! Figure 17: energy consumption of BOSS (8 cores) normalized to 8-core
+//! Lucene on SCM. The paper reports ~189x average savings.
+
+use boss_bench::{both_corpora, figures, BenchArgs, TypedSuite};
+
+fn main() {
+    let args = BenchArgs::parse();
+    for (name, index) in both_corpora(args.scale) {
+        let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
+        figures::energy(name, &index, &suite, args.k);
+    }
+}

@@ -1,0 +1,57 @@
+//! Latency percentiles (p50/p95/p99) per engine and query type — serving
+//! systems live and die on tail latency, which throughput figures hide.
+
+use boss_bench::{f, header, row, BenchArgs, TypedSuite};
+use boss_core::{BossConfig, BossDevice, EtMode};
+use boss_iiu::{IiuConfig, IiuEngine};
+use boss_luceneish::{LuceneConfig, LuceneEngine};
+use boss_workload::corpus::CorpusSpec;
+
+fn pct(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let index = CorpusSpec::ccnews_like(args.scale).build().expect("corpus builds");
+    let suite = TypedSuite::sample(&index, args.queries_per_type.max(20), args.seed);
+    println!("# Per-query latency percentiles (single engine instance, us)");
+    header(&["qtype", "system", "p50_us", "p95_us", "p99_us"]);
+    for (qt, queries) in &suite.per_type {
+        // BOSS (1 core, query runs alone).
+        let mut dev = BossDevice::new(&index, BossConfig::with_cores(1).with_et(EtMode::Full).with_k(args.k));
+        let mut boss: Vec<f64> = queries
+            .iter()
+            .map(|q| dev.search_expr(q, args.k).expect("runs").cycles as f64 / 1e3)
+            .collect();
+        boss.sort_by(f64::total_cmp);
+        // IIU.
+        let iiu_engine = IiuEngine::new(&index, IiuConfig::with_cores(1));
+        let mut iiu: Vec<f64> = queries
+            .iter()
+            .map(|q| iiu_engine.execute(q, args.k).expect("runs").cycles as f64 / 1e3)
+            .collect();
+        iiu.sort_by(f64::total_cmp);
+        // Lucene (cycles are host cycles at 2.7 GHz).
+        let luc_engine = LuceneEngine::new(&index, LuceneConfig::with_threads(1));
+        let clk = luc_engine.config().clock_ghz;
+        let mut luc: Vec<f64> = queries
+            .iter()
+            .map(|q| luc_engine.execute(q, args.k).expect("runs").cycles as f64 / (clk * 1e3))
+            .collect();
+        luc.sort_by(f64::total_cmp);
+        for (name, v) in [("Lucene", &luc), ("IIU", &iiu), ("BOSS", &boss)] {
+            row(&[
+                qt.label().into(),
+                name.into(),
+                f(pct(v, 0.50)),
+                f(pct(v, 0.95)),
+                f(pct(v, 0.99)),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Table I: hardware methodology configuration, printed from the actual
+//! model constants so drift between the docs and the code is impossible.
+
+use boss_core::BossConfig;
+use boss_luceneish::LuceneConfig;
+use boss_scm::MemoryConfig;
+
+fn main() {
+    let boss = BossConfig::default();
+    let lucene = LuceneConfig::default();
+    let host_dram = MemoryConfig::host_ddr4_6ch();
+    let host_scm = MemoryConfig::host_scm_6ch();
+    let node = &boss.memory;
+
+    println!("# Table I: hardware methodology");
+    println!("[Host Processor]");
+    println!("Core\tXeon-8280M-like @ {:.2} GHz, {} threads", lucene.clock_ghz, lucene.n_threads);
+    println!("[Host Memory System]");
+    println!("DRAM\t{} channels, {:.2} GB/s", host_dram.channels, host_dram.seq_read_gbps);
+    println!("SCM\t{} channels, {:.1} GB/s ({:.2} GB/s per channel)",
+        host_scm.channels, host_scm.seq_read_gbps,
+        host_scm.seq_read_gbps / f64::from(host_scm.channels));
+    println!("[BOSS Configuration]");
+    println!("BOSS\t{} cores @ {:.1} GHz", boss.n_cores, boss.clock_ghz);
+    println!(
+        "BOSS Core\t1 block fetch, {} decompression, 1 intersection, 1 union, {} scoring, 1 top-k (k={})",
+        boss.decompressors_per_core, boss.scorers_per_core, boss.k
+    );
+    println!("[BOSS Memory System]");
+    println!("Organization\tSCM, {} channels", node.channels);
+    println!(
+        "Bandwidth\tread {:.1} GB/s seq, {:.1} GB/s random; write {:.1} GB/s; {} B granule",
+        node.seq_read_gbps, node.rand_read_gbps, node.write_gbps, node.granule_bytes
+    );
+}

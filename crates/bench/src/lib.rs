@@ -1,0 +1,305 @@
+//! Shared harness for the figure/table binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the BOSS
+//! paper (see `DESIGN.md` for the index). They share:
+//!
+//! * [`BenchArgs`] — a tiny `--scale smoke|small|full`, `--seed`,
+//!   `--queries-per-type`, `--k` argument parser;
+//! * corpus/query construction helpers;
+//! * batch drivers for the three engines (BOSS, IIU, Lucene-like) that
+//!   return uniform [`SystemRun`] rows;
+//! * TSV emission helpers (rows go to stdout; commentary lines start
+//!   with `#`).
+
+pub mod figures;
+
+use boss_core::{BatchOutcome, BossConfig, BossDevice, EtMode, EvalCounts, QueryOutcome};
+use boss_iiu::{IiuConfig, IiuEngine};
+use boss_index::{InvertedIndex, QueryExpr};
+use boss_luceneish::{LuceneConfig, LuceneEngine};
+use boss_scm::{MemStats, MemoryConfig};
+use boss_workload::corpus::{CorpusSpec, Scale};
+use boss_workload::queries::{QuerySampler, QueryType, ALL_QUERY_TYPES};
+
+/// Common command-line arguments of the figure binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Corpus scale.
+    pub scale: Scale,
+    /// Sampler seed.
+    pub seed: u64,
+    /// Queries sampled per Table II type.
+    pub queries_per_type: usize,
+    /// Results per query.
+    pub k: usize,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { scale: Scale::Small, seed: 42, queries_per_type: 10, k: 1000 }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`; unknown flags abort with usage help.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    args.scale = take("--scale").parse().unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    });
+                }
+                "--seed" => args.seed = take("--seed").parse().expect("numeric seed"),
+                "--queries-per-type" => {
+                    args.queries_per_type = take("--queries-per-type").parse().expect("numeric count");
+                }
+                "--k" => args.k = take("--k").parse().expect("numeric k"),
+                "--help" | "-h" => {
+                    println!("usage: [--scale smoke|small|full] [--seed N] [--queries-per-type N] [--k N]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+/// A query suite grouped by Table II type.
+#[derive(Debug)]
+pub struct TypedSuite {
+    /// `(type, queries)` in Table II order.
+    pub per_type: Vec<(QueryType, Vec<QueryExpr>)>,
+}
+
+impl TypedSuite {
+    /// Samples `per_type` queries of each type from `index`.
+    pub fn sample(index: &InvertedIndex, per_type: usize, seed: u64) -> Self {
+        let mut sampler = QuerySampler::new(index, seed);
+        let mut out = Vec::new();
+        for qt in ALL_QUERY_TYPES {
+            let qs = (0..per_type).map(|_| sampler.sample(qt).expr).collect();
+            out.push((qt, qs));
+        }
+        TypedSuite { per_type: out }
+    }
+}
+
+/// Uniform result of one engine over one query set.
+#[derive(Debug, Clone)]
+pub struct SystemRun {
+    /// Engine label.
+    pub system: String,
+    /// Wall-clock seconds of the batch (makespan).
+    pub seconds: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Achieved memory bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Merged traffic.
+    pub mem: MemStats,
+    /// Merged evaluation counters.
+    pub eval: EvalCounts,
+    /// Per-query outcomes.
+    pub outcomes: Vec<QueryOutcome>,
+}
+
+/// Runs BOSS over a query set.
+///
+/// # Panics
+///
+/// Panics if a query fails to plan (the samplers only produce plannable
+/// shapes).
+pub fn run_boss(
+    index: &InvertedIndex,
+    queries: &[QueryExpr],
+    cores: u32,
+    et: EtMode,
+    memory: MemoryConfig,
+    k: usize,
+) -> SystemRun {
+    let cfg = BossConfig::with_cores(cores).with_et(et).with_k(k).on_memory(memory);
+    let clock = cfg.clock_ghz;
+    let mut dev = BossDevice::new(index, cfg);
+    let batch: BatchOutcome = dev.run_batch(queries, k).expect("sampled queries plan");
+    let seconds = batch.makespan_cycles as f64 / (clock * 1e9);
+    SystemRun {
+        system: format!("{}x{}", et.label(), cores),
+        seconds,
+        qps: batch.throughput_qps(clock),
+        bandwidth_gbps: batch.bandwidth_gbps(),
+        mem: batch.mem,
+        eval: batch.eval,
+        outcomes: batch.outcomes,
+    }
+}
+
+/// Runs IIU over a query set with greedy query-to-core scheduling.
+///
+/// # Panics
+///
+/// Panics if a query fails to plan.
+pub fn run_iiu(
+    index: &InvertedIndex,
+    queries: &[QueryExpr],
+    cores: u32,
+    memory: MemoryConfig,
+    k: usize,
+) -> SystemRun {
+    let cfg = IiuConfig::with_cores(cores).on_memory(memory);
+    let clock = cfg.clock_ghz;
+    let engine = IiuEngine::new(index, cfg);
+    let mut busy = vec![0u64; cores as usize];
+    let mut mem = MemStats::new();
+    let mut eval = EvalCounts::default();
+    let mut outcomes = Vec::with_capacity(queries.len());
+    for q in queries {
+        let out = engine.execute(q, k).expect("sampled queries plan");
+        let b = busy.iter_mut().min_by_key(|x| **x).expect("cores > 0");
+        *b += out.cycles;
+        mem.merge(&out.mem);
+        eval.merge(&out.eval);
+        outcomes.push(out);
+    }
+    let core_limited = busy.into_iter().max().unwrap_or(0);
+    let bw_limited = mem.busy_cycles / u64::from(engine.config().memory.channels.max(1));
+    let makespan = core_limited.max(bw_limited);
+    let seconds = makespan as f64 / (clock * 1e9);
+    SystemRun {
+        system: format!("IIUx{cores}"),
+        seconds,
+        qps: if makespan == 0 { 0.0 } else { queries.len() as f64 / seconds },
+        bandwidth_gbps: mem.achieved_gbps(makespan),
+        mem,
+        eval,
+        outcomes,
+    }
+}
+
+/// Runs the Lucene-like baseline over a query set.
+///
+/// # Panics
+///
+/// Panics if a query fails to plan.
+pub fn run_lucene(
+    index: &InvertedIndex,
+    queries: &[QueryExpr],
+    threads: u32,
+    memory: MemoryConfig,
+    k: usize,
+) -> SystemRun {
+    let cfg = LuceneConfig::with_threads(threads).on_memory(memory);
+    let clock = cfg.clock_ghz;
+    let engine = LuceneEngine::new(index, cfg);
+    let (outcomes, makespan) = engine.run_batch(queries, k).expect("sampled queries plan");
+    let mem = LuceneEngine::merge_mem(&outcomes);
+    let mut eval = EvalCounts::default();
+    for o in &outcomes {
+        eval.merge(&o.eval);
+    }
+    let seconds = makespan as f64 / (clock * 1e9);
+    let bandwidth_gbps = if seconds > 0.0 {
+        mem.total_bytes() as f64 / (seconds * 1e9)
+    } else {
+        0.0
+    };
+    SystemRun {
+        system: format!("Lucene x{threads}"),
+        seconds,
+        qps: if makespan == 0 { 0.0 } else { queries.len() as f64 / seconds },
+        bandwidth_gbps,
+        mem,
+        eval,
+        outcomes,
+    }
+}
+
+/// The two corpora of the paper's evaluation, at the requested scale.
+pub fn both_corpora(scale: Scale) -> Vec<(&'static str, InvertedIndex)> {
+    vec![
+        ("clueweb12-like", CorpusSpec::clueweb12_like(scale).build().expect("corpus builds")),
+        ("ccnews-like", CorpusSpec::ccnews_like(scale).build().expect("corpus builds")),
+    ]
+}
+
+/// Prints a TSV header row.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Prints a TSV data row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Formats a float tersely.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Geometric mean of positive values (0.0 for empty input).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_and_engines_agree_functionally() {
+        let index = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        let suite = TypedSuite::sample(&index, 2, 5);
+        assert_eq!(suite.per_type.len(), 6);
+        for (qt, qs) in &suite.per_type {
+            assert_eq!(qs.len(), 2, "{qt:?}");
+            let boss = run_boss(&index, qs, 2, EtMode::Full, MemoryConfig::optane_dcpmm(), 50);
+            let iiu = run_iiu(&index, qs, 2, MemoryConfig::optane_dcpmm(), 50);
+            let luc = run_lucene(&index, qs, 2, MemoryConfig::host_scm_6ch(), 50);
+            for i in 0..qs.len() {
+                assert_eq!(boss.outcomes[i].hits, iiu.outcomes[i].hits, "{qt:?} q{i}");
+                assert_eq!(boss.outcomes[i].hits, luc.outcomes[i].hits, "{qt:?} q{i}");
+            }
+            assert!(boss.qps > 0.0 && iiu.qps > 0.0 && luc.qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(123.456), "123");
+        assert_eq!(f(3.21987), "3.22");
+        assert_eq!(f(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn geomean_math() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Codec error type.
+
+/// Errors produced by the compression codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// More values were supplied than one block descriptor can address.
+    TooManyValues {
+        /// Number of values supplied.
+        got: usize,
+        /// Maximum number of values per block.
+        max: usize,
+    },
+    /// A value exceeds the representable range of the scheme.
+    ValueTooLarge {
+        /// The offending value.
+        value: u32,
+        /// The scheme's limit.
+        max: u32,
+    },
+    /// The encoded data ended before all values were decoded.
+    Truncated {
+        /// Bytes that were available.
+        have: usize,
+        /// Bytes that were needed.
+        need: usize,
+    },
+    /// The encoded data is structurally invalid (bad selector, impossible
+    /// exception index, ...).
+    Corrupt {
+        /// Human-readable description of the inconsistency.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::TooManyValues { got, max } => {
+                write!(f, "block holds {got} values but the limit is {max}")
+            }
+            Error::ValueTooLarge { value, max } => {
+                write!(f, "value {value} exceeds the scheme limit {max}")
+            }
+            Error::Truncated { have, need } => {
+                write!(f, "encoded data truncated: have {have} bytes, need {need}")
+            }
+            Error::Corrupt { reason } => write!(f, "corrupt encoded data: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::TooManyValues { got: 5000, max: 4096 };
+        assert!(e.to_string().contains("5000"));
+        let e = Error::Truncated { have: 3, need: 8 };
+        assert!(e.to_string().contains("truncated"));
+        let e = Error::Corrupt { reason: "bad selector" };
+        assert!(e.to_string().contains("bad selector"));
+        let e = Error::ValueTooLarge { value: 7, max: 3 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,183 @@
+//! Simple16: each 32-bit word carries a 4-bit selector and 28 payload bits
+//! split into equal-width (or two-width) fields according to one of 16
+//! layouts (Zhang, Long & Suel).
+
+use crate::{check_len, BlockInfo, Codec, Error, Scheme};
+
+/// The 16 Simple16 layouts as `(count, bits)` runs. Each layout's field
+/// widths sum to exactly 28 bits.
+const LAYOUTS: [&[(u32, u32)]; 16] = [
+    &[(28, 1)],
+    &[(7, 2), (14, 1)],
+    &[(7, 1), (7, 2), (7, 1)],
+    &[(14, 1), (7, 2)],
+    &[(14, 2)],
+    &[(1, 4), (8, 3)],
+    &[(1, 3), (4, 4), (3, 3)],
+    &[(7, 4)],
+    &[(4, 5), (2, 4)],
+    &[(2, 4), (4, 5)],
+    &[(3, 6), (2, 5)],
+    &[(2, 5), (3, 6)],
+    &[(4, 7)],
+    &[(1, 10), (2, 9)],
+    &[(2, 14)],
+    &[(1, 28)],
+];
+
+fn layout_count(layout: &[(u32, u32)]) -> u32 {
+    layout.iter().map(|&(n, _)| n).sum()
+}
+
+/// Returns how many leading `values` fit layout `sel` (0 if the first field
+/// already overflows).
+fn fits(layout: &[(u32, u32)], values: &[u32]) -> bool {
+    let mut i = 0usize;
+    for &(n, bits) in layout {
+        for _ in 0..n {
+            match values.get(i) {
+                Some(&v) if u64::from(v) < (1u64 << bits) => i += 1,
+                // Fewer values than the layout holds: padding zeros fit.
+                None => return true,
+                Some(_) => return false,
+            }
+        }
+    }
+    true
+}
+
+/// The S16 codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simple16;
+
+impl Codec for Simple16 {
+    fn scheme(&self) -> Scheme {
+        Scheme::S16
+    }
+
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) -> Result<BlockInfo, Error> {
+        let count = check_len(values)?;
+        let mut rest = values;
+        while !rest.is_empty() {
+            // Greedy: pick the densest layout (largest count first — the
+            // table is ordered densest-first) whose widths fit.
+            let mut chosen = None;
+            for (sel, layout) in LAYOUTS.iter().enumerate() {
+                if fits(layout, rest) {
+                    chosen = Some((sel as u32, *layout));
+                    break;
+                }
+            }
+            let Some((sel, layout)) = chosen else {
+                // Even 1×28 failed: the value needs more than 28 bits.
+                return Err(Error::ValueTooLarge {
+                    value: rest[0],
+                    max: (1 << 28) - 1,
+                });
+            };
+            let mut word: u32 = sel << 28;
+            let mut shift = 0u32;
+            let mut i = 0usize;
+            for &(n, bits) in layout {
+                for _ in 0..n {
+                    let v = rest.get(i).copied().unwrap_or(0);
+                    word |= v << shift;
+                    shift += bits;
+                    i += 1;
+                }
+            }
+            out.extend_from_slice(&word.to_le_bytes());
+            let take = (layout_count(layout) as usize).min(rest.len());
+            rest = &rest[take..];
+        }
+        Ok(BlockInfo { count, bit_width: 0, exception_offset: 0 })
+    }
+
+    fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
+        let mut remaining = info.count as usize;
+        let mut pos = 0usize;
+        out.reserve(remaining);
+        while remaining > 0 {
+            let Some(bytes) = data.get(pos..pos + 4) else {
+                return Err(Error::Truncated { have: data.len(), need: pos + 4 });
+            };
+            pos += 4;
+            let word = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+            let sel = (word >> 28) as usize;
+            let layout = LAYOUTS[sel];
+            let mut shift = 0u32;
+            for &(n, bits) in layout {
+                let mask = (1u32 << bits) - 1;
+                for _ in 0..n {
+                    if remaining == 0 {
+                        break;
+                    }
+                    out.push((word >> shift) & mask);
+                    shift += bits;
+                    remaining -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let info = Simple16.encode(values, &mut buf).unwrap();
+        let mut out = Vec::new();
+        Simple16.decode(&buf, &info, &mut out).unwrap();
+        assert_eq!(out, values);
+        buf
+    }
+
+    #[test]
+    fn layouts_all_sum_to_28_bits() {
+        for layout in &LAYOUTS {
+            let bits: u32 = layout.iter().map(|&(n, b)| n * b).sum();
+            assert_eq!(bits, 28);
+        }
+    }
+
+    #[test]
+    fn ones_pack_28_per_word() {
+        let buf = roundtrip(&[1u32; 56]);
+        assert_eq!(buf.len(), 8, "two words of 28×1-bit");
+    }
+
+    #[test]
+    fn mixed_magnitudes() {
+        roundtrip(&[0, 1, 100, 3, 7, 200_000, 1, 1, 1, 0, 50, 2]);
+    }
+
+    #[test]
+    fn value_at_28_bit_limit() {
+        roundtrip(&[(1 << 28) - 1]);
+    }
+
+    #[test]
+    fn value_above_28_bits_rejected() {
+        let err = Simple16.encode(&[1 << 28], &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, Error::ValueTooLarge { .. }));
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let mut buf = Vec::new();
+        let info = Simple16.encode(&[5u32; 40], &mut buf).unwrap();
+        buf.truncate(buf.len() - 1);
+        let err = Simple16.decode(&buf, &info, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, Error::Truncated { .. }));
+    }
+
+    #[test]
+    fn tail_shorter_than_layout() {
+        // 3 ones: padded into one 28×1 word.
+        let buf = roundtrip(&[1, 1, 1]);
+        assert_eq!(buf.len(), 4);
+    }
+}

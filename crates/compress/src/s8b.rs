@@ -1,0 +1,181 @@
+//! Simple8b: each 64-bit word carries a 4-bit selector and 60 payload bits
+//! (Anh & Moffat, "Index compression using 64-bit words"). Selectors 0 and 1
+//! encode runs of 240/120 zeros with no payload, which is what makes S8b
+//! excel on dense streams of 0-gaps.
+
+use crate::{check_len, BlockInfo, Codec, Error, Scheme};
+
+/// `(count, bits)` for selectors 2..=15. Selector 0 = 240 zeros,
+/// selector 1 = 120 zeros.
+const PACKED: [(u32, u32); 14] = [
+    (60, 1),
+    (30, 2),
+    (20, 3),
+    (15, 4),
+    (12, 5),
+    (10, 6),
+    (8, 7),
+    (7, 8),
+    (6, 10),
+    (5, 12),
+    (4, 15),
+    (3, 20),
+    (2, 30),
+    (1, 60),
+];
+
+/// The S8b codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simple8b;
+
+impl Codec for Simple8b {
+    fn scheme(&self) -> Scheme {
+        Scheme::S8b
+    }
+
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) -> Result<BlockInfo, Error> {
+        let count = check_len(values)?;
+        let mut rest = values;
+        while !rest.is_empty() {
+            let zeros = rest.iter().take_while(|&&v| v == 0).count();
+            let (selector, take, packed) = if zeros >= 240 {
+                (0u64, 240usize, None)
+            } else if zeros >= 120 {
+                (1u64, 120usize, None)
+            } else {
+                let mut choice = None;
+                for (i, &(n, bits)) in PACKED.iter().enumerate() {
+                    let prefix = &rest[..rest.len().min(n as usize)];
+                    if prefix.iter().all(|&v| u64::from(v) < (1u64 << bits)) {
+                        choice = Some((i as u64 + 2, prefix.len(), Some((n, bits))));
+                        break;
+                    }
+                }
+                choice.ok_or(Error::ValueTooLarge {
+                    value: rest[0],
+                    max: u32::MAX,
+                })?
+            };
+            let mut word: u64 = selector << 60;
+            if let Some((n, bits)) = packed {
+                let mut shift = 0u32;
+                for slot in 0..n as usize {
+                    let v = rest.get(slot).copied().unwrap_or(0);
+                    word |= u64::from(v) << shift;
+                    shift += bits;
+                }
+            }
+            out.extend_from_slice(&word.to_le_bytes());
+            rest = &rest[take.min(rest.len())..];
+        }
+        Ok(BlockInfo { count, bit_width: 0, exception_offset: 0 })
+    }
+
+    fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
+        let mut remaining = info.count as usize;
+        let mut pos = 0usize;
+        out.reserve(remaining);
+        while remaining > 0 {
+            let Some(bytes) = data.get(pos..pos + 8) else {
+                return Err(Error::Truncated { have: data.len(), need: pos + 8 });
+            };
+            pos += 8;
+            let word = u64::from_le_bytes(bytes.try_into().expect("slice is 8 bytes"));
+            let sel = (word >> 60) as usize;
+            match sel {
+                0 | 1 => {
+                    let n = if sel == 0 { 240 } else { 120 };
+                    let take = n.min(remaining);
+                    out.extend(std::iter::repeat_n(0u32, take));
+                    remaining -= take;
+                }
+                _ => {
+                    let (n, bits) = PACKED[sel - 2];
+                    let mask = (1u64 << bits) - 1;
+                    let mut shift = 0u32;
+                    for _ in 0..n {
+                        if remaining == 0 {
+                            break;
+                        }
+                        out.push(((word >> shift) & mask) as u32);
+                        shift += bits;
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let info = Simple8b.encode(values, &mut buf).unwrap();
+        let mut out = Vec::new();
+        Simple8b.decode(&buf, &info, &mut out).unwrap();
+        assert_eq!(out, values);
+        buf
+    }
+
+    #[test]
+    fn packed_layouts_fit_60_bits() {
+        for &(n, b) in &PACKED {
+            assert!(n * b <= 60, "{n}x{b}");
+        }
+    }
+
+    #[test]
+    fn ones_pack_60_per_word() {
+        let buf = roundtrip(&[1u32; 120]);
+        assert_eq!(buf.len(), 16, "two words of 60×1-bit");
+    }
+
+    #[test]
+    fn long_zero_run_is_one_word() {
+        let buf = roundtrip(&[0u32; 240]);
+        assert_eq!(buf.len(), 8);
+    }
+
+    #[test]
+    fn medium_zero_run() {
+        let buf = roundtrip(&[0u32; 120]);
+        assert_eq!(buf.len(), 8);
+    }
+
+    #[test]
+    fn short_zero_run_uses_packed_selector() {
+        let buf = roundtrip(&[0u32; 50]);
+        assert_eq!(buf.len(), 8, "50 zeros fit one 60×1-bit word");
+    }
+
+    #[test]
+    fn full_u32_values() {
+        roundtrip(&[u32::MAX, 0, u32::MAX]);
+    }
+
+    #[test]
+    fn mixed_stream() {
+        let values: Vec<u32> = (0..500u32).map(|i| if i % 7 == 0 { i * 1000 } else { i % 3 }).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let mut buf = Vec::new();
+        let info = Simple8b.encode(&[9u32; 30], &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = Simple8b.decode(&buf, &info, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, Error::Truncated { .. }));
+    }
+
+    #[test]
+    fn zeros_then_values() {
+        let mut v = vec![0u32; 240];
+        v.extend([5, 6, 7]);
+        roundtrip(&v);
+    }
+}

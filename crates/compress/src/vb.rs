@@ -1,0 +1,114 @@
+//! Variable-Byte: 7-bit payload groups, MSB set on the final byte of each
+//! value (the classic Cutting–Pedersen encoding the paper's Figure 8
+//! programs into the BOSS decompression module).
+
+use crate::{check_len, BlockInfo, Codec, Error, Scheme};
+
+/// The VB codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VariableByte;
+
+impl Codec for VariableByte {
+    fn scheme(&self) -> Scheme {
+        Scheme::Vb
+    }
+
+    fn encode(&self, values: &[u32], out: &mut Vec<u8>) -> Result<BlockInfo, Error> {
+        let count = check_len(values)?;
+        for &v in values {
+            let mut v = v;
+            loop {
+                let payload = (v & 0x7F) as u8;
+                v >>= 7;
+                if v == 0 {
+                    out.push(payload | 0x80); // terminator byte
+                    break;
+                }
+                out.push(payload);
+            }
+        }
+        Ok(BlockInfo { count, bit_width: 0, exception_offset: 0 })
+    }
+
+    fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
+        let mut pos = 0usize;
+        out.reserve(info.count as usize);
+        for _ in 0..info.count {
+            let mut v: u32 = 0;
+            let mut shift = 0u32;
+            loop {
+                let Some(&b) = data.get(pos) else {
+                    return Err(Error::Truncated { have: data.len(), need: pos + 1 });
+                };
+                pos += 1;
+                if shift >= 35 {
+                    return Err(Error::Corrupt { reason: "VB value wider than 32 bits" });
+                }
+                let payload = u32::from(b & 0x7F);
+                if shift == 28 && payload > 0xF {
+                    return Err(Error::Corrupt { reason: "VB value wider than 32 bits" });
+                }
+                v |= payload << shift;
+                shift += 7;
+                if b & 0x80 != 0 {
+                    break;
+                }
+            }
+            out.push(v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let info = VariableByte.encode(values, &mut buf).unwrap();
+        let mut out = Vec::new();
+        VariableByte.decode(&buf, &info, &mut out).unwrap();
+        assert_eq!(out, values);
+        buf
+    }
+
+    #[test]
+    fn small_values_one_byte_each() {
+        let buf = roundtrip(&[0, 1, 127, 64]);
+        assert_eq!(buf.len(), 4);
+    }
+
+    #[test]
+    fn boundaries() {
+        roundtrip(&[127, 128, 16383, 16384, 2097151, 2097152, u32::MAX]);
+    }
+
+    #[test]
+    fn byte_counts_match_widths() {
+        let mut buf = Vec::new();
+        VariableByte.encode(&[128], &mut buf).unwrap();
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        VariableByte.encode(&[u32::MAX], &mut buf).unwrap();
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let mut buf = Vec::new();
+        let info = VariableByte.encode(&[1_000_000, 2], &mut buf).unwrap();
+        buf.truncate(2);
+        let err = VariableByte.decode(&buf, &info, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, Error::Truncated { .. }));
+    }
+
+    #[test]
+    fn overwide_value_is_corrupt() {
+        // Six continuation bytes with no terminator within 32 bits.
+        let data = [0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0xFF];
+        let info = BlockInfo { count: 1, bit_width: 0, exception_offset: 0 };
+        let err = VariableByte.decode(&data, &info, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, Error::Corrupt { .. }));
+    }
+}

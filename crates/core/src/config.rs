@@ -1,0 +1,199 @@
+//! Accelerator configuration and timing constants.
+
+use crate::pipeline::TimingFidelity;
+use boss_scm::MemoryConfig;
+use serde::{Deserialize, Serialize};
+
+/// Early-termination mode of a BOSS core (Figures 13/14 compare these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EtMode {
+    /// No pruning: every candidate block is fetched and every candidate
+    /// document scored ("BOSS-exhaustive" in Figure 13).
+    Exhaustive,
+    /// Only block-level score estimation in the block fetch module
+    /// ("BOSS-block-only" in Figure 14).
+    BlockOnly,
+    /// Block-level estimation plus document-level WAND in the union module
+    /// (full BOSS).
+    #[default]
+    Full,
+}
+
+impl EtMode {
+    /// Label used by figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            EtMode::Exhaustive => "BOSS-exhaustive",
+            EtMode::BlockOnly => "BOSS-block-only",
+            EtMode::Full => "BOSS",
+        }
+    }
+}
+
+/// Per-module cycle costs at the 1 GHz core clock.
+///
+/// The defaults follow the module descriptions of Section IV-C: one merge
+/// comparison per cycle per intersection unit, fully pipelined scoring
+/// (one document per cycle per module once the fixed-point divider is
+/// filled), one top-k shift-insert per cycle, and the decompression cycle
+/// counts of the `boss-decomp` engine (one extraction unit per cycle plus
+/// pipeline fill).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Pipeline-fill cycles charged per decoded block.
+    pub decomp_fill: u64,
+    /// Cycles per set-operation comparison.
+    pub cycles_per_comparison: f64,
+    /// Cycles per scored document per scoring module (pipelined).
+    pub cycles_per_score: f64,
+    /// One-time fill of the fixed-point divider pipeline per query.
+    pub scoring_fill: u64,
+    /// Cycles per top-k insertion.
+    pub cycles_per_topk_insert: f64,
+    /// Fixed per-query overhead (command decode, scheduling, drain).
+    pub query_overhead: u64,
+    /// Cycles per WAND pivot-selection round in the union module
+    /// (sorter + score loader + pivot selector).
+    pub cycles_per_pivot_round: f64,
+    /// Which latency estimator to use (roofline or event-driven replay).
+    pub fidelity: TimingFidelity,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            decomp_fill: 4,
+            cycles_per_comparison: 1.0,
+            cycles_per_score: 1.0,
+            scoring_fill: 16,
+            cycles_per_topk_insert: 1.0,
+            query_overhead: 200,
+            cycles_per_pivot_round: 2.0,
+            fidelity: TimingFidelity::Roofline,
+        }
+    }
+}
+
+/// Configuration of a BOSS device (Table I "BOSS Configuration").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BossConfig {
+    /// Number of BOSS cores on the memory node.
+    pub n_cores: u32,
+    /// Core clock in GHz (the paper's cores run at 1.0).
+    pub clock_ghz: f64,
+    /// Results returned per query (the paper defaults to 1000).
+    pub k: usize,
+    /// Early-termination mode.
+    pub et_mode: EtMode,
+    /// Decompression modules per core.
+    pub decompressors_per_core: u32,
+    /// Scoring modules per core.
+    pub scorers_per_core: u32,
+    /// Maximum terms a single core handles natively.
+    pub max_terms_per_core: usize,
+    /// Maximum terms the device handles in hardware (4 chained cores).
+    pub max_terms: usize,
+    /// The memory node configuration.
+    pub memory: MemoryConfig,
+    /// Timing constants.
+    pub timing: TimingModel,
+}
+
+impl Default for BossConfig {
+    fn default() -> Self {
+        BossConfig {
+            n_cores: 8,
+            clock_ghz: 1.0,
+            k: 1000,
+            et_mode: EtMode::Full,
+            decompressors_per_core: 4,
+            scorers_per_core: 4,
+            max_terms_per_core: 4,
+            max_terms: 16,
+            memory: MemoryConfig::optane_dcpmm(),
+            timing: TimingModel::default(),
+        }
+    }
+}
+
+impl BossConfig {
+    /// A configuration with `n` cores and defaults elsewhere.
+    pub fn with_cores(n: u32) -> Self {
+        BossConfig { n_cores: n, ..Self::default() }
+    }
+
+    /// Replaces the memory node configuration.
+    #[must_use]
+    pub fn on_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Replaces the early-termination mode.
+    #[must_use]
+    pub fn with_et(mut self, et: EtMode) -> Self {
+        self.et_mode = et;
+        self
+    }
+
+    /// Replaces `k`.
+    #[must_use]
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Replaces the timing fidelity.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: TimingFidelity) -> Self {
+        self.timing.fidelity = fidelity;
+        self
+    }
+
+    /// Converts core cycles to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = BossConfig::default();
+        assert_eq!(c.n_cores, 8);
+        assert_eq!(c.k, 1000);
+        assert_eq!(c.decompressors_per_core, 4);
+        assert_eq!(c.scorers_per_core, 4);
+        assert_eq!(c.max_terms_per_core, 4);
+        assert_eq!(c.max_terms, 16);
+        assert_eq!(c.memory.channels, 4);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = BossConfig::with_cores(2)
+            .with_et(EtMode::BlockOnly)
+            .with_k(10)
+            .on_memory(boss_scm::MemoryConfig::ddr4_2666());
+        assert_eq!(c.n_cores, 2);
+        assert_eq!(c.et_mode, EtMode::BlockOnly);
+        assert_eq!(c.k, 10);
+        assert_eq!(c.memory.kind, boss_scm::MemoryKind::Dram);
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_1ghz() {
+        let c = BossConfig::default();
+        assert!((c.cycles_to_seconds(1_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn et_labels() {
+        assert_eq!(EtMode::Full.label(), "BOSS");
+        assert_eq!(EtMode::Exhaustive.label(), "BOSS-exhaustive");
+        assert_eq!(EtMode::BlockOnly.label(), "BOSS-block-only");
+    }
+}

@@ -1,0 +1,283 @@
+//! One BOSS core: executes a normalized [`QueryPlan`] through the
+//! fetch → decompress → set-op → score → top-k pipeline and accounts the
+//! cycles each module consumed.
+//!
+//! Timing uses the bottleneck-stage model described in `DESIGN.md`: the
+//! pipeline is fully overlapped (Section IV-C), so a query's latency is
+//! the maximum over the module-level cycle totals — memory (through the
+//! shared channel model), decompression (per module, since a list is bound
+//! to one decompressor), set operations, scoring, and top-k — plus fixed
+//! per-query overhead.
+
+use crate::config::{BossConfig, EtMode};
+use crate::fetch::{ExecCtx, ListCursor};
+use crate::intersect::intersect_group;
+use crate::plan::QueryPlan;
+use crate::stats::QueryOutcome;
+use crate::topk::TopK;
+use crate::union::{union_topk, UnionStream};
+use boss_index::layout::IndexImage;
+use boss_index::InvertedIndex;
+use boss_scm::AccessCategory;
+
+/// One BOSS core (Figure 4(b)): block fetch, four decompression modules,
+/// intersection and union modules, four scoring modules and a top-k queue.
+#[derive(Debug)]
+pub struct BossCore {
+    config: BossConfig,
+    /// Cycle at which this core becomes free (device scheduling).
+    pub(crate) busy_until: u64,
+}
+
+impl BossCore {
+    /// Creates an idle core.
+    pub fn new(config: BossConfig) -> Self {
+        BossCore { config, busy_until: 0 }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &BossConfig {
+        &self.config
+    }
+
+    /// Overrides the early-termination mode (the device uses this to run
+    /// host-merged subqueries without pruning).
+    pub(crate) fn set_et_mode(&mut self, et: EtMode) {
+        self.config.et_mode = et;
+    }
+
+    /// Executes one planned query against `index` laid out at `image`,
+    /// returning hits, cycles and traffic.
+    pub fn execute(
+        &self,
+        index: &InvertedIndex,
+        image: &IndexImage,
+        plan: &QueryPlan,
+        k: usize,
+    ) -> QueryOutcome {
+        let mut ctx = ExecCtx::new(index, image, &self.config);
+        let fill = self.config.timing.decomp_fill;
+
+        // Intersections first (Section IV-B "Mixed Query"), then one
+        // union+scoring pass over all group streams. Early termination in
+        // the union stage applies to union-bearing queries; a pure
+        // intersection scores all of its (already small) matches, as the
+        // paper's ET only targets OR processing.
+        let et = if plan.is_pure_intersection() {
+            EtMode::Exhaustive
+        } else {
+            self.config.et_mode
+        };
+
+        let mut streams: Vec<UnionStream<'_>> = Vec::with_capacity(plan.groups().len());
+        for (gi, group) in plan.groups().iter().enumerate() {
+            if group.len() == 1 {
+                let unit = gi % ctx.dec_cycles.len();
+                streams.push(UnionStream::List(ListCursor::new(&mut ctx, group[0], unit, fill)));
+            } else {
+                let m = intersect_group(&mut ctx, group, fill);
+                streams.push(UnionStream::Mat(m));
+            }
+        }
+
+        let mut topk = TopK::new(k);
+        union_topk(&mut ctx, streams, et, &mut topk);
+
+        // The top-k list crosses the shared interconnect: 8 B per entry
+        // (docID + score), written once at the end of the query.
+        let result_bytes = (topk.len() as u64 * 8).max(8);
+        ctx.write(
+            image.end_addr() + (4 << 20),
+            result_bytes,
+            AccessCategory::StResult,
+        );
+
+        let cycles = self.pipeline_cycles(&ctx, plan);
+        QueryOutcome {
+            hits: topk.into_hits(),
+            cycles,
+            mem: ctx.mem.take_stats(),
+            eval: ctx.eval,
+        }
+    }
+
+    /// Query latency under the configured fidelity.
+    fn pipeline_cycles(&self, ctx: &ExecCtx<'_>, plan: &QueryPlan) -> u64 {
+        let t = &self.config.timing;
+        let t_mem = ctx.mem.stats().last_done_cycle;
+        // Intra-query scoring parallelism is limited to one scoring module
+        // per query term (the Figure 13 discussion).
+        let eff_scorers = (self.config.scorers_per_core as usize)
+            .min(plan.n_distinct_terms())
+            .max(1) as u64;
+        match t.fidelity {
+            crate::pipeline::TimingFidelity::Roofline => {
+                let t_dec = ctx.dec_cycles.iter().copied().max().unwrap_or(0);
+                let t_setop = (ctx.eval.comparisons as f64 * t.cycles_per_comparison
+                    + ctx.eval.pivot_rounds as f64 * t.cycles_per_pivot_round) as u64;
+                let t_score = (ctx.scored as f64 * t.cycles_per_score / eff_scorers as f64) as u64
+                    + t.scoring_fill;
+                let t_topk = (ctx.eval.topk_inserts as f64 * t.cycles_per_topk_insert) as u64;
+                t_mem.max(t_dec).max(t_setop).max(t_score).max(t_topk) + t.query_overhead
+            }
+            crate::pipeline::TimingFidelity::Pipelined => {
+                let counts = crate::pipeline::ReplayCounts {
+                    scored: ctx.scored,
+                    comparisons: ctx.eval.comparisons,
+                    pivot_rounds: ctx.eval.pivot_rounds,
+                    topk_inserts: ctx.eval.topk_inserts,
+                    scorers: eff_scorers,
+                };
+                let replayed = crate::pipeline::replay(
+                    &ctx.trace,
+                    &counts,
+                    self.config.decompressors_per_core as usize,
+                    t.cycles_per_comparison,
+                    t.cycles_per_score,
+                    t.cycles_per_topk_insert,
+                    t.cycles_per_pivot_round,
+                );
+                // Norm loads and result writes are not in the block trace;
+                // the memory completion time covers them.
+                replayed.max(t_mem) + t.scoring_fill + t.query_overhead
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boss_index::{reference, IndexBuilder, QueryExpr};
+
+    fn corpus() -> InvertedIndex {
+        let docs: Vec<String> = (0u32..1000)
+            .map(|i| {
+                let mut t = String::from("common");
+                let h = i.wrapping_mul(2246822519);
+                if h % 2 == 0 {
+                    t.push_str(" aa");
+                }
+                if h % 3 == 0 {
+                    t.push_str(" bb bb");
+                }
+                if h % 5 == 0 {
+                    t.push_str(" cc");
+                }
+                if h % 13 == 0 {
+                    t.push_str(" dd dd dd");
+                }
+                t
+            })
+            .collect();
+        IndexBuilder::new()
+            .add_documents(docs.iter().map(String::as_str))
+            .build()
+            .unwrap()
+    }
+
+    fn check(expr: &QueryExpr, k: usize, et: EtMode) {
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let cfg = BossConfig::default().with_et(et).with_k(k);
+        let core = BossCore::new(cfg.clone());
+        let plan = QueryPlan::from_expr(&idx, expr, &cfg).unwrap();
+        let got = core.execute(&idx, &image, &plan, k);
+        let expect = reference::evaluate(&idx, expr, k).unwrap();
+        assert_eq!(got.hits, expect, "{expr} k={k} {et:?}");
+        assert!(got.cycles > 0);
+        assert!(got.mem.total_bytes() > 0);
+    }
+
+    #[test]
+    fn q1_term() {
+        for et in [EtMode::Exhaustive, EtMode::BlockOnly, EtMode::Full] {
+            check(&QueryExpr::term("bb"), 10, et);
+        }
+    }
+
+    #[test]
+    fn q2_and() {
+        let q = QueryExpr::and([QueryExpr::term("aa"), QueryExpr::term("bb")]);
+        for et in [EtMode::Exhaustive, EtMode::Full] {
+            check(&q, 20, et);
+        }
+    }
+
+    #[test]
+    fn q3_or() {
+        let q = QueryExpr::or([QueryExpr::term("aa"), QueryExpr::term("dd")]);
+        for et in [EtMode::Exhaustive, EtMode::BlockOnly, EtMode::Full] {
+            check(&q, 15, et);
+        }
+    }
+
+    #[test]
+    fn q4_four_way_and() {
+        let q = QueryExpr::and([
+            QueryExpr::term("aa"),
+            QueryExpr::term("bb"),
+            QueryExpr::term("cc"),
+            QueryExpr::term("common"),
+        ]);
+        check(&q, 50, EtMode::Full);
+    }
+
+    #[test]
+    fn q5_four_way_or() {
+        let q = QueryExpr::or([
+            QueryExpr::term("aa"),
+            QueryExpr::term("bb"),
+            QueryExpr::term("cc"),
+            QueryExpr::term("dd"),
+        ]);
+        for et in [EtMode::Exhaustive, EtMode::BlockOnly, EtMode::Full] {
+            check(&q, 10, et);
+        }
+    }
+
+    #[test]
+    fn q6_mixed() {
+        let q = QueryExpr::and([
+            QueryExpr::term("aa"),
+            QueryExpr::or([QueryExpr::term("bb"), QueryExpr::term("cc"), QueryExpr::term("dd")]),
+        ]);
+        for et in [EtMode::Exhaustive, EtMode::Full] {
+            check(&q, 25, et);
+        }
+    }
+
+    #[test]
+    fn et_reduces_cycles_and_traffic_for_unions() {
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let q = QueryExpr::or([
+            QueryExpr::term("aa"),
+            QueryExpr::term("bb"),
+            QueryExpr::term("cc"),
+            QueryExpr::term("dd"),
+        ]);
+        let run = |et: EtMode| {
+            let cfg = BossConfig::default().with_et(et).with_k(10);
+            let core = BossCore::new(cfg.clone());
+            let plan = QueryPlan::from_expr(&idx, &q, &cfg).unwrap();
+            core.execute(&idx, &image, &plan, 10)
+        };
+        let ex = run(EtMode::Exhaustive);
+        let full = run(EtMode::Full);
+        assert!(full.eval.docs_scored < ex.eval.docs_scored);
+        assert!(full.cycles <= ex.cycles);
+        assert!(full.mem.total_bytes() <= ex.mem.total_bytes());
+    }
+
+    #[test]
+    fn topk_result_traffic_is_k_entries() {
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let cfg = BossConfig::default().with_k(10);
+        let core = BossCore::new(cfg.clone());
+        let plan = QueryPlan::from_expr(&idx, &QueryExpr::term("aa"), &cfg).unwrap();
+        let out = core.execute(&idx, &image, &plan, 10);
+        assert_eq!(out.mem.bytes(AccessCategory::StResult), 80, "10 hits x 8 B");
+    }
+}

@@ -1,0 +1,203 @@
+//! The intersection module: pipelined Small-versus-Small intersection
+//! with block-level overlap checking (Section IV-C "Intersection Module"
+//! and Figure 5).
+//!
+//! Terms are processed shortest-list-first. The first pair is intersected
+//! by a 2-way merge whose cursors skip non-overlapping blocks via
+//! metadata; each further term is intersected against the (register-held)
+//! intermediate stream — fed back to the block fetch module, never
+//! spilled to memory.
+
+use crate::fetch::{ExecCtx, ListCursor, SkipReason};
+use crate::union::MatStream;
+use boss_index::{DocId, TermId};
+
+/// Intersects a group of terms, producing the materialized intermediate
+/// stream (docs ascending, with each member term's tf attached).
+///
+/// # Panics
+///
+/// Panics if `terms` is empty.
+pub(crate) fn intersect_group(
+    ctx: &mut ExecCtx<'_>,
+    terms: &[TermId],
+    decomp_fill: u64,
+) -> MatStream {
+    assert!(!terms.is_empty(), "intersection group cannot be empty");
+    // Small-versus-Small: ascending document frequency.
+    let mut order: Vec<TermId> = terms.to_vec();
+    order.sort_by_key(|&t| ctx.index.list(t).df());
+
+    let max_score: f32 = order.iter().map(|&t| ctx.index.list(t).max_score()).sum();
+
+    let mut docs: Vec<DocId> = Vec::new();
+    let mut entries: Vec<Vec<(TermId, u32)>> = Vec::new();
+    if order.len() == 1 {
+        // Degenerate single-term group: materialize the list.
+        let first = order[0];
+        let mut c = ListCursor::new(ctx, first, 0, decomp_fill);
+        while !c.exhausted() {
+            let d = c.current_doc();
+            let tf = c.current_tf(ctx);
+            docs.push(d);
+            entries.push(vec![(first, tf)]);
+            c.advance(ctx);
+        }
+    } else {
+        // First pair: 2-way merge with *mutual* overlap checking, so both
+        // lists skip the blocks the other cannot reach (Figure 5(a)).
+        let (ta, tb) = (order[0], order[1]);
+        let mut a = ListCursor::new(ctx, ta, 0, decomp_fill);
+        let mut b = ListCursor::new(ctx, tb, 1 % ctx.dec_cycles.len(), decomp_fill);
+        while !a.exhausted() && !b.exhausted() {
+            let (da, db) = (a.current_doc(), b.current_doc());
+            ctx.eval.comparisons += 1;
+            match da.cmp(&db) {
+                std::cmp::Ordering::Less => a.seek(ctx, db, SkipReason::Block),
+                std::cmp::Ordering::Greater => b.seek(ctx, da, SkipReason::Block),
+                std::cmp::Ordering::Equal => {
+                    let tfa = a.current_tf(ctx);
+                    let tfb = b.current_tf(ctx);
+                    docs.push(da);
+                    entries.push(vec![(ta, tfa), (tb, tfb)]);
+                    a.advance(ctx);
+                    b.advance(ctx);
+                }
+            }
+        }
+    }
+
+    for (unit, &term) in order.iter().enumerate().skip(2) {
+        let mut c = ListCursor::new(ctx, term, unit % ctx.dec_cycles.len(), decomp_fill);
+        let mut out_docs = Vec::with_capacity(docs.len());
+        let mut out_entries = Vec::with_capacity(entries.len());
+        for (d, mut e) in docs.drain(..).zip(entries.drain(..)) {
+            // Overlap check: the feedback docID drives block skipping in
+            // the fetched list (Figure 5(b)).
+            c.seek(ctx, d, SkipReason::Block);
+            if c.exhausted() {
+                break;
+            }
+            ctx.eval.comparisons += 1;
+            if c.current_doc() == d {
+                let tf = c.current_tf(ctx);
+                e.push((term, tf));
+                out_docs.push(d);
+                out_entries.push(e);
+            }
+        }
+        docs = out_docs;
+        entries = out_entries;
+        if docs.is_empty() {
+            break;
+        }
+    }
+
+    MatStream::new(docs, entries, max_score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BossConfig;
+    use boss_index::layout::IndexImage;
+    use boss_index::{reference, IndexBuilder, InvertedIndex, QueryExpr};
+
+    fn corpus() -> InvertedIndex {
+        let docs: Vec<String> = (0u32..800)
+            .map(|i| {
+                let mut t = String::from("base");
+                let h = i.wrapping_mul(40503);
+                if h % 2 == 0 {
+                    t.push_str(" two");
+                }
+                if h % 5 == 0 {
+                    t.push_str(" five five");
+                }
+                if h % 11 == 0 {
+                    t.push_str(" eleven");
+                }
+                if i >= 700 {
+                    t.push_str(" tail");
+                }
+                t
+            })
+            .collect();
+        IndexBuilder::new()
+            .add_documents(docs.iter().map(String::as_str))
+            .build()
+            .unwrap()
+    }
+
+    fn run(index: &InvertedIndex, terms: &[&str]) -> (MatStream, crate::stats::EvalCounts) {
+        let cfg = BossConfig::default();
+        let image = IndexImage::new(index);
+        let mut ctx = crate::fetch::ExecCtx::new(index, &image, &cfg);
+        let ids: Vec<TermId> = terms.iter().map(|t| index.term_id(t).unwrap()).collect();
+        let m = intersect_group(&mut ctx, &ids, 4);
+        (m, ctx.eval)
+    }
+
+    fn expect_docs(index: &InvertedIndex, terms: &[&str]) -> Vec<DocId> {
+        let expr = QueryExpr::and(terms.iter().map(|t| QueryExpr::term(*t)));
+        reference::candidates(index, &expr).unwrap()
+    }
+
+    #[test]
+    fn pair_intersection_matches_reference() {
+        let idx = corpus();
+        let (m, _) = run(&idx, &["two", "five"]);
+        assert_eq!(m.docs, expect_docs(&idx, &["two", "five"]));
+        // Every result carries both terms' tfs.
+        for e in &m.entries {
+            assert_eq!(e.len(), 2);
+        }
+    }
+
+    #[test]
+    fn four_way_intersection_matches_reference() {
+        let idx = corpus();
+        let (m, _) = run(&idx, &["two", "five", "eleven", "base"]);
+        assert_eq!(m.docs, expect_docs(&idx, &["two", "five", "eleven", "base"]));
+        for e in &m.entries {
+            assert_eq!(e.len(), 4);
+        }
+    }
+
+    #[test]
+    fn empty_intersection() {
+        let idx = corpus();
+        // "tail" lives in docs >= 700 with h%2==0 varying; intersect with
+        // something disjoint enough to produce few/no docs — use reference
+        // as the oracle either way.
+        let (m, _) = run(&idx, &["tail", "eleven"]);
+        assert_eq!(m.docs, expect_docs(&idx, &["tail", "eleven"]));
+    }
+
+    #[test]
+    fn block_skipping_engages_for_clustered_list() {
+        let idx = corpus();
+        // "tail" occupies only the last blocks of "two"'s docID space, so
+        // intersecting skips most of "two"'s blocks.
+        let (_, eval) = run(&idx, &["tail", "two"]);
+        assert!(eval.blocks_skipped > 0, "leading blocks of the larger list skipped");
+    }
+
+    #[test]
+    fn max_score_is_sum_of_list_maxes() {
+        let idx = corpus();
+        let (m, _) = run(&idx, &["two", "five"]);
+        let expect = idx.list(idx.term_id("two").unwrap()).max_score()
+            + idx.list(idx.term_id("five").unwrap()).max_score();
+        assert!((m.max_score - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn svs_order_puts_smallest_first() {
+        let idx = corpus();
+        // Regardless of argument order the result is identical.
+        let (a, _) = run(&idx, &["base", "eleven"]);
+        let (b, _) = run(&idx, &["eleven", "base"]);
+        assert_eq!(a.docs, b.docs);
+    }
+}

@@ -1,0 +1,67 @@
+//! BOSS: a bandwidth-optimized near-data search accelerator for
+//! storage-class memory — functional and timing model.
+//!
+//! This crate is the paper's primary contribution. A [`BossDevice`] sits in
+//! the memory controller of an SCM node and executes the whole inverted
+//! index search pipeline — block fetch (with overlap checking and
+//! score-estimation early termination), programmable decompression,
+//! pipelined Small-versus-Small intersection, a hardware WAND union,
+//! BM25 scoring, and a shift-register top-k queue — returning only the
+//! top-k hits over the shared host interconnect.
+//!
+//! Two coupled layers (see `DESIGN.md`):
+//!
+//! * the **functional layer** produces exact results: the early-termination
+//!   machinery is safe pruning, so BOSS's hits equal exhaustive evaluation
+//!   ([`boss_index::reference`]) for every query and every [`EtMode`];
+//! * the **timing layer** charges cycles to each pipeline module and every
+//!   byte to the [`boss_scm`] channel model, producing the statistics the
+//!   paper's figures report.
+//!
+//! # Example
+//!
+//! ```
+//! use boss_core::{BossConfig, BossDevice};
+//! use boss_index::{IndexBuilder, QueryExpr};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let index = IndexBuilder::new()
+//!     .add_documents(["near data processing", "data pools", "scm data nodes"])
+//!     .build()?;
+//! let mut device = BossDevice::new(&index, BossConfig::default());
+//! let outcome = device.search_expr(&QueryExpr::term("data"), 2)?;
+//! assert_eq!(outcome.hits.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod api;
+mod config;
+mod core;
+mod device;
+mod expr;
+mod fetch;
+mod fixed;
+mod intersect;
+mod mai;
+pub mod pipeline;
+mod plan;
+pub mod pool;
+pub mod power;
+mod queueing;
+mod stats;
+mod topk;
+mod union;
+
+pub use api::{BossHandle, SearchRequest};
+pub use config::{BossConfig, EtMode, TimingModel};
+pub use pipeline::TimingFidelity;
+pub use core::BossCore;
+pub use device::{BatchOutcome, BossDevice, SchedPolicy};
+pub use expr::parse_query;
+pub use fixed::{topk_overlap, FixedScorer, Q16};
+pub use mai::{Tlb, TlbStats};
+pub use plan::QueryPlan;
+pub use queueing::OpenLoopResult;
+pub use stats::{EvalCounts, QueryOutcome};
+pub use topk::TopK;

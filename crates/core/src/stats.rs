@@ -1,0 +1,100 @@
+//! Per-query statistics: the numbers behind Figures 11–15.
+
+use boss_index::SearchHit;
+use boss_scm::MemStats;
+use serde::{Deserialize, Serialize};
+
+/// Document/block evaluation counters (Figure 14's "evaluated documents"
+/// and the skip statistics behind it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalCounts {
+    /// Documents actually scored.
+    pub docs_scored: u64,
+    /// Documents skipped by document-level WAND in the union module.
+    pub docs_skipped_wand: u64,
+    /// Documents inside blocks that were never fetched (block-level skips
+    /// from the block fetch module, both overlap-check and score
+    /// estimation).
+    pub docs_skipped_block: u64,
+    /// Blocks fetched and decompressed.
+    pub blocks_fetched: u64,
+    /// Blocks skipped via metadata.
+    pub blocks_skipped: u64,
+    /// Block metadata records read.
+    pub metas_read: u64,
+    /// Set-operation comparisons performed.
+    pub comparisons: u64,
+    /// Top-k insertions performed.
+    pub topk_inserts: u64,
+    /// WAND pivot-selection rounds.
+    pub pivot_rounds: u64,
+}
+
+impl EvalCounts {
+    /// Documents whose evaluation was attempted or skipped — the
+    /// denominator of Figure 14's normalization.
+    pub fn docs_total(&self) -> u64 {
+        self.docs_scored + self.docs_skipped_wand + self.docs_skipped_block
+    }
+
+    /// Merges counters (across queries or cores).
+    pub fn merge(&mut self, o: &EvalCounts) {
+        self.docs_scored += o.docs_scored;
+        self.docs_skipped_wand += o.docs_skipped_wand;
+        self.docs_skipped_block += o.docs_skipped_block;
+        self.blocks_fetched += o.blocks_fetched;
+        self.blocks_skipped += o.blocks_skipped;
+        self.metas_read += o.metas_read;
+        self.comparisons += o.comparisons;
+        self.topk_inserts += o.topk_inserts;
+        self.pivot_rounds += o.pivot_rounds;
+    }
+}
+
+/// Everything one query execution produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// The top-k hits, in ranking order.
+    pub hits: Vec<SearchHit>,
+    /// Core cycles the query occupied its core.
+    pub cycles: u64,
+    /// Memory traffic it generated.
+    pub mem: MemStats,
+    /// Evaluation counters.
+    pub eval: EvalCounts,
+}
+
+impl QueryOutcome {
+    /// Query latency in seconds at `clock_ghz`.
+    pub fn seconds(&self, clock_ghz: f64) -> f64 {
+        self.cycles as f64 / (clock_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = EvalCounts { docs_scored: 10, docs_skipped_wand: 5, docs_skipped_block: 85, ..Default::default() };
+        assert_eq!(a.docs_total(), 100);
+        let b = EvalCounts { docs_scored: 1, blocks_fetched: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.docs_scored, 11);
+        assert_eq!(a.blocks_fetched, 2);
+        assert_eq!(a.docs_total(), 101);
+    }
+
+    #[test]
+    fn outcome_seconds() {
+        let o = QueryOutcome {
+            hits: vec![],
+            cycles: 2_000_000_000,
+            mem: MemStats::new(),
+            eval: EvalCounts::default(),
+        };
+        assert!((o.seconds(1.0) - 2.0).abs() < 1e-12);
+        assert!((o.seconds(2.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,548 @@
+//! The union module: a hardware WAND (Section IV-C "Union Module")
+//! combined with the block fetch module's score-estimation early
+//! termination (Block-Max style, Section IV-C "Block Fetch Module").
+//!
+//! The module consumes up to four *streams* — posting-list cursors, or the
+//! materialized outputs of intersection groups for mixed queries — and
+//! drives scoring + top-k. All three [`EtMode`]s produce identical top-k
+//! results; they differ only in how much work is skipped.
+
+use crate::config::EtMode;
+use crate::fetch::{ExecCtx, ListCursor, SkipReason};
+use crate::topk::TopK;
+use boss_index::{DocId, TermId};
+
+/// A materialized intermediate stream (the output of an intersection
+/// group), held in on-chip buffers — BOSS never spills it to memory.
+#[derive(Debug, Default)]
+pub(crate) struct MatStream {
+    pub docs: Vec<DocId>,
+    /// Per-document `(term, tf)` entries (group size ≤ 4).
+    pub entries: Vec<Vec<(TermId, u32)>>,
+    /// Upper bound of this stream's score contribution.
+    pub max_score: f32,
+    pos: usize,
+}
+
+impl MatStream {
+    pub(crate) fn new(docs: Vec<DocId>, entries: Vec<Vec<(TermId, u32)>>, max_score: f32) -> Self {
+        debug_assert_eq!(docs.len(), entries.len());
+        MatStream { docs, entries, max_score, pos: 0 }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pos >= self.docs.len()
+    }
+
+    fn current_doc(&self) -> DocId {
+        self.docs[self.pos]
+    }
+}
+
+/// One input of the union module.
+#[derive(Debug)]
+pub(crate) enum UnionStream<'a> {
+    /// A posting-list cursor (single-term group).
+    List(ListCursor<'a>),
+    /// A materialized intersection output.
+    Mat(MatStream),
+}
+
+impl<'a> UnionStream<'a> {
+    fn exhausted(&self) -> bool {
+        match self {
+            UnionStream::List(c) => c.exhausted(),
+            UnionStream::Mat(m) => m.exhausted(),
+        }
+    }
+
+    fn current_doc(&self) -> DocId {
+        match self {
+            UnionStream::List(c) => c.current_doc(),
+            UnionStream::Mat(m) => m.current_doc(),
+        }
+    }
+
+    /// List-level (or group-level) max score: the WAND lookup-table value.
+    fn max_score(&self) -> f32 {
+        match self {
+            UnionStream::List(c) => c.list_max(),
+            UnionStream::Mat(m) => m.max_score,
+        }
+    }
+
+    /// Block-max refinement for Block-Max early termination: the max score
+    /// of the block that covers (or would cover) `target`, and that
+    /// block's last docID. Materialized streams have no block structure,
+    /// so their global max and last doc stand in.
+    fn shallow_block_max(&self, target: DocId) -> Option<(f32, DocId)> {
+        match self {
+            UnionStream::List(c) => c.shallow_block_max(target),
+            UnionStream::Mat(m) => {
+                if m.exhausted() {
+                    None
+                } else {
+                    Some((m.max_score, *m.docs.last().expect("non-empty")))
+                }
+            }
+        }
+    }
+
+    /// Collects this stream's `(term, tf)` entries at `doc` (which must be
+    /// the current document) and advances past it.
+    fn take_entries(&mut self, ctx: &mut ExecCtx<'_>, out: &mut Vec<(TermId, u32)>) {
+        match self {
+            UnionStream::List(c) => {
+                let tf = c.current_tf(ctx);
+                out.push((c.term, tf));
+                c.advance(ctx);
+            }
+            UnionStream::Mat(m) => {
+                out.extend_from_slice(&m.entries[m.pos]);
+                m.pos += 1;
+            }
+        }
+    }
+
+    /// Skips to the first document `>= target`, attributing the bypassed
+    /// documents to `reason`.
+    fn seek(&mut self, ctx: &mut ExecCtx<'_>, target: DocId, reason: SkipReason) {
+        match self {
+            UnionStream::List(c) => c.seek(ctx, target, reason),
+            UnionStream::Mat(m) => {
+                while !m.exhausted() && m.docs[m.pos] < target {
+                    m.pos += 1;
+                    ctx.eval.comparisons += 1;
+                    match reason {
+                        SkipReason::Block => ctx.eval.docs_skipped_block += 1,
+                        SkipReason::Wand => ctx.eval.docs_skipped_wand += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    fn remaining(&self) -> u64 {
+        match self {
+            UnionStream::List(c) => c.remaining(),
+            UnionStream::Mat(m) => (m.docs.len() - m.pos) as u64,
+        }
+    }
+
+    /// Whole-block skip probe (block fetch module capability): `Some`
+    /// with the block's last docID when the stream sits at an unfetched
+    /// block boundary. Materialized streams live in registers and have no
+    /// blocks to skip.
+    fn whole_block_skippable(&self) -> Option<DocId> {
+        match self {
+            UnionStream::List(c) => c.whole_block_skippable(),
+            UnionStream::Mat(_) => None,
+        }
+    }
+}
+
+/// The score loader's lookup table (Section IV-C, union module step ②):
+/// upper-bound query-scores for every subset of up to four streams are
+/// pre-computed at query start — "the unique combinations for the
+/// upper-bound query-score are limited to 16 for 4-way unions" — so the
+/// pivot selector reads a sum instead of adding at runtime.
+#[derive(Debug, Clone)]
+pub(crate) struct ScoreLut {
+    combos: Vec<f64>,
+}
+
+impl ScoreLut {
+    /// Pre-computes the 2^n subset sums of the streams' max scores.
+    pub(crate) fn new(max_scores: &[f32]) -> Self {
+        let n = max_scores.len();
+        let mut combos = vec![0.0f64; 1 << n];
+        for mask in 1usize..(1 << n) {
+            let low = mask & mask.wrapping_neg(); // lowest set bit
+            let i = low.trailing_zeros() as usize;
+            combos[mask] = combos[mask ^ low] + f64::from(max_scores[i]);
+        }
+        ScoreLut { combos }
+    }
+
+    /// Upper-bound query-score of the stream subset `mask`.
+    pub(crate) fn upper_bound(&self, mask: usize) -> f64 {
+        self.combos[mask]
+    }
+}
+
+/// Conservative slack for upper-bound comparisons: a value can be declared
+/// "cannot beat the cutoff" only if it trails by more than the worst-case
+/// f32 rounding drift, so early termination never drops a document the
+/// exhaustive reference would keep.
+fn cannot_beat(upper: f64, theta: f32) -> bool {
+    if !theta.is_finite() {
+        return false;
+    }
+    let slack = 1e-4 * (1.0 + theta.abs() as f64);
+    upper <= f64::from(theta) - slack
+}
+
+/// Runs the union + scoring + top-k stage over `streams`.
+///
+/// The caller supplies streams in any order; documents are emitted in
+/// ascending docID order, with each document's score summed over the
+/// *distinct* terms contributed by all streams that contain it.
+pub(crate) fn union_topk(
+    ctx: &mut ExecCtx<'_>,
+    mut streams: Vec<UnionStream<'_>>,
+    et: EtMode,
+    topk: &mut TopK,
+) {
+    let mut order: Vec<usize> = Vec::with_capacity(streams.len());
+    let mut entries: Vec<(TermId, u32)> = Vec::with_capacity(8);
+    // Score loader: the pre-computed LUT is exact for up to 4 streams
+    // (the paper's per-core width); wider ganged unions fall back to
+    // incremental summation, exactly as chained mergers would.
+    let lut = (streams.len() <= 4).then(|| {
+        let maxes: Vec<f32> = streams.iter().map(UnionStream::max_score).collect();
+        ScoreLut::new(&maxes)
+    });
+
+    loop {
+        order.clear();
+        order.extend((0..streams.len()).filter(|&i| !streams[i].exhausted()));
+        if order.is_empty() {
+            break;
+        }
+        // ① The sorter orders streams by sID.
+        order.sort_by_key(|&i| streams[i].current_doc());
+        ctx.eval.pivot_rounds += 1;
+        let theta = topk.cutoff();
+
+        // ②/③ Score loader + pivot selector (document-level WAND).
+        let pivot_pos = if et == EtMode::Full {
+            let mut acc = 0.0f64;
+            let mut mask = 0usize;
+            let mut found = None;
+            for (pos, &i) in order.iter().enumerate() {
+                acc = match &lut {
+                    Some(lut) => {
+                        mask |= 1 << i;
+                        lut.upper_bound(mask)
+                    }
+                    None => acc + f64::from(streams[i].max_score()),
+                };
+                if !cannot_beat(acc, theta) {
+                    found = Some(pos);
+                    break;
+                }
+            }
+            match found {
+                Some(p) => p,
+                None => {
+                    // No document anywhere can beat θ: terminate the query.
+                    for &i in &order {
+                        ctx.eval.docs_skipped_wand += streams[i].remaining();
+                    }
+                    break;
+                }
+            }
+        } else {
+            // Without document-level ET the pivot is simply the smallest
+            // sID — every document is considered in order.
+            0
+        };
+        let pivot = streams[order[pivot_pos]].current_doc();
+
+        // Block-level score estimation (block fetch module). The pivot
+        // set is every stream whose current document is <= pivot —
+        // including streams tied at the pivot beyond the WAND pivot
+        // position — because any document in the skip window could draw
+        // contributions from all of them.
+        let mut pivot_end = pivot_pos;
+        while pivot_end + 1 < order.len() && streams[order[pivot_end + 1]].current_doc() == pivot {
+            pivot_end += 1;
+        }
+        if et != EtMode::Exhaustive {
+            let mut ub = 0.0f64;
+            let mut min_boundary = DocId::MAX;
+            let mut all_have_blocks = true;
+            for &i in &order[..=pivot_end] {
+                match streams[i].shallow_block_max(pivot) {
+                    Some((m, last)) => {
+                        ub += f64::from(m);
+                        min_boundary = min_boundary.min(last);
+                    }
+                    None => {
+                        all_have_blocks = false;
+                        break;
+                    }
+                }
+            }
+            // Streams outside the pivot set must not reach into the skip
+            // window: cap it at the next stream's current document.
+            if pivot_end + 1 < order.len() {
+                let next_cur = streams[order[pivot_end + 1]].current_doc();
+                min_boundary = min_boundary.min(next_cur.saturating_sub(1));
+            }
+            if all_have_blocks && cannot_beat(ub, theta) {
+                let next = min_boundary.saturating_add(1).max(pivot.saturating_add(1));
+                if et == EtMode::Full {
+                    // WAND's document scheduler can pop below-window docs
+                    // even inside fetched blocks: jump the whole pivot set.
+                    for &i in &order[..=pivot_end] {
+                        streams[i].seek(ctx, next, SkipReason::Block);
+                    }
+                    continue;
+                }
+                // Block-only mode: the block fetch module can avoid
+                // *fetching* whole blocks the window covers, but documents
+                // already inside fetched blocks must still be scored — that
+                // is exactly the capability split Figure 14 measures.
+                let mut skipped_any = false;
+                for &i in &order[..=pivot_end] {
+                    if let Some(last) = streams[i].whole_block_skippable() {
+                        if last < next {
+                            streams[i].seek(ctx, last.saturating_add(1), SkipReason::Block);
+                            skipped_any = true;
+                        }
+                    }
+                }
+                if skipped_any {
+                    continue;
+                }
+                // No skippable whole block: fall through and score.
+            }
+        }
+
+        // ④ Document scheduler: pop below-pivot documents, then score the
+        // pivot if every stream at or below it aligned.
+        let aligned = order[..=pivot_pos]
+            .iter()
+            .all(|&i| streams[i].current_doc() == pivot);
+        if !aligned {
+            for &i in &order[..pivot_pos] {
+                if streams[i].current_doc() < pivot {
+                    streams[i].seek(ctx, pivot, SkipReason::Wand);
+                }
+            }
+            continue;
+        }
+
+        // Gather contributions from every stream positioned at the pivot
+        // (streams beyond the pivot position may coincidentally align).
+        entries.clear();
+        for &i in &order {
+            if !streams[i].exhausted() && streams[i].current_doc() == pivot {
+                streams[i].take_entries(ctx, &mut entries);
+            }
+        }
+        // Distinct terms only: a term shared by several intersection
+        // groups contributes once.
+        entries.sort_unstable_by_key(|&(t, _)| t);
+        entries.dedup_by_key(|&mut (t, _)| t);
+
+        // Scoring module: one norm load, then one fused op per term.
+        let norm = ctx.load_norm(pivot);
+        let mut score = 0.0f32;
+        for &(term, tf) in &entries {
+            let idf = ctx.index.term_info(term).idf;
+            score += ctx.index.bm25().term_score(idf, tf, norm);
+        }
+        ctx.scored += 1;
+        ctx.eval.docs_scored += 1;
+        topk.offer(pivot, score);
+    }
+    ctx.eval.topk_inserts = topk.inserts();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BossConfig;
+    use crate::fetch::ExecCtx;
+    use boss_index::layout::IndexImage;
+    use boss_index::{reference, IndexBuilder, InvertedIndex, QueryExpr, SearchHit};
+
+    fn corpus() -> InvertedIndex {
+        // Deterministic pseudo-random corpus large enough for several
+        // blocks per list.
+        let docs: Vec<String> = (0u32..900)
+            .map(|i| {
+                let mut t = String::new();
+                let h = i.wrapping_mul(2654435761);
+                if h % 2 == 0 {
+                    t.push_str(" alpha");
+                }
+                if h % 3 == 0 {
+                    t.push_str(" beta beta");
+                }
+                if h % 7 == 0 {
+                    t.push_str(" gamma");
+                }
+                if h % 31 == 0 {
+                    t.push_str(" delta delta delta");
+                }
+                t.push_str(" filler");
+                t
+            })
+            .collect();
+        IndexBuilder::new()
+            .add_documents(docs.iter().map(String::as_str))
+            .build()
+            .unwrap()
+    }
+
+    fn run_union(index: &InvertedIndex, terms: &[&str], et: EtMode, k: usize) -> (Vec<SearchHit>, crate::stats::EvalCounts) {
+        let cfg = BossConfig::default().with_et(et).with_k(k);
+        let image = IndexImage::new(index);
+        let mut ctx = ExecCtx::new(index, &image, &cfg);
+        let streams: Vec<UnionStream> = terms
+            .iter()
+            .enumerate()
+            .map(|(u, t)| {
+                let id = index.term_id(t).unwrap();
+                UnionStream::List(ListCursor::new(&mut ctx, id, u % 4, 4))
+            })
+            .collect();
+        let mut topk = TopK::new(k);
+        union_topk(&mut ctx, streams, et, &mut topk);
+        (topk.into_hits(), ctx.eval)
+    }
+
+    fn reference_hits(index: &InvertedIndex, terms: &[&str], k: usize) -> Vec<SearchHit> {
+        let expr = QueryExpr::or(terms.iter().map(|t| QueryExpr::term(*t)));
+        reference::evaluate(index, &expr, k).unwrap()
+    }
+
+    #[test]
+    fn all_modes_match_reference_small_k() {
+        let idx = corpus();
+        let terms = ["alpha", "beta", "gamma", "delta"];
+        let expect = reference_hits(&idx, &terms, 10);
+        for et in [EtMode::Exhaustive, EtMode::BlockOnly, EtMode::Full] {
+            let (hits, _) = run_union(&idx, &terms, et, 10);
+            assert_eq!(hits, expect, "{et:?}");
+        }
+    }
+
+    #[test]
+    fn all_modes_match_reference_large_k() {
+        let idx = corpus();
+        let terms = ["beta", "delta"];
+        let expect = reference_hits(&idx, &terms, 500);
+        for et in [EtMode::Exhaustive, EtMode::BlockOnly, EtMode::Full] {
+            let (hits, _) = run_union(&idx, &terms, et, 500);
+            assert_eq!(hits, expect, "{et:?}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_scores_everything() {
+        let idx = corpus();
+        let (_, eval) = run_union(&idx, &["alpha", "beta"], EtMode::Exhaustive, 10);
+        let expr = QueryExpr::or([QueryExpr::term("alpha"), QueryExpr::term("beta")]);
+        let cand = reference::candidates(&idx, &expr).unwrap();
+        assert_eq!(eval.docs_scored, cand.len() as u64);
+        assert_eq!(eval.docs_skipped_wand + eval.docs_skipped_block, 0);
+    }
+
+    #[test]
+    fn full_et_scores_fewer_docs_with_small_k() {
+        let idx = corpus();
+        let (_, exhaustive) = run_union(&idx, &["alpha", "beta", "gamma", "delta"], EtMode::Exhaustive, 10);
+        let (_, full) = run_union(&idx, &["alpha", "beta", "gamma", "delta"], EtMode::Full, 10);
+        assert!(
+            full.docs_scored < exhaustive.docs_scored,
+            "ET should skip: {} vs {}",
+            full.docs_scored,
+            exhaustive.docs_scored
+        );
+        assert!(full.docs_skipped_wand + full.docs_skipped_block > 0);
+    }
+
+    #[test]
+    fn eval_totals_conserved() {
+        // scored + skipped == total candidate postings... at the document
+        // level: every document consumed from a stream is either scored or
+        // skipped, so totals match the exhaustive candidate count.
+        let idx = corpus();
+        let terms = ["alpha", "gamma"];
+        let (_, full) = run_union(&idx, &terms, EtMode::Full, 5);
+        let (_, ex) = run_union(&idx, &terms, EtMode::Exhaustive, 5);
+        assert_eq!(ex.docs_scored, full.docs_total(), "every doc accounted in Full mode");
+    }
+
+    #[test]
+    fn single_stream_union_is_term_query() {
+        let idx = corpus();
+        let expect = reference_hits(&idx, &["delta"], 7);
+        for et in [EtMode::Exhaustive, EtMode::Full] {
+            let (hits, _) = run_union(&idx, &["delta"], et, 7);
+            assert_eq!(hits, expect, "{et:?}");
+        }
+    }
+
+    #[test]
+    fn cannot_beat_is_conservative() {
+        assert!(!cannot_beat(5.0, f32::NEG_INFINITY));
+        assert!(!cannot_beat(5.0, 5.0));
+        assert!(!cannot_beat(4.9999, 5.0), "within slack: not provably worse");
+        assert!(cannot_beat(4.99, 5.0));
+        assert!(cannot_beat(0.0, 5.0));
+    }
+
+    #[test]
+    fn mat_stream_in_union() {
+        let idx = corpus();
+        // Materialized stream mimicking an intersection output; union it
+        // with a live cursor and check against manual evaluation.
+        let cfg = BossConfig::default().with_k(1000);
+        let image = IndexImage::new(&idx);
+        let mut ctx = ExecCtx::new(&idx, &image, &cfg);
+        let a = idx.term_id("alpha").unwrap();
+        let g = idx.term_id("gamma").unwrap();
+        let (adocs, atfs) = idx.list(a).decode_all().unwrap();
+        let mat = MatStream::new(
+            adocs.clone(),
+            adocs.iter().zip(&atfs).map(|(_, &tf)| vec![(a, tf)]).collect(),
+            idx.list(a).max_score(),
+        );
+        let cursor = ListCursor::new(&mut ctx, g, 0, 4);
+        let mut topk = TopK::new(1000);
+        union_topk(
+            &mut ctx,
+            vec![UnionStream::Mat(mat), UnionStream::List(cursor)],
+            EtMode::Full,
+            &mut topk,
+        );
+        let expect = reference_hits(&idx, &["alpha", "gamma"], 1000);
+        assert_eq!(topk.into_hits(), expect);
+    }
+}
+
+#[cfg(test)]
+mod lut_tests {
+    use super::ScoreLut;
+
+    #[test]
+    fn subset_sums_match_manual_addition() {
+        let maxes = [1.5f32, 2.25, 0.5, 4.0];
+        let lut = ScoreLut::new(&maxes);
+        for mask in 0usize..16 {
+            let manual: f64 = (0..4)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| f64::from(maxes[i]))
+                .sum();
+            assert!((lut.upper_bound(mask) - manual).abs() < 1e-9, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn sixteen_entries_for_four_streams() {
+        let lut = ScoreLut::new(&[1.0, 1.0, 1.0, 1.0]);
+        assert!((lut.upper_bound(0b1111) - 4.0).abs() < 1e-12);
+        assert_eq!(lut.upper_bound(0), 0.0);
+    }
+
+    #[test]
+    fn single_stream_lut() {
+        let lut = ScoreLut::new(&[3.25]);
+        assert!((lut.upper_bound(1) - 3.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for the shift-register top-k model against a sort-based
+//! oracle, over adversarial score orders.
+
+use boss_core::TopK;
+use boss_index::SearchHit;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn topk_matches_sorting_oracle(
+        scores in prop::collection::vec(0u32..5000, 0..400),
+        k in 1usize..64,
+    ) {
+        let mut q = TopK::new(k);
+        for (doc, &s) in scores.iter().enumerate() {
+            q.offer(doc as u32, s as f32 / 16.0);
+        }
+        let got = q.into_hits();
+        let mut expect: Vec<SearchHit> = scores
+            .iter()
+            .enumerate()
+            .map(|(d, &s)| SearchHit { doc: d as u32, score: s as f32 / 16.0 })
+            .collect();
+        expect.sort_by(SearchHit::ranking_cmp);
+        expect.truncate(k);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cutoff_is_exact_kth_best(
+        scores in prop::collection::vec(0u32..1000, 1..200),
+        k in 1usize..32,
+    ) {
+        let mut q = TopK::new(k);
+        for (doc, &s) in scores.iter().enumerate() {
+            q.offer(doc as u32, s as f32);
+        }
+        let mut sorted: Vec<f32> = scores.iter().map(|&s| s as f32).collect();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        if scores.len() >= k {
+            prop_assert_eq!(q.cutoff(), sorted[k - 1]);
+        } else {
+            prop_assert_eq!(q.cutoff(), f32::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    fn inserts_bounded_by_offers(
+        scores in prop::collection::vec(0u32..100, 0..300),
+        k in 1usize..16,
+    ) {
+        let mut q = TopK::new(k);
+        for (doc, &s) in scores.iter().enumerate() {
+            q.offer(doc as u32, s as f32);
+        }
+        prop_assert!(q.inserts() <= q.offers());
+        prop_assert_eq!(q.offers(), scores.len() as u64);
+        prop_assert!(q.len() <= k);
+    }
+}

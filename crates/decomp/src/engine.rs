@@ -1,0 +1,278 @@
+//! The decompression engine: interprets a four-stage configuration.
+
+use crate::config::EngineConfig;
+use crate::extract::Extractor;
+use crate::program::ExecError;
+use crate::schemes;
+use boss_compress::{BlockInfo, Scheme};
+
+/// Depth of the hardware pipeline; added once per block to the cycle count.
+const PIPELINE_FILL_CYCLES: u64 = 4;
+
+/// Errors produced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// Malformed or truncated encoded data.
+    Codec(boss_compress::Error),
+    /// The stage-2 program faulted.
+    Exec(ExecError),
+    /// The program consumed far more units than any valid encoding could
+    /// need without producing the requested values (a stall / livelock
+    /// guard for misprogrammed datapaths).
+    Stall {
+        /// Values produced before the guard tripped.
+        produced: usize,
+        /// Values requested.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Codec(e) => write!(f, "codec error: {e}"),
+            EngineError::Exec(e) => write!(f, "{e}"),
+            EngineError::Stall { produced, requested } => write!(
+                f,
+                "decompression stalled after producing {produced} of {requested} values"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Codec(e) => Some(e),
+            EngineError::Exec(e) => Some(e),
+            EngineError::Stall { .. } => None,
+        }
+    }
+}
+
+impl From<boss_compress::Error> for EngineError {
+    fn from(e: boss_compress::Error) -> Self {
+        EngineError::Codec(e)
+    }
+}
+
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> Self {
+        EngineError::Exec(e)
+    }
+}
+
+/// Output of one block decode: the values plus the cycle cost the timing
+/// model charges for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Decoded values (d-gaps, or docIDs after stage 4).
+    pub values: Vec<u32>,
+    /// Engine cycles consumed (one per extraction unit, plus pipeline
+    /// fill, plus one per exception patch).
+    pub cycles: u64,
+}
+
+/// A configured decompression module.
+///
+/// Cheap to clone; holds only the configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecompEngine {
+    config: EngineConfig,
+}
+
+impl DecompEngine {
+    /// Wraps a parsed configuration (the stage-2 program is re-validated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Exec`] if the program does not validate.
+    pub fn new(config: EngineConfig) -> Result<Self, EngineError> {
+        config.program.validate()?;
+        Ok(DecompEngine { config })
+    }
+
+    /// Parses a configuration file and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error formatted as an execution fault.
+    pub fn from_config_text(text: &str) -> Result<Self, crate::ParseError> {
+        Ok(DecompEngine { config: EngineConfig::parse(text)? })
+    }
+
+    /// The engine programmed for one of the five stock schemes, using the
+    /// shipped configuration files in [`schemes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error only if the embedded configuration is broken
+    /// (guarded by tests).
+    pub fn for_scheme(scheme: Scheme) -> Result<Self, crate::ParseError> {
+        Self::from_config_text(schemes::config_text(scheme))
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Decodes one block to its raw encoded values (gaps / tf-minus-one),
+    /// without stage 4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec truncation/corruption, program faults, and the
+    /// stall guard.
+    pub fn decode(&self, data: &[u8], info: &BlockInfo) -> Result<Decoded, EngineError> {
+        let count = info.count as usize;
+        let exc_off = info.exception_offset as usize;
+        // With exceptions enabled the packed area ends where the patch
+        // area begins; otherwise the whole slice is payload.
+        let payload: &[u8] = if self.config.exceptions.enabled {
+            data.get(..exc_off).ok_or(boss_compress::Error::Truncated {
+                have: data.len(),
+                need: exc_off,
+            })?
+        } else {
+            data
+        };
+
+        let mut extractor = Extractor::new(self.config.extractor.kind, payload, *info);
+        let mut state = self.config.program.fresh_state();
+        let mut values = Vec::with_capacity(count);
+        // VB is the worst stock case at 5 units/value; 64 gives a generous
+        // margin for custom programs while still catching livelock.
+        let unit_limit = (count as u64 + 1) * 64;
+        while values.len() < count {
+            if extractor.units() >= unit_limit {
+                return Err(EngineError::Stall { produced: values.len(), requested: count });
+            }
+            let unit = extractor.next_unit()?;
+            if let Some(v) = self.config.program.step(unit, &mut state)? {
+                values.push(v);
+            }
+        }
+        let mut cycles = extractor.units() + PIPELINE_FILL_CYCLES;
+
+        if self.config.exceptions.enabled {
+            let patch = data
+                .get(exc_off..)
+                .ok_or(boss_compress::Error::Truncated { have: data.len(), need: exc_off })?;
+            if patch.len() % 6 != 0 {
+                return Err(boss_compress::Error::Corrupt {
+                    reason: "exception area misaligned",
+                }
+                .into());
+            }
+            let b = u32::from(info.bit_width);
+            for chunk in patch.chunks_exact(6) {
+                let idx = u16::from_le_bytes([chunk[0], chunk[1]]) as usize;
+                let high = u32::from_le_bytes([chunk[2], chunk[3], chunk[4], chunk[5]]);
+                if idx >= values.len() {
+                    return Err(boss_compress::Error::Corrupt {
+                        reason: "exception index out of range",
+                    }
+                    .into());
+                }
+                if b < 32 {
+                    values[idx] |= high << b;
+                }
+                cycles += 1;
+            }
+        }
+
+        Ok(Decoded { values, cycles })
+    }
+
+    /// Decodes one block and applies stage 4: values become docIDs by
+    /// prefix-summing from `base` (0 for the first block of a list, the
+    /// previous block's last docID otherwise).
+    ///
+    /// If the configuration has `UseDelta = 0`, `base` is ignored and the
+    /// values are returned as-is.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DecompEngine::decode`].
+    pub fn decode_docids(&self, data: &[u8], info: &BlockInfo, base: u32) -> Result<Decoded, EngineError> {
+        let mut out = self.decode(data, info)?;
+        if self.config.delta.use_delta {
+            let mut prev = base;
+            for v in &mut out.values {
+                let doc = prev.wrapping_add(*v);
+                *v = doc;
+                prev = doc;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::{DeltaConfig, ExceptionConfig, ExtractorConfig, ExtractorKind};
+    use boss_compress::codec_for;
+
+    fn bp_engine(delta: bool) -> DecompEngine {
+        DecompEngine::new(EngineConfig {
+            extractor: ExtractorConfig { kind: ExtractorKind::FixedWidth },
+            program: Program::identity(),
+            exceptions: ExceptionConfig { enabled: false },
+            delta: DeltaConfig { use_delta: delta },
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn bp_identity_decode() {
+        let gaps = [7u32, 0, 3, 900];
+        let mut data = Vec::new();
+        let info = codec_for(Scheme::Bp).encode(&gaps, &mut data).unwrap();
+        let out = bp_engine(false).decode(&data, &info).unwrap();
+        assert_eq!(out.values, gaps);
+        assert_eq!(out.cycles, 4 + PIPELINE_FILL_CYCLES);
+    }
+
+    #[test]
+    fn stage4_prefix_sum() {
+        let gaps = [5u32, 2, 1];
+        let mut data = Vec::new();
+        let info = codec_for(Scheme::Bp).encode(&gaps, &mut data).unwrap();
+        let out = bp_engine(true).decode_docids(&data, &info, 100).unwrap();
+        assert_eq!(out.values, vec![105, 107, 108]);
+    }
+
+    #[test]
+    fn stall_guard_trips_on_never_valid_program() {
+        // A program that never asserts Output.valid on width-0 data would
+        // spin forever without the guard.
+        let cfg = EngineConfig {
+            extractor: ExtractorConfig { kind: ExtractorKind::FixedWidth },
+            program: {
+                let mut p = Program::identity();
+                // Overwrite validity with constant 0.
+                p.statements[1].args = vec![crate::program::Operand::Literal(0)];
+                p
+            },
+            exceptions: ExceptionConfig { enabled: false },
+            delta: DeltaConfig::default(),
+        };
+        let engine = DecompEngine::new(cfg).unwrap();
+        let info = BlockInfo { count: 4, bit_width: 0, exception_offset: 0 };
+        let err = engine.decode(&[], &info).unwrap_err();
+        assert!(matches!(err, EngineError::Stall { .. }));
+    }
+
+    #[test]
+    fn error_display_chain() {
+        let e = EngineError::Codec(boss_compress::Error::Corrupt { reason: "x" });
+        assert!(e.to_string().contains("codec"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = EngineError::Stall { produced: 1, requested: 9 };
+        assert!(e.to_string().contains("stalled"));
+    }
+}

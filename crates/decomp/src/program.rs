@@ -1,0 +1,413 @@
+//! The stage-2 programmable datapath: a register-transfer program over
+//! wires and registers, interpreted once per extracted payload unit.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A primitive functional unit of the manipulation stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Logical shift right.
+    Shr,
+    /// Logical shift left.
+    Shl,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// `MUX(cond, a, b)`: `a` if `cond != 0`, else `b`.
+    Mux,
+    /// Pass-through of a single operand.
+    Id,
+}
+
+impl Op {
+    /// Number of operands the unit takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Mux => 3,
+            Op::Id => 1,
+            _ => 2,
+        }
+    }
+
+    /// Parses an op mnemonic as written in config files.
+    pub fn parse(s: &str) -> Option<Op> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SHR" => Op::Shr,
+            "SHL" => Op::Shl,
+            "AND" => Op::And,
+            "OR" => Op::Or,
+            "XOR" => Op::Xor,
+            "ADD" => Op::Add,
+            "SUB" => Op::Sub,
+            "MUX" => Op::Mux,
+            "ID" => Op::Id,
+            _ => return None,
+        })
+    }
+}
+
+/// An operand: a literal, a wire/register read, or the stage input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operand {
+    /// Immediate constant.
+    Literal(u32),
+    /// Named wire or register.
+    Name(String),
+}
+
+/// One connection: `dest := OP(args...)`, or a plain alias
+/// `dest := name/literal`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Statement {
+    /// Destination wire, register, `Output`, or `Output.valid`.
+    pub dest: String,
+    /// The functional unit.
+    pub op: Op,
+    /// Its operands.
+    pub args: Vec<Operand>,
+}
+
+/// A register declaration: `RegInit(name, init, reset_signal)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegDecl {
+    /// Register name.
+    pub name: String,
+    /// Initial (and reset) value.
+    pub init: u32,
+    /// Wire whose nonzero value re-initializes the register after the
+    /// cycle; empty string means never reset.
+    pub reset_signal: String,
+}
+
+/// The complete stage-2 program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Register declarations.
+    pub regs: Vec<RegDecl>,
+    /// Statements, executed in order every cycle.
+    pub statements: Vec<Statement>,
+}
+
+/// An execution fault (tests the validator missed, e.g. a read of a wire
+/// never assigned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Description of the fault.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stage-2 program fault: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl Program {
+    /// The identity program: `Output := Input`, always valid.
+    pub fn identity() -> Self {
+        Program {
+            regs: Vec::new(),
+            statements: vec![
+                Statement {
+                    dest: "Output".into(),
+                    op: Op::Id,
+                    args: vec![Operand::Name("Input".into())],
+                },
+                Statement {
+                    dest: "Output.valid".into(),
+                    op: Op::Id,
+                    args: vec![Operand::Literal(1)],
+                },
+            ],
+        }
+    }
+
+    /// Statically checks the program: operand arity, reads of undefined
+    /// wires, duplicate registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), ExecError> {
+        let mut defined: Vec<&str> = vec!["Input"];
+        for r in &self.regs {
+            if defined.contains(&r.name.as_str()) {
+                return Err(ExecError { reason: format!("duplicate definition of {}", r.name) });
+            }
+            defined.push(&r.name);
+        }
+        let reg_names: Vec<&str> = self.regs.iter().map(|r| r.name.as_str()).collect();
+        let mut assigned: Vec<&str> = Vec::new();
+        for st in &self.statements {
+            if st.args.len() != st.op.arity() {
+                return Err(ExecError {
+                    reason: format!("{:?} takes {} operands, got {}", st.op, st.op.arity(), st.args.len()),
+                });
+            }
+            for a in &st.args {
+                if let Operand::Name(n) = a {
+                    let readable = n == "Input"
+                        || reg_names.contains(&n.as_str())
+                        || assigned.contains(&n.as_str());
+                    if !readable {
+                        return Err(ExecError { reason: format!("read of undefined wire {n}") });
+                    }
+                }
+            }
+            if !reg_names.contains(&st.dest.as_str()) {
+                assigned.push(&st.dest);
+            }
+        }
+        // Reset signals must name assigned wires or registers.
+        for r in &self.regs {
+            if !r.reset_signal.is_empty()
+                && !assigned.contains(&r.reset_signal.as_str())
+                && !reg_names.contains(&r.reset_signal.as_str())
+            {
+                return Err(ExecError {
+                    reason: format!("reset signal {} of register {} is never assigned", r.reset_signal, r.name),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates the mutable register file for one execution.
+    pub fn fresh_state(&self) -> RegFile {
+        RegFile {
+            values: self.regs.iter().map(|r| (r.name.clone(), r.init)).collect(),
+        }
+    }
+
+    /// Runs one cycle with payload `input`, updating `state`. Returns
+    /// `Some(value)` when `Output.valid` evaluated nonzero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on reads of undefined wires (a validated
+    /// program cannot fault).
+    pub fn step(&self, input: u32, state: &mut RegFile) -> Result<Option<u32>, ExecError> {
+        let mut wires: HashMap<&str, u32> = HashMap::new();
+        let read = |name: &str, wires: &HashMap<&str, u32>, state: &RegFile| -> Result<u32, ExecError> {
+            if name == "Input" {
+                return Ok(input);
+            }
+            if let Some(&v) = wires.get(name) {
+                return Ok(v);
+            }
+            if let Some(v) = state.values.get(name) {
+                return Ok(*v);
+            }
+            Err(ExecError { reason: format!("read of undefined wire {name}") })
+        };
+        let eval = |a: &Operand, wires: &HashMap<&str, u32>, state: &RegFile| -> Result<u32, ExecError> {
+            match a {
+                Operand::Literal(v) => Ok(*v),
+                Operand::Name(n) => read(n, wires, state),
+            }
+        };
+
+        let mut reg_next: Vec<(usize, u32)> = Vec::new();
+        let mut output = None;
+        let mut valid = None;
+        for st in &self.statements {
+            let vals: Vec<u32> = st
+                .args
+                .iter()
+                .map(|a| eval(a, &wires, state))
+                .collect::<Result<_, _>>()?;
+            let v = match st.op {
+                Op::Shr => vals[0].checked_shr(vals[1]).unwrap_or(0),
+                Op::Shl => vals[0].checked_shl(vals[1]).unwrap_or(0),
+                Op::And => vals[0] & vals[1],
+                Op::Or => vals[0] | vals[1],
+                Op::Xor => vals[0] ^ vals[1],
+                Op::Add => vals[0].wrapping_add(vals[1]),
+                Op::Sub => vals[0].wrapping_sub(vals[1]),
+                Op::Mux => {
+                    if vals[0] != 0 {
+                        vals[1]
+                    } else {
+                        vals[2]
+                    }
+                }
+                Op::Id => vals[0],
+            };
+            match st.dest.as_str() {
+                "Output" => output = Some(v),
+                "Output.valid" => valid = Some(v),
+                dest => {
+                    if let Some(i) = self.regs.iter().position(|r| r.name == dest) {
+                        reg_next.push((i, v));
+                    } else {
+                        wires.insert(dest, v);
+                    }
+                }
+            }
+        }
+
+        // Commit register writes (registers update at the clock edge).
+        for (i, v) in reg_next {
+            let name = &self.regs[i].name;
+            *state.values.get_mut(name).expect("register exists") = v;
+        }
+        // Apply resets after commit, as a synchronous reset would.
+        for r in &self.regs {
+            if !r.reset_signal.is_empty() {
+                let sig = if let Some(&v) = wires.get(r.reset_signal.as_str()) {
+                    v
+                } else {
+                    state.values.get(&r.reset_signal).copied().unwrap_or(0)
+                };
+                if sig != 0 {
+                    *state.values.get_mut(&r.name).expect("register exists") = r.init;
+                }
+            }
+        }
+
+        let is_valid = valid.unwrap_or(1) != 0;
+        Ok(if is_valid { output } else { None })
+    }
+}
+
+/// The register file of one running program instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegFile {
+    values: HashMap<String, u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(n: &str) -> Operand {
+        Operand::Name(n.into())
+    }
+
+    fn lit(v: u32) -> Operand {
+        Operand::Literal(v)
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let p = Program::identity();
+        p.validate().unwrap();
+        let mut st = p.fresh_state();
+        assert_eq!(p.step(42, &mut st).unwrap(), Some(42));
+        assert_eq!(p.step(0, &mut st).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn accumulator_program() {
+        // Running sum of inputs, always valid.
+        let p = Program {
+            regs: vec![RegDecl { name: "Acc".into(), init: 0, reset_signal: String::new() }],
+            statements: vec![
+                Statement { dest: "sum".into(), op: Op::Add, args: vec![name("Acc"), name("Input")] },
+                Statement { dest: "Acc".into(), op: Op::Id, args: vec![name("sum")] },
+                Statement { dest: "Output".into(), op: Op::Id, args: vec![name("sum")] },
+            ],
+        };
+        p.validate().unwrap();
+        let mut st = p.fresh_state();
+        assert_eq!(p.step(1, &mut st).unwrap(), Some(1));
+        assert_eq!(p.step(2, &mut st).unwrap(), Some(3));
+        assert_eq!(p.step(4, &mut st).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn reset_reinitializes_register() {
+        // Accumulate; reset when input has bit 7 set.
+        let p = Program {
+            regs: vec![RegDecl { name: "Acc".into(), init: 0, reset_signal: "flush".into() }],
+            statements: vec![
+                Statement { dest: "flush".into(), op: Op::Shr, args: vec![name("Input"), lit(7)] },
+                Statement { dest: "pay".into(), op: Op::And, args: vec![name("Input"), lit(0x7F)] },
+                Statement { dest: "sum".into(), op: Op::Add, args: vec![name("Acc"), name("pay")] },
+                Statement { dest: "Acc".into(), op: Op::Id, args: vec![name("sum")] },
+                Statement { dest: "Output".into(), op: Op::Id, args: vec![name("sum")] },
+                Statement { dest: "Output.valid".into(), op: Op::Id, args: vec![name("flush")] },
+            ],
+        };
+        p.validate().unwrap();
+        let mut st = p.fresh_state();
+        assert_eq!(p.step(3, &mut st).unwrap(), None, "no terminator yet");
+        assert_eq!(p.step(0x85, &mut st).unwrap(), Some(8), "3 + 5, terminator seen");
+        assert_eq!(p.step(0x81, &mut st).unwrap(), Some(1), "register was reset");
+    }
+
+    #[test]
+    fn mux_selects() {
+        let p = Program {
+            regs: vec![],
+            statements: vec![
+                Statement { dest: "Output".into(), op: Op::Mux, args: vec![name("Input"), lit(10), lit(20)] },
+            ],
+        };
+        p.validate().unwrap();
+        let mut st = p.fresh_state();
+        assert_eq!(p.step(1, &mut st).unwrap(), Some(10));
+        assert_eq!(p.step(0, &mut st).unwrap(), Some(20));
+    }
+
+    #[test]
+    fn validate_rejects_undefined_wire() {
+        let p = Program {
+            regs: vec![],
+            statements: vec![Statement { dest: "Output".into(), op: Op::Id, args: vec![name("ghost")] }],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity() {
+        let p = Program {
+            regs: vec![],
+            statements: vec![Statement { dest: "Output".into(), op: Op::Add, args: vec![lit(1)] }],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_register() {
+        let p = Program {
+            regs: vec![
+                RegDecl { name: "R".into(), init: 0, reset_signal: String::new() },
+                RegDecl { name: "R".into(), init: 0, reset_signal: String::new() },
+            ],
+            statements: vec![],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn shift_overflow_yields_zero() {
+        let p = Program {
+            regs: vec![],
+            statements: vec![
+                Statement { dest: "Output".into(), op: Op::Shl, args: vec![name("Input"), lit(40)] },
+            ],
+        };
+        let mut st = p.fresh_state();
+        assert_eq!(p.step(1, &mut st).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn op_parse() {
+        assert_eq!(Op::parse("shr"), Some(Op::Shr));
+        assert_eq!(Op::parse("MUX"), Some(Op::Mux));
+        assert_eq!(Op::parse("nope"), None);
+        assert_eq!(Op::Mux.arity(), 3);
+        assert_eq!(Op::Id.arity(), 1);
+    }
+}

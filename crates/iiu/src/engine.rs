@@ -1,0 +1,422 @@
+//! The IIU engine model.
+
+use boss_core::{EvalCounts, QueryOutcome, QueryPlan, TopK};
+use boss_core::{BossConfig, TimingModel};
+use boss_index::layout::{IndexImage, ScratchRegion};
+use boss_index::{DocId, Error, InvertedIndex, QueryExpr, TermId, BLOCK_META_BYTES};
+use boss_scm::{AccessCategory, AccessKind, MemoryConfig, MemorySim, PatternHint};
+
+/// IIU configuration: core count, memory node, and module timing (kept
+/// identical to BOSS's for the paper's "same number of decompression and
+/// scoring modules" fairness note in Figure 13).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IiuConfig {
+    /// Number of IIU cores sharing the memory node.
+    pub n_cores: u32,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// Decompression/scoring units per core.
+    pub units_per_core: u32,
+    /// The memory node.
+    pub memory: MemoryConfig,
+    /// Module timing constants (shared shape with BOSS).
+    pub timing: TimingModel,
+}
+
+impl Default for IiuConfig {
+    fn default() -> Self {
+        IiuConfig {
+            n_cores: 8,
+            clock_ghz: 1.0,
+            units_per_core: 4,
+            memory: MemoryConfig::optane_dcpmm(),
+            timing: TimingModel::default(),
+        }
+    }
+}
+
+impl IiuConfig {
+    /// `n` cores, defaults elsewhere.
+    pub fn with_cores(n: u32) -> Self {
+        IiuConfig { n_cores: n, ..Self::default() }
+    }
+
+    /// Replaces the memory node.
+    #[must_use]
+    pub fn on_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
+        self
+    }
+}
+
+/// One IIU device bound to an index.
+#[derive(Debug)]
+pub struct IiuEngine<'a> {
+    index: &'a InvertedIndex,
+    image: IndexImage,
+    config: IiuConfig,
+    /// BOSS planning config reused for expression normalization (same
+    /// 16-term limit).
+    plan_config: BossConfig,
+}
+
+struct Run<'a> {
+    index: &'a InvertedIndex,
+    image: &'a IndexImage,
+    mem: MemorySim,
+    eval: EvalCounts,
+    dec_cycles: Vec<u64>,
+    scored: u64,
+    scratch: ScratchRegion,
+    norm_line: u64,
+}
+
+impl<'a> Run<'a> {
+    /// Fully decodes a list, charging sequential metadata + block reads,
+    /// spreading decompression across units round-robin (IIU exploits
+    /// intra-query parallelism).
+    fn load_list(&mut self, term: TermId) -> (Vec<DocId>, Vec<u32>) {
+        let list = self.index.list(term);
+        let meta_addr = self.image.meta_addr(term);
+        let data_addr = self.image.data_addr(term);
+        let mut docs = Vec::with_capacity(list.df() as usize);
+        let mut tfs = Vec::with_capacity(list.df() as usize);
+        for (bi, meta) in list.blocks().iter().enumerate() {
+            self.mem.access(
+                meta_addr + bi as u64 * BLOCK_META_BYTES,
+                BLOCK_META_BYTES,
+                AccessKind::Read,
+                AccessCategory::LdMeta,
+                PatternHint::Sequential,
+                0,
+            );
+            self.eval.metas_read += 1;
+            self.mem.access(
+                data_addr + u64::from(meta.offset),
+                u64::from(meta.len).max(1),
+                AccessKind::Read,
+                AccessCategory::LdList,
+                PatternHint::Sequential,
+                0,
+            );
+            self.eval.blocks_fetched += 1;
+            let unit = bi % self.dec_cycles.len();
+            self.dec_cycles[unit] += u64::from(meta.len).max(meta.count() as u64 * 2) / 2 + 4;
+            list.decode_block(bi, &mut docs, &mut tfs).expect("index blocks decode");
+        }
+        (docs, tfs)
+    }
+
+    /// Binary-search membership testing of `probe` docs against `term`'s
+    /// list: the block directory is streamed once into on-chip buffers,
+    /// then each probe binary-searches it (comparisons only) and fetches
+    /// the matched *data block* with a random access — the access pattern
+    /// the BOSS paper criticizes IIU for on SCM.
+    fn membership_intersect(
+        &mut self,
+        probe_docs: &[DocId],
+        probe_tfs: &[Vec<(TermId, u32)>],
+        term: TermId,
+    ) -> (Vec<DocId>, Vec<Vec<(TermId, u32)>>) {
+        let list = self.index.list(term);
+        let blocks = list.blocks();
+        let meta_addr = self.image.meta_addr(term);
+        let data_addr = self.image.data_addr(term);
+        // One streaming pass loads the directory.
+        self.mem.access(
+            meta_addr,
+            (blocks.len() as u64 * BLOCK_META_BYTES).max(1),
+            AccessKind::Read,
+            AccessCategory::LdMeta,
+            PatternHint::Sequential,
+            0,
+        );
+        self.eval.metas_read += blocks.len() as u64;
+        let mut out_docs = Vec::new();
+        let mut out_tfs = Vec::new();
+        let mut cached_block = usize::MAX;
+        let mut bdocs: Vec<DocId> = Vec::new();
+        let mut btfs: Vec<u32> = Vec::new();
+        for (i, &d) in probe_docs.iter().enumerate() {
+            // Binary search over the on-chip directory.
+            let mut lo = 0usize;
+            let mut hi = blocks.len();
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                self.eval.comparisons += 1;
+                if blocks[mid].last_doc < d {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            if lo >= blocks.len() || blocks[lo].first_doc > d {
+                continue;
+            }
+            if cached_block != lo {
+                // Random block fetch + decode.
+                self.mem.access(
+                    data_addr + u64::from(blocks[lo].offset),
+                    u64::from(blocks[lo].len).max(1),
+                    AccessKind::Read,
+                    AccessCategory::LdList,
+                    PatternHint::Random,
+                    0,
+                );
+                self.eval.blocks_fetched += 1;
+                bdocs.clear();
+                btfs.clear();
+                list.decode_block(lo, &mut bdocs, &mut btfs).expect("index blocks decode");
+                let unit = lo % self.dec_cycles.len();
+                self.dec_cycles[unit] += u64::from(blocks[lo].len).max(bdocs.len() as u64) / 2 + 4;
+                cached_block = lo;
+            }
+            // Binary search within the decoded block.
+            self.eval.comparisons += (bdocs.len().max(2) as u64).ilog2() as u64;
+            if let Ok(pos) = bdocs.binary_search(&d) {
+                let mut e = probe_tfs[i].clone();
+                e.push((term, btfs[pos]));
+                out_docs.push(d);
+                out_tfs.push(e);
+            }
+        }
+        (out_docs, out_tfs)
+    }
+
+    /// Spills an intermediate list to memory and charges its reload.
+    fn spill_intermediate(&mut self, len: usize) {
+        let bytes = (len as u64 * 8).max(8);
+        let addr = self.scratch.alloc(bytes);
+        self.mem.access(addr, bytes, AccessKind::Write, AccessCategory::StInter, PatternHint::Sequential, 0);
+        self.mem.access(addr, bytes, AccessKind::Read, AccessCategory::LdInter, PatternHint::Sequential, 0);
+    }
+
+    fn score(&mut self, doc: DocId, entries: &[(TermId, u32)]) -> f32 {
+        // Same 64-byte line buffer as BOSS's scoring module.
+        let addr = self.image.norm_addr(doc);
+        if addr / 64 != self.norm_line {
+            self.mem.access(addr, 4, AccessKind::Read, AccessCategory::LdScore, PatternHint::Random, 0);
+            self.norm_line = addr / 64;
+        }
+        let norm = self.index.doc_norms()[doc as usize];
+        let mut ids: Vec<(TermId, u32)> = entries.to_vec();
+        ids.sort_unstable_by_key(|&(t, _)| t);
+        ids.dedup_by_key(|&mut (t, _)| t);
+        let mut score = 0.0f32;
+        for (t, tf) in ids {
+            let info = self.index.term_info(t);
+            score += self.index.bm25().term_score(info.idf, tf, norm);
+        }
+        self.scored += 1;
+        self.eval.docs_scored += 1;
+        score
+    }
+}
+
+impl<'a> IiuEngine<'a> {
+    /// Binds the engine to an index.
+    pub fn new(index: &'a InvertedIndex, config: IiuConfig) -> Self {
+        let plan_config = BossConfig {
+            n_cores: config.n_cores,
+            memory: config.memory.clone(),
+            ..BossConfig::default()
+        };
+        IiuEngine { index, image: IndexImage::new(index), config, plan_config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IiuConfig {
+        &self.config
+    }
+
+    /// Executes one query; the host-side sort that extracts the top-k is
+    /// free (the paper ignores IIU's top-k selection time).
+    ///
+    /// # Errors
+    ///
+    /// Planning errors, as for BOSS.
+    pub fn execute(&self, expr: &QueryExpr, k: usize) -> Result<QueryOutcome, Error> {
+        let plan = QueryPlan::from_expr(self.index, expr, &self.plan_config)?;
+        let mut run = Run {
+            index: self.index,
+            image: &self.image,
+            mem: MemorySim::new(self.config.memory.clone()),
+            eval: EvalCounts::default(),
+            dec_cycles: vec![0; self.config.units_per_core as usize],
+            scored: 0,
+            scratch: ScratchRegion::after(&self.image),
+            norm_line: u64::MAX,
+        };
+
+        // Each group: SvS with binary-search membership testing, spilling
+        // intermediates between iterations; groups then merge exhaustively.
+        let mut merged: std::collections::BTreeMap<DocId, Vec<(TermId, u32)>> = std::collections::BTreeMap::new();
+        for group in plan.groups() {
+            let mut order: Vec<TermId> = group.clone();
+            order.sort_by_key(|&t| self.index.list(t).df());
+            let (docs, tfs) = run.load_list(order[0]);
+            let mut cur_docs = docs;
+            let mut cur_entries: Vec<Vec<(TermId, u32)>> = cur_docs
+                .iter()
+                .zip(&tfs)
+                .map(|(_, &tf)| vec![(order[0], tf)])
+                .collect();
+            for &t in &order[1..] {
+                let (nd, ne) = run.membership_intersect(&cur_docs, &cur_entries, t);
+                cur_docs = nd;
+                cur_entries = ne;
+                // Intermediate result spilled to memory (the paper's
+                // "unnecessary memory accesses to load/store intermediate
+                // data").
+                run.spill_intermediate(cur_docs.len());
+                if cur_docs.is_empty() {
+                    break;
+                }
+            }
+            for (d, e) in cur_docs.into_iter().zip(cur_entries) {
+                run.eval.comparisons += 1;
+                merged.entry(d).or_default().extend(e);
+            }
+        }
+
+        // Score everything; the unsorted scored list goes back to memory
+        // for the host (ST Result), 8 bytes per document.
+        let mut scored: Vec<(DocId, f32)> = Vec::with_capacity(merged.len());
+        for (d, e) in &merged {
+            let s = run.score(*d, e);
+            scored.push((*d, s));
+        }
+        let result_bytes = (scored.len() as u64 * 8).max(8);
+        let addr = run.scratch.alloc(result_bytes);
+        run.mem.access(addr, result_bytes, AccessKind::Write, AccessCategory::StResult, PatternHint::Sequential, 0);
+
+        // Host-side top-k (free, per the paper's methodology).
+        let mut topk = TopK::new(k.max(1));
+        for (d, s) in scored {
+            topk.offer(d, s);
+        }
+
+        let cycles = self.pipeline_cycles(&run, &plan);
+        Ok(QueryOutcome {
+            hits: topk.into_hits(),
+            cycles,
+            mem: run.mem.take_stats(),
+            eval: run.eval,
+        })
+    }
+
+    fn pipeline_cycles(&self, run: &Run<'_>, plan: &QueryPlan) -> u64 {
+        let t = &self.config.timing;
+        let t_mem = run.mem.stats().last_done_cycle;
+        let t_dec = run.dec_cycles.iter().copied().max().unwrap_or(0);
+        let t_setop = (run.eval.comparisons as f64 * t.cycles_per_comparison) as u64;
+        // IIU exploits full intra-query parallelism across scoring units.
+        let eff = f64::from(self.config.units_per_core.max(1));
+        let t_score = (run.scored as f64 * t.cycles_per_score / eff) as u64 + t.scoring_fill;
+        let _ = plan;
+        t_mem.max(t_dec).max(t_setop).max(t_score) + t.query_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boss_index::{reference, IndexBuilder};
+
+    fn corpus() -> InvertedIndex {
+        let docs: Vec<String> = (0u32..900)
+            .map(|i| {
+                let mut t = String::from("fill");
+                let h = i.wrapping_mul(374761393);
+                if h % 2 == 0 {
+                    t.push_str(" aa");
+                }
+                if h % 3 == 0 {
+                    t.push_str(" bb bb");
+                }
+                if h % 11 == 0 {
+                    t.push_str(" cc");
+                }
+                t
+            })
+            .collect();
+        IndexBuilder::new()
+            .add_documents(docs.iter().map(String::as_str))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_reference_on_all_shapes() {
+        let idx = corpus();
+        let engine = IiuEngine::new(&idx, IiuConfig::default());
+        let t = |s: &str| QueryExpr::term(s);
+        let queries = [
+            t("aa"),
+            QueryExpr::and([t("aa"), t("bb")]),
+            QueryExpr::or([t("aa"), t("cc")]),
+            QueryExpr::and([t("aa"), t("bb"), t("cc"), t("fill")]),
+            QueryExpr::or([t("aa"), t("bb"), t("cc"), t("fill")]),
+            QueryExpr::and([t("aa"), QueryExpr::or([t("bb"), t("cc")])]),
+        ];
+        for q in &queries {
+            let got = engine.execute(q, 10).unwrap();
+            let expect = reference::evaluate(&idx, q, 10).unwrap();
+            assert_eq!(got.hits, expect, "{q}");
+        }
+    }
+
+    #[test]
+    fn union_scores_everything() {
+        let idx = corpus();
+        let engine = IiuEngine::new(&idx, IiuConfig::default());
+        let q = QueryExpr::or([QueryExpr::term("aa"), QueryExpr::term("bb")]);
+        let out = engine.execute(&q, 10).unwrap();
+        let cand = reference::candidates(&idx, &q).unwrap();
+        assert_eq!(out.eval.docs_scored, cand.len() as u64);
+    }
+
+    #[test]
+    fn intersection_generates_random_block_fetches() {
+        let idx = corpus();
+        let engine = IiuEngine::new(&idx, IiuConfig::default());
+        let q = QueryExpr::and([QueryExpr::term("cc"), QueryExpr::term("aa")]);
+        let out = engine.execute(&q, 10).unwrap();
+        // Every data block of the probed list reached by membership testing
+        // is fetched with a random access (plus random norm-line loads).
+        assert!(out.mem.rand_accesses >= 3, "binary-search fetches are random: {}", out.mem.rand_accesses);
+    }
+
+    #[test]
+    fn multi_term_queries_spill_intermediates() {
+        let idx = corpus();
+        let engine = IiuEngine::new(&idx, IiuConfig::default());
+        let q3 = QueryExpr::and([QueryExpr::term("aa"), QueryExpr::term("bb"), QueryExpr::term("cc")]);
+        let out = engine.execute(&q3, 10).unwrap();
+        assert!(out.mem.bytes(AccessCategory::StInter) > 0);
+        assert!(out.mem.bytes(AccessCategory::LdInter) > 0);
+        // A 2-term query spills once as well (one membership pass).
+        let q2 = QueryExpr::and([QueryExpr::term("aa"), QueryExpr::term("bb")]);
+        let out2 = engine.execute(&q2, 10).unwrap();
+        assert!(out2.mem.bytes(AccessCategory::StInter) > 0);
+        // Every spill is read back in full.
+        assert_eq!(out.mem.bytes(AccessCategory::StInter), out.mem.bytes(AccessCategory::LdInter));
+    }
+
+    #[test]
+    fn full_result_list_written_out() {
+        let idx = corpus();
+        let engine = IiuEngine::new(&idx, IiuConfig::default());
+        let q = QueryExpr::term("aa");
+        let out = engine.execute(&q, 10).unwrap();
+        let cand = reference::candidates(&idx, &q).unwrap();
+        assert_eq!(out.mem.bytes(AccessCategory::StResult), cand.len() as u64 * 8);
+    }
+
+    #[test]
+    fn unknown_term_errors() {
+        let idx = corpus();
+        let engine = IiuEngine::new(&idx, IiuConfig::default());
+        assert!(engine.execute(&QueryExpr::term("zzz"), 5).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Index construction.
+
+use crate::index::{InvertedIndex, TermInfo};
+use crate::{Bm25, Bm25Params, EncodedList, Error, PostingList};
+use boss_compress::{Scheme, ALL_SCHEMES};
+use std::collections::BTreeMap;
+
+/// How the builder picks a compression scheme per posting list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchemeChoice {
+    /// Encode every list with every scheme and keep the smallest — the
+    /// "hybrid" approach BOSS uses for its index (Section IV-A).
+    #[default]
+    Hybrid,
+    /// Use one fixed scheme for all lists.
+    Fixed(Scheme),
+}
+
+/// Builder for [`InvertedIndex`].
+///
+/// Two input paths:
+/// * [`IndexBuilder::add_documents`] tokenizes real text (whitespace +
+///   punctuation split, lowercased) — used by examples and tests;
+/// * [`IndexBuilder::add_posting_list`] injects pre-built posting lists —
+///   used by the synthetic corpus generators, together with
+///   [`IndexBuilder::doc_lens`] to supply document lengths.
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    postings: BTreeMap<String, Vec<(u32, u32)>>,
+    doc_lens: Vec<u32>,
+    n_docs_from_text: u32,
+    params: Bm25Params,
+    scheme: SchemeChoice,
+}
+
+impl IndexBuilder {
+    /// Creates an empty builder with default BM25 parameters and hybrid
+    /// compression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the BM25 parameters.
+    pub fn bm25_params(mut self, params: Bm25Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the compression policy.
+    pub fn scheme(mut self, choice: SchemeChoice) -> Self {
+        self.scheme = choice;
+        self
+    }
+
+    /// Supplies explicit document lengths (token counts). Required when
+    /// building from injected posting lists whose tf sums do not reflect
+    /// full document lengths; optional otherwise.
+    pub fn doc_lens(mut self, lens: Vec<u32>) -> Self {
+        self.doc_lens = lens;
+        self
+    }
+
+    /// Tokenizes and adds documents; docIDs are assigned in input order
+    /// continuing from any previously added documents.
+    pub fn add_documents<'a, I: IntoIterator<Item = &'a str>>(mut self, docs: I) -> Self {
+        for text in docs {
+            let doc = self.n_docs_from_text;
+            self.n_docs_from_text += 1;
+            let mut len = 0u32;
+            let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+            for tok in text
+                .split(|c: char| !c.is_alphanumeric())
+                .filter(|t| !t.is_empty())
+            {
+                *counts.entry(tok.to_lowercase()).or_insert(0) += 1;
+                len += 1;
+            }
+            for (term, tf) in counts {
+                self.postings.entry(term).or_default().push((doc, tf));
+            }
+            if self.doc_lens.len() < (doc + 1) as usize {
+                self.doc_lens.resize((doc + 1) as usize, 0);
+            }
+            self.doc_lens[doc as usize] = len;
+        }
+        self
+    }
+
+    /// Adds a pre-built posting list for `term`. Lists for the same term
+    /// accumulate (postings are merged and must stay strictly increasing).
+    pub fn add_posting_list(mut self, term: &str, list: &PostingList) -> Self {
+        let entry = self.postings.entry(term.to_owned()).or_default();
+        entry.extend(list.iter().map(|p| (p.doc, p.tf)));
+        self
+    }
+
+    /// Builds the index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsortedPostings`] / [`Error::ZeroTermFrequency`]
+    /// for invalid posting data, [`Error::InvalidQuery`] never, and codec
+    /// errors if no scheme can encode a list (cannot happen with hybrid).
+    pub fn build(self) -> Result<InvertedIndex, Error> {
+        let IndexBuilder { postings, mut doc_lens, params, scheme, .. } = self;
+
+        // Determine corpus size.
+        let max_doc = postings
+            .values()
+            .flat_map(|v| v.iter().map(|&(d, _)| d))
+            .max();
+        let n_docs = match (max_doc, doc_lens.len()) {
+            (Some(m), l) => (m as usize + 1).max(l),
+            (None, l) => l,
+        };
+        if n_docs == 0 {
+            return Err(Error::InvalidQuery { reason: "cannot build an empty index".into() });
+        }
+        if doc_lens.len() < n_docs {
+            doc_lens.resize(n_docs, 0);
+        }
+        // Documents with unknown length get their tf sums as length.
+        let mut tf_sums = vec![0u64; n_docs];
+        for list in postings.values() {
+            for &(d, tf) in list {
+                tf_sums[d as usize] += u64::from(tf);
+            }
+        }
+        for (len, &sum) in doc_lens.iter_mut().zip(&tf_sums) {
+            if *len == 0 {
+                *len = sum.min(u64::from(u32::MAX)) as u32;
+            }
+        }
+        // Guard against zero-length docs distorting avgdl of an index with
+        // injected lists shorter than reality.
+        let total_len: u64 = doc_lens.iter().map(|&l| u64::from(l)).sum();
+        let avgdl = (total_len as f64 / n_docs as f64).max(1.0) as f32;
+        let bm25 = Bm25::new(params, n_docs as u32, avgdl);
+        let doc_norms: Vec<f32> = doc_lens.iter().map(|&l| bm25.doc_norm(l)).collect();
+
+        let mut terms = Vec::with_capacity(postings.len());
+        let mut lists = Vec::with_capacity(postings.len());
+        let mut vocab = std::collections::HashMap::with_capacity(postings.len());
+        for (text, pairs) in postings {
+            let docs: Vec<u32> = pairs.iter().map(|&(d, _)| d).collect();
+            let tfs: Vec<u32> = pairs.iter().map(|&(_, tf)| tf).collect();
+            let plist = PostingList::from_columns(docs, tfs)?;
+            let df = plist.len() as u32;
+            let idf = bm25.idf(df);
+
+            let encoded = match scheme {
+                SchemeChoice::Fixed(s) => EncodedList::encode(&plist, s, &bm25, idf, &doc_norms)?,
+                SchemeChoice::Hybrid => {
+                    let mut best: Option<EncodedList> = None;
+                    for s in ALL_SCHEMES {
+                        if let Ok(enc) = EncodedList::encode(&plist, s, &bm25, idf, &doc_norms) {
+                            if best.as_ref().is_none_or(|b| enc.data_bytes() < b.data_bytes()) {
+                                best = Some(enc);
+                            }
+                        }
+                    }
+                    best.expect("BP is total, so hybrid always has a candidate")
+                }
+            };
+
+            let id = terms.len() as u32;
+            vocab.insert(text.clone(), id);
+            terms.push(TermInfo { text, df, idf });
+            lists.push(encoded);
+        }
+
+        Ok(InvertedIndex { vocab, terms, lists, doc_norms, doc_lens, bm25 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_from_text() {
+        let idx = IndexBuilder::new()
+            .add_documents(["Hello, World!", "hello hello rust"])
+            .build()
+            .unwrap();
+        assert_eq!(idx.n_docs(), 2);
+        let hello = idx.term_id("hello").unwrap();
+        let (docs, tfs) = idx.list(hello).decode_all().unwrap();
+        assert_eq!(docs, vec![0, 1]);
+        assert_eq!(tfs, vec![1, 2]);
+        assert!(idx.term_id("Hello").is_err(), "vocabulary is lowercased");
+    }
+
+    #[test]
+    fn build_from_posting_lists() {
+        let l1 = PostingList::from_columns(vec![0, 2, 5], vec![1, 2, 1]).unwrap();
+        let l2 = PostingList::from_columns(vec![1, 2], vec![3, 1]).unwrap();
+        let idx = IndexBuilder::new()
+            .add_posting_list("alpha", &l1)
+            .add_posting_list("beta", &l2)
+            .doc_lens(vec![10, 10, 10, 10, 10, 10])
+            .build()
+            .unwrap();
+        assert_eq!(idx.n_docs(), 6);
+        assert_eq!(idx.term_info(idx.term_id("alpha").unwrap()).df, 3);
+    }
+
+    #[test]
+    fn term_ids_in_lexical_order() {
+        let idx = IndexBuilder::new()
+            .add_documents(["zebra apple mango"])
+            .build()
+            .unwrap();
+        assert_eq!(idx.term_id("apple").unwrap(), 0);
+        assert_eq!(idx.term_id("mango").unwrap(), 1);
+        assert_eq!(idx.term_id("zebra").unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_build_fails() {
+        assert!(IndexBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn hybrid_no_larger_than_any_fixed() {
+        let docs: Vec<u32> = (0..1000).map(|i| i * 7).collect();
+        let tfs = vec![1u32; 1000];
+        let list = PostingList::from_columns(docs, tfs).unwrap();
+        let hybrid = IndexBuilder::new()
+            .add_posting_list("t", &list)
+            .doc_lens(vec![5; 7000])
+            .build()
+            .unwrap();
+        for s in ALL_SCHEMES {
+            let fixed = IndexBuilder::new()
+                .add_posting_list("t", &list)
+                .doc_lens(vec![5; 7000])
+                .scheme(SchemeChoice::Fixed(s))
+                .build();
+            if let Ok(fixed) = fixed {
+                assert!(hybrid.total_data_bytes() <= fixed.total_data_bytes(), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_injected_postings_rejected() {
+        let good = PostingList::from_columns(vec![5], vec![1]).unwrap();
+        let also = PostingList::from_columns(vec![3], vec![1]).unwrap();
+        // Accumulating 5 then 3 for the same term violates ordering.
+        let err = IndexBuilder::new()
+            .add_posting_list("t", &good)
+            .add_posting_list("t", &also)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnsortedPostings { .. }));
+    }
+}

@@ -1,0 +1,73 @@
+//! Index error type.
+
+/// Errors produced while building or querying an index.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Posting docIDs were not strictly increasing.
+    UnsortedPostings {
+        /// The position of the violation.
+        at: usize,
+    },
+    /// A term frequency of zero was supplied (postings imply tf >= 1).
+    ZeroTermFrequency {
+        /// The position of the violation.
+        at: usize,
+    },
+    /// A query referenced a term that is not in the index vocabulary.
+    UnknownTerm {
+        /// The missing term.
+        term: String,
+    },
+    /// A query expression is structurally invalid (empty operator, no terms).
+    InvalidQuery {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// An encoded block failed to decode.
+    Codec(boss_compress::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::UnsortedPostings { at } => {
+                write!(f, "posting docIDs not strictly increasing at position {at}")
+            }
+            Error::ZeroTermFrequency { at } => {
+                write!(f, "zero term frequency at position {at}")
+            }
+            Error::UnknownTerm { term } => write!(f, "term {term:?} is not in the index"),
+            Error::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            Error::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<boss_compress::Error> for Error {
+    fn from(e: boss_compress::Error) -> Self {
+        Error::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::UnknownTerm { term: "zebra".into() };
+        assert!(e.to_string().contains("zebra"));
+        let e: Error = boss_compress::Error::Corrupt { reason: "x" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

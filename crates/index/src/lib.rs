@@ -1,0 +1,55 @@
+//! Inverted index substrate for the BOSS reproduction.
+//!
+//! Provides everything the accelerator models operate on:
+//!
+//! * [`PostingList`]s of `(docID, term-frequency)` tuples,
+//! * block-structured encoding ([`EncodedList`]) with 128-value blocks,
+//!   d-gap deltas, and the paper's 19-byte per-block metadata
+//!   ([`BlockMeta`]: first/last docID, block-max term score, data offset,
+//!   element count, bit width, exception offset),
+//! * [`Bm25`] scoring with the per-document precomputed norm (the +4 B/doc
+//!   metadata of Section IV-C "Scoring Module"),
+//! * a flat virtual-address [`layout::IndexImage`] so the memory simulators
+//!   see realistic addresses,
+//! * the [`QueryExpr`] AST shared by all engines, and
+//! * a [`mod@reference`] evaluator — the exhaustive,
+//!   obviously-correct implementation every accelerated engine is tested
+//!   against.
+//!
+//! # Example
+//!
+//! ```
+//! use boss_index::{IndexBuilder, QueryExpr};
+//!
+//! # fn main() -> Result<(), boss_index::Error> {
+//! let docs = ["the cat sat", "the dog sat", "a cat and a dog"];
+//! let index = IndexBuilder::new().add_documents(docs.iter().copied()).build()?;
+//! let q = QueryExpr::and([QueryExpr::term("cat"), QueryExpr::term("sat")]);
+//! let top = boss_index::reference::evaluate(&index, &q, 10)?;
+//! assert_eq!(top.len(), 1); // only doc 0 has both
+//! # Ok(())
+//! # }
+//! ```
+
+mod bm25;
+mod builder;
+mod encoded;
+mod error;
+mod index;
+pub mod io;
+pub mod layout;
+mod posting;
+mod query;
+pub mod reference;
+pub mod shard;
+
+pub use bm25::{Bm25, Bm25Params};
+pub use builder::{IndexBuilder, SchemeChoice};
+pub use encoded::{BlockMeta, EncodedList, BLOCK_META_BYTES, BLOCK_SIZE};
+pub use error::Error;
+pub use index::{InvertedIndex, TermId, TermInfo};
+pub use posting::{Posting, PostingList};
+pub use query::{QueryExpr, SearchHit};
+
+/// Document identifier within a shard.
+pub type DocId = u32;

@@ -1,0 +1,238 @@
+//! Shard partitioning by docID interval (Section II-B: "the inverted
+//! index is divided into multiple disjoint partitions, or *shards*,
+//! according to the intervals of docIDs. Each leaf node holds a distinct
+//! shard and operates only on its shard.").
+//!
+//! A [`ShardedIndex`] splits one logical corpus into `n` contiguous docID
+//! intervals and builds an independent [`InvertedIndex`] per shard with
+//! *local* docIDs. Leaf-node engines run unmodified on their shard; the
+//! root merges their top-k lists after translating local hits back to
+//! global docIDs via [`ShardedIndex::global_doc`].
+
+use crate::{DocId, Error, IndexBuilder, InvertedIndex, PostingList, SearchHit};
+use serde::{Deserialize, Serialize};
+
+/// A corpus split into docID-interval shards.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedIndex {
+    shards: Vec<InvertedIndex>,
+    /// Global docID base of each shard (ascending); shard `i` covers
+    /// `[bases[i], bases[i+1])` (the last runs to the corpus end).
+    bases: Vec<DocId>,
+    n_docs: u32,
+}
+
+impl ShardedIndex {
+    /// Splits `index` into `n_shards` contiguous docID intervals of equal
+    /// width and rebuilds each shard as a standalone index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-shard build failures; a shard with no documents in
+    /// any list is still built (with its interval's document count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero or exceeds the corpus size.
+    pub fn split(index: &InvertedIndex, n_shards: u32) -> Result<Self, Error> {
+        assert!(n_shards > 0, "need at least one shard");
+        let n_docs = index.n_docs();
+        assert!(n_shards <= n_docs, "more shards than documents");
+        let width = n_docs.div_ceil(n_shards);
+        let bases: Vec<DocId> = (0..n_shards).map(|i| i * width).collect();
+
+        let mut builders: Vec<IndexBuilder> = Vec::new();
+        for (i, &base) in bases.iter().enumerate() {
+            let end = if i + 1 < bases.len() { bases[i + 1] } else { n_docs };
+            let lens = index.doc_lens()[base as usize..end as usize].to_vec();
+            builders.push(IndexBuilder::new().doc_lens(lens));
+        }
+
+        for id in index.term_ids() {
+            let info = index.term_info(id);
+            let (docs, tfs) = index.list(id).decode_all()?;
+            // Split the posting list at shard boundaries.
+            let mut s = 0usize;
+            let mut cur_docs: Vec<DocId> = Vec::new();
+            let mut cur_tfs: Vec<u32> = Vec::new();
+            let flush = |s: usize,
+                             cur_docs: &mut Vec<DocId>,
+                             cur_tfs: &mut Vec<u32>,
+                             builders: &mut Vec<IndexBuilder>|
+             -> Result<(), Error> {
+                if !cur_docs.is_empty() {
+                    let list = PostingList::from_columns(std::mem::take(cur_docs), std::mem::take(cur_tfs))?;
+                    let b = std::mem::take(&mut builders[s]);
+                    builders[s] = b.add_posting_list(&info.text, &list);
+                }
+                Ok(())
+            };
+            for (&d, &tf) in docs.iter().zip(&tfs) {
+                while s + 1 < bases.len() && d >= bases[s + 1] {
+                    flush(s, &mut cur_docs, &mut cur_tfs, &mut builders)?;
+                    s += 1;
+                }
+                cur_docs.push(d - bases[s]);
+                cur_tfs.push(tf);
+            }
+            flush(s, &mut cur_docs, &mut cur_tfs, &mut builders)?;
+        }
+
+        let shards = builders
+            .into_iter()
+            .map(IndexBuilder::build)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedIndex { shards, bases, n_docs })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total documents across shards.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// The shard indexes, in docID-interval order.
+    pub fn shards(&self) -> &[InvertedIndex] {
+        &self.shards
+    }
+
+    /// One shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard(&self, i: usize) -> &InvertedIndex {
+        &self.shards[i]
+    }
+
+    /// Translates a shard-local docID to the global docID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn global_doc(&self, shard: usize, local: DocId) -> DocId {
+        self.bases[shard] + local
+    }
+
+    /// Merges per-shard hit lists (already in each shard's ranking order)
+    /// into a global top-`k`, translating docIDs.
+    pub fn merge_topk(&self, per_shard: &[Vec<SearchHit>], k: usize) -> Vec<SearchHit> {
+        let mut all: Vec<SearchHit> = Vec::new();
+        for (s, hits) in per_shard.iter().enumerate() {
+            all.extend(hits.iter().map(|h| SearchHit {
+                doc: self.global_doc(s, h.doc),
+                score: h.score,
+            }));
+        }
+        all.sort_by(SearchHit::ranking_cmp);
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::QueryExpr;
+
+    fn corpus() -> InvertedIndex {
+        let docs: Vec<String> = (0u32..300)
+            .map(|i| {
+                let mut t = String::from("base");
+                if i % 2 == 0 {
+                    t.push_str(" even");
+                }
+                if i % 3 == 0 {
+                    t.push_str(" three three");
+                }
+                t
+            })
+            .collect();
+        IndexBuilder::new()
+            .add_documents(docs.iter().map(String::as_str))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn split_preserves_documents_and_postings() {
+        let idx = corpus();
+        let sharded = ShardedIndex::split(&idx, 4).unwrap();
+        assert_eq!(sharded.n_shards(), 4);
+        let total_docs: u32 = sharded.shards().iter().map(InvertedIndex::n_docs).sum();
+        assert_eq!(total_docs, idx.n_docs());
+        // Postings conserved per term.
+        for term in ["even", "three", "base"] {
+            let global_df = idx.term_info(idx.term_id(term).unwrap()).df;
+            let shard_df: u32 = sharded
+                .shards()
+                .iter()
+                .filter_map(|s| s.term_id(term).ok().map(|id| s.term_info(id).df))
+                .sum();
+            assert_eq!(shard_df, global_df, "{term}");
+        }
+    }
+
+    #[test]
+    fn local_docids_translate_back() {
+        let idx = corpus();
+        let sharded = ShardedIndex::split(&idx, 3).unwrap();
+        // Reconstruct the global posting list of "even" from the shards.
+        let mut global = Vec::new();
+        for (si, shard) in sharded.shards().iter().enumerate() {
+            if let Ok(id) = shard.term_id("even") {
+                let (docs, _) = shard.list(id).decode_all().unwrap();
+                global.extend(docs.into_iter().map(|d| sharded.global_doc(si, d)));
+            }
+        }
+        let expect: Vec<u32> = (0..300).filter(|d| d % 2 == 0).collect();
+        assert_eq!(global, expect);
+    }
+
+    #[test]
+    fn sharded_search_equals_global_search() {
+        let idx = corpus();
+        let sharded = ShardedIndex::split(&idx, 4).unwrap();
+        let q = QueryExpr::and([QueryExpr::term("even"), QueryExpr::term("three")]);
+        // Per-shard top-k with local scoring... shard-local BM25 statistics
+        // (df, avgdl) differ slightly from global ones, so compare the
+        // *document sets*, which must match exactly.
+        let mut per_shard = Vec::new();
+        for shard in sharded.shards() {
+            match reference::evaluate(shard, &q, 1000) {
+                Ok(hits) => per_shard.push(hits),
+                Err(Error::UnknownTerm { .. }) => per_shard.push(Vec::new()),
+                Err(e) => panic!("{e}"),
+            }
+        }
+        let merged = sharded.merge_topk(&per_shard, 1000);
+        let mut got: Vec<u32> = merged.iter().map(|h| h.doc).collect();
+        got.sort_unstable();
+        let expect: Vec<u32> = reference::candidates(&idx, &q).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn merge_topk_ranks_globally() {
+        let idx = corpus();
+        let sharded = ShardedIndex::split(&idx, 2).unwrap();
+        let a = vec![SearchHit { doc: 0, score: 3.0 }, SearchHit { doc: 5, score: 1.0 }];
+        let b = vec![SearchHit { doc: 0, score: 2.0 }];
+        let merged = sharded.merge_topk(&[a, b], 2);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].doc, 0);
+        assert!(merged[1].doc >= 150, "shard-1 hit translated past the base");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let idx = corpus();
+        let _ = ShardedIndex::split(&idx, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the memory timing model: the physical sanity
+//! conditions every cost model must satisfy.
+
+use boss_scm::{AccessCategory, AccessKind, MemoryConfig, MemorySim, PatternHint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn completion_is_monotone_in_bytes(bytes in 1u64..1_000_000, addr in 0u64..(1u64 << 30)) {
+        let mut a = MemorySim::new(MemoryConfig::optane_dcpmm());
+        let mut b = MemorySim::new(MemoryConfig::optane_dcpmm());
+        let d1 = a.read_seq(addr, bytes, AccessCategory::LdList, 0);
+        let d2 = b.read_seq(addr, bytes + 64, AccessCategory::LdList, 0);
+        prop_assert!(d2 >= d1, "{d2} >= {d1}");
+    }
+
+    #[test]
+    fn random_never_cheaper_than_sequential(bytes in 1u64..100_000, addr in 0u64..(1u64 << 30)) {
+        let mut s = MemorySim::new(MemoryConfig::optane_dcpmm());
+        let mut r = MemorySim::new(MemoryConfig::optane_dcpmm());
+        let ds = s.read_seq(addr, bytes, AccessCategory::LdList, 0);
+        let dr = r.read_rand(addr, bytes, AccessCategory::LdList, 0);
+        prop_assert!(dr >= ds);
+    }
+
+    #[test]
+    fn writes_never_cheaper_than_reads_on_scm(bytes in 1u64..100_000, addr in 0u64..(1u64 << 30)) {
+        let mut rd = MemorySim::new(MemoryConfig::optane_dcpmm());
+        let mut wr = MemorySim::new(MemoryConfig::optane_dcpmm());
+        let d_rd = rd.read_seq(addr, bytes, AccessCategory::LdList, 0);
+        let d_wr = wr.write_seq(addr, bytes, AccessCategory::StInter, 0);
+        prop_assert!(d_wr >= d_rd);
+    }
+
+    #[test]
+    fn dram_never_slower_for_identical_streams(
+        ops in prop::collection::vec((0u64..(1u64 << 24), 1u64..4096, any::<bool>()), 1..40),
+    ) {
+        let mut scm = MemorySim::new(MemoryConfig::optane_dcpmm());
+        let mut dram = MemorySim::new(MemoryConfig::ddr4_2666());
+        let mut t_scm = 0;
+        let mut t_dram = 0;
+        for &(addr, bytes, rand) in &ops {
+            let pat = if rand { PatternHint::Random } else { PatternHint::Sequential };
+            t_scm = t_scm.max(scm.access(addr, bytes, AccessKind::Read, AccessCategory::LdList, pat, 0));
+            t_dram = t_dram.max(dram.access(addr, bytes, AccessKind::Read, AccessCategory::LdList, pat, 0));
+        }
+        prop_assert!(t_dram <= t_scm, "dram {t_dram} vs scm {t_scm}");
+    }
+
+    #[test]
+    fn stats_conserve_bytes(
+        ops in prop::collection::vec((0u64..(1u64 << 20), 1u64..10_000), 1..50),
+    ) {
+        let mut m = MemorySim::new(MemoryConfig::optane_dcpmm());
+        let mut logical = 0u64;
+        for &(addr, bytes) in &ops {
+            m.read_seq(addr, bytes, AccessCategory::LdList, 0);
+            logical += bytes;
+        }
+        prop_assert_eq!(m.stats().total_bytes(), logical);
+        prop_assert!(m.stats().effective_bytes >= logical);
+        prop_assert_eq!(m.stats().total_count(), ops.len() as u64);
+    }
+
+    #[test]
+    fn busy_cycles_bound_completion(
+        ops in prop::collection::vec((0u64..(1u64 << 22), 64u64..4096), 1..60),
+    ) {
+        // The last completion cannot exceed total busy plus one latency
+        // (requests issued at cycle 0 queue per channel).
+        let mut m = MemorySim::new(MemoryConfig::optane_dcpmm());
+        let mut last = 0;
+        for &(addr, bytes) in &ops {
+            last = last.max(m.read_rand(addr, bytes, AccessCategory::LdList, 0));
+        }
+        let lat = m.config().read_latency_ns;
+        prop_assert!(last <= m.stats().busy_cycles + lat, "{last} vs {}", m.stats().busy_cycles + lat);
+    }
+}

@@ -1,0 +1,206 @@
+//! Synthetic web corpora standing in for ClueWeb12 and CC-News.
+//!
+//! The paper's experiments depend on three statistical properties of real
+//! corpora, all of which these generators reproduce:
+//!
+//! * **Zipfian document frequencies** — a few huge posting lists, a long
+//!   tail of small ones (drives list-length mixes and skip efficacy);
+//! * **docID locality** — a fraction of lists are clustered, which is what
+//!   block-level skipping exploits;
+//! * **skewed term frequencies** — geometric tf (mostly 1–2 with a tail)
+//!   gives realistic BM25 score skew, which is what early termination
+//!   exploits.
+
+use crate::rng::{self, SeededRng, Zipf};
+use boss_index::{IndexBuilder, InvertedIndex, PostingList};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Corpus size presets used by all figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Seconds-fast: CI and unit tests.
+    Smoke,
+    /// Default for figure regeneration (tens of seconds end to end).
+    Small,
+    /// Closest to the paper's shard sizes this side of a data center.
+    Full,
+}
+
+impl std::str::FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "smoke" => Ok(Scale::Smoke),
+            "small" => Ok(Scale::Small),
+            "full" => Ok(Scale::Full),
+            other => Err(format!("unknown scale {other:?} (use smoke|small|full)")),
+        }
+    }
+}
+
+/// Specification of a synthetic corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// Corpus name used in reports.
+    pub name: String,
+    /// Number of documents in the shard.
+    pub n_docs: u32,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Zipf exponent of the document-frequency distribution.
+    pub zipf_s: f64,
+    /// Average number of *distinct* terms per document (sets the total
+    /// posting count: `n_docs * avg_unique_terms`).
+    pub avg_unique_terms: u32,
+    /// Geometric parameter for `tf - 1` (larger = more tf=1 postings).
+    pub tf_p: f64,
+    /// Fraction of posting lists generated with clustered docIDs.
+    pub cluster_fraction: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    /// A ClueWeb12-like shard: long web documents, strongly skewed
+    /// vocabulary, substantial docID clustering (crawl locality).
+    pub fn clueweb12_like(scale: Scale) -> Self {
+        let (n_docs, vocab) = match scale {
+            Scale::Smoke => (2_500, 2_000),
+            Scale::Small => (40_000, 15_000),
+            Scale::Full => (250_000, 60_000),
+        };
+        CorpusSpec {
+            name: format!("clueweb12-like-{scale:?}").to_lowercase(),
+            n_docs,
+            vocab_size: vocab,
+            zipf_s: 1.05,
+            avg_unique_terms: 110,
+            tf_p: 0.55,
+            cluster_fraction: 0.5,
+            seed: 0xC1_EB12,
+        }
+    }
+
+    /// A CC-News-like shard: shorter articles, milder clustering.
+    pub fn ccnews_like(scale: Scale) -> Self {
+        let (n_docs, vocab) = match scale {
+            Scale::Smoke => (3_000, 2_500),
+            Scale::Small => (50_000, 18_000),
+            Scale::Full => (300_000, 70_000),
+        };
+        CorpusSpec {
+            name: format!("ccnews-like-{scale:?}").to_lowercase(),
+            n_docs,
+            vocab_size: vocab,
+            zipf_s: 1.15,
+            avg_unique_terms: 65,
+            tf_p: 0.65,
+            cluster_fraction: 0.3,
+            seed: 0xCC_0E35,
+        }
+    }
+
+    /// Builds the inverted index (hybrid-compressed, like BOSS's index).
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures (cannot occur for the
+    /// generated, always-valid posting data).
+    pub fn build(&self) -> Result<InvertedIndex, boss_index::Error> {
+        let mut r = rng::rng(self.seed);
+        let total_postings = u64::from(self.n_docs) * u64::from(self.avg_unique_terms);
+        let zipf = Zipf::new(self.vocab_size, self.zipf_s);
+
+        let mut builder = IndexBuilder::new();
+        let width = (self.vocab_size as f64).log10().ceil().max(1.0) as usize;
+        for rank in 1..=self.vocab_size {
+            let df = ((total_postings as f64 * zipf.weight(rank)).round() as u64)
+                .clamp(1, u64::from(self.n_docs) * 6 / 10) as usize;
+            let docs = self.sample_docs(&mut r, df);
+            let tfs: Vec<u32> = (0..docs.len())
+                .map(|_| 1 + rng::geometric(&mut r, self.tf_p))
+                .collect();
+            let list = PostingList::from_columns(docs, tfs)?;
+            // Lexical order == rank order thanks to zero padding, so rank-r
+            // terms are cheap to find in tests and samplers.
+            builder = builder.add_posting_list(&format!("t{rank:0width$}"), &list);
+        }
+        builder.build()
+    }
+
+    fn sample_docs(&self, r: &mut SeededRng, df: usize) -> Vec<u32> {
+        let clustered = r.random_range(0.0..1.0) < self.cluster_fraction;
+        if !clustered || df < 64 {
+            return rng::sorted_distinct(r, df, self.n_docs);
+        }
+        // Clustered list: docs drawn from a handful of contiguous regions.
+        let n_clusters = (df / 256).clamp(1, 64);
+        let width = (self.n_docs / n_clusters as u32 / 4).max(512);
+        let per = df / n_clusters;
+        let mut docs = Vec::with_capacity(df);
+        for _ in 0..n_clusters {
+            let base = r.random_range(0..self.n_docs.saturating_sub(width).max(1));
+            let take = per.min(width as usize / 2).max(1);
+            for v in rng::sorted_distinct(r, take, width) {
+                docs.push(base + v);
+            }
+        }
+        docs.sort_unstable();
+        docs.dedup();
+        docs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_corpus_builds() {
+        let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        assert_eq!(idx.n_docs(), 3_000);
+        assert_eq!(idx.n_terms(), 2_500);
+        assert!(idx.total_raw_bytes() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        let b = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        assert_eq!(a.total_data_bytes(), b.total_data_bytes());
+        let t0 = a.term_id("t0001").unwrap();
+        assert_eq!(a.term_info(t0).df, b.term_info(t0).df);
+    }
+
+    #[test]
+    fn df_distribution_is_zipfian() {
+        let idx = CorpusSpec::clueweb12_like(Scale::Smoke).build().unwrap();
+        // Rank 1 term should have a much bigger list than rank 100.
+        let top = idx.term_info(idx.term_id("t0001").unwrap()).df;
+        let mid = idx.term_info(idx.term_id("t0100").unwrap()).df;
+        let tail = idx.term_info(idx.term_id("t1900").unwrap()).df;
+        // df clamping caps the head, so compare against a softer factor.
+        assert!(top > mid * 3, "top {top} vs mid {mid}");
+        assert!(mid > tail, "mid {mid} vs tail {tail}");
+    }
+
+    #[test]
+    fn compression_beats_raw() {
+        let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        assert!(
+            idx.total_data_bytes() < idx.total_raw_bytes() / 2,
+            "hybrid compression should at least halve the index: {} vs {}",
+            idx.total_data_bytes(),
+            idx.total_raw_bytes()
+        );
+    }
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!("smoke".parse::<Scale>().unwrap(), Scale::Smoke);
+        assert_eq!("full".parse::<Scale>().unwrap(), Scale::Full);
+        assert!("giant".parse::<Scale>().is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! The Q1–Q6 query types of Table II and a TREC-like query sampler.
+
+use crate::rng::{self, SeededRng};
+use boss_index::{InvertedIndex, QueryExpr};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// The six query types of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryType {
+    /// 1 term: `A`.
+    Q1,
+    /// 2 terms: `A AND B`.
+    Q2,
+    /// 2 terms: `A OR B`.
+    Q3,
+    /// 4 terms: `A AND B AND C AND D`.
+    Q4,
+    /// 4 terms: `A OR B OR C OR D`.
+    Q5,
+    /// 4 terms: `A AND (B OR C OR D)`.
+    Q6,
+}
+
+/// All types in Table II order.
+pub const ALL_QUERY_TYPES: [QueryType; 6] = [
+    QueryType::Q1,
+    QueryType::Q2,
+    QueryType::Q3,
+    QueryType::Q4,
+    QueryType::Q5,
+    QueryType::Q6,
+];
+
+impl QueryType {
+    /// Number of terms the type takes.
+    pub fn n_terms(self) -> usize {
+        match self {
+            QueryType::Q1 => 1,
+            QueryType::Q2 | QueryType::Q3 => 2,
+            QueryType::Q4 | QueryType::Q5 | QueryType::Q6 => 4,
+        }
+    }
+
+    /// The figure label ("Q1".."Q6").
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryType::Q1 => "Q1",
+            QueryType::Q2 => "Q2",
+            QueryType::Q3 => "Q3",
+            QueryType::Q4 => "Q4",
+            QueryType::Q5 => "Q5",
+            QueryType::Q6 => "Q6",
+        }
+    }
+
+    /// Builds the Table II expression over `terms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms.len() != self.n_terms()`.
+    pub fn build(self, terms: &[String]) -> QueryExpr {
+        assert_eq!(terms.len(), self.n_terms(), "{self:?} takes {} terms", self.n_terms());
+        let t = |i: usize| QueryExpr::term(terms[i].clone());
+        match self {
+            QueryType::Q1 => t(0),
+            QueryType::Q2 => QueryExpr::and([t(0), t(1)]),
+            QueryType::Q3 => QueryExpr::or([t(0), t(1)]),
+            QueryType::Q4 => QueryExpr::and([t(0), t(1), t(2), t(3)]),
+            QueryType::Q5 => QueryExpr::or([t(0), t(1), t(2), t(3)]),
+            QueryType::Q6 => QueryExpr::and([t(0), QueryExpr::or([t(1), t(2), t(3)])]),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A typed query instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypedQuery {
+    /// Which Table II row this query instantiates.
+    pub qtype: QueryType,
+    /// The expression.
+    pub expr: QueryExpr,
+}
+
+/// Samples query terms the way the TREC Terabyte tracks skew: terms drawn
+/// proportionally to document frequency, excluding the ultra-rare tail
+/// real users seldom type.
+#[derive(Debug)]
+pub struct QuerySampler {
+    terms: Vec<String>,
+    cumulative: Vec<u64>,
+    rng: SeededRng,
+}
+
+impl QuerySampler {
+    /// Builds a sampler over the index vocabulary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index has no term with `df >= 2`.
+    pub fn new(index: &InvertedIndex, seed: u64) -> Self {
+        let mut terms = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut acc = 0u64;
+        for id in index.term_ids() {
+            let info = index.term_info(id);
+            if info.df >= 2 {
+                acc += u64::from(info.df);
+                terms.push(info.text.clone());
+                cumulative.push(acc);
+            }
+        }
+        assert!(!terms.is_empty(), "index vocabulary too small to sample queries");
+        QuerySampler { terms, cumulative, rng: rng::rng(seed) }
+    }
+
+    fn sample_term(&mut self) -> String {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = self.rng.random_range(0..total);
+        let i = self.cumulative.partition_point(|&c| c <= u);
+        self.terms[i].clone()
+    }
+
+    /// Samples `n` distinct terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabulary has fewer than `n` eligible terms.
+    pub fn sample_terms(&mut self, n: usize) -> Vec<String> {
+        assert!(n <= self.terms.len(), "not enough eligible terms");
+        let mut out: Vec<String> = Vec::with_capacity(n);
+        let mut guard = 0;
+        while out.len() < n {
+            let t = self.sample_term();
+            if !out.contains(&t) {
+                out.push(t);
+            }
+            guard += 1;
+            assert!(guard < 10_000, "term sampling failed to find distinct terms");
+        }
+        out
+    }
+
+    /// Samples one query of the given type.
+    pub fn sample(&mut self, qtype: QueryType) -> TypedQuery {
+        let terms = self.sample_terms(qtype.n_terms());
+        TypedQuery { qtype, expr: qtype.build(&terms) }
+    }
+
+    /// The paper's methodology: equal thirds of 1-, 2- and 4-term queries
+    /// (the paper uses 100 each from TREC 2005/2006), each randomly
+    /// assigned a compatible Table II type.
+    pub fn trec_like_mix(&mut self, n: usize) -> Vec<TypedQuery> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let qtype = match i % 3 {
+                0 => QueryType::Q1,
+                1 => {
+                    if self.rng.random_range(0..2) == 0 {
+                        QueryType::Q2
+                    } else {
+                        QueryType::Q3
+                    }
+                }
+                _ => match self.rng.random_range(0..3) {
+                    0 => QueryType::Q4,
+                    1 => QueryType::Q5,
+                    _ => QueryType::Q6,
+                },
+            };
+            out.push(self.sample(qtype));
+        }
+        out
+    }
+
+    /// Samples `per_type` queries of *each* Table II type (the per-type
+    /// breakdowns of Figures 9–16).
+    pub fn per_type_suite(&mut self, per_type: usize) -> Vec<TypedQuery> {
+        let mut out = Vec::with_capacity(per_type * 6);
+        for qtype in ALL_QUERY_TYPES {
+            for _ in 0..per_type {
+                out.push(self.sample(qtype));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusSpec, Scale};
+
+    #[test]
+    fn table2_shapes() {
+        let terms: Vec<String> = (0..4).map(|i| format!("w{i}")).collect();
+        assert_eq!(QueryType::Q1.build(&terms[..1]).to_string(), "\"w0\"");
+        assert_eq!(QueryType::Q2.build(&terms[..2]).to_string(), "(\"w0\" AND \"w1\")");
+        assert_eq!(QueryType::Q3.build(&terms[..2]).to_string(), "(\"w0\" OR \"w1\")");
+        assert_eq!(
+            QueryType::Q6.build(&terms).to_string(),
+            "(\"w0\" AND (\"w1\" OR \"w2\" OR \"w3\"))"
+        );
+        assert_eq!(QueryType::Q4.n_terms(), 4);
+        assert_eq!(QueryType::Q5.label(), "Q5");
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 terms")]
+    fn build_wrong_arity_panics() {
+        let _ = QueryType::Q2.build(&["a".into()]);
+    }
+
+    #[test]
+    fn sampler_prefers_frequent_terms() {
+        let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        let mut s = QuerySampler::new(&idx, 11);
+        let mut top_hits = 0;
+        for _ in 0..200 {
+            let t = s.sample_terms(1).remove(0);
+            let df = idx.term_info(idx.term_id(&t).unwrap()).df;
+            if df > 100 {
+                top_hits += 1;
+            }
+        }
+        assert!(top_hits > 100, "df-weighted sampling should mostly pick frequent terms ({top_hits}/200)");
+    }
+
+    #[test]
+    fn sampled_queries_are_valid_and_distinct() {
+        let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        let mut s = QuerySampler::new(&idx, 12);
+        for qt in ALL_QUERY_TYPES {
+            let q = s.sample(qt);
+            q.expr.validate(16).unwrap();
+            let terms = q.expr.terms();
+            assert_eq!(terms.len(), qt.n_terms(), "distinct terms");
+        }
+    }
+
+    #[test]
+    fn trec_mix_composition() {
+        let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        let mut s = QuerySampler::new(&idx, 13);
+        let qs = s.trec_like_mix(30);
+        assert_eq!(qs.len(), 30);
+        let ones = qs.iter().filter(|q| q.qtype.n_terms() == 1).count();
+        let twos = qs.iter().filter(|q| q.qtype.n_terms() == 2).count();
+        let fours = qs.iter().filter(|q| q.qtype.n_terms() == 4).count();
+        assert_eq!((ones, twos, fours), (10, 10, 10));
+    }
+
+    #[test]
+    fn per_type_suite_covers_all() {
+        let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        let mut s = QuerySampler::new(&idx, 14);
+        let qs = s.per_type_suite(3);
+        assert_eq!(qs.len(), 18);
+        for qt in ALL_QUERY_TYPES {
+            assert_eq!(qs.iter().filter(|q| q.qtype == qt).count(), 3);
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        let a: Vec<_> = QuerySampler::new(&idx, 7).trec_like_mix(9);
+        let b: Vec<_> = QuerySampler::new(&idx, 7).trec_like_mix(9);
+        assert_eq!(a, b);
+    }
+}

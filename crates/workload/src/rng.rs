@@ -1,0 +1,210 @@
+//! Deterministic random-sampling helpers shared by the generators.
+//!
+//! Hand-rolled distributions (Box–Muller normal, inverse-transform
+//! geometric, cumulative-table Zipf) keep the dependency set to `rand` +
+//! `rand_chacha` while staying reproducible across platforms.
+
+use rand::RngExt;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The workspace-standard seeded RNG.
+pub type SeededRng = ChaCha8Rng;
+
+/// Creates the standard RNG from a `u64` seed.
+pub fn rng(seed: u64) -> SeededRng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// One sample from a normal distribution via Box–Muller.
+pub fn normal(rng: &mut SeededRng, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sd * z
+}
+
+/// One sample from a geometric distribution (number of failures before
+/// success, so the support starts at 0) with success probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+pub fn geometric(rng: &mut SeededRng, p: f64) -> u32 {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    if p >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    (u.ln() / (1.0 - p).ln()).floor().min(1e6) as u32
+}
+
+/// A Zipf sampler over ranks `1..=n` with exponent `s`, using a
+/// precomputed cumulative table and binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut SeededRng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// The unnormalized weight of rank `k` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or out of range.
+    pub fn weight(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len(), "rank out of range");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+/// Draws `count` *distinct* sorted values from `0..range`.
+///
+/// Rejection-free for the common `count << range` case: draws with
+/// replacement, dedups, and tops up until the target is met.
+///
+/// # Panics
+///
+/// Panics if `count > range`.
+pub fn sorted_distinct(rng: &mut SeededRng, count: usize, range: u32) -> Vec<u32> {
+    assert!(count as u64 <= u64::from(range), "cannot draw {count} distinct values from {range}");
+    if count == 0 {
+        return Vec::new();
+    }
+    // Dense draws are faster by scanning.
+    if count as u64 * 3 >= u64::from(range) {
+        let mut out = Vec::with_capacity(count);
+        let mut remaining = count as u64;
+        let mut pool = u64::from(range);
+        for v in 0..range {
+            if remaining == 0 {
+                break;
+            }
+            // Select v with probability remaining/pool (sequential sampling).
+            if rng.random_range(0..pool) < remaining {
+                out.push(v);
+                remaining -= 1;
+            }
+            pool -= 1;
+        }
+        return out;
+    }
+    let mut vals: Vec<u32> = (0..count).map(|_| rng.random_range(0..range)).collect();
+    loop {
+        vals.sort_unstable();
+        vals.dedup();
+        if vals.len() >= count {
+            vals.truncate(count);
+            return vals;
+        }
+        let missing = count - vals.len();
+        for _ in 0..missing {
+            vals.push(rng.random_range(0..range));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng(7);
+        let mut b = rng(7);
+        let va: Vec<u32> = (0..10).map(|_| a.random_range(0..1000)).collect();
+        let vb: Vec<u32> = (0..10).map(|_| b.random_range(0..1000)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn normal_mean_roughly_right() {
+        let mut r = rng(1);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| normal(&mut r, 32.0, 20.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 32.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_support_and_mean() {
+        let mut r = rng(2);
+        let samples: Vec<u32> = (0..20_000).map(|_| geometric(&mut r, 0.5)).collect();
+        let mean: f64 = samples.iter().map(|&x| f64::from(x)).sum::<f64>() / samples.len() as f64;
+        // Mean of failures-before-success at p=0.5 is 1.
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(geometric(&mut r, 1.0), 0);
+    }
+
+    #[test]
+    fn zipf_rank1_most_frequent() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng(3);
+        let mut counts = [0u32; 101];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[1] > counts[50] * 5);
+    }
+
+    #[test]
+    fn zipf_weights_sum_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (1..=50).map(|k| z.weight(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sorted_distinct_properties() {
+        let mut r = rng(4);
+        for &(count, range) in &[(0usize, 10u32), (10, 1000), (900, 1000), (1000, 1000)] {
+            let v = sorted_distinct(&mut r, count, range);
+            assert_eq!(v.len(), count);
+            for w in v.windows(2) {
+                assert!(w[0] < w[1], "strictly increasing");
+            }
+            assert!(v.iter().all(|&x| x < range));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn sorted_distinct_impossible_panics() {
+        let mut r = rng(5);
+        let _ = sorted_distinct(&mut r, 11, 10);
+    }
+}

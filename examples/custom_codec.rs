@@ -1,0 +1,58 @@
+//! Programming the decompression module with a *custom* scheme — the
+//! Section III-B claim that "a new decompression scheme can be supported
+//! if it can be expressed by composing those primitive units".
+//!
+//! The custom scheme here is "xor-delta": fixed-width fields XORed with a
+//! rolling register (a toy differential encoding). We write its encoder in
+//! ten lines, write the Figure-8-style config for the datapath, and verify
+//! the programmable engine decodes it.
+//!
+//! Run with: `cargo run -p boss-examples --bin custom_codec`
+
+use boss_compress::{BitWriter, BlockInfo};
+use boss_decomp::DecompEngine;
+
+/// Encode: `v[i]` is stored as `v[i] XOR v[i-1]` in fixed 12-bit fields.
+fn encode_xor_delta(values: &[u32], out: &mut Vec<u8>) -> BlockInfo {
+    let mut w = BitWriter::new(out);
+    let mut prev = 0u32;
+    for &v in values {
+        assert!(v < (1 << 12), "demo scheme holds 12-bit values");
+        w.write(v ^ prev, 12);
+        prev = v;
+    }
+    w.finish();
+    BlockInfo { count: values.len() as u16, bit_width: 12, exception_offset: 0 }
+}
+
+const XOR_DELTA_CONFIG: &str = "
+// Stage 1: fixed-width extractor (width from block metadata)
+Extractor[0].use = 1
+Extractor[1].use = 0
+Extractor[2].use = 0
+// Stage 2: undo the XOR chain with one register and one XOR unit
+RegInit( Prev, 0, 0 )
+cur := XOR(Input, Prev)
+Prev := cur
+Output := cur
+Output.valid := 1
+// Stage 3
+UseExceptions = 0
+// Stage 4: values are already absolute
+UseDelta = 0
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let values: Vec<u32> = (0..40u32).map(|i| (i * 97) % 4096).collect();
+    let mut data = Vec::new();
+    let info = encode_xor_delta(&values, &mut data);
+    println!("encoded {} values into {} bytes (12-bit xor-delta)", values.len(), data.len());
+
+    let engine = DecompEngine::from_config_text(XOR_DELTA_CONFIG)?;
+    let decoded = engine.decode(&data, &info)?;
+    assert_eq!(decoded.values, values);
+    println!("programmable datapath decoded them back in {} cycles", decoded.cycles);
+    println!("first ten: {:?}", &decoded.values[..10]);
+    println!("\nno new hardware was invented: one XOR primitive + one register, wired by config text.");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! A news-search scenario: a CC-News-like synthetic shard served by all
+//! three engines (BOSS, IIU, the Lucene-like CPU baseline), with a
+//! TREC-style query mix — the workload of the paper's evaluation.
+//!
+//! Run with: `cargo run --release -p boss-examples --bin news_search`
+
+use boss_core::{BossConfig, BossDevice, EtMode};
+use boss_iiu::{IiuConfig, IiuEngine};
+use boss_luceneish::{LuceneConfig, LuceneEngine};
+use boss_workload::corpus::{CorpusSpec, Scale};
+use boss_workload::queries::QuerySampler;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("building ccnews-like corpus (smoke scale)...");
+    let index = CorpusSpec::ccnews_like(Scale::Smoke).build()?;
+    println!(
+        "  {} docs, {} terms, index {:.1} MiB compressed ({:.1} MiB raw)",
+        index.n_docs(),
+        index.n_terms(),
+        index.total_data_bytes() as f64 / (1 << 20) as f64,
+        index.total_raw_bytes() as f64 / (1 << 20) as f64,
+    );
+
+    let mut sampler = QuerySampler::new(&index, 2026);
+    let queries: Vec<_> = sampler.trec_like_mix(30);
+    let k = 10;
+
+    let mut boss = BossDevice::new(&index, BossConfig::default().with_et(EtMode::Full).with_k(k));
+    let iiu = IiuEngine::new(&index, IiuConfig::default());
+    let lucene = LuceneEngine::new(&index, LuceneConfig::default());
+
+    let mut agree = 0;
+    let mut boss_cycles = 0u64;
+    for tq in &queries {
+        let b = boss.search_expr(&tq.expr, k)?;
+        let i = iiu.execute(&tq.expr, k)?;
+        let l = lucene.execute(&tq.expr, k)?;
+        if b.hits == i.hits && b.hits == l.hits {
+            agree += 1;
+        }
+        boss_cycles += b.cycles;
+    }
+    println!("\nran {} TREC-like queries (k={k})", queries.len());
+    println!("all three engines agreed on {agree}/{} result lists", queries.len());
+    println!("BOSS mean latency: {:.1} us/query at 1 GHz", boss_cycles as f64 / queries.len() as f64 / 1e3);
+
+    // Show one query end to end.
+    let tq = &queries[1];
+    let out = boss.search_expr(&tq.expr, 5)?;
+    println!("\nexample {:?} query {}", tq.qtype, tq.expr);
+    for h in &out.hits {
+        println!("  doc {:>6}  score {:.3}", h.doc, h.score);
+    }
+    Ok(())
+}

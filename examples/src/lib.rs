@@ -1,0 +1,1 @@
+//! Examples-only package; see the binaries declared in `Cargo.toml`.

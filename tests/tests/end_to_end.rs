@@ -1,0 +1,105 @@
+//! End-to-end integration: synthetic corpus → three engines → identical
+//! results, with the paper's qualitative relations holding.
+
+use boss_core::{BossConfig, BossDevice, EtMode};
+use boss_iiu::{IiuConfig, IiuEngine};
+use boss_luceneish::{LuceneConfig, LuceneEngine};
+use boss_scm::MemoryConfig;
+use boss_workload::corpus::{CorpusSpec, Scale};
+use boss_workload::queries::{QuerySampler, ALL_QUERY_TYPES};
+
+fn corpus() -> boss_index::InvertedIndex {
+    CorpusSpec::ccnews_like(Scale::Smoke).build().expect("corpus builds")
+}
+
+#[test]
+fn three_engines_agree_on_every_query_type() {
+    let index = corpus();
+    let mut sampler = QuerySampler::new(&index, 31);
+    let mut boss = BossDevice::new(&index, BossConfig::default().with_k(200));
+    let iiu = IiuEngine::new(&index, IiuConfig::default());
+    let lucene = LuceneEngine::new(&index, LuceneConfig::default());
+    for qt in ALL_QUERY_TYPES {
+        for _ in 0..3 {
+            let q = sampler.sample(qt).expr;
+            let b = boss.search_expr(&q, 200).expect("boss runs");
+            let i = iiu.execute(&q, 200).expect("iiu runs");
+            let l = lucene.execute(&q, 200).expect("lucene runs");
+            assert_eq!(b.hits, i.hits, "{qt:?} {q}");
+            assert_eq!(b.hits, l.hits, "{qt:?} {q}");
+            // And all agree with the reference oracle.
+            let r = boss_index::reference::evaluate(&index, &q, 200).expect("reference runs");
+            assert_eq!(b.hits, r, "{qt:?} {q}");
+        }
+    }
+}
+
+#[test]
+fn et_modes_identical_results_different_work() {
+    let index = corpus();
+    let mut sampler = QuerySampler::new(&index, 77);
+    let q = sampler.sample(boss_workload::queries::QueryType::Q5).expr;
+    let mut hits = None;
+    let mut scored = Vec::new();
+    for et in [EtMode::Exhaustive, EtMode::BlockOnly, EtMode::Full] {
+        let mut dev = BossDevice::new(&index, BossConfig::default().with_et(et).with_k(10));
+        let out = dev.search_expr(&q, 10).expect("runs");
+        if let Some(prev) = &hits {
+            assert_eq!(&out.hits, prev, "{et:?}");
+        } else {
+            hits = Some(out.hits.clone());
+        }
+        scored.push(out.eval.docs_scored);
+    }
+    assert!(scored[2] <= scored[1] && scored[1] <= scored[0], "monotone pruning: {scored:?}");
+    assert!(scored[2] < scored[0], "full ET must actually skip on a Q5 with k=10");
+}
+
+#[test]
+fn dram_never_slower_than_scm() {
+    let index = corpus();
+    let mut sampler = QuerySampler::new(&index, 5);
+    let queries: Vec<_> = sampler.trec_like_mix(12).into_iter().map(|t| t.expr).collect();
+
+    let mut boss_scm = BossDevice::new(&index, BossConfig::default());
+    let mut boss_dram =
+        BossDevice::new(&index, BossConfig::default().on_memory(MemoryConfig::ddr4_2666()));
+    let b_scm = boss_scm.run_batch(&queries, 100).expect("runs");
+    let b_dram = boss_dram.run_batch(&queries, 100).expect("runs");
+    assert!(b_dram.makespan_cycles <= b_scm.makespan_cycles, "BOSS on DRAM is at least as fast");
+
+    let l_scm = LuceneEngine::new(&index, LuceneConfig::default());
+    let l_dram = LuceneEngine::new(&index, LuceneConfig::default().on_memory(MemoryConfig::host_ddr4_6ch()));
+    let (_, m_scm) = l_scm.run_batch(&queries, 100).expect("runs");
+    let (_, m_dram) = l_dram.run_batch(&queries, 100).expect("runs");
+    assert!(m_dram <= m_scm);
+    // Lucene is compute-bound: the DRAM advantage stays small.
+    assert!(m_scm as f64 / m_dram as f64 <= 1.30, "{m_scm} vs {m_dram}");
+}
+
+#[test]
+fn index_serializes_and_answers_identically() {
+    let index = corpus();
+    let json = serde_json::to_string(&index).expect("serializes");
+    let revived: boss_index::InvertedIndex = serde_json::from_str(&json).expect("deserializes");
+    let mut sampler = QuerySampler::new(&index, 12);
+    let q = sampler.sample(boss_workload::queries::QueryType::Q3).expr;
+    let a = boss_index::reference::evaluate(&index, &q, 50).expect("runs");
+    let b = boss_index::reference::evaluate(&revived, &q, 50).expect("runs");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn offload_api_round_trip() {
+    use boss_core::{BossHandle, SearchRequest};
+    let index = corpus();
+    let mut h = BossHandle::init(&index, BossConfig::default());
+    // Build an expression from real vocabulary.
+    let mut sampler = QuerySampler::new(&index, 3);
+    let terms = sampler.sample_terms(3);
+    let q = format!("\"{}\" AND (\"{}\" OR \"{}\")", terms[0], terms[1], terms[2]);
+    let out = h.search(&SearchRequest::new(&q).with_k(25)).expect("api search runs");
+    let expr = boss_core::parse_query(&q).expect("parses");
+    let expect = boss_index::reference::evaluate(&index, &expr, 25).expect("reference runs");
+    assert_eq!(out.hits, expect);
+}
