@@ -15,7 +15,11 @@ fn main() {
         let mut v = Vec::new();
         for _ in 0..40 {
             let base = r.random_range(0..n_docs - 2000);
-            v.extend(rng::sorted_distinct(&mut r, 800, 2000).into_iter().map(|x| base + x));
+            v.extend(
+                rng::sorted_distinct(&mut r, 800, 2000)
+                    .into_iter()
+                    .map(|x| base + x),
+            );
         }
         v.sort_unstable();
         v.dedup();
@@ -29,7 +33,14 @@ fn main() {
     let list = PostingList::from_columns(clustered.clone(), tfs).expect("valid");
 
     println!("# Ablation: block size vs skip precision (clustered list, uniform probes)");
-    header(&["block_size", "blocks", "meta_bytes", "data_bytes", "blocks_touched", "touch_frac"]);
+    header(&[
+        "block_size",
+        "blocks",
+        "meta_bytes",
+        "data_bytes",
+        "blocks_touched",
+        "touch_frac",
+    ]);
     for bs in [32usize, 64, 128, 256, 512] {
         let enc = EncodedList::encode_with_block_size(
             &list,

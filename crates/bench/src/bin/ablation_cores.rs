@@ -1,7 +1,7 @@
 //! Ablation: core scaling beyond the paper's 8, exposing the SCM
 //! bandwidth ceiling — the "scale-out further" argument of Section III-A.
 
-use boss_bench::{f, header, row, run_boss, run_iiu, BenchArgs};
+use boss_bench::{boss_engine, f, header, iiu_engine, row, run_system, BenchArgs};
 use boss_core::EtMode;
 use boss_scm::MemoryConfig;
 use boss_workload::corpus::CorpusSpec;
@@ -9,18 +9,47 @@ use boss_workload::queries::QuerySampler;
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::clueweb12_like(args.scale).build().expect("corpus builds");
+    let index = CorpusSpec::clueweb12_like(args.scale)
+        .build()
+        .expect("corpus builds");
     let mut sampler = QuerySampler::new(&index, args.seed);
     let queries: Vec<_> = sampler
         .trec_like_mix(args.queries_per_type * 6)
         .into_iter()
         .map(|t| t.expr)
         .collect();
-    println!("# Ablation: core-count sweep on the TREC-like mix (k={})", args.k);
-    header(&["cores", "boss_qps", "iiu_qps", "boss_gbps", "iiu_gbps", "boss_speedup_vs_iiu"]);
+    println!(
+        "# Ablation: core-count sweep on the TREC-like mix (k={})",
+        args.k
+    );
+    args.print_threads_comment();
+    header(&[
+        "cores",
+        "boss_qps",
+        "iiu_qps",
+        "boss_gbps",
+        "iiu_gbps",
+        "boss_speedup_vs_iiu",
+    ]);
     for cores in [1u32, 2, 4, 8, 16, 32] {
-        let b = run_boss(&index, &queries, cores, EtMode::Full, MemoryConfig::optane_dcpmm(), args.k);
-        let i = run_iiu(&index, &queries, cores, MemoryConfig::optane_dcpmm(), args.k);
+        let b = run_system(
+            &boss_engine(
+                &index,
+                cores,
+                EtMode::Full,
+                MemoryConfig::optane_dcpmm(),
+                args.k,
+            ),
+            &queries,
+            args.k,
+            args.threads,
+        );
+        let i = run_system(
+            &iiu_engine(&index, cores, MemoryConfig::optane_dcpmm()),
+            &queries,
+            args.k,
+            args.threads,
+        );
         row(&[
             cores.to_string(),
             f(b.qps),

@@ -9,13 +9,18 @@ use boss_workload::corpus::CorpusSpec;
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale).build().expect("corpus builds");
+    let index = CorpusSpec::ccnews_like(args.scale)
+        .build()
+        .expect("corpus builds");
     let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
     println!("# Ablation: timing fidelity (1 BOSS core, k={})", args.k);
     header(&["qtype", "roofline_us", "pipelined_us", "ratio"]);
     for (qt, queries) in &suite.per_type {
         let mut total = [0u64; 2];
-        for (slot, fid) in [(0usize, TimingFidelity::Roofline), (1, TimingFidelity::Pipelined)] {
+        for (slot, fid) in [
+            (0usize, TimingFidelity::Roofline),
+            (1, TimingFidelity::Pipelined),
+        ] {
             let mut dev = BossDevice::new(
                 &index,
                 BossConfig::with_cores(1).with_k(args.k).with_fidelity(fid),
@@ -32,5 +37,7 @@ fn main() {
             f(total[1] as f64 / total[0].max(1) as f64),
         ]);
     }
-    println!("# ratio > 1 = stage imbalance the roofline hides; both models share the functional layer");
+    println!(
+        "# ratio > 1 = stage imbalance the roofline hides; both models share the functional layer"
+    );
 }

@@ -28,7 +28,8 @@ fn main() {
             let (docs, tfs) = hybrid.list(id).decode_all().expect("decodes");
             let list = boss_index::PostingList::from_columns(docs, tfs).expect("valid");
             let idf = hybrid.term_info(id).idf;
-            match boss_index::EncodedList::encode(&list, s, hybrid.bm25(), idf, hybrid.doc_norms()) {
+            match boss_index::EncodedList::encode(&list, s, hybrid.bm25(), idf, hybrid.doc_norms())
+            {
                 Ok(enc) => total += enc.data_bytes() as u64,
                 Err(_) => {
                     representable = false;

@@ -4,7 +4,7 @@
 //! The paper fixes k = 1000; this sweep shows why the top-k module's
 //! bandwidth saving grows as k shrinks, and that ET gets sharper.
 
-use boss_bench::{f, header, row, run_boss, BenchArgs, TypedSuite};
+use boss_bench::{boss_engine, f, header, row, run_system, BenchArgs, TypedSuite};
 use boss_core::EtMode;
 use boss_scm::{AccessCategory, MemoryConfig};
 use boss_workload::corpus::CorpusSpec;
@@ -12,18 +12,44 @@ use boss_workload::queries::QueryType;
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale).build().expect("corpus builds");
+    let index = CorpusSpec::ccnews_like(args.scale)
+        .build()
+        .expect("corpus builds");
     let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
     println!("# Ablation: k sweep (BOSS, 1 core, union queries)");
-    header(&["qtype", "k", "docs_scored", "frac_scored", "st_result_bytes", "qps"]);
+    args.print_threads_comment();
+    header(&[
+        "qtype",
+        "k",
+        "docs_scored",
+        "frac_scored",
+        "st_result_bytes",
+        "qps",
+    ]);
     for (qt, queries) in &suite.per_type {
         if !matches!(qt, QueryType::Q3 | QueryType::Q5) {
             continue;
         }
-        let exhaustive = run_boss(&index, queries, 1, EtMode::Exhaustive, MemoryConfig::optane_dcpmm(), 10);
+        let exhaustive = run_system(
+            &boss_engine(
+                &index,
+                1,
+                EtMode::Exhaustive,
+                MemoryConfig::optane_dcpmm(),
+                10,
+            ),
+            queries,
+            10,
+            args.threads,
+        );
         let total = exhaustive.eval.docs_scored.max(1);
         for k in [10usize, 100, 1000] {
-            let r = run_boss(&index, queries, 1, EtMode::Full, MemoryConfig::optane_dcpmm(), k);
+            let r = run_system(
+                &boss_engine(&index, 1, EtMode::Full, MemoryConfig::optane_dcpmm(), k),
+                queries,
+                k,
+                args.threads,
+            );
             row(&[
                 qt.label().into(),
                 k.to_string(),

@@ -14,17 +14,26 @@ use boss_workload::queries::{QuerySampler, QueryType};
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale).build().expect("corpus builds");
+    let index = CorpusSpec::ccnews_like(args.scale)
+        .build()
+        .expect("corpus builds");
     let mut sampler = QuerySampler::new(&index, args.seed);
     let queries: Vec<_> = (0..args.queries_per_type.max(4))
         .map(|i| {
             sampler
-                .sample(if i % 2 == 0 { QueryType::Q3 } else { QueryType::Q5 })
+                .sample(if i % 2 == 0 {
+                    QueryType::Q3
+                } else {
+                    QueryType::Q5
+                })
                 .expr
         })
         .collect();
 
-    println!("# Ablation: pool scale-out, k={} — interconnect bytes per query", args.k);
+    println!(
+        "# Ablation: pool scale-out, k={} — interconnect bytes per query",
+        args.k
+    );
     header(&[
         "nodes",
         "topk_link_bytes",
@@ -34,14 +43,20 @@ fn main() {
     ]);
     for nodes in [1u32, 2, 4, 8, 16] {
         let sharded = ShardedIndex::split(&index, nodes).expect("splits");
-        let mut pool = MemoryPool::new(&sharded, BossConfig::with_cores(2), InterconnectConfig::default());
+        let mut pool = MemoryPool::new(
+            &sharded,
+            BossConfig::with_cores(2),
+            InterconnectConfig::default(),
+        );
         let mut link = 0u64;
         let mut host = 0u64;
         let mut cycles = 0u64;
         for q in &queries {
             let out = pool.search(q, args.k).expect("pool search runs");
             link += out.interconnect_bytes;
-            host += pool.hostside_interconnect_bytes(q).expect("hostside estimate");
+            host += pool
+                .hostside_interconnect_bytes(q)
+                .expect("hostside estimate");
             cycles += out.cycles;
         }
         let n = queries.len() as f64;
@@ -53,5 +68,7 @@ fn main() {
             f(cycles as f64 / n / 1e3),
         ]);
     }
-    println!("# top-k traffic grows with nodes*k; host-side traffic stays at the full candidate volume");
+    println!(
+        "# top-k traffic grows with nodes*k; host-side traffic stays at the full candidate volume"
+    );
 }

@@ -4,25 +4,39 @@
 //! headroom.
 
 use boss_bench::{f, header, row, BenchArgs};
-use boss_core::{BossConfig, BossDevice, SchedPolicy};
+use boss_core::BossConfig;
+use boss_engine::{BatchExecutor, Boss, SchedPolicy};
 use boss_workload::corpus::CorpusSpec;
 use boss_workload::queries::QuerySampler;
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale).build().expect("corpus builds");
+    let index = CorpusSpec::ccnews_like(args.scale)
+        .build()
+        .expect("corpus builds");
     let mut sampler = QuerySampler::new(&index, args.seed);
     let queries: Vec<_> = sampler
         .trec_like_mix(args.queries_per_type * 6)
         .into_iter()
         .map(|t| t.expr)
         .collect();
-    println!("# Ablation: scheduler policy, {} queries, k={}", queries.len(), args.k);
+    println!(
+        "# Ablation: scheduler policy, {} queries, k={}",
+        queries.len(),
+        args.k
+    );
+    args.print_threads_comment();
     header(&["cores", "fifo_makespan_ms", "sjf_makespan_ms", "sjf_gain"]);
     for cores in [2u32, 4, 8] {
-        let mut dev = BossDevice::new(&index, BossConfig::with_cores(cores).with_k(args.k));
-        let fifo = dev.run_batch_with_policy(&queries, args.k, SchedPolicy::Fifo).expect("runs");
-        let sjf = dev.run_batch_with_policy(&queries, args.k, SchedPolicy::Sjf).expect("runs");
+        let engine = Boss::new(&index, BossConfig::with_cores(cores).with_k(args.k));
+        let run = |policy: SchedPolicy| {
+            BatchExecutor::with_threads(args.threads)
+                .with_policy(policy)
+                .run(&engine, &queries, args.k)
+                .expect("runs")
+        };
+        let fifo = run(SchedPolicy::Fifo);
+        let sjf = run(SchedPolicy::Sjf);
         row(&[
             cores.to_string(),
             f(fifo.makespan_cycles as f64 / 1e6),

@@ -13,7 +13,13 @@ fn main() {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => scale = it.next().expect("scale value").parse().expect("valid scale"),
+            "--scale" => {
+                scale = it
+                    .next()
+                    .expect("scale value")
+                    .parse()
+                    .expect("valid scale")
+            }
             "--corpus" => corpus = it.next().expect("corpus value"),
             "--help" | "-h" => {
                 println!("usage: build_index <out.bossidx> [--scale smoke|small|full] [--corpus ccnews|clueweb]");

@@ -9,7 +9,11 @@ use boss_compress::ALL_SCHEMES;
 fn main() {
     let args = BenchArgs::parse();
     for (name, index) in both_corpora(args.scale) {
-        println!("# {name}: {} docs, {} terms", index.n_docs(), index.n_terms());
+        println!(
+            "# {name}: {} docs, {} terms",
+            index.n_docs(),
+            index.n_terms()
+        );
         // Document-frequency distribution.
         let mut dfs: Vec<u32> = index.term_ids().map(|t| index.term_info(t).df).collect();
         dfs.sort_unstable_by(|a, b| b.cmp(a));
@@ -19,13 +23,19 @@ fn main() {
         row(&["postings".into(), total.to_string()]);
         row(&["df_max".into(), dfs[0].to_string()]);
         row(&["df_median".into(), dfs[dfs.len() / 2].to_string()]);
-        row(&["top1pct_posting_share".into(), f(top1pct as f64 / total as f64)]);
+        row(&[
+            "top1pct_posting_share".into(),
+            f(top1pct as f64 / total as f64),
+        ]);
         // Document lengths.
         let lens = index.doc_lens();
         let mut sorted = lens.to_vec();
         sorted.sort_unstable();
         row(&["doclen_p50".into(), sorted[sorted.len() / 2].to_string()]);
-        row(&["doclen_p99".into(), sorted[sorted.len() * 99 / 100].to_string()]);
+        row(&[
+            "doclen_p99".into(),
+            sorted[sorted.len() * 99 / 100].to_string(),
+        ]);
         // Compression: per-list scheme histogram + overall ratio.
         let mut counts = std::collections::HashMap::new();
         for t in index.term_ids() {

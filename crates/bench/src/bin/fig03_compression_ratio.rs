@@ -20,7 +20,9 @@ fn main() {
     let args = BenchArgs::parse();
     println!("# Figure 3: compression ratio (raw 4B/int over encoded), higher is better");
     println!("# paper shape: best scheme differs per dataset; hybrid matches the best");
-    header(&["dataset", "BP", "VB", "OptPFD", "S16", "S8b", "hybrid", "best"]);
+    header(&[
+        "dataset", "BP", "VB", "OptPFD", "S16", "S8b", "hybrid", "best",
+    ]);
 
     for kind in ALL_STREAMS {
         let values = generate(kind, stream_len(args.scale), args.seed);
@@ -32,7 +34,10 @@ fn main() {
                 .chunks(BLOCK_SIZE)
                 .map(|c| {
                     let mut buf = Vec::new();
-                    boss_compress::codec_for(s).encode(c, &mut buf).ok().map(|_| buf.len())
+                    boss_compress::codec_for(s)
+                        .encode(c, &mut buf)
+                        .ok()
+                        .map(|_| buf.len())
                 })
                 .sum();
             sizes.push(total);
@@ -74,7 +79,11 @@ fn main() {
                     }
                 }
             }
-            cells.push(if ok { f(raw as f64 / total as f64) } else { "n/a".into() });
+            cells.push(if ok {
+                f(raw as f64 / total as f64)
+            } else {
+                "n/a".into()
+            });
         }
         // The index itself is hybrid-encoded (docIDs + tfs); report the
         // docID-equivalent ratio from per-list best choices.

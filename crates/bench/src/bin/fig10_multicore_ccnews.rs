@@ -1,14 +1,16 @@
 //! Figure 10: multi-core throughput analysis (CC-News-like).
 //!
 //! Regenerates the figure for the ccnews-like corpus stand-in. Accepts the common
-//! harness flags (`--scale`, `--seed`, `--queries-per-type`, `--k`).
+//! harness flags (`--scale`, `--seed`, `--queries-per-type`, `--k`, `--threads`, `--engines`).
 
 use boss_bench::{figures, BenchArgs, TypedSuite};
 use boss_workload::corpus::CorpusSpec;
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale).build().expect("corpus builds");
+    let index = CorpusSpec::ccnews_like(args.scale)
+        .build()
+        .expect("corpus builds");
     let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
-    figures::multicore_throughput("ccnews-like", &index, &suite, args.k);
+    figures::multicore_throughput("ccnews-like", &index, &suite, &args);
 }

@@ -7,6 +7,6 @@ fn main() {
     let args = BenchArgs::parse();
     for (name, index) in both_corpora(args.scale) {
         let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
-        figures::dram_vs_scm(name, &index, &suite, args.k);
+        figures::dram_vs_scm(name, &index, &suite, &args);
     }
 }

@@ -1,10 +1,10 @@
 //! Latency percentiles (p50/p95/p99) per engine and query type — serving
 //! systems live and die on tail latency, which throughput figures hide.
 
-use boss_bench::{f, header, row, BenchArgs, TypedSuite};
-use boss_core::{BossConfig, BossDevice, EtMode};
-use boss_iiu::{IiuConfig, IiuEngine};
-use boss_luceneish::{LuceneConfig, LuceneEngine};
+use boss_bench::{boss_engine, f, header, iiu_engine, lucene_engine, row, BenchArgs, TypedSuite};
+use boss_core::EtMode;
+use boss_engine::SearchEngine;
+use boss_scm::MemoryConfig;
 use boss_workload::corpus::CorpusSpec;
 
 fn pct(sorted_us: &[f64], p: f64) -> f64 {
@@ -15,39 +15,54 @@ fn pct(sorted_us: &[f64], p: f64) -> f64 {
     sorted_us[idx]
 }
 
+/// Per-query latencies in microseconds, sorted (cycles at the engine's
+/// own clock — host cycles for Lucene, 1 GHz device cycles otherwise).
+fn latencies_us<E: SearchEngine>(
+    engine: &mut E,
+    queries: &[boss_index::QueryExpr],
+    k: usize,
+) -> Vec<f64> {
+    let clk = engine.clock_ghz();
+    let mut us: Vec<f64> = queries
+        .iter()
+        .map(|q| engine.search(q, k).expect("runs").cycles as f64 / (clk * 1e3))
+        .collect();
+    us.sort_by(f64::total_cmp);
+    us
+}
+
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale).build().expect("corpus builds");
+    let index = CorpusSpec::ccnews_like(args.scale)
+        .build()
+        .expect("corpus builds");
     let suite = TypedSuite::sample(&index, args.queries_per_type.max(20), args.seed);
     println!("# Per-query latency percentiles (single engine instance, us)");
     header(&["qtype", "system", "p50_us", "p95_us", "p99_us"]);
     for (qt, queries) in &suite.per_type {
-        // BOSS (1 core, query runs alone).
-        let mut dev = BossDevice::new(&index, BossConfig::with_cores(1).with_et(EtMode::Full).with_k(args.k));
-        let mut boss: Vec<f64> = queries
-            .iter()
-            .map(|q| dev.search_expr(q, args.k).expect("runs").cycles as f64 / 1e3)
-            .collect();
-        boss.sort_by(f64::total_cmp);
-        // IIU.
-        let iiu_engine = IiuEngine::new(&index, IiuConfig::with_cores(1));
-        let mut iiu: Vec<f64> = queries
-            .iter()
-            .map(|q| iiu_engine.execute(q, args.k).expect("runs").cycles as f64 / 1e3)
-            .collect();
-        iiu.sort_by(f64::total_cmp);
-        // Lucene (cycles are host cycles at 2.7 GHz).
-        let luc_engine = LuceneEngine::new(&index, LuceneConfig::with_threads(1));
-        let clk = luc_engine.config().clock_ghz;
-        let mut luc: Vec<f64> = queries
-            .iter()
-            .map(|q| luc_engine.execute(q, args.k).expect("runs").cycles as f64 / (clk * 1e3))
-            .collect();
-        luc.sort_by(f64::total_cmp);
-        for (name, v) in [("Lucene", &luc), ("IIU", &iiu), ("BOSS", &boss)] {
+        let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
+        if args.engines.lucene {
+            let mut luc = lucene_engine(&index, 1, MemoryConfig::host_scm_6ch());
+            rows.push(("Lucene", latencies_us(&mut luc, queries, args.k)));
+        }
+        if args.engines.iiu {
+            let mut iiu = iiu_engine(&index, 1, MemoryConfig::optane_dcpmm());
+            rows.push(("IIU", latencies_us(&mut iiu, queries, args.k)));
+        }
+        if args.engines.boss {
+            let mut boss = boss_engine(
+                &index,
+                1,
+                EtMode::Full,
+                MemoryConfig::optane_dcpmm(),
+                args.k,
+            );
+            rows.push(("BOSS", latencies_us(&mut boss, queries, args.k)));
+        }
+        for (name, v) in &rows {
             row(&[
                 qt.label().into(),
-                name.into(),
+                (*name).into(),
                 f(pct(v, 0.50)),
                 f(pct(v, 0.95)),
                 f(pct(v, 0.99)),

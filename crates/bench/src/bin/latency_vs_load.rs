@@ -3,13 +3,16 @@
 //! approaches the device's capacity, plus admission drops beyond it.
 
 use boss_bench::{f, header, row, BenchArgs};
-use boss_core::{BossConfig, BossDevice};
+use boss_core::BossConfig;
+use boss_engine::{Boss, SearchEngine};
 use boss_workload::corpus::CorpusSpec;
 use boss_workload::queries::QuerySampler;
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale).build().expect("corpus builds");
+    let index = CorpusSpec::ccnews_like(args.scale)
+        .build()
+        .expect("corpus builds");
     let mut sampler = QuerySampler::new(&index, args.seed);
     let queries: Vec<_> = sampler
         .trec_like_mix((args.queries_per_type * 6).max(60))
@@ -18,20 +21,36 @@ fn main() {
         .collect();
 
     // Capacity estimate: mean service time over the mix on 8 cores.
-    let mut dev = BossDevice::new(&index, BossConfig::with_cores(8).with_k(args.k));
+    let mut engine = Boss::new(&index, BossConfig::with_cores(8).with_k(args.k));
     let mean_service: f64 = queries
         .iter()
-        .map(|q| dev.search_expr(q, args.k).expect("runs").cycles as f64)
+        .map(|q| engine.search(q, args.k).expect("runs").cycles as f64)
         .sum::<f64>()
         / queries.len() as f64;
     let capacity_period = mean_service / 8.0; // 8 cores drain in parallel
 
-    println!("# Latency vs offered load (8 cores, queue depth 64, k={})", args.k);
-    println!("# mean service {:.1} us; capacity ~{:.0} qps", mean_service / 1e3, 1e9 / capacity_period);
-    header(&["load_frac", "mean_latency_us", "p99_latency_us", "queue_wait_us", "dropped"]);
+    println!(
+        "# Latency vs offered load (8 cores, queue depth 64, k={})",
+        args.k
+    );
+    println!(
+        "# mean service {:.1} us; capacity ~{:.0} qps",
+        mean_service / 1e3,
+        1e9 / capacity_period
+    );
+    header(&[
+        "load_frac",
+        "mean_latency_us",
+        "p99_latency_us",
+        "queue_wait_us",
+        "dropped",
+    ]);
     for load in [0.2, 0.5, 0.7, 0.9, 1.1, 1.5] {
         let period = (capacity_period / load).max(1.0) as u64;
-        let r = dev.run_open_loop(&queries, args.k, period, 64).expect("runs");
+        let r = engine
+            .device_mut()
+            .run_open_loop(&queries, args.k, period, 64)
+            .expect("runs");
         row(&[
             f(load),
             f(r.mean_latency_cycles / 1e3),

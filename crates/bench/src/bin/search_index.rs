@@ -13,7 +13,12 @@ fn main() {
         eprintln!("usage: search_index <index.bossidx> '<query expression>' [k]");
         std::process::exit(2);
     }
-    let k: usize = args.get(2).map(|s| s.parse().expect("numeric k")).unwrap_or(10);
+    let k: usize = args.get(2).map_or(10, |s| {
+        s.parse().unwrap_or_else(|e| {
+            eprintln!("invalid k {s:?}: {e}");
+            std::process::exit(2);
+        })
+    });
     let index = match io::load(&args[0]) {
         Ok(i) => i,
         Err(e) => {

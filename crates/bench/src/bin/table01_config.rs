@@ -14,12 +14,21 @@ fn main() {
 
     println!("# Table I: hardware methodology");
     println!("[Host Processor]");
-    println!("Core\tXeon-8280M-like @ {:.2} GHz, {} threads", lucene.clock_ghz, lucene.n_threads);
+    println!(
+        "Core\tXeon-8280M-like @ {:.2} GHz, {} threads",
+        lucene.clock_ghz, lucene.n_threads
+    );
     println!("[Host Memory System]");
-    println!("DRAM\t{} channels, {:.2} GB/s", host_dram.channels, host_dram.seq_read_gbps);
-    println!("SCM\t{} channels, {:.1} GB/s ({:.2} GB/s per channel)",
-        host_scm.channels, host_scm.seq_read_gbps,
-        host_scm.seq_read_gbps / f64::from(host_scm.channels));
+    println!(
+        "DRAM\t{} channels, {:.2} GB/s",
+        host_dram.channels, host_dram.seq_read_gbps
+    );
+    println!(
+        "SCM\t{} channels, {:.1} GB/s ({:.2} GB/s per channel)",
+        host_scm.channels,
+        host_scm.seq_read_gbps,
+        host_scm.seq_read_gbps / f64::from(host_scm.channels)
+    );
     println!("[BOSS Configuration]");
     println!("BOSS\t{} cores @ {:.1} GHz", boss.n_cores, boss.clock_ghz);
     println!(

@@ -7,18 +7,36 @@ fn main() {
     let m = AreaPowerModel::new(8);
     println!("# Table III: area and power of BOSS (TSMC 40nm constants)");
     println!("component\tcount\tarea_mm2\tpower_mw");
-    println!("BOSS Core\t8\t{:.3}\t{:.1}", 8.0 * m.core_area_mm2(), 8.0 * m.core_power_mw());
+    println!(
+        "BOSS Core\t8\t{:.3}\t{:.1}",
+        8.0 * m.core_area_mm2(),
+        8.0 * m.core_power_mw()
+    );
     for c in DEVICE_MODULES {
-        println!("{}\t{}\t{:.3}\t{:.3}", c.name, c.count, c.area_mm2, c.power_mw);
+        println!(
+            "{}\t{}\t{:.3}\t{:.3}",
+            c.name, c.count, c.area_mm2, c.power_mw
+        );
     }
-    println!("Total\t-\t{:.2}\t{:.2} W", m.device_area_mm2(), m.device_power_w());
+    println!(
+        "Total\t-\t{:.2}\t{:.2} W",
+        m.device_area_mm2(),
+        m.device_power_w()
+    );
     println!();
     println!("# per-core breakdown");
     println!("component\tcount\tarea_mm2\tpower_mw");
     for c in CORE_MODULES {
-        println!("{}\t{}\t{:.3}\t{:.2}", c.name, c.count, c.area_mm2, c.power_mw);
+        println!(
+            "{}\t{}\t{:.3}\t{:.2}",
+            c.name, c.count, c.area_mm2, c.power_mw
+        );
     }
-    println!("Core total\t-\t{:.3}\t{:.1}", m.core_area_mm2(), m.core_power_mw());
+    println!(
+        "Core total\t-\t{:.3}\t{:.1}",
+        m.core_area_mm2(),
+        m.core_power_mw()
+    );
     println!();
     println!(
         "# power advantage vs host CPU: {:.1}x (paper: 23.3x)",

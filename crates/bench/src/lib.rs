@@ -4,22 +4,85 @@
 //! paper (see `DESIGN.md` for the index). They share:
 //!
 //! * [`BenchArgs`] — a tiny `--scale smoke|small|full`, `--seed`,
-//!   `--queries-per-type`, `--k` argument parser;
+//!   `--queries-per-type`, `--k`, `--threads`, `--engines` argument
+//!   parser;
 //! * corpus/query construction helpers;
-//! * batch drivers for the three engines (BOSS, IIU, Lucene-like) that
-//!   return uniform [`SystemRun`] rows;
+//! * [`run_system`] — the one generic batch driver: any
+//!   [`SearchEngine`] through the deterministic [`BatchExecutor`] into a
+//!   uniform [`SystemRun`] row (results are bit-identical at every
+//!   `--threads` value);
 //! * TSV emission helpers (rows go to stdout; commentary lines start
 //!   with `#`).
 
 pub mod figures;
 
-use boss_core::{BatchOutcome, BossConfig, BossDevice, EtMode, EvalCounts, QueryOutcome};
-use boss_iiu::{IiuConfig, IiuEngine};
+use boss_core::{BossConfig, EtMode, EvalCounts, QueryOutcome};
+use boss_engine::{BatchExecutor, Boss, Iiu, Lucene, SearchEngine};
+use boss_iiu::IiuConfig;
 use boss_index::{InvertedIndex, QueryExpr};
-use boss_luceneish::{LuceneConfig, LuceneEngine};
+use boss_luceneish::LuceneConfig;
 use boss_scm::{MemStats, MemoryConfig};
 use boss_workload::corpus::{CorpusSpec, Scale};
 use boss_workload::queries::{QuerySampler, QueryType, ALL_QUERY_TYPES};
+
+/// Which of the three systems a binary should simulate (`--engines`).
+///
+/// Normalization baselines still run when deselected — the paper's
+/// figures normalize to Lucene, so its throughput is needed even when
+/// its rows are not printed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSelection {
+    /// Simulate BOSS.
+    pub boss: bool,
+    /// Simulate the IIU baseline.
+    pub iiu: bool,
+    /// Simulate the Lucene-like baseline.
+    pub lucene: bool,
+}
+
+impl Default for EngineSelection {
+    fn default() -> Self {
+        EngineSelection {
+            boss: true,
+            iiu: true,
+            lucene: true,
+        }
+    }
+}
+
+impl std::str::FromStr for EngineSelection {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut sel = EngineSelection {
+            boss: false,
+            iiu: false,
+            lucene: false,
+        };
+        for name in s.split(',').filter(|n| !n.is_empty()) {
+            match name.trim() {
+                "boss" => sel.boss = true,
+                "iiu" => sel.iiu = true,
+                "lucene" => sel.lucene = true,
+                other => {
+                    return Err(format!(
+                        "unknown engine {other:?}: expected a comma-separated subset of boss,iiu,lucene"
+                    ))
+                }
+            }
+        }
+        if sel
+            == (EngineSelection {
+                boss: false,
+                iiu: false,
+                lucene: false,
+            })
+        {
+            return Err("--engines selects no engine".into());
+        }
+        Ok(sel)
+    }
+}
 
 /// Common command-line arguments of the figure binaries.
 #[derive(Debug, Clone)]
@@ -32,16 +95,33 @@ pub struct BenchArgs {
     pub queries_per_type: usize,
     /// Results per query.
     pub k: usize,
+    /// OS threads the batch executor shards queries across.
+    pub threads: usize,
+    /// Systems to simulate.
+    pub engines: EngineSelection,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { scale: Scale::Small, seed: 42, queries_per_type: 10, k: 1000 }
+        BenchArgs {
+            scale: Scale::Small,
+            seed: 42,
+            queries_per_type: 10,
+            k: 1000,
+            threads: default_threads(),
+            engines: EngineSelection::default(),
+        }
     }
 }
 
+/// Available hardware parallelism (1 if it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 impl BenchArgs {
-    /// Parses `std::env::args()`; unknown flags abort with usage help.
+    /// Parses `std::env::args()`; invalid values and unknown flags print
+    /// a diagnostic and exit with status 2.
     pub fn parse() -> Self {
         let mut args = BenchArgs::default();
         let mut it = std::env::args().skip(1);
@@ -59,13 +139,21 @@ impl BenchArgs {
                         std::process::exit(2);
                     });
                 }
-                "--seed" => args.seed = take("--seed").parse().expect("numeric seed"),
+                "--seed" => args.seed = parsed_value(&take("--seed"), "--seed"),
                 "--queries-per-type" => {
-                    args.queries_per_type = take("--queries-per-type").parse().expect("numeric count");
+                    args.queries_per_type =
+                        parsed_value(&take("--queries-per-type"), "--queries-per-type");
                 }
-                "--k" => args.k = take("--k").parse().expect("numeric k"),
+                "--k" => args.k = parsed_value(&take("--k"), "--k"),
+                "--threads" => {
+                    args.threads = parsed_value::<usize>(&take("--threads"), "--threads").max(1);
+                }
+                "--engines" => args.engines = parsed_value(&take("--engines"), "--engines"),
                 "--help" | "-h" => {
-                    println!("usage: [--scale smoke|small|full] [--seed N] [--queries-per-type N] [--k N]");
+                    println!(
+                        "usage: [--scale smoke|small|full] [--seed N] [--queries-per-type N] \
+                         [--k N] [--threads N] [--engines boss,iiu,lucene]"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -76,6 +164,25 @@ impl BenchArgs {
         }
         args
     }
+
+    /// Prints the `# threads` line of the TSV preamble. Thread count is
+    /// the only run parameter that must NOT change any data row (the
+    /// executor is deterministic), so it lives in a comment the diff
+    /// tooling can strip.
+    pub fn print_threads_comment(&self) {
+        println!("# threads {}", self.threads);
+    }
+}
+
+/// Parses a flag value, exiting with a diagnostic on bad input.
+fn parsed_value<T: std::str::FromStr>(raw: &str, flag: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse().unwrap_or_else(|e| {
+        eprintln!("invalid value {raw:?} for {flag}: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// A query suite grouped by Table II type.
@@ -117,121 +224,82 @@ pub struct SystemRun {
     pub outcomes: Vec<QueryOutcome>,
 }
 
-/// Runs BOSS over a query set.
+/// Runs any [`SearchEngine`] over a query set through the deterministic
+/// [`BatchExecutor`] — the one batch driver every figure shares. The
+/// `threads` value changes wall-clock time only; every [`SystemRun`]
+/// field is bit-identical across thread counts.
 ///
 /// # Panics
 ///
 /// Panics if a query fails to plan (the samplers only produce plannable
 /// shapes).
-pub fn run_boss(
-    index: &InvertedIndex,
+pub fn run_system<E: SearchEngine + Send>(
+    engine: &E,
     queries: &[QueryExpr],
-    cores: u32,
-    et: EtMode,
-    memory: MemoryConfig,
     k: usize,
+    threads: usize,
 ) -> SystemRun {
-    let cfg = BossConfig::with_cores(cores).with_et(et).with_k(k).on_memory(memory);
-    let clock = cfg.clock_ghz;
-    let mut dev = BossDevice::new(index, cfg);
-    let batch: BatchOutcome = dev.run_batch(queries, k).expect("sampled queries plan");
-    let seconds = batch.makespan_cycles as f64 / (clock * 1e9);
+    let batch = BatchExecutor::with_threads(threads)
+        .run(engine, queries, k)
+        .expect("sampled queries plan");
+    let clock = engine.clock_ghz();
     SystemRun {
-        system: format!("{}x{}", et.label(), cores),
-        seconds,
+        system: engine.label(),
+        seconds: batch.seconds(clock),
         qps: batch.throughput_qps(clock),
-        bandwidth_gbps: batch.bandwidth_gbps(),
+        bandwidth_gbps: engine.bandwidth_gbps(&batch.mem, batch.makespan_cycles),
         mem: batch.mem,
         eval: batch.eval,
         outcomes: batch.outcomes,
     }
 }
 
-/// Runs IIU over a query set with greedy query-to-core scheduling.
-///
-/// # Panics
-///
-/// Panics if a query fails to plan.
-pub fn run_iiu(
-    index: &InvertedIndex,
-    queries: &[QueryExpr],
+/// A BOSS engine in the paper's evaluation configuration.
+pub fn boss_engine<'a>(
+    index: &'a InvertedIndex,
     cores: u32,
+    et: EtMode,
     memory: MemoryConfig,
     k: usize,
-) -> SystemRun {
-    let cfg = IiuConfig::with_cores(cores).on_memory(memory);
-    let clock = cfg.clock_ghz;
-    let engine = IiuEngine::new(index, cfg);
-    let mut busy = vec![0u64; cores as usize];
-    let mut mem = MemStats::new();
-    let mut eval = EvalCounts::default();
-    let mut outcomes = Vec::with_capacity(queries.len());
-    for q in queries {
-        let out = engine.execute(q, k).expect("sampled queries plan");
-        let b = busy.iter_mut().min_by_key(|x| **x).expect("cores > 0");
-        *b += out.cycles;
-        mem.merge(&out.mem);
-        eval.merge(&out.eval);
-        outcomes.push(out);
-    }
-    let core_limited = busy.into_iter().max().unwrap_or(0);
-    let bw_limited = mem.busy_cycles / u64::from(engine.config().memory.channels.max(1));
-    let makespan = core_limited.max(bw_limited);
-    let seconds = makespan as f64 / (clock * 1e9);
-    SystemRun {
-        system: format!("IIUx{cores}"),
-        seconds,
-        qps: if makespan == 0 { 0.0 } else { queries.len() as f64 / seconds },
-        bandwidth_gbps: mem.achieved_gbps(makespan),
-        mem,
-        eval,
-        outcomes,
-    }
+) -> Boss<'a> {
+    Boss::new(
+        index,
+        BossConfig::with_cores(cores)
+            .with_et(et)
+            .with_k(k)
+            .on_memory(memory),
+    )
 }
 
-/// Runs the Lucene-like baseline over a query set.
-///
-/// # Panics
-///
-/// Panics if a query fails to plan.
-pub fn run_lucene(
-    index: &InvertedIndex,
-    queries: &[QueryExpr],
+/// An IIU engine in the paper's evaluation configuration.
+pub fn iiu_engine<'a>(index: &'a InvertedIndex, cores: u32, memory: MemoryConfig) -> Iiu<'a> {
+    Iiu::new(index, IiuConfig::with_cores(cores).on_memory(memory))
+}
+
+/// A Lucene-like engine in the paper's evaluation configuration.
+pub fn lucene_engine<'a>(
+    index: &'a InvertedIndex,
     threads: u32,
     memory: MemoryConfig,
-    k: usize,
-) -> SystemRun {
-    let cfg = LuceneConfig::with_threads(threads).on_memory(memory);
-    let clock = cfg.clock_ghz;
-    let engine = LuceneEngine::new(index, cfg);
-    let (outcomes, makespan) = engine.run_batch(queries, k).expect("sampled queries plan");
-    let mem = LuceneEngine::merge_mem(&outcomes);
-    let mut eval = EvalCounts::default();
-    for o in &outcomes {
-        eval.merge(&o.eval);
-    }
-    let seconds = makespan as f64 / (clock * 1e9);
-    let bandwidth_gbps = if seconds > 0.0 {
-        mem.total_bytes() as f64 / (seconds * 1e9)
-    } else {
-        0.0
-    };
-    SystemRun {
-        system: format!("Lucene x{threads}"),
-        seconds,
-        qps: if makespan == 0 { 0.0 } else { queries.len() as f64 / seconds },
-        bandwidth_gbps,
-        mem,
-        eval,
-        outcomes,
-    }
+) -> Lucene<'a> {
+    Lucene::new(index, LuceneConfig::with_threads(threads).on_memory(memory))
 }
 
 /// The two corpora of the paper's evaluation, at the requested scale.
 pub fn both_corpora(scale: Scale) -> Vec<(&'static str, InvertedIndex)> {
     vec![
-        ("clueweb12-like", CorpusSpec::clueweb12_like(scale).build().expect("corpus builds")),
-        ("ccnews-like", CorpusSpec::ccnews_like(scale).build().expect("corpus builds")),
+        (
+            "clueweb12-like",
+            CorpusSpec::clueweb12_like(scale)
+                .build()
+                .expect("corpus builds"),
+        ),
+        (
+            "ccnews-like",
+            CorpusSpec::ccnews_like(scale)
+                .build()
+                .expect("corpus builds"),
+        ),
     ]
 }
 
@@ -278,9 +346,24 @@ mod tests {
         assert_eq!(suite.per_type.len(), 6);
         for (qt, qs) in &suite.per_type {
             assert_eq!(qs.len(), 2, "{qt:?}");
-            let boss = run_boss(&index, qs, 2, EtMode::Full, MemoryConfig::optane_dcpmm(), 50);
-            let iiu = run_iiu(&index, qs, 2, MemoryConfig::optane_dcpmm(), 50);
-            let luc = run_lucene(&index, qs, 2, MemoryConfig::host_scm_6ch(), 50);
+            let boss = run_system(
+                &boss_engine(&index, 2, EtMode::Full, MemoryConfig::optane_dcpmm(), 50),
+                qs,
+                50,
+                2,
+            );
+            let iiu = run_system(
+                &iiu_engine(&index, 2, MemoryConfig::optane_dcpmm()),
+                qs,
+                50,
+                2,
+            );
+            let luc = run_system(
+                &lucene_engine(&index, 2, MemoryConfig::host_scm_6ch()),
+                qs,
+                50,
+                2,
+            );
             for i in 0..qs.len() {
                 assert_eq!(boss.outcomes[i].hits, iiu.outcomes[i].hits, "{qt:?} q{i}");
                 assert_eq!(boss.outcomes[i].hits, luc.outcomes[i].hits, "{qt:?} q{i}");

@@ -14,7 +14,11 @@ pub struct BitWriter<'a> {
 impl<'a> BitWriter<'a> {
     /// Starts writing at the end of `out`.
     pub fn new(out: &'a mut Vec<u8>) -> Self {
-        BitWriter { out, cur: 0, filled: 0 }
+        BitWriter {
+            out,
+            cur: 0,
+            filled: 0,
+        }
     }
 
     /// Writes the low `bits` bits of `value`.
@@ -25,7 +29,10 @@ impl<'a> BitWriter<'a> {
     /// (debug builds only for the latter).
     pub fn write(&mut self, value: u32, bits: u32) {
         assert!(bits <= 32, "bit width {bits} out of range");
-        debug_assert!(bits == 32 || u64::from(value) < (1u64 << bits), "value {value} wider than {bits} bits");
+        debug_assert!(
+            bits == 32 || u64::from(value) < (1u64 << bits),
+            "value {value} wider than {bits} bits"
+        );
         self.cur |= u64::from(value) << self.filled;
         self.filled += bits;
         while self.filled >= 8 {
@@ -58,7 +65,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Starts reading at the beginning of `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, cur: 0, avail: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            cur: 0,
+            avail: 0,
+        }
     }
 
     /// Reads `bits` bits as a `u32`.
@@ -79,7 +91,11 @@ impl<'a> BitReader<'a> {
             self.avail += 8;
             self.pos += 1;
         }
-        let mask = if bits == 32 { u64::MAX >> 32 } else { (1u64 << bits) - 1 };
+        let mask = if bits == 32 {
+            u64::MAX >> 32
+        } else {
+            (1u64 << bits) - 1
+        };
         let v = (self.cur & mask) as u32;
         self.cur >>= bits;
         self.avail -= bits;
@@ -105,7 +121,14 @@ mod tests {
     fn roundtrip_mixed_widths() {
         let mut buf = Vec::new();
         let mut w = BitWriter::new(&mut buf);
-        let samples = [(5u32, 3u32), (0, 1), (1023, 10), (0xFFFF_FFFF, 32), (1, 1), (77, 7)];
+        let samples = [
+            (5u32, 3u32),
+            (0, 1),
+            (1023, 10),
+            (0xFFFF_FFFF, 32),
+            (1, 1),
+            (77, 7),
+        ];
         for &(v, b) in &samples {
             w.write(v, b);
         }

@@ -32,7 +32,9 @@ impl Codec for BitPacking {
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
         let width = u32::from(info.bit_width);
         if width > 32 {
-            return Err(Error::Corrupt { reason: "BP bit width above 32" });
+            return Err(Error::Corrupt {
+                reason: "BP bit width above 32",
+            });
         }
         let mut r = BitReader::new(data);
         out.reserve(info.count as usize);
@@ -87,8 +89,14 @@ mod tests {
 
     #[test]
     fn corrupt_width_rejected() {
-        let info = BlockInfo { count: 1, bit_width: 40, exception_offset: 0 };
-        let err = BitPacking.decode(&[0u8; 8], &info, &mut Vec::new()).unwrap_err();
+        let info = BlockInfo {
+            count: 1,
+            bit_width: 40,
+            exception_offset: 0,
+        };
+        let err = BitPacking
+            .decode(&[0u8; 8], &info, &mut Vec::new())
+            .unwrap_err();
         assert!(matches!(err, Error::Corrupt { .. }));
     }
 

@@ -58,11 +58,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = Error::TooManyValues { got: 5000, max: 4096 };
+        let e = Error::TooManyValues {
+            got: 5000,
+            max: 4096,
+        };
         assert!(e.to_string().contains("5000"));
         let e = Error::Truncated { have: 3, need: 8 };
         assert!(e.to_string().contains("truncated"));
-        let e = Error::Corrupt { reason: "bad selector" };
+        let e = Error::Corrupt {
+            reason: "bad selector",
+        };
         assert!(e.to_string().contains("bad selector"));
         let e = Error::ValueTooLarge { value: 7, max: 3 };
         assert!(e.to_string().contains('7'));

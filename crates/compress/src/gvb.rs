@@ -40,7 +40,11 @@ impl Codec for GroupVarint {
                 out.extend_from_slice(&v.to_le_bytes()[..n]);
             }
         }
-        Ok(BlockInfo { count, bit_width: 0, exception_offset: 0 })
+        Ok(BlockInfo {
+            count,
+            bit_width: 0,
+            exception_offset: 0,
+        })
     }
 
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
@@ -49,14 +53,20 @@ impl Codec for GroupVarint {
         out.reserve(remaining);
         while remaining > 0 {
             let Some(&ctrl) = data.get(pos) else {
-                return Err(Error::Truncated { have: data.len(), need: pos + 1 });
+                return Err(Error::Truncated {
+                    have: data.len(),
+                    need: pos + 1,
+                });
             };
             pos += 1;
             let in_group = remaining.min(4);
             for i in 0..in_group {
                 let n = (((ctrl >> (i * 2)) & 0b11) + 1) as usize;
                 let Some(bytes) = data.get(pos..pos + n) else {
-                    return Err(Error::Truncated { have: data.len(), need: pos + n });
+                    return Err(Error::Truncated {
+                        have: data.len(),
+                        need: pos + n,
+                    });
                 };
                 pos += n;
                 let mut buf = [0u8; 4];
@@ -111,7 +121,9 @@ mod tests {
     #[test]
     fn truncated_errors() {
         let mut buf = Vec::new();
-        let info = GroupVarint.encode(&[70000, 70000, 70000], &mut buf).unwrap();
+        let info = GroupVarint
+            .encode(&[70000, 70000, 70000], &mut buf)
+            .unwrap();
         buf.truncate(buf.len() - 2);
         assert!(matches!(
             GroupVarint.decode(&buf, &info, &mut Vec::new()),

@@ -54,7 +54,11 @@ pub fn best_scheme(values: &[u32]) -> HybridChoice {
         }
     }
     let (scheme, bytes) = best.expect("at least one total codec must succeed");
-    HybridChoice { scheme, bytes, all_bytes }
+    HybridChoice {
+        scheme,
+        bytes,
+        all_bytes,
+    }
 }
 
 /// Compression ratio: raw size (4 bytes/value) over encoded size.
@@ -76,7 +80,9 @@ mod tests {
 
     #[test]
     fn best_is_minimal() {
-        let values: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2654435761) >> 20).collect();
+        let values: Vec<u32> = (0..1000u32)
+            .map(|i| i.wrapping_mul(2654435761) >> 20)
+            .collect();
         let choice = best_scheme(&values);
         let best_bytes = choice.bytes;
         for sz in choice.all_bytes.iter().flatten() {
@@ -107,7 +113,10 @@ mod tests {
     fn s16_excluded_for_wide_values_but_choice_total() {
         let values = vec![1u32 << 29; 16];
         let choice = best_scheme(&values);
-        assert!(choice.all_bytes[3].is_none(), "S16 cannot encode 29-bit values");
+        assert!(
+            choice.all_bytes[3].is_none(),
+            "S16 cannot encode 29-bit values"
+        );
         assert!(choice.all_bytes[0].is_some());
     }
 

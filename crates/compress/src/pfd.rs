@@ -52,7 +52,9 @@ impl Codec for OptPfd {
         w.finish();
         let exception_offset = out.len() - base;
         if exception_offset > u16::MAX as usize {
-            return Err(Error::Corrupt { reason: "OptPFD packed area exceeds offset field" });
+            return Err(Error::Corrupt {
+                reason: "OptPFD packed area exceeds offset field",
+            });
         }
         for (idx, high) in exceptions {
             out.extend_from_slice(&idx.to_le_bytes());
@@ -68,11 +70,16 @@ impl Codec for OptPfd {
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
         let b = u32::from(info.bit_width);
         if b > 32 {
-            return Err(Error::Corrupt { reason: "OptPFD bit width above 32" });
+            return Err(Error::Corrupt {
+                reason: "OptPFD bit width above 32",
+            });
         }
         let exc_off = info.exception_offset as usize;
         if exc_off > data.len() {
-            return Err(Error::Truncated { have: data.len(), need: exc_off });
+            return Err(Error::Truncated {
+                have: data.len(),
+                need: exc_off,
+            });
         }
         let base = out.len();
         let mut r = BitReader::new(&data[..exc_off]);
@@ -82,13 +89,17 @@ impl Codec for OptPfd {
         }
         let patch = &data[exc_off..];
         if !patch.len().is_multiple_of(EXCEPTION_BYTES) {
-            return Err(Error::Corrupt { reason: "OptPFD exception area misaligned" });
+            return Err(Error::Corrupt {
+                reason: "OptPFD exception area misaligned",
+            });
         }
         for chunk in patch.chunks_exact(EXCEPTION_BYTES) {
             let idx = u16::from_le_bytes([chunk[0], chunk[1]]) as usize;
             let high = u32::from_le_bytes([chunk[2], chunk[3], chunk[4], chunk[5]]);
             if idx >= info.count as usize {
-                return Err(Error::Corrupt { reason: "OptPFD exception index out of range" });
+                return Err(Error::Corrupt {
+                    reason: "OptPFD exception index out of range",
+                });
             }
             if b < 32 {
                 let shifted = high.checked_shl(b).ok_or(Error::Corrupt {
@@ -118,7 +129,11 @@ mod tests {
     fn uniform_small_values_no_exceptions() {
         let values = vec![5u32; 128];
         let (info, buf) = roundtrip(&values);
-        assert_eq!(info.exception_offset as usize, buf.len(), "no exception area");
+        assert_eq!(
+            info.exception_offset as usize,
+            buf.len(),
+            "no exception area"
+        );
         assert_eq!(info.bit_width, 3);
     }
 
@@ -129,7 +144,10 @@ mod tests {
         values[100] = 2_000_000;
         let (info, buf) = roundtrip(&values);
         assert!(info.bit_width <= 3, "width chosen for the majority");
-        assert_eq!(buf.len() - info.exception_offset as usize, 2 * EXCEPTION_BYTES);
+        assert_eq!(
+            buf.len() - info.exception_offset as usize,
+            2 * EXCEPTION_BYTES
+        );
     }
 
     #[test]

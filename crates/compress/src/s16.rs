@@ -90,7 +90,11 @@ impl Codec for Simple16 {
             let take = (layout_count(layout) as usize).min(rest.len());
             rest = &rest[take..];
         }
-        Ok(BlockInfo { count, bit_width: 0, exception_offset: 0 })
+        Ok(BlockInfo {
+            count,
+            bit_width: 0,
+            exception_offset: 0,
+        })
     }
 
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
@@ -99,7 +103,10 @@ impl Codec for Simple16 {
         out.reserve(remaining);
         while remaining > 0 {
             let Some(bytes) = data.get(pos..pos + 4) else {
-                return Err(Error::Truncated { have: data.len(), need: pos + 4 });
+                return Err(Error::Truncated {
+                    have: data.len(),
+                    need: pos + 4,
+                });
             };
             pos += 4;
             let word = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);

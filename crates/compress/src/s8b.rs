@@ -68,7 +68,11 @@ impl Codec for Simple8b {
             out.extend_from_slice(&word.to_le_bytes());
             rest = &rest[take.min(rest.len())..];
         }
-        Ok(BlockInfo { count, bit_width: 0, exception_offset: 0 })
+        Ok(BlockInfo {
+            count,
+            bit_width: 0,
+            exception_offset: 0,
+        })
     }
 
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
@@ -77,7 +81,10 @@ impl Codec for Simple8b {
         out.reserve(remaining);
         while remaining > 0 {
             let Some(bytes) = data.get(pos..pos + 8) else {
-                return Err(Error::Truncated { have: data.len(), need: pos + 8 });
+                return Err(Error::Truncated {
+                    have: data.len(),
+                    need: pos + 8,
+                });
             };
             pos += 8;
             let word = u64::from_le_bytes(bytes.try_into().expect("slice is 8 bytes"));
@@ -159,7 +166,9 @@ mod tests {
 
     #[test]
     fn mixed_stream() {
-        let values: Vec<u32> = (0..500u32).map(|i| if i % 7 == 0 { i * 1000 } else { i % 3 }).collect();
+        let values: Vec<u32> = (0..500u32)
+            .map(|i| if i % 7 == 0 { i * 1000 } else { i % 3 })
+            .collect();
         roundtrip(&values);
     }
 

@@ -27,7 +27,11 @@ impl Codec for VariableByte {
                 out.push(payload);
             }
         }
-        Ok(BlockInfo { count, bit_width: 0, exception_offset: 0 })
+        Ok(BlockInfo {
+            count,
+            bit_width: 0,
+            exception_offset: 0,
+        })
     }
 
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
@@ -38,15 +42,22 @@ impl Codec for VariableByte {
             let mut shift = 0u32;
             loop {
                 let Some(&b) = data.get(pos) else {
-                    return Err(Error::Truncated { have: data.len(), need: pos + 1 });
+                    return Err(Error::Truncated {
+                        have: data.len(),
+                        need: pos + 1,
+                    });
                 };
                 pos += 1;
                 if shift >= 35 {
-                    return Err(Error::Corrupt { reason: "VB value wider than 32 bits" });
+                    return Err(Error::Corrupt {
+                        reason: "VB value wider than 32 bits",
+                    });
                 }
                 let payload = u32::from(b & 0x7F);
                 if shift == 28 && payload > 0xF {
-                    return Err(Error::Corrupt { reason: "VB value wider than 32 bits" });
+                    return Err(Error::Corrupt {
+                        reason: "VB value wider than 32 bits",
+                    });
                 }
                 v |= payload << shift;
                 shift += 7;
@@ -99,7 +110,9 @@ mod tests {
         let mut buf = Vec::new();
         let info = VariableByte.encode(&[1_000_000, 2], &mut buf).unwrap();
         buf.truncate(2);
-        let err = VariableByte.decode(&buf, &info, &mut Vec::new()).unwrap_err();
+        let err = VariableByte
+            .decode(&buf, &info, &mut Vec::new())
+            .unwrap_err();
         assert!(matches!(err, Error::Truncated { .. }));
     }
 
@@ -107,8 +120,14 @@ mod tests {
     fn overwide_value_is_corrupt() {
         // Six continuation bytes with no terminator within 32 bits.
         let data = [0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0xFF];
-        let info = BlockInfo { count: 1, bit_width: 0, exception_offset: 0 };
-        let err = VariableByte.decode(&data, &info, &mut Vec::new()).unwrap_err();
+        let info = BlockInfo {
+            count: 1,
+            bit_width: 0,
+            exception_offset: 0,
+        };
+        let err = VariableByte
+            .decode(&data, &info, &mut Vec::new())
+            .unwrap_err();
         assert!(matches!(err, Error::Corrupt { .. }));
     }
 }

@@ -30,7 +30,10 @@ pub struct SearchRequest {
 impl SearchRequest {
     /// A request with the device-default k.
     pub fn new(q_expression: impl Into<String>) -> Self {
-        SearchRequest { q_expression: q_expression.into(), k: 0 }
+        SearchRequest {
+            q_expression: q_expression.into(),
+            k: 0,
+        }
     }
 
     /// Overrides k.
@@ -51,7 +54,9 @@ impl<'a> BossHandle<'a> {
     /// The `init()` intrinsic: binds the index to a device and returns the
     /// communication handle.
     pub fn init(index: &'a InvertedIndex, config: BossConfig) -> Self {
-        BossHandle { device: BossDevice::new(index, config) }
+        BossHandle {
+            device: BossDevice::new(index, config),
+        }
     }
 
     /// The `search()` intrinsic: parse, validate (≤16 terms), offload,
@@ -64,7 +69,11 @@ impl<'a> BossHandle<'a> {
     /// out-of-vocabulary terms.
     pub fn search(&mut self, request: &SearchRequest) -> Result<QueryOutcome, Error> {
         let expr = parse_query(&request.q_expression)?;
-        let k = if request.k == 0 { self.device.config().k } else { request.k };
+        let k = if request.k == 0 {
+            self.device.config().k
+        } else {
+            request.k
+        };
         self.device.search_expr(&expr, k)
     }
 
@@ -117,7 +126,10 @@ mod tests {
     fn bad_expression_is_rejected() {
         let idx = index();
         let mut h = BossHandle::init(&idx, BossConfig::default());
-        assert!(h.search(&SearchRequest::new("memory")).is_err(), "unquoted term");
+        assert!(
+            h.search(&SearchRequest::new("memory")).is_err(),
+            "unquoted term"
+        );
         assert!(h.search(&SearchRequest::new(r#""a" AND"#)).is_err());
     }
 

@@ -119,7 +119,10 @@ impl Default for BossConfig {
 impl BossConfig {
     /// A configuration with `n` cores and defaults elsewhere.
     pub fn with_cores(n: u32) -> Self {
-        BossConfig { n_cores: n, ..Self::default() }
+        BossConfig {
+            n_cores: n,
+            ..Self::default()
+        }
     }
 
     /// Replaces the memory node configuration.

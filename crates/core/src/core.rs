@@ -32,7 +32,10 @@ pub struct BossCore {
 impl BossCore {
     /// Creates an idle core.
     pub fn new(config: BossConfig) -> Self {
-        BossCore { config, busy_until: 0 }
+        BossCore {
+            config,
+            busy_until: 0,
+        }
     }
 
     /// The core's configuration.
@@ -73,7 +76,9 @@ impl BossCore {
         for (gi, group) in plan.groups().iter().enumerate() {
             if group.len() == 1 {
                 let unit = gi % ctx.dec_cycles.len();
-                streams.push(UnionStream::List(ListCursor::new(&mut ctx, group[0], unit, fill)));
+                streams.push(UnionStream::List(ListCursor::new(
+                    &mut ctx, group[0], unit, fill,
+                )));
             } else {
                 let m = intersect_group(&mut ctx, group, fill);
                 streams.push(UnionStream::Mat(m));
@@ -114,7 +119,8 @@ impl BossCore {
             crate::pipeline::TimingFidelity::Roofline => {
                 let t_dec = ctx.dec_cycles.iter().copied().max().unwrap_or(0);
                 let t_setop = (ctx.eval.comparisons as f64 * t.cycles_per_comparison
-                    + ctx.eval.pivot_rounds as f64 * t.cycles_per_pivot_round) as u64;
+                    + ctx.eval.pivot_rounds as f64 * t.cycles_per_pivot_round)
+                    as u64;
                 let t_score = (ctx.scored as f64 * t.cycles_per_score / eff_scorers as f64) as u64
                     + t.scoring_fill;
                 let t_topk = (ctx.eval.topk_inserts as f64 * t.cycles_per_topk_insert) as u64;
@@ -240,7 +246,11 @@ mod tests {
     fn q6_mixed() {
         let q = QueryExpr::and([
             QueryExpr::term("aa"),
-            QueryExpr::or([QueryExpr::term("bb"), QueryExpr::term("cc"), QueryExpr::term("dd")]),
+            QueryExpr::or([
+                QueryExpr::term("bb"),
+                QueryExpr::term("cc"),
+                QueryExpr::term("dd"),
+            ]),
         ]);
         for et in [EtMode::Exhaustive, EtMode::Full] {
             check(&q, 25, et);

@@ -63,8 +63,15 @@ impl<'a> BossDevice<'a> {
     /// Instantiates the device over an index (the `init()` intrinsic's
     /// image load is modeled by the [`IndexImage`] layout).
     pub fn new(index: &'a InvertedIndex, config: BossConfig) -> Self {
-        let cores = (0..config.n_cores).map(|_| BossCore::new(config.clone())).collect();
-        BossDevice { index, image: IndexImage::new(index), config, cores }
+        let cores = (0..config.n_cores)
+            .map(|_| BossCore::new(config.clone()))
+            .collect();
+        BossDevice {
+            index,
+            image: IndexImage::new(index),
+            config,
+            cores,
+        }
     }
 
     /// The device configuration.
@@ -96,7 +103,11 @@ impl<'a> BossDevice<'a> {
     ///
     /// [`Error::InvalidQuery`] for oversized non-union shapes, plus the
     /// usual planning errors per subquery.
-    pub fn search_host_merged(&mut self, expr: &QueryExpr, k: usize) -> Result<QueryOutcome, Error> {
+    pub fn search_host_merged(
+        &mut self,
+        expr: &QueryExpr,
+        k: usize,
+    ) -> Result<QueryOutcome, Error> {
         let terms = expr.terms();
         if terms.len() <= self.config.max_terms {
             return self.search_expr(expr, k);
@@ -155,7 +166,12 @@ impl<'a> BossDevice<'a> {
         hits.truncate(k);
         // Host merge cost: one pass over the gathered candidates.
         cycles += eval.docs_scored / 4;
-        Ok(QueryOutcome { hits, cycles, mem, eval })
+        Ok(QueryOutcome {
+            hits,
+            cycles,
+            mem,
+            eval,
+        })
     }
 
     /// Executes one query on an idle core.
@@ -227,7 +243,11 @@ impl<'a> BossDevice<'a> {
             let mut idx: Vec<usize> = (0..self.cores.len()).collect();
             idx.sort_by_key(|&i| self.cores[i].busy_until);
             let chosen = &idx[..gang];
-            let start = chosen.iter().map(|&i| self.cores[i].busy_until).max().expect("gang non-empty");
+            let start = chosen
+                .iter()
+                .map(|&i| self.cores[i].busy_until)
+                .max()
+                .expect("gang non-empty");
             let out = self.cores[chosen[0]].execute(self.index, &self.image, plan, k);
             let end = start + out.cycles;
             for &i in chosen {
@@ -250,7 +270,12 @@ impl<'a> BossDevice<'a> {
         let core_limited = self.cores.iter().map(|c| c.busy_until).max().unwrap_or(0);
         let bw_limited = mem.busy_cycles / u64::from(self.config.memory.channels).max(1);
         let makespan_cycles = core_limited.max(bw_limited);
-        Ok(BatchOutcome { outcomes, makespan_cycles, mem, eval })
+        Ok(BatchOutcome {
+            outcomes,
+            makespan_cycles,
+            mem,
+            eval,
+        })
     }
 }
 
@@ -398,7 +423,10 @@ mod wide_query_tests {
         for (g, e) in got.hits.iter().zip(&expect) {
             assert!((g.score - e.score).abs() < 1e-3 * e.score.abs().max(1.0));
         }
-        assert!(got.eval.docs_skipped_wand + got.eval.docs_skipped_block == 0, "no pruning in subqueries");
+        assert!(
+            got.eval.docs_skipped_wand + got.eval.docs_skipped_block == 0,
+            "no pruning in subqueries"
+        );
     }
 
     #[test]
@@ -410,7 +438,10 @@ mod wide_query_tests {
         // A narrow union afterwards must prune again.
         let narrow = QueryExpr::or((0..4).map(|w| QueryExpr::term(format!("w{w:02}"))));
         let out = dev.search_expr(&narrow, 5).unwrap();
-        assert!(out.eval.docs_skipped_wand + out.eval.docs_skipped_block > 0, "ET restored");
+        assert!(
+            out.eval.docs_skipped_wand + out.eval.docs_skipped_block > 0,
+            "ET restored"
+        );
     }
 
     #[test]
@@ -481,8 +512,12 @@ mod sched_tests {
             QueryExpr::term("huge"),
         ];
         let mut dev = BossDevice::new(&idx, BossConfig::with_cores(2));
-        let fifo = dev.run_batch_with_policy(&queries, 10, SchedPolicy::Fifo).unwrap();
-        let sjf = dev.run_batch_with_policy(&queries, 10, SchedPolicy::Sjf).unwrap();
+        let fifo = dev
+            .run_batch_with_policy(&queries, 10, SchedPolicy::Fifo)
+            .unwrap();
+        let sjf = dev
+            .run_batch_with_policy(&queries, 10, SchedPolicy::Sjf)
+            .unwrap();
         assert!(sjf.makespan_cycles <= fifo.makespan_cycles);
         // Results identical and in submission order under both policies.
         for (a, b) in fifo.outcomes.iter().zip(&sjf.outcomes) {
@@ -495,7 +530,9 @@ mod sched_tests {
         let idx = corpus();
         let queries = vec![QueryExpr::term("huge"), QueryExpr::term("tiny")];
         let mut dev = BossDevice::new(&idx, BossConfig::with_cores(1));
-        let batch = dev.run_batch_with_policy(&queries, 5, SchedPolicy::Sjf).unwrap();
+        let batch = dev
+            .run_batch_with_policy(&queries, 5, SchedPolicy::Sjf)
+            .unwrap();
         // First outcome corresponds to "huge" (df 800) even though SJF ran
         // "tiny" first.
         assert!(batch.outcomes[0].eval.docs_scored > batch.outcomes[1].eval.docs_scored);

@@ -41,10 +41,14 @@ fn lex(input: &str) -> Result<Vec<Token>, Error> {
                     term.push(c);
                 }
                 if !closed {
-                    return Err(Error::InvalidQuery { reason: format!("unterminated quote at byte {i}") });
+                    return Err(Error::InvalidQuery {
+                        reason: format!("unterminated quote at byte {i}"),
+                    });
                 }
                 if term.is_empty() {
-                    return Err(Error::InvalidQuery { reason: "empty quoted term".into() });
+                    return Err(Error::InvalidQuery {
+                        reason: "empty quoted term".into(),
+                    });
                 }
                 tokens.push(Token::Term(term));
             }
@@ -62,7 +66,9 @@ fn lex(input: &str) -> Result<Vec<Token>, Error> {
                     "AND" => tokens.push(Token::And),
                     "OR" => tokens.push(Token::Or),
                     "" => {
-                        return Err(Error::InvalidQuery { reason: format!("unexpected character {c:?} at byte {i}") });
+                        return Err(Error::InvalidQuery {
+                            reason: format!("unexpected character {c:?} at byte {i}"),
+                        });
                     }
                     _ => {
                         return Err(Error::InvalidQuery {
@@ -101,7 +107,11 @@ impl Parser {
             self.next();
             subs.push(self.and_expr()?);
         }
-        Ok(if subs.len() == 1 { subs.pop().expect("one element") } else { QueryExpr::Or(subs) })
+        Ok(if subs.len() == 1 {
+            subs.pop().expect("one element")
+        } else {
+            QueryExpr::Or(subs)
+        })
     }
 
     // and_expr := atom (AND atom)*
@@ -111,7 +121,11 @@ impl Parser {
             self.next();
             subs.push(self.atom()?);
         }
-        Ok(if subs.len() == 1 { subs.pop().expect("one element") } else { QueryExpr::And(subs) })
+        Ok(if subs.len() == 1 {
+            subs.pop().expect("one element")
+        } else {
+            QueryExpr::And(subs)
+        })
     }
 
     fn atom(&mut self) -> Result<QueryExpr, Error> {
@@ -121,10 +135,14 @@ impl Parser {
                 let inner = self.or_expr()?;
                 match self.next() {
                     Some(Token::RParen) => Ok(inner),
-                    _ => Err(Error::InvalidQuery { reason: "missing closing parenthesis".into() }),
+                    _ => Err(Error::InvalidQuery {
+                        reason: "missing closing parenthesis".into(),
+                    }),
                 }
             }
-            other => Err(Error::InvalidQuery { reason: format!("expected term or '(', found {other:?}") }),
+            other => Err(Error::InvalidQuery {
+                reason: format!("expected term or '(', found {other:?}"),
+            }),
         }
     }
 }
@@ -153,12 +171,16 @@ impl Parser {
 pub fn parse_query(input: &str) -> Result<QueryExpr, Error> {
     let tokens = lex(input)?;
     if tokens.is_empty() {
-        return Err(Error::InvalidQuery { reason: "empty query".into() });
+        return Err(Error::InvalidQuery {
+            reason: "empty query".into(),
+        });
     }
     let mut p = Parser { tokens, pos: 0 };
     let expr = p.or_expr()?;
     if p.pos != p.tokens.len() {
-        return Err(Error::InvalidQuery { reason: format!("trailing tokens after position {}", p.pos) });
+        return Err(Error::InvalidQuery {
+            reason: format!("trailing tokens after position {}", p.pos),
+        });
     }
     Ok(expr)
 }
@@ -217,7 +239,10 @@ mod tests {
         assert!(parse_query(r#"bare AND "b""#).is_err());
         assert!(parse_query(r#""unterminated"#).is_err());
         assert!(parse_query(r#""" AND "b""#).is_err());
-        assert!(parse_query(r#""a" "b""#).is_err(), "juxtaposition is not an operator");
+        assert!(
+            parse_query(r#""a" "b""#).is_err(),
+            "juxtaposition is not an operator"
+        );
         assert!(parse_query("@!").is_err());
     }
 

@@ -40,7 +40,11 @@ pub(crate) struct ExecCtx<'a> {
 }
 
 impl<'a> ExecCtx<'a> {
-    pub(crate) fn new(index: &'a InvertedIndex, image: &'a IndexImage, config: &BossConfig) -> Self {
+    pub(crate) fn new(
+        index: &'a InvertedIndex,
+        image: &'a IndexImage,
+        config: &BossConfig,
+    ) -> Self {
         ExecCtx {
             index,
             image,
@@ -56,7 +60,13 @@ impl<'a> ExecCtx<'a> {
 
     /// Issues a read through the MAI: TLB lookup (page walk on miss), then
     /// the device access. Returns the completion cycle.
-    pub(crate) fn read(&mut self, vaddr: u64, bytes: u64, cat: AccessCategory, pattern: PatternHint) -> u64 {
+    pub(crate) fn read(
+        &mut self,
+        vaddr: u64,
+        bytes: u64,
+        cat: AccessCategory,
+        pattern: PatternHint,
+    ) -> u64 {
         let (paddr, hit) = self.tlb.translate(vaddr);
         if !hit {
             for w in 0..u64::from(WALK_ACCESSES) {
@@ -70,14 +80,21 @@ impl<'a> ExecCtx<'a> {
                 );
             }
         }
-        self.mem.access(paddr, bytes, AccessKind::Read, cat, pattern, 0)
+        self.mem
+            .access(paddr, bytes, AccessKind::Read, cat, pattern, 0)
     }
 
     /// Issues a result/intermediate write.
     pub(crate) fn write(&mut self, vaddr: u64, bytes: u64, cat: AccessCategory) {
         let (paddr, _) = self.tlb.translate(vaddr);
-        self.mem
-            .access(paddr, bytes, AccessKind::Write, cat, PatternHint::Sequential, 0);
+        self.mem.access(
+            paddr,
+            bytes,
+            AccessKind::Write,
+            cat,
+            PatternHint::Sequential,
+            0,
+        );
     }
 
     /// Charges one BM25 norm load (the 4-byte per-document scoring
@@ -105,7 +122,8 @@ pub(crate) fn decomp_cycles(scheme: Scheme, meta: &BlockMeta, fill: u64) -> u64 
         Scheme::Vb | Scheme::GroupVarint => u64::from(meta.len) + fill,
         Scheme::Bp | Scheme::S16 | Scheme::S8b => count + fill,
         Scheme::OptPfd => {
-            let delta_exc = (u64::from(meta.tf_offset) - u64::from(meta.delta_info.exception_offset)) / 6;
+            let delta_exc =
+                (u64::from(meta.tf_offset) - u64::from(meta.delta_info.exception_offset)) / 6;
             let tf_len = u64::from(meta.len) - u64::from(meta.tf_offset);
             let tf_exc = (tf_len - u64::from(meta.tf_info.exception_offset)) / 6;
             count + delta_exc + tf_exc + fill
@@ -134,7 +152,12 @@ pub(crate) struct ListCursor<'a> {
 }
 
 impl<'a> ListCursor<'a> {
-    pub(crate) fn new(ctx: &mut ExecCtx<'a>, term: TermId, dec_unit: usize, decomp_fill: u64) -> Self {
+    pub(crate) fn new(
+        ctx: &mut ExecCtx<'a>,
+        term: TermId,
+        dec_unit: usize,
+        decomp_fill: u64,
+    ) -> Self {
         let list = ctx.index.list(term);
         let mut c = ListCursor {
             term,
@@ -465,7 +488,10 @@ mod tests {
                 // Engine charges fill per sub-stream; analytic charges one
                 // fill per block, so allow that delta.
                 let _ = engine; // full equivalence asserted in boss-decomp tests
-                assert!(analytic >= meta.count() as u64, "at least one cycle per value");
+                assert!(
+                    analytic >= meta.count() as u64,
+                    "at least one cycle per value"
+                );
             }
         }
     }

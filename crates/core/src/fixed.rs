@@ -11,11 +11,13 @@ use boss_index::{Bm25, InvertedIndex, SearchHit, TermId};
 use serde::{Deserialize, Serialize};
 
 /// A Q16.16 fixed-point number (16 integer bits, 16 fractional bits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Q16(i64);
 
 #[allow(clippy::should_implement_trait)] // add/mul/div name the hardware
-// units deliberately; operator overloads would hide the fixed-point cost.
+                                         // units deliberately; operator overloads would hide the fixed-point cost.
 impl Q16 {
     /// Fractional bits.
     pub const FRAC_BITS: u32 = 16;
@@ -82,7 +84,9 @@ pub struct FixedScorer {
 impl FixedScorer {
     /// Builds the scorer from BM25 parameters.
     pub fn new(bm25: &Bm25) -> Self {
-        FixedScorer { k1_plus_1: Q16::from_f32(bm25.params().k1 + 1.0) }
+        FixedScorer {
+            k1_plus_1: Q16::from_f32(bm25.params().k1 + 1.0),
+        }
     }
 
     /// Fixed-point term score: `idf * tf*(k1+1) / (tf + K)` — one
@@ -97,7 +101,12 @@ impl FixedScorer {
 
     /// Scores one document over its `(term, tf)` entries against `index`,
     /// returning the fixed-point query score.
-    pub fn doc_score(&self, index: &InvertedIndex, doc_norm: f32, entries: &[(TermId, u32)]) -> Q16 {
+    pub fn doc_score(
+        &self,
+        index: &InvertedIndex,
+        doc_norm: f32,
+        entries: &[(TermId, u32)],
+    ) -> Q16 {
         let norm = Q16::from_f32(doc_norm);
         let mut acc = Q16::ZERO;
         for &(t, tf) in entries {
@@ -206,7 +215,10 @@ mod tests {
                     }
                 }
                 let s = scorer.doc_score(&index, index.doc_norms()[d as usize], &entries);
-                SearchHit { doc: d, score: s.to_f32() }
+                SearchHit {
+                    doc: d,
+                    score: s.to_f32(),
+                }
             })
             .collect();
         fixed_hits.sort_by(SearchHit::ranking_cmp);
@@ -218,8 +230,14 @@ mod tests {
 
     #[test]
     fn overlap_math() {
-        let a = vec![SearchHit { doc: 1, score: 1.0 }, SearchHit { doc: 2, score: 0.5 }];
-        let b = vec![SearchHit { doc: 2, score: 0.6 }, SearchHit { doc: 3, score: 0.4 }];
+        let a = vec![
+            SearchHit { doc: 1, score: 1.0 },
+            SearchHit { doc: 2, score: 0.5 },
+        ];
+        let b = vec![
+            SearchHit { doc: 2, score: 0.6 },
+            SearchHit { doc: 3, score: 0.4 },
+        ];
         assert!((topk_overlap(&a, &b) - 0.5).abs() < 1e-12);
         assert_eq!(topk_overlap(&[], &[]), 1.0);
     }

@@ -158,7 +158,10 @@ mod tests {
     fn four_way_intersection_matches_reference() {
         let idx = corpus();
         let (m, _) = run(&idx, &["two", "five", "eleven", "base"]);
-        assert_eq!(m.docs, expect_docs(&idx, &["two", "five", "eleven", "base"]));
+        assert_eq!(
+            m.docs,
+            expect_docs(&idx, &["two", "five", "eleven", "base"])
+        );
         for e in &m.entries {
             assert_eq!(e.len(), 4);
         }
@@ -180,7 +183,10 @@ mod tests {
         // "tail" occupies only the last blocks of "two"'s docID space, so
         // intersecting skips most of "two"'s blocks.
         let (_, eval) = run(&idx, &["tail", "two"]);
-        assert!(eval.blocks_skipped > 0, "leading blocks of the larger list skipped");
+        assert!(
+            eval.blocks_skipped > 0,
+            "leading blocks of the larger list skipped"
+        );
     }
 
     #[test]

@@ -55,12 +55,12 @@ mod union;
 
 pub use api::{BossHandle, SearchRequest};
 pub use config::{BossConfig, EtMode, TimingModel};
-pub use pipeline::TimingFidelity;
 pub use core::BossCore;
 pub use device::{BatchOutcome, BossDevice, SchedPolicy};
 pub use expr::parse_query;
 pub use fixed::{topk_overlap, FixedScorer, Q16};
 pub use mai::{Tlb, TlbStats};
+pub use pipeline::TimingFidelity;
 pub use plan::QueryPlan;
 pub use queueing::OpenLoopResult;
 pub use stats::{EvalCounts, QueryOutcome};

@@ -59,7 +59,10 @@ impl Default for Tlb {
 impl Tlb {
     /// An empty TLB.
     pub fn new() -> Self {
-        Tlb { entries: Vec::with_capacity(TLB_ENTRIES), stats: TlbStats::default() }
+        Tlb {
+            entries: Vec::with_capacity(TLB_ENTRIES),
+            stats: TlbStats::default(),
+        }
     }
 
     /// Translates `vaddr`; returns `(paddr, hit)`.

@@ -95,10 +95,15 @@ pub fn replay(
     let mut dec_units = vec![Resource::default(); n_dec_units.max(1)];
     let mut setop = Resource::default();
 
-    let total_postings: u64 = events.iter().map(|e| u64::from(e.postings)).sum::<u64>().max(1);
+    let total_postings: u64 = events
+        .iter()
+        .map(|e| u64::from(e.postings))
+        .sum::<u64>()
+        .max(1);
     let setop_total = (counts.comparisons as f64 * cycles_per_comparison
         + counts.pivot_rounds as f64 * cycles_per_pivot_round) as u64;
-    let score_total = (counts.scored as f64 * cycles_per_score / counts.scorers.max(1) as f64) as u64;
+    let score_total =
+        (counts.scored as f64 * cycles_per_score / counts.scorers.max(1) as f64) as u64;
     let topk_total = (counts.topk_inserts as f64 * cycles_per_topk_insert) as u64;
 
     let mut last_drain = 0u64;
@@ -132,7 +137,12 @@ mod tests {
     use super::*;
 
     fn ev(data_ready: u64, dec: u64, unit: usize, postings: u32) -> BlockEvent {
-        BlockEvent { data_ready, dec_cycles: dec, dec_unit: unit, postings }
+        BlockEvent {
+            data_ready,
+            dec_cycles: dec,
+            dec_unit: unit,
+            postings,
+        }
     }
 
     #[test]
@@ -149,7 +159,13 @@ mod tests {
         // 4 blocks, one per unit, all data ready at 0: decompression is
         // fully parallel and the set-op stage serializes.
         let events: Vec<BlockEvent> = (0..4).map(|u| ev(0, 100, u, 128)).collect();
-        let counts = ReplayCounts { scored: 0, comparisons: 400, pivot_rounds: 0, topk_inserts: 0, scorers: 1 };
+        let counts = ReplayCounts {
+            scored: 0,
+            comparisons: 400,
+            pivot_rounds: 0,
+            topk_inserts: 0,
+            scorers: 1,
+        };
         let cycles = replay(&events, &counts, 4, 1.0, 1.0, 1.0, 0.0);
         // First block decoded at 100; 400 comparisons spread across blocks.
         assert!(cycles >= 100 + 400, "{cycles}");
@@ -159,7 +175,10 @@ mod tests {
     #[test]
     fn single_unit_serializes_decompression() {
         let events: Vec<BlockEvent> = (0..4).map(|_| ev(0, 100, 0, 1)).collect();
-        let counts = ReplayCounts { scorers: 1, ..Default::default() };
+        let counts = ReplayCounts {
+            scorers: 1,
+            ..Default::default()
+        };
         let cycles = replay(&events, &counts, 1, 1.0, 1.0, 1.0, 0.0);
         assert!(cycles >= 400, "blocks on one unit serialize: {cycles}");
     }
@@ -167,14 +186,23 @@ mod tests {
     #[test]
     fn memory_stall_propagates() {
         let events = vec![ev(10_000, 10, 0, 1)];
-        let counts = ReplayCounts { scorers: 1, ..Default::default() };
+        let counts = ReplayCounts {
+            scorers: 1,
+            ..Default::default()
+        };
         let cycles = replay(&events, &counts, 4, 1.0, 1.0, 1.0, 0.0);
         assert!(cycles >= 10_010);
     }
 
     #[test]
     fn empty_trace_is_tail_work_only() {
-        let counts = ReplayCounts { scored: 100, comparisons: 0, pivot_rounds: 0, topk_inserts: 50, scorers: 2 };
+        let counts = ReplayCounts {
+            scored: 100,
+            comparisons: 0,
+            pivot_rounds: 0,
+            topk_inserts: 50,
+            scorers: 2,
+        };
         let cycles = replay(&[], &counts, 4, 1.0, 1.0, 1.0, 2.0);
         assert_eq!(cycles, 100 / 2 + 50);
     }
@@ -186,12 +214,23 @@ mod tests {
         let events: Vec<BlockEvent> = (0..16)
             .map(|i| ev(i * 50, 64 + (i % 3) * 40, (i % 4) as usize, 128))
             .collect();
-        let counts = ReplayCounts { scored: 500, comparisons: 2048, pivot_rounds: 100, topk_inserts: 200, scorers: 4 };
+        let counts = ReplayCounts {
+            scored: 500,
+            comparisons: 2048,
+            pivot_rounds: 100,
+            topk_inserts: 200,
+            scorers: 4,
+        };
         let cycles = replay(&events, &counts, 4, 1.0, 1.0, 1.0, 2.0);
-        let dec_per_unit: u64 = events.iter().filter(|e| e.dec_unit == 0).map(|e| e.dec_cycles).sum();
+        let dec_per_unit: u64 = events
+            .iter()
+            .filter(|e| e.dec_unit == 0)
+            .map(|e| e.dec_cycles)
+            .sum();
         let setop = 2048 + 200;
         let roofline = dec_per_unit.max(setop);
-        let sum_all: u64 = events.iter().map(|e| e.dec_cycles).sum::<u64>() + setop + 500 / 4 + 200 + 800;
+        let sum_all: u64 =
+            events.iter().map(|e| e.dec_cycles).sum::<u64>() + setop + 500 / 4 + 200 + 800;
         assert!(cycles >= roofline, "{cycles} >= {roofline}");
         assert!(cycles <= sum_all + 800, "{cycles} <= {sum_all}");
     }

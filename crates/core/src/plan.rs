@@ -31,7 +31,11 @@ impl QueryPlan {
     /// * [`Error::InvalidQuery`] when the query is structurally invalid,
     ///   exceeds the 16-term hardware limit, an intersection group exceeds
     ///   the per-core width, or distribution blows past 16 groups.
-    pub fn from_expr(index: &InvertedIndex, expr: &QueryExpr, config: &BossConfig) -> Result<Self, Error> {
+    pub fn from_expr(
+        index: &InvertedIndex,
+        expr: &QueryExpr,
+        config: &BossConfig,
+    ) -> Result<Self, Error> {
         expr.validate(config.max_terms)?;
         let mut groups = to_dnf(index, expr)?;
         // Exact duplicates are redundant; subset absorption is NOT applied
@@ -41,7 +45,11 @@ impl QueryPlan {
         groups.dedup();
         if groups.len() > config.max_terms {
             return Err(Error::InvalidQuery {
-                reason: format!("query expands to {} intersection groups; the hardware handles {}", groups.len(), config.max_terms),
+                reason: format!(
+                    "query expands to {} intersection groups; the hardware handles {}",
+                    groups.len(),
+                    config.max_terms
+                ),
             });
         }
         for g in &groups {
@@ -50,7 +58,11 @@ impl QueryPlan {
             // limit (Section IV-D).
             if g.len() > config.max_terms {
                 return Err(Error::InvalidQuery {
-                    reason: format!("an intersection group has {} terms; the hardware chains up to {}", g.len(), config.max_terms),
+                    reason: format!(
+                        "an intersection group has {} terms; the hardware chains up to {}",
+                        g.len(),
+                        config.max_terms
+                    ),
                 });
             }
         }
@@ -59,7 +71,10 @@ impl QueryPlan {
         let mut all: Vec<TermId> = groups.iter().flatten().copied().collect();
         all.sort_unstable();
         all.dedup();
-        Ok(QueryPlan { groups, n_distinct_terms: all.len() })
+        Ok(QueryPlan {
+            groups,
+            n_distinct_terms: all.len(),
+        })
     }
 
     /// The intersection groups (each sorted by ascending document
@@ -93,7 +108,9 @@ fn to_dnf(index: &InvertedIndex, expr: &QueryExpr) -> Result<Vec<Vec<TermId>>, E
             for s in subs {
                 out.extend(to_dnf(index, s)?);
                 if out.len() > EXPANSION_LIMIT {
-                    return Err(Error::InvalidQuery { reason: "query too complex to distribute".into() });
+                    return Err(Error::InvalidQuery {
+                        reason: "query too complex to distribute".into(),
+                    });
                 }
             }
             Ok(out)
@@ -113,7 +130,9 @@ fn to_dnf(index: &InvertedIndex, expr: &QueryExpr) -> Result<Vec<Vec<TermId>>, E
                     }
                 }
                 if next.len() > EXPANSION_LIMIT {
-                    return Err(Error::InvalidQuery { reason: "query too complex to distribute".into() });
+                    return Err(Error::InvalidQuery {
+                        reason: "query too complex to distribute".into(),
+                    });
                 }
                 acc = next;
             }
@@ -171,7 +190,10 @@ mod tests {
     fn exact_duplicate_groups_collapse() {
         let (idx, cfg) = setup();
         let t = |s: &str| QueryExpr::term(s);
-        let q = QueryExpr::or([QueryExpr::and([t("a"), t("b")]), QueryExpr::and([t("b"), t("a")])]);
+        let q = QueryExpr::or([
+            QueryExpr::and([t("a"), t("b")]),
+            QueryExpr::and([t("b"), t("a")]),
+        ]);
         let p = QueryPlan::from_expr(&idx, &q, &cfg).unwrap();
         assert_eq!(p.groups(), &[ids(&idx, &["a", "b"])]);
     }
@@ -219,7 +241,10 @@ mod tests {
         let (idx, cfg) = setup();
         let t = |s: &str| QueryExpr::term(s);
         // (a OR b) AND (c OR d) -> 4 groups of 2.
-        let q = QueryExpr::and([QueryExpr::or([t("a"), t("b")]), QueryExpr::or([t("c"), t("d")])]);
+        let q = QueryExpr::and([
+            QueryExpr::or([t("a"), t("b")]),
+            QueryExpr::or([t("c"), t("d")]),
+        ]);
         let p = QueryPlan::from_expr(&idx, &q, &cfg).unwrap();
         assert_eq!(p.groups().len(), 4);
         assert!(p.groups().iter().all(|g| g.len() == 2));

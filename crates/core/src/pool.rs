@@ -31,7 +31,10 @@ pub struct InterconnectConfig {
 
 impl Default for InterconnectConfig {
     fn default() -> Self {
-        InterconnectConfig { bandwidth_gbps: 64.0, latency_ns: 400 }
+        InterconnectConfig {
+            bandwidth_gbps: 64.0,
+            latency_ns: 400,
+        }
     }
 }
 
@@ -75,7 +78,12 @@ impl<'a> MemoryPool<'a> {
             .iter()
             .map(|s| BossDevice::new(s, config.clone()))
             .collect();
-        MemoryPool { sharded, nodes, link, config }
+        MemoryPool {
+            sharded,
+            nodes,
+            link,
+            config,
+        }
     }
 
     /// Number of memory nodes.
@@ -115,7 +123,9 @@ impl<'a> MemoryPool<'a> {
                     // semantics would re-plan per shard; interval sharding
                     // of Zipfian corpora almost never hits this.)
                     if first_err.is_none() {
-                        first_err = Some(Error::UnknownTerm { term: expr.terms().join(",") });
+                        first_err = Some(Error::UnknownTerm {
+                            term: expr.terms().join(","),
+                        });
                     }
                     per_shard.push(Vec::new());
                 }
@@ -123,7 +133,9 @@ impl<'a> MemoryPool<'a> {
             }
         }
         if !any_known {
-            return Err(first_err.unwrap_or(Error::InvalidQuery { reason: "empty pool".into() }));
+            return Err(first_err.unwrap_or(Error::InvalidQuery {
+                reason: "empty pool".into(),
+            }));
         }
 
         // Each leaf ships its top-k over the shared link; transfers from
@@ -166,7 +178,9 @@ impl<'a> MemoryPool<'a> {
             }
         }
         if !any {
-            return Err(Error::UnknownTerm { term: expr.terms().join(",") });
+            return Err(Error::UnknownTerm {
+                term: expr.terms().join(","),
+            });
         }
         Ok(total)
     }
@@ -205,7 +219,11 @@ mod tests {
     fn pooled_union_finds_all_candidates() {
         let idx = corpus();
         let sharded = ShardedIndex::split(&idx, 4).unwrap();
-        let mut pool = MemoryPool::new(&sharded, BossConfig::with_cores(2), InterconnectConfig::default());
+        let mut pool = MemoryPool::new(
+            &sharded,
+            BossConfig::with_cores(2),
+            InterconnectConfig::default(),
+        );
         assert_eq!(pool.n_nodes(), 4);
         let q = QueryExpr::or([QueryExpr::term("even"), QueryExpr::term("seven")]);
         let out = pool.search(&q, 1000).unwrap();
@@ -220,7 +238,11 @@ mod tests {
     fn topk_link_traffic_far_below_hostside() {
         let idx = corpus();
         let sharded = ShardedIndex::split(&idx, 4).unwrap();
-        let mut pool = MemoryPool::new(&sharded, BossConfig::default(), InterconnectConfig::default());
+        let mut pool = MemoryPool::new(
+            &sharded,
+            BossConfig::default(),
+            InterconnectConfig::default(),
+        );
         let q = QueryExpr::term("even");
         let out = pool.search(&q, 10).unwrap();
         let hostside = pool.hostside_interconnect_bytes(&q).unwrap();
@@ -236,13 +258,20 @@ mod tests {
     fn unknown_term_everywhere_is_error() {
         let idx = corpus();
         let sharded = ShardedIndex::split(&idx, 2).unwrap();
-        let mut pool = MemoryPool::new(&sharded, BossConfig::default(), InterconnectConfig::default());
+        let mut pool = MemoryPool::new(
+            &sharded,
+            BossConfig::default(),
+            InterconnectConfig::default(),
+        );
         assert!(pool.search(&QueryExpr::term("missing"), 5).is_err());
     }
 
     #[test]
     fn link_transfer_math() {
-        let link = InterconnectConfig { bandwidth_gbps: 64.0, latency_ns: 400 };
+        let link = InterconnectConfig {
+            bandwidth_gbps: 64.0,
+            latency_ns: 400,
+        };
         assert_eq!(link.transfer_cycles(6400), 400 + 100);
     }
 }

@@ -23,19 +23,64 @@ pub struct ModuleCost {
 
 /// Per-core module costs (Table III, "BOSS Core" section).
 pub const CORE_MODULES: [ModuleCost; 6] = [
-    ModuleCost { name: "Block Fetch Module", count: 1, area_mm2: 0.108, power_mw: 10.5 },
-    ModuleCost { name: "Decompression Module", count: 4, area_mm2: 0.093, power_mw: 43.0 },
-    ModuleCost { name: "Intersection Module", count: 1, area_mm2: 0.003, power_mw: 0.49 },
-    ModuleCost { name: "Union Module", count: 1, area_mm2: 0.011, power_mw: 5.55 },
-    ModuleCost { name: "Scoring Module", count: 4, area_mm2: 0.464, power_mw: 200.0 },
-    ModuleCost { name: "Top-k Module", count: 1, area_mm2: 0.324, power_mw: 147.1 },
+    ModuleCost {
+        name: "Block Fetch Module",
+        count: 1,
+        area_mm2: 0.108,
+        power_mw: 10.5,
+    },
+    ModuleCost {
+        name: "Decompression Module",
+        count: 4,
+        area_mm2: 0.093,
+        power_mw: 43.0,
+    },
+    ModuleCost {
+        name: "Intersection Module",
+        count: 1,
+        area_mm2: 0.003,
+        power_mw: 0.49,
+    },
+    ModuleCost {
+        name: "Union Module",
+        count: 1,
+        area_mm2: 0.011,
+        power_mw: 5.55,
+    },
+    ModuleCost {
+        name: "Scoring Module",
+        count: 4,
+        area_mm2: 0.464,
+        power_mw: 200.0,
+    },
+    ModuleCost {
+        name: "Top-k Module",
+        count: 1,
+        area_mm2: 0.324,
+        power_mw: 147.1,
+    },
 ];
 
 /// Device-level peripheral costs (Table III, "BOSS" section, minus cores).
 pub const DEVICE_MODULES: [ModuleCost; 3] = [
-    ModuleCost { name: "Command Queue", count: 1, area_mm2: 0.078, power_mw: 0.078 },
-    ModuleCost { name: "Query Scheduler", count: 1, area_mm2: 0.001, power_mw: 1.96 },
-    ModuleCost { name: "MAI (with TLB)", count: 1, area_mm2: 0.127, power_mw: 1.20 },
+    ModuleCost {
+        name: "Command Queue",
+        count: 1,
+        area_mm2: 0.078,
+        power_mw: 0.078,
+    },
+    ModuleCost {
+        name: "Query Scheduler",
+        count: 1,
+        area_mm2: 0.001,
+        power_mw: 1.96,
+    },
+    ModuleCost {
+        name: "MAI (with TLB)",
+        count: 1,
+        area_mm2: 0.127,
+        power_mw: 1.20,
+    },
 ];
 
 /// Average package power of the evaluation host CPU (Section V-C), watts.
@@ -105,8 +150,16 @@ mod tests {
         let m = AreaPowerModel::new(8);
         // Table III prints 8.27 mm² total, but its own components sum to
         // 8.23 (8 x 1.003 + 0.206); accept the table's internal rounding.
-        assert!((m.device_area_mm2() - 8.27).abs() < 0.05, "{}", m.device_area_mm2());
-        assert!((m.device_power_w() - 3.2).abs() < 0.1, "{}", m.device_power_w());
+        assert!(
+            (m.device_area_mm2() - 8.27).abs() < 0.05,
+            "{}",
+            m.device_area_mm2()
+        );
+        assert!(
+            (m.device_power_w() - 3.2).abs() < 0.1,
+            "{}",
+            m.device_power_w()
+        );
     }
 
     #[test]

@@ -77,9 +77,18 @@ mod tests {
 
     #[test]
     fn totals_and_merge() {
-        let mut a = EvalCounts { docs_scored: 10, docs_skipped_wand: 5, docs_skipped_block: 85, ..Default::default() };
+        let mut a = EvalCounts {
+            docs_scored: 10,
+            docs_skipped_wand: 5,
+            docs_skipped_block: 85,
+            ..Default::default()
+        };
         assert_eq!(a.docs_total(), 100);
-        let b = EvalCounts { docs_scored: 1, blocks_fetched: 2, ..Default::default() };
+        let b = EvalCounts {
+            docs_scored: 1,
+            blocks_fetched: 2,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.docs_scored, 11);
         assert_eq!(a.blocks_fetched, 2);

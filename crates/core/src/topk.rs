@@ -26,7 +26,12 @@ impl TopK {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "top-k capacity must be positive");
-        TopK { k, entries: Vec::with_capacity(k.min(4096)), inserts: 0, offers: 0 }
+        TopK {
+            k,
+            entries: Vec::with_capacity(k.min(4096)),
+            inserts: 0,
+            offers: 0,
+        }
     }
 
     /// Capacity.
@@ -150,7 +155,10 @@ mod tests {
         let mut expect: Vec<SearchHit> = scores
             .iter()
             .enumerate()
-            .map(|(d, &s)| SearchHit { doc: d as u32, score: s })
+            .map(|(d, &s)| SearchHit {
+                doc: d as u32,
+                score: s,
+            })
             .collect();
         expect.sort_by(SearchHit::ranking_cmp);
         expect.truncate(50);

@@ -27,7 +27,12 @@ pub(crate) struct MatStream {
 impl MatStream {
     pub(crate) fn new(docs: Vec<DocId>, entries: Vec<Vec<(TermId, u32)>>, max_score: f32) -> Self {
         debug_assert_eq!(docs.len(), entries.len());
-        MatStream { docs, entries, max_score, pos: 0 }
+        MatStream {
+            docs,
+            entries,
+            max_score,
+            pos: 0,
+        }
     }
 
     fn exhausted(&self) -> bool {
@@ -388,7 +393,12 @@ mod tests {
             .unwrap()
     }
 
-    fn run_union(index: &InvertedIndex, terms: &[&str], et: EtMode, k: usize) -> (Vec<SearchHit>, crate::stats::EvalCounts) {
+    fn run_union(
+        index: &InvertedIndex,
+        terms: &[&str],
+        et: EtMode,
+        k: usize,
+    ) -> (Vec<SearchHit>, crate::stats::EvalCounts) {
         let cfg = BossConfig::default().with_et(et).with_k(k);
         let image = IndexImage::new(index);
         let mut ctx = ExecCtx::new(index, &image, &cfg);
@@ -445,7 +455,12 @@ mod tests {
     #[test]
     fn full_et_scores_fewer_docs_with_small_k() {
         let idx = corpus();
-        let (_, exhaustive) = run_union(&idx, &["alpha", "beta", "gamma", "delta"], EtMode::Exhaustive, 10);
+        let (_, exhaustive) = run_union(
+            &idx,
+            &["alpha", "beta", "gamma", "delta"],
+            EtMode::Exhaustive,
+            10,
+        );
         let (_, full) = run_union(&idx, &["alpha", "beta", "gamma", "delta"], EtMode::Full, 10);
         assert!(
             full.docs_scored < exhaustive.docs_scored,
@@ -465,7 +480,11 @@ mod tests {
         let terms = ["alpha", "gamma"];
         let (_, full) = run_union(&idx, &terms, EtMode::Full, 5);
         let (_, ex) = run_union(&idx, &terms, EtMode::Exhaustive, 5);
-        assert_eq!(ex.docs_scored, full.docs_total(), "every doc accounted in Full mode");
+        assert_eq!(
+            ex.docs_scored,
+            full.docs_total(),
+            "every doc accounted in Full mode"
+        );
     }
 
     #[test]
@@ -482,7 +501,10 @@ mod tests {
     fn cannot_beat_is_conservative() {
         assert!(!cannot_beat(5.0, f32::NEG_INFINITY));
         assert!(!cannot_beat(5.0, 5.0));
-        assert!(!cannot_beat(4.9999, 5.0), "within slack: not provably worse");
+        assert!(
+            !cannot_beat(4.9999, 5.0),
+            "within slack: not provably worse"
+        );
         assert!(cannot_beat(4.99, 5.0));
         assert!(cannot_beat(0.0, 5.0));
     }
@@ -500,7 +522,11 @@ mod tests {
         let (adocs, atfs) = idx.list(a).decode_all().unwrap();
         let mat = MatStream::new(
             adocs.clone(),
-            adocs.iter().zip(&atfs).map(|(_, &tf)| vec![(a, tf)]).collect(),
+            adocs
+                .iter()
+                .zip(&atfs)
+                .map(|(_, &tf)| vec![(a, tf)])
+                .collect(),
             idx.list(a).max_score(),
         );
         let cursor = ListCursor::new(&mut ctx, g, 0, 4);

@@ -140,11 +140,21 @@ fn timing_fidelities_agree_functionally_and_order_sanely() {
     let index = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
     let mut sampler = QuerySampler::new(&index, 55);
     for tq in sampler.trec_like_mix(12) {
-        let mut roof = BossDevice::new(&index, BossConfig::default().with_fidelity(TimingFidelity::Roofline));
-        let mut pipe = BossDevice::new(&index, BossConfig::default().with_fidelity(TimingFidelity::Pipelined));
+        let mut roof = BossDevice::new(
+            &index,
+            BossConfig::default().with_fidelity(TimingFidelity::Roofline),
+        );
+        let mut pipe = BossDevice::new(
+            &index,
+            BossConfig::default().with_fidelity(TimingFidelity::Pipelined),
+        );
         let a = roof.search_expr(&tq.expr, 100).unwrap();
         let b = pipe.search_expr(&tq.expr, 100).unwrap();
-        assert_eq!(a.hits, b.hits, "fidelity must not change results: {}", tq.expr);
+        assert_eq!(
+            a.hits, b.hits,
+            "fidelity must not change results: {}",
+            tq.expr
+        );
         assert_eq!(a.mem, b.mem, "fidelity must not change traffic");
         // The event-driven replay accounts inter-stage dependencies the
         // roofline's max() cannot, so it is never more optimistic by more

@@ -78,7 +78,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "config parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "config parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -91,13 +95,19 @@ fn parse_int(s: &str, line: usize) -> Result<u32, ParseError> {
     } else {
         s.parse()
     };
-    parsed.map_err(|_| ParseError { line, reason: format!("invalid integer {s:?}") })
+    parsed.map_err(|_| ParseError {
+        line,
+        reason: format!("invalid integer {s:?}"),
+    })
 }
 
 fn parse_operand(s: &str, line: usize) -> Result<Operand, ParseError> {
     let s = s.trim();
     if s.is_empty() {
-        return Err(ParseError { line, reason: "empty operand".into() });
+        return Err(ParseError {
+            line,
+            reason: "empty operand".into(),
+        });
     }
     if s.starts_with(|c: char| c.is_ascii_digit()) {
         Ok(Operand::Literal(parse_int(s, line)?))
@@ -138,10 +148,16 @@ impl EngineConfig {
                     .trim()
                     .strip_prefix('(')
                     .and_then(|r| r.strip_suffix(')'))
-                    .ok_or_else(|| ParseError { line: line_no, reason: "malformed RegInit".into() })?;
+                    .ok_or_else(|| ParseError {
+                        line: line_no,
+                        reason: "malformed RegInit".into(),
+                    })?;
                 let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
                 if parts.len() != 3 {
-                    return Err(ParseError { line: line_no, reason: "RegInit takes (name, init, reset)".into() });
+                    return Err(ParseError {
+                        line: line_no,
+                        reason: "RegInit takes (name, init, reset)".into(),
+                    });
                 }
                 program.regs.push(RegDecl {
                     name: parts[0].to_owned(),
@@ -167,7 +183,10 @@ impl EngineConfig {
                     })?;
                     let inner = expr[paren + 1..]
                         .strip_suffix(')')
-                        .ok_or_else(|| ParseError { line: line_no, reason: "missing )".into() })?;
+                        .ok_or_else(|| ParseError {
+                            line: line_no,
+                            reason: "missing )".into(),
+                        })?;
                     let args: Vec<Operand> = inner
                         .split(',')
                         .map(|a| parse_operand(a, line_no))
@@ -175,7 +194,11 @@ impl EngineConfig {
                     Statement { dest, op, args }
                 } else {
                     // Alias: dest := wire-or-literal
-                    Statement { dest, op: Op::Id, args: vec![parse_operand(expr, line_no)?] }
+                    Statement {
+                        dest,
+                        op: Op::Id,
+                        args: vec![parse_operand(expr, line_no)?],
+                    }
                 };
                 program.statements.push(stmt);
                 continue;
@@ -197,9 +220,15 @@ impl EngineConfig {
                                 .strip_prefix("Extractor[")
                                 .and_then(|r| r.split(']').next())
                                 .and_then(|n| n.parse().ok())
-                                .ok_or_else(|| ParseError { line: line_no, reason: format!("bad extractor index in {k:?}") })?;
+                                .ok_or_else(|| ParseError {
+                                    line: line_no,
+                                    reason: format!("bad extractor index in {k:?}"),
+                                })?;
                             if idx > 3 {
-                                return Err(ParseError { line: line_no, reason: format!("extractor index {idx} out of range") });
+                                return Err(ParseError {
+                                    line: line_no,
+                                    reason: format!("extractor index {idx} out of range"),
+                                });
                             }
                             if k.ends_with(".use") {
                                 extractor_use[idx] = value != 0;
@@ -209,18 +238,27 @@ impl EngineConfig {
                                 // Accepted for fidelity with Figure 8; the
                                 // byte extractor's header is fixed at 1 bit.
                             } else {
-                                return Err(ParseError { line: line_no, reason: format!("unknown extractor parameter {k:?}") });
+                                return Err(ParseError {
+                                    line: line_no,
+                                    reason: format!("unknown extractor parameter {k:?}"),
+                                });
                             }
                         }
                         other => {
-                            return Err(ParseError { line: line_no, reason: format!("unknown parameter {other:?}") });
+                            return Err(ParseError {
+                                line: line_no,
+                                reason: format!("unknown parameter {other:?}"),
+                            });
                         }
                     }
                 }
                 continue;
             }
 
-            return Err(ParseError { line: line_no, reason: format!("unparseable line {line:?}") });
+            return Err(ParseError {
+                line: line_no,
+                reason: format!("unparseable line {line:?}"),
+            });
         }
 
         let kind = match extractor_use {
@@ -245,9 +283,10 @@ impl EngineConfig {
         if program.statements.is_empty() {
             program = Program::identity();
         }
-        program
-            .validate()
-            .map_err(|e| ParseError { line: 0, reason: e.reason })?;
+        program.validate().map_err(|e| ParseError {
+            line: 0,
+            reason: e.reason,
+        })?;
 
         Ok(EngineConfig {
             extractor: ExtractorConfig { kind },
@@ -308,10 +347,8 @@ UseDelta = 1
 
     #[test]
     fn selector_word_bits() {
-        let cfg = EngineConfig::parse(
-            "Extractor[2].use = 1\nExtractor[2].wordBits = 64\n",
-        )
-        .unwrap();
+        let cfg =
+            EngineConfig::parse("Extractor[2].use = 1\nExtractor[2].wordBits = 64\n").unwrap();
         assert_eq!(cfg.extractor.kind, ExtractorKind::Selector8b);
         let cfg = EngineConfig::parse("Extractor[2].use = 1\n").unwrap();
         assert_eq!(cfg.extractor.kind, ExtractorKind::Selector16);
@@ -344,7 +381,8 @@ UseDelta = 1
 
     #[test]
     fn rejects_undefined_wire_via_validation() {
-        let err = EngineConfig::parse("Extractor[0].use = 1\nOutput := ADD(ghost, 1)\n").unwrap_err();
+        let err =
+            EngineConfig::parse("Extractor[0].use = 1\nOutput := ADD(ghost, 1)\n").unwrap_err();
         assert!(err.reason.contains("ghost"));
     }
 

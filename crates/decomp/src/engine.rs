@@ -33,7 +33,10 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Codec(e) => write!(f, "codec error: {e}"),
             EngineError::Exec(e) => write!(f, "{e}"),
-            EngineError::Stall { produced, requested } => write!(
+            EngineError::Stall {
+                produced,
+                requested,
+            } => write!(
                 f,
                 "decompression stalled after producing {produced} of {requested} values"
             ),
@@ -99,7 +102,9 @@ impl DecompEngine {
     ///
     /// Returns the parse error formatted as an execution fault.
     pub fn from_config_text(text: &str) -> Result<Self, crate::ParseError> {
-        Ok(DecompEngine { config: EngineConfig::parse(text)? })
+        Ok(DecompEngine {
+            config: EngineConfig::parse(text)?,
+        })
     }
 
     /// The engine programmed for one of the five stock schemes, using the
@@ -147,7 +152,10 @@ impl DecompEngine {
         let unit_limit = (count as u64 + 1) * 64;
         while values.len() < count {
             if extractor.units() >= unit_limit {
-                return Err(EngineError::Stall { produced: values.len(), requested: count });
+                return Err(EngineError::Stall {
+                    produced: values.len(),
+                    requested: count,
+                });
             }
             let unit = extractor.next_unit()?;
             if let Some(v) = self.config.program.step(unit, &mut state)? {
@@ -157,9 +165,10 @@ impl DecompEngine {
         let mut cycles = extractor.units() + PIPELINE_FILL_CYCLES;
 
         if self.config.exceptions.enabled {
-            let patch = data
-                .get(exc_off..)
-                .ok_or(boss_compress::Error::Truncated { have: data.len(), need: exc_off })?;
+            let patch = data.get(exc_off..).ok_or(boss_compress::Error::Truncated {
+                have: data.len(),
+                need: exc_off,
+            })?;
             if patch.len() % 6 != 0 {
                 return Err(boss_compress::Error::Corrupt {
                     reason: "exception area misaligned",
@@ -196,7 +205,12 @@ impl DecompEngine {
     /// # Errors
     ///
     /// Same conditions as [`DecompEngine::decode`].
-    pub fn decode_docids(&self, data: &[u8], info: &BlockInfo, base: u32) -> Result<Decoded, EngineError> {
+    pub fn decode_docids(
+        &self,
+        data: &[u8],
+        info: &BlockInfo,
+        base: u32,
+    ) -> Result<Decoded, EngineError> {
         let mut out = self.decode(data, info)?;
         if self.config.delta.use_delta {
             let mut prev = base;
@@ -219,7 +233,9 @@ mod tests {
 
     fn bp_engine(delta: bool) -> DecompEngine {
         DecompEngine::new(EngineConfig {
-            extractor: ExtractorConfig { kind: ExtractorKind::FixedWidth },
+            extractor: ExtractorConfig {
+                kind: ExtractorKind::FixedWidth,
+            },
             program: Program::identity(),
             exceptions: ExceptionConfig { enabled: false },
             delta: DeltaConfig { use_delta: delta },
@@ -251,7 +267,9 @@ mod tests {
         // A program that never asserts Output.valid on width-0 data would
         // spin forever without the guard.
         let cfg = EngineConfig {
-            extractor: ExtractorConfig { kind: ExtractorKind::FixedWidth },
+            extractor: ExtractorConfig {
+                kind: ExtractorKind::FixedWidth,
+            },
             program: {
                 let mut p = Program::identity();
                 // Overwrite validity with constant 0.
@@ -262,7 +280,11 @@ mod tests {
             delta: DeltaConfig::default(),
         };
         let engine = DecompEngine::new(cfg).unwrap();
-        let info = BlockInfo { count: 4, bit_width: 0, exception_offset: 0 };
+        let info = BlockInfo {
+            count: 4,
+            bit_width: 0,
+            exception_offset: 0,
+        };
         let err = engine.decode(&[], &info).unwrap_err();
         assert!(matches!(err, EngineError::Stall { .. }));
     }
@@ -272,7 +294,10 @@ mod tests {
         let e = EngineError::Codec(boss_compress::Error::Corrupt { reason: "x" });
         assert!(e.to_string().contains("codec"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = EngineError::Stall { produced: 1, requested: 9 };
+        let e = EngineError::Stall {
+            produced: 1,
+            requested: 9,
+        };
         assert!(e.to_string().contains("stalled"));
     }
 }

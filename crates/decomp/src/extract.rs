@@ -112,8 +112,12 @@ impl<'a> Extractor<'a> {
         self.units += 1;
         match self.kind {
             ExtractorKind::FixedWidth => {
-                let r = self.bits.as_mut().expect("bit reader present for FixedWidth");
-                r.read(u32::from(self.info.bit_width)).map_err(EngineError::from)
+                let r = self
+                    .bits
+                    .as_mut()
+                    .expect("bit reader present for FixedWidth");
+                r.read(u32::from(self.info.bit_width))
+                    .map_err(EngineError::from)
             }
             ExtractorKind::ByteHeader => {
                 let Some(&b) = self.data.get(self.pos) else {
@@ -256,7 +260,11 @@ mod tests {
     #[test]
     fn byte_header_yields_raw_bytes() {
         let data = [0x83u8, 0x05, 0x91];
-        let info = BlockInfo { count: 2, bit_width: 0, exception_offset: 0 };
+        let info = BlockInfo {
+            count: 2,
+            bit_width: 0,
+            exception_offset: 0,
+        };
         let mut ex = Extractor::new(ExtractorKind::ByteHeader, &data, info);
         assert_eq!(ex.next_unit().unwrap(), 0x83);
         assert_eq!(ex.next_unit().unwrap(), 0x05);
@@ -290,7 +298,11 @@ mod tests {
     #[test]
     fn truncated_selector_word() {
         let data = [0u8; 3];
-        let info = BlockInfo { count: 5, bit_width: 0, exception_offset: 0 };
+        let info = BlockInfo {
+            count: 5,
+            bit_width: 0,
+            exception_offset: 0,
+        };
         let mut ex = Extractor::new(ExtractorKind::Selector16, &data, info);
         assert!(ex.next_unit().is_err());
     }

@@ -142,7 +142,9 @@ impl Program {
         let mut defined: Vec<&str> = vec!["Input"];
         for r in &self.regs {
             if defined.contains(&r.name.as_str()) {
-                return Err(ExecError { reason: format!("duplicate definition of {}", r.name) });
+                return Err(ExecError {
+                    reason: format!("duplicate definition of {}", r.name),
+                });
             }
             defined.push(&r.name);
         }
@@ -151,7 +153,12 @@ impl Program {
         for st in &self.statements {
             if st.args.len() != st.op.arity() {
                 return Err(ExecError {
-                    reason: format!("{:?} takes {} operands, got {}", st.op, st.op.arity(), st.args.len()),
+                    reason: format!(
+                        "{:?} takes {} operands, got {}",
+                        st.op,
+                        st.op.arity(),
+                        st.args.len()
+                    ),
                 });
             }
             for a in &st.args {
@@ -160,7 +167,9 @@ impl Program {
                         || reg_names.contains(&n.as_str())
                         || assigned.contains(&n.as_str());
                     if !readable {
-                        return Err(ExecError { reason: format!("read of undefined wire {n}") });
+                        return Err(ExecError {
+                            reason: format!("read of undefined wire {n}"),
+                        });
                     }
                 }
             }
@@ -175,7 +184,10 @@ impl Program {
                 && !reg_names.contains(&r.reset_signal.as_str())
             {
                 return Err(ExecError {
-                    reason: format!("reset signal {} of register {} is never assigned", r.reset_signal, r.name),
+                    reason: format!(
+                        "reset signal {} of register {} is never assigned",
+                        r.reset_signal, r.name
+                    ),
                 });
             }
         }
@@ -198,24 +210,28 @@ impl Program {
     /// program cannot fault).
     pub fn step(&self, input: u32, state: &mut RegFile) -> Result<Option<u32>, ExecError> {
         let mut wires: HashMap<&str, u32> = HashMap::new();
-        let read = |name: &str, wires: &HashMap<&str, u32>, state: &RegFile| -> Result<u32, ExecError> {
-            if name == "Input" {
-                return Ok(input);
-            }
-            if let Some(&v) = wires.get(name) {
-                return Ok(v);
-            }
-            if let Some(v) = state.values.get(name) {
-                return Ok(*v);
-            }
-            Err(ExecError { reason: format!("read of undefined wire {name}") })
-        };
-        let eval = |a: &Operand, wires: &HashMap<&str, u32>, state: &RegFile| -> Result<u32, ExecError> {
-            match a {
-                Operand::Literal(v) => Ok(*v),
-                Operand::Name(n) => read(n, wires, state),
-            }
-        };
+        let read =
+            |name: &str, wires: &HashMap<&str, u32>, state: &RegFile| -> Result<u32, ExecError> {
+                if name == "Input" {
+                    return Ok(input);
+                }
+                if let Some(&v) = wires.get(name) {
+                    return Ok(v);
+                }
+                if let Some(v) = state.values.get(name) {
+                    return Ok(*v);
+                }
+                Err(ExecError {
+                    reason: format!("read of undefined wire {name}"),
+                })
+            };
+        let eval =
+            |a: &Operand, wires: &HashMap<&str, u32>, state: &RegFile| -> Result<u32, ExecError> {
+                match a {
+                    Operand::Literal(v) => Ok(*v),
+                    Operand::Name(n) => read(n, wires, state),
+                }
+            };
 
         let mut reg_next: Vec<(usize, u32)> = Vec::new();
         let mut output = None;
@@ -311,11 +327,27 @@ mod tests {
     fn accumulator_program() {
         // Running sum of inputs, always valid.
         let p = Program {
-            regs: vec![RegDecl { name: "Acc".into(), init: 0, reset_signal: String::new() }],
+            regs: vec![RegDecl {
+                name: "Acc".into(),
+                init: 0,
+                reset_signal: String::new(),
+            }],
             statements: vec![
-                Statement { dest: "sum".into(), op: Op::Add, args: vec![name("Acc"), name("Input")] },
-                Statement { dest: "Acc".into(), op: Op::Id, args: vec![name("sum")] },
-                Statement { dest: "Output".into(), op: Op::Id, args: vec![name("sum")] },
+                Statement {
+                    dest: "sum".into(),
+                    op: Op::Add,
+                    args: vec![name("Acc"), name("Input")],
+                },
+                Statement {
+                    dest: "Acc".into(),
+                    op: Op::Id,
+                    args: vec![name("sum")],
+                },
+                Statement {
+                    dest: "Output".into(),
+                    op: Op::Id,
+                    args: vec![name("sum")],
+                },
             ],
         };
         p.validate().unwrap();
@@ -329,30 +361,68 @@ mod tests {
     fn reset_reinitializes_register() {
         // Accumulate; reset when input has bit 7 set.
         let p = Program {
-            regs: vec![RegDecl { name: "Acc".into(), init: 0, reset_signal: "flush".into() }],
+            regs: vec![RegDecl {
+                name: "Acc".into(),
+                init: 0,
+                reset_signal: "flush".into(),
+            }],
             statements: vec![
-                Statement { dest: "flush".into(), op: Op::Shr, args: vec![name("Input"), lit(7)] },
-                Statement { dest: "pay".into(), op: Op::And, args: vec![name("Input"), lit(0x7F)] },
-                Statement { dest: "sum".into(), op: Op::Add, args: vec![name("Acc"), name("pay")] },
-                Statement { dest: "Acc".into(), op: Op::Id, args: vec![name("sum")] },
-                Statement { dest: "Output".into(), op: Op::Id, args: vec![name("sum")] },
-                Statement { dest: "Output.valid".into(), op: Op::Id, args: vec![name("flush")] },
+                Statement {
+                    dest: "flush".into(),
+                    op: Op::Shr,
+                    args: vec![name("Input"), lit(7)],
+                },
+                Statement {
+                    dest: "pay".into(),
+                    op: Op::And,
+                    args: vec![name("Input"), lit(0x7F)],
+                },
+                Statement {
+                    dest: "sum".into(),
+                    op: Op::Add,
+                    args: vec![name("Acc"), name("pay")],
+                },
+                Statement {
+                    dest: "Acc".into(),
+                    op: Op::Id,
+                    args: vec![name("sum")],
+                },
+                Statement {
+                    dest: "Output".into(),
+                    op: Op::Id,
+                    args: vec![name("sum")],
+                },
+                Statement {
+                    dest: "Output.valid".into(),
+                    op: Op::Id,
+                    args: vec![name("flush")],
+                },
             ],
         };
         p.validate().unwrap();
         let mut st = p.fresh_state();
         assert_eq!(p.step(3, &mut st).unwrap(), None, "no terminator yet");
-        assert_eq!(p.step(0x85, &mut st).unwrap(), Some(8), "3 + 5, terminator seen");
-        assert_eq!(p.step(0x81, &mut st).unwrap(), Some(1), "register was reset");
+        assert_eq!(
+            p.step(0x85, &mut st).unwrap(),
+            Some(8),
+            "3 + 5, terminator seen"
+        );
+        assert_eq!(
+            p.step(0x81, &mut st).unwrap(),
+            Some(1),
+            "register was reset"
+        );
     }
 
     #[test]
     fn mux_selects() {
         let p = Program {
             regs: vec![],
-            statements: vec![
-                Statement { dest: "Output".into(), op: Op::Mux, args: vec![name("Input"), lit(10), lit(20)] },
-            ],
+            statements: vec![Statement {
+                dest: "Output".into(),
+                op: Op::Mux,
+                args: vec![name("Input"), lit(10), lit(20)],
+            }],
         };
         p.validate().unwrap();
         let mut st = p.fresh_state();
@@ -364,7 +434,11 @@ mod tests {
     fn validate_rejects_undefined_wire() {
         let p = Program {
             regs: vec![],
-            statements: vec![Statement { dest: "Output".into(), op: Op::Id, args: vec![name("ghost")] }],
+            statements: vec![Statement {
+                dest: "Output".into(),
+                op: Op::Id,
+                args: vec![name("ghost")],
+            }],
         };
         assert!(p.validate().is_err());
     }
@@ -373,7 +447,11 @@ mod tests {
     fn validate_rejects_bad_arity() {
         let p = Program {
             regs: vec![],
-            statements: vec![Statement { dest: "Output".into(), op: Op::Add, args: vec![lit(1)] }],
+            statements: vec![Statement {
+                dest: "Output".into(),
+                op: Op::Add,
+                args: vec![lit(1)],
+            }],
         };
         assert!(p.validate().is_err());
     }
@@ -382,8 +460,16 @@ mod tests {
     fn validate_rejects_duplicate_register() {
         let p = Program {
             regs: vec![
-                RegDecl { name: "R".into(), init: 0, reset_signal: String::new() },
-                RegDecl { name: "R".into(), init: 0, reset_signal: String::new() },
+                RegDecl {
+                    name: "R".into(),
+                    init: 0,
+                    reset_signal: String::new(),
+                },
+                RegDecl {
+                    name: "R".into(),
+                    init: 0,
+                    reset_signal: String::new(),
+                },
             ],
             statements: vec![],
         };
@@ -394,9 +480,11 @@ mod tests {
     fn shift_overflow_yields_zero() {
         let p = Program {
             regs: vec![],
-            statements: vec![
-                Statement { dest: "Output".into(), op: Op::Shl, args: vec![name("Input"), lit(40)] },
-            ],
+            statements: vec![Statement {
+                dest: "Output".into(),
+                op: Op::Shl,
+                args: vec![name("Input"), lit(40)],
+            }],
         };
         let mut st = p.fresh_state();
         assert_eq!(p.step(1, &mut st).unwrap(), Some(0));

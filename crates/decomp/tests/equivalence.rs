@@ -83,7 +83,9 @@ fn engine_rejects_corrupt_pfd_exceptions() {
     let mut values = vec![1u32; 64];
     values[10] = 1 << 25;
     let mut data = Vec::new();
-    let info = codec_for(Scheme::OptPfd).encode(&values, &mut data).unwrap();
+    let info = codec_for(Scheme::OptPfd)
+        .encode(&values, &mut data)
+        .unwrap();
     // Break the patch area alignment.
     data.push(0xEE);
     let engine = DecompEngine::for_scheme(Scheme::OptPfd).unwrap();

@@ -1,0 +1,317 @@
+//! The generic, deterministic batch executor.
+
+use crate::SearchEngine;
+use boss_core::{EvalCounts, QueryOutcome, SchedPolicy};
+use boss_index::{Error, QueryExpr};
+use boss_scm::MemStats;
+
+/// Aggregate result of a batch run on any [`SearchEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineBatch {
+    /// Per-query outcomes, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Simulated makespan across the engine's lanes, in engine cycles.
+    pub makespan_cycles: u64,
+    /// Merged memory traffic.
+    pub mem: MemStats,
+    /// Merged evaluation counters.
+    pub eval: EvalCounts,
+}
+
+impl EngineBatch {
+    /// Batch wall-clock seconds at `clock_ghz`.
+    pub fn seconds(&self, clock_ghz: f64) -> f64 {
+        self.makespan_cycles as f64 / (clock_ghz * 1e9)
+    }
+
+    /// Batch throughput in queries/second at `clock_ghz`.
+    pub fn throughput_qps(&self, clock_ghz: f64) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / self.seconds(clock_ghz)
+    }
+}
+
+/// Runs query batches on a [`SearchEngine`], optionally sharded across
+/// OS threads, with results **bit-identical at every thread count** (see
+/// the crate-level determinism contract).
+///
+/// Wall-clock parallelism (how many OS threads execute queries) is
+/// independent of the *simulated* parallelism (the engine's lanes): the
+/// simulated schedule is always replayed serially from per-query cycle
+/// counts after execution.
+#[derive(Debug, Clone)]
+pub struct BatchExecutor {
+    threads: usize,
+    policy: SchedPolicy,
+}
+
+impl Default for BatchExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchExecutor {
+    /// An executor using every available CPU, FIFO scheduling.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        BatchExecutor {
+            threads,
+            policy: SchedPolicy::Fifo,
+        }
+    }
+
+    /// An executor pinned to `threads` OS threads (0 is clamped to 1).
+    pub fn with_threads(threads: usize) -> Self {
+        BatchExecutor {
+            threads: threads.max(1),
+            policy: SchedPolicy::Fifo,
+        }
+    }
+
+    /// Replaces the simulated scheduling policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// OS threads this executor shards batches across.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// The simulated scheduling policy.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Executes `queries` on forks of `engine` and replays the simulated
+    /// lane schedule. Outcomes are returned in submission order; merged
+    /// stats are summed in submission order.
+    ///
+    /// `engine` itself is only used for forking and the scheduling hooks
+    /// — its accumulators are left untouched, so a caller that wants
+    /// running totals keeps using [`SearchEngine::search`] directly.
+    ///
+    /// # Errors
+    ///
+    /// The first (in submission order) query that fails to plan, with no
+    /// partial results.
+    pub fn run<E: SearchEngine + Send>(
+        &self,
+        engine: &E,
+        queries: &[QueryExpr],
+        k: usize,
+    ) -> Result<EngineBatch, Error> {
+        let n = queries.len();
+        if n == 0 {
+            return Ok(EngineBatch {
+                outcomes: Vec::new(),
+                makespan_cycles: 0,
+                mem: MemStats::new(),
+                eval: EvalCounts::default(),
+            });
+        }
+
+        // Execute every query on a forked engine. Per-query execution is
+        // pure, so sharding cannot change any outcome.
+        let workers = self.threads.min(n);
+        let mut results: Vec<Option<Result<QueryOutcome, Error>>> = (0..n).map(|_| None).collect();
+        if workers <= 1 {
+            let mut fork = engine.fork();
+            for (slot, q) in results.iter_mut().zip(queries) {
+                *slot = Some(fork.search(q, k));
+            }
+        } else {
+            // Fork on the caller's thread (forks borrow the index, which
+            // is Sync), then hand each worker one contiguous chunk.
+            let forks: Vec<E> = (0..workers).map(|_| engine.fork()).collect();
+            let chunk = n.div_ceil(workers);
+            crossbeam::thread::scope(|s| {
+                let mut rest_results = results.as_mut_slice();
+                let mut rest_queries = queries;
+                for mut fork in forks {
+                    let take = chunk.min(rest_results.len());
+                    let (slots, later_slots) = rest_results.split_at_mut(take);
+                    let (qs, later_queries) = rest_queries.split_at(take);
+                    rest_results = later_slots;
+                    rest_queries = later_queries;
+                    s.spawn(move || {
+                        for (slot, q) in slots.iter_mut().zip(qs) {
+                            *slot = Some(fork.search(q, k));
+                        }
+                    });
+                }
+            });
+        }
+
+        // Surface the first failure in submission order, like the
+        // per-engine drivers did.
+        let mut outcomes = Vec::with_capacity(n);
+        for r in results {
+            outcomes.push(r.expect("every query executed")?);
+        }
+
+        // Merge stats in submission order (the merges are commutative
+        // u64 sums/maxima, so this matches any execution order bit for
+        // bit).
+        let mut mem = MemStats::new();
+        let mut eval = EvalCounts::default();
+        for o in &outcomes {
+            mem.merge(&o.mem);
+            eval.merge(&o.eval);
+        }
+
+        // Replay the simulated schedule serially: greedy earliest-free
+        // lane(s) per query in policy order, using the per-query cycle
+        // counts. Never observes OS-thread interleaving.
+        let mut order: Vec<usize> = (0..n).collect();
+        if self.policy == SchedPolicy::Sjf {
+            order.sort_by_key(|&i| engine.work_estimate(&queries[i]));
+        }
+        let lanes = engine.lanes().max(1);
+        let mut busy = vec![0u64; lanes];
+        for &qi in &order {
+            let gang = engine.gang_width(&queries[qi]).clamp(1, lanes);
+            let mut idx: Vec<usize> = (0..lanes).collect();
+            idx.sort_by_key(|&i| busy[i]);
+            let chosen = &idx[..gang];
+            let start = chosen
+                .iter()
+                .map(|&i| busy[i])
+                .max()
+                .expect("gang non-empty");
+            let end = start + outcomes[qi].cycles;
+            for &i in chosen {
+                busy[i] = end;
+            }
+        }
+        let core_limited = busy.into_iter().max().unwrap_or(0);
+        let makespan_cycles = core_limited.max(engine.bandwidth_limit_cycles(&mem));
+        Ok(EngineBatch {
+            outcomes,
+            makespan_cycles,
+            mem,
+            eval,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Boss;
+    use boss_core::{BossConfig, BossDevice};
+    use boss_index::{IndexBuilder, InvertedIndex};
+
+    fn corpus() -> InvertedIndex {
+        let docs: Vec<String> = (0u32..600)
+            .map(|i| {
+                let mut t = String::from("all");
+                if i % 2 == 0 {
+                    t.push_str(" even");
+                }
+                if i % 3 == 0 {
+                    t.push_str(" three");
+                }
+                if i % 5 == 0 {
+                    t.push_str(" five");
+                }
+                t
+            })
+            .collect();
+        IndexBuilder::new()
+            .add_documents(docs.iter().map(String::as_str))
+            .build()
+            .unwrap()
+    }
+
+    fn queries() -> Vec<QueryExpr> {
+        (0..9)
+            .map(|i| match i % 3 {
+                0 => QueryExpr::term("even"),
+                1 => QueryExpr::and([QueryExpr::term("three"), QueryExpr::term("five")]),
+                _ => QueryExpr::or([QueryExpr::term("even"), QueryExpr::term("three")]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_the_native_boss_batch_driver() {
+        // The executor must reproduce BossDevice::run_batch_with_policy
+        // bit for bit — same schedule, same roofline, same merges.
+        let idx = corpus();
+        let qs = queries();
+        for policy in [SchedPolicy::Fifo, SchedPolicy::Sjf] {
+            let mut dev = BossDevice::new(&idx, BossConfig::with_cores(3));
+            let native = dev.run_batch_with_policy(&qs, 10, policy).unwrap();
+            let eng = Boss::new(&idx, BossConfig::with_cores(3));
+            let ours = BatchExecutor::with_threads(1)
+                .with_policy(policy)
+                .run(&eng, &qs, 10)
+                .unwrap();
+            assert_eq!(ours.makespan_cycles, native.makespan_cycles, "{policy:?}");
+            assert_eq!(ours.mem, native.mem, "{policy:?}");
+            assert_eq!(ours.eval, native.eval, "{policy:?}");
+            assert_eq!(ours.outcomes.len(), native.outcomes.len());
+            for (a, b) in ours.outcomes.iter().zip(&native.outcomes) {
+                assert_eq!(a.hits, b.hits, "{policy:?}");
+                assert_eq!(a.cycles, b.cycles, "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let idx = corpus();
+        let qs = queries();
+        let eng = Boss::new(&idx, BossConfig::with_cores(2));
+        let serial = BatchExecutor::with_threads(1).run(&eng, &qs, 10).unwrap();
+        for threads in [2usize, 4, 7] {
+            let par = BatchExecutor::with_threads(threads)
+                .run(&eng, &qs, 10)
+                .unwrap();
+            assert_eq!(
+                par.makespan_cycles, serial.makespan_cycles,
+                "{threads} threads"
+            );
+            assert_eq!(par.mem, serial.mem, "{threads} threads");
+            assert_eq!(par.eval, serial.eval, "{threads} threads");
+            for (a, b) in par.outcomes.iter().zip(&serial.outcomes) {
+                assert_eq!(a.hits, b.hits, "{threads} threads");
+                assert_eq!(a.cycles, b.cycles, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn error_reported_in_submission_order_without_partial_results() {
+        let idx = corpus();
+        let qs = vec![
+            QueryExpr::term("even"),
+            QueryExpr::term("missing"),
+            QueryExpr::term("nope"),
+        ];
+        let eng = Boss::new(&idx, BossConfig::default());
+        let err = BatchExecutor::with_threads(2)
+            .run(&eng, &qs, 5)
+            .unwrap_err();
+        assert!(format!("{err}").contains("missing"), "got: {err}");
+        // The caller's engine accumulators stay untouched.
+        use crate::SearchEngine as _;
+        assert_eq!(eng.mem_stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let idx = corpus();
+        let eng = Boss::new(&idx, BossConfig::default());
+        let b = BatchExecutor::with_threads(3).run(&eng, &[], 5).unwrap();
+        assert_eq!(b.makespan_cycles, 0);
+        assert!(b.outcomes.is_empty());
+        assert_eq!(b.throughput_qps(1.0), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Unified engine layer over the three simulated search systems.
+//!
+//! The bench harness used to carry one hand-written batch driver per
+//! system (BOSS, IIU, Lucene-like), each re-implementing scheduling,
+//! stat merging, and roofline math with slightly different constants.
+//! This crate factors that into:
+//!
+//! * [`SearchEngine`] — the per-query contract every engine satisfies
+//!   (execute one query, expose label/clock/stat accumulators), plus the
+//!   small set of per-engine scheduling hooks (gang width, SJF work
+//!   estimate, bandwidth roofline) that the batch driver needs;
+//! * [`BatchExecutor`] — one generic batch driver that executes a query
+//!   set on any engine, optionally sharded across OS threads, and
+//!   replays the simulated core/thread schedule serially so results are
+//!   **bit-identical at every thread count**.
+//!
+//! # Determinism contract
+//!
+//! Every engine's per-query execution is pure: given the same index,
+//! configuration, query, and `k`, it returns the same [`QueryOutcome`]
+//! (hits, cycles, traffic, counters) regardless of which OS thread runs
+//! it or what ran before it. The executor relies on this:
+//!
+//! 1. queries are sharded into contiguous chunks, one forked engine per
+//!    worker thread, so workers share nothing mutable;
+//! 2. outcomes are scattered back to submission order;
+//! 3. the simulated schedule (greedy earliest-free lane, gang widths,
+//!    bandwidth roofline) is then replayed serially from per-query cycle
+//!    counts — it never observes wall-clock thread interleaving;
+//! 4. merged [`MemStats`]/[`EvalCounts`] are summed in submission order.
+//!
+//! Anything that would break this contract (a cache shared across
+//! queries, an RNG in an engine, order-dependent accumulation) must not
+//! be added to an engine without revisiting the executor.
+
+mod engines;
+mod executor;
+
+pub use engines::{Boss, Iiu, Lucene};
+pub use executor::{BatchExecutor, EngineBatch};
+
+// Engine-level result vocabulary: the per-query outcome and the two stat
+// accumulators are shared by all engines, so the simulator crates' types
+// are re-exported as this layer's own. `Error` covers planning failures
+// (unknown term, oversized query), which are also common to all engines.
+pub use boss_core::{EvalCounts, QueryOutcome, SchedPolicy};
+pub use boss_index::Error;
+pub use boss_scm::MemStats;
+
+use boss_index::QueryExpr;
+
+/// One simulated search system bound to an index: BOSS, IIU, or the
+/// Lucene-like software baseline.
+///
+/// Implementations accumulate the memory traffic and evaluation counters
+/// of every successful [`search`](SearchEngine::search) into
+/// [`mem_stats`](SearchEngine::mem_stats) /
+/// [`eval_counts`](SearchEngine::eval_counts) until
+/// [`reset_stats`](SearchEngine::reset_stats) clears them.
+pub trait SearchEngine {
+    /// Display label, e.g. `BOSSx8`, `IIUx8`, `Lucene x8`.
+    fn label(&self) -> String;
+
+    /// Clock of the simulated lanes, GHz (cycles ↔ seconds conversion).
+    fn clock_ghz(&self) -> f64;
+
+    /// Parallel lanes the batch scheduler fills: cores or threads.
+    fn lanes(&self) -> usize;
+
+    /// Executes one query, merging its stats into the accumulators.
+    ///
+    /// # Errors
+    ///
+    /// Planning errors ([`Error::UnknownTerm`], [`Error::InvalidQuery`]);
+    /// the accumulators are left untouched on error.
+    fn search(&mut self, expr: &QueryExpr, k: usize) -> Result<QueryOutcome, Error>;
+
+    /// Memory traffic accumulated since the last reset.
+    fn mem_stats(&self) -> &MemStats;
+
+    /// Evaluation counters accumulated since the last reset.
+    fn eval_counts(&self) -> &EvalCounts;
+
+    /// Clears both accumulators.
+    fn reset_stats(&mut self);
+
+    /// A fresh engine over the same index and configuration with zeroed
+    /// accumulators — what each executor worker thread owns.
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Lanes this query occupies simultaneously (BOSS gangs cores for
+    /// wide queries; everything else runs on one lane). Unplannable
+    /// queries report 1 — the error surfaces at execution instead.
+    fn gang_width(&self, _expr: &QueryExpr) -> usize {
+        1
+    }
+
+    /// Scheduling work estimate for shortest-job-first ordering. The
+    /// default (0) makes SJF degenerate to FIFO.
+    fn work_estimate(&self, _expr: &QueryExpr) -> u64 {
+        0
+    }
+
+    /// Bandwidth-roofline bound on the batch makespan: the memory node
+    /// serves at most `channels` channel-cycles per 1 GHz cycle, so a
+    /// batch cannot finish faster than its aggregate occupancy allows.
+    fn bandwidth_limit_cycles(&self, mem: &MemStats) -> u64;
+
+    /// Achieved batch bandwidth over the makespan, GB/s. Accelerators
+    /// report *effective* (device-granule) traffic; the Lucene engine
+    /// overrides this with logical bytes, as the paper plots host-side.
+    fn bandwidth_gbps(&self, mem: &MemStats, makespan_cycles: u64) -> f64 {
+        mem.achieved_gbps(makespan_cycles)
+    }
+}

@@ -1,0 +1,54 @@
+//! Property: the scheduling policy is a performance knob, not a
+//! correctness knob — FIFO and SJF produce identical top-k results and
+//! identical merged stats for any sampled batch.
+
+use std::sync::OnceLock;
+
+use boss_core::BossConfig;
+use boss_engine::{BatchExecutor, Boss, SchedPolicy};
+use boss_index::InvertedIndex;
+use boss_workload::corpus::{CorpusSpec, Scale};
+use boss_workload::queries::QuerySampler;
+use proptest::prelude::*;
+
+fn index() -> &'static InvertedIndex {
+    static INDEX: OnceLock<InvertedIndex> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        CorpusSpec::ccnews_like(Scale::Smoke)
+            .build()
+            .expect("corpus builds")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fifo_and_sjf_agree_on_results(
+        seed in 0u64..10_000,
+        n in 1usize..16,
+        cores in 1u32..6,
+        k in prop::sample::select(vec![5usize, 20, 100]),
+    ) {
+        let index = index();
+        let mut sampler = QuerySampler::new(index, seed);
+        let queries: Vec<_> = sampler.trec_like_mix(n).into_iter().map(|t| t.expr).collect();
+        let engine = Boss::new(index, BossConfig::with_cores(cores).with_k(k));
+        let run = |policy| {
+            BatchExecutor::with_threads(2)
+                .with_policy(policy)
+                .run(&engine, &queries, k)
+                .expect("sampled queries plan")
+        };
+        let fifo = run(SchedPolicy::Fifo);
+        let sjf = run(SchedPolicy::Sjf);
+        prop_assert_eq!(fifo.outcomes.len(), sjf.outcomes.len());
+        for (a, b) in fifo.outcomes.iter().zip(&sjf.outcomes) {
+            prop_assert_eq!(&a.hits, &b.hits);
+        }
+        // Stat merges are order-independent, so the policies agree on
+        // the aggregates too; only the makespan may differ.
+        prop_assert_eq!(&fifo.mem, &sjf.mem);
+        prop_assert_eq!(&fifo.eval, &sjf.eval);
+    }
+}

@@ -1,7 +1,7 @@
 //! The IIU engine model.
 
-use boss_core::{EvalCounts, QueryOutcome, QueryPlan, TopK};
 use boss_core::{BossConfig, TimingModel};
+use boss_core::{EvalCounts, QueryOutcome, QueryPlan, TopK};
 use boss_index::layout::{IndexImage, ScratchRegion};
 use boss_index::{DocId, Error, InvertedIndex, QueryExpr, TermId, BLOCK_META_BYTES};
 use boss_scm::{AccessCategory, AccessKind, MemoryConfig, MemorySim, PatternHint};
@@ -38,7 +38,10 @@ impl Default for IiuConfig {
 impl IiuConfig {
     /// `n` cores, defaults elsewhere.
     pub fn with_cores(n: u32) -> Self {
-        IiuConfig { n_cores: n, ..Self::default() }
+        IiuConfig {
+            n_cores: n,
+            ..Self::default()
+        }
     }
 
     /// Replaces the memory node.
@@ -102,7 +105,8 @@ impl<'a> Run<'a> {
             self.eval.blocks_fetched += 1;
             let unit = bi % self.dec_cycles.len();
             self.dec_cycles[unit] += u64::from(meta.len).max(meta.count() as u64 * 2) / 2 + 4;
-            list.decode_block(bi, &mut docs, &mut tfs).expect("index blocks decode");
+            list.decode_block(bi, &mut docs, &mut tfs)
+                .expect("index blocks decode");
         }
         (docs, tfs)
     }
@@ -166,7 +170,8 @@ impl<'a> Run<'a> {
                 self.eval.blocks_fetched += 1;
                 bdocs.clear();
                 btfs.clear();
-                list.decode_block(lo, &mut bdocs, &mut btfs).expect("index blocks decode");
+                list.decode_block(lo, &mut bdocs, &mut btfs)
+                    .expect("index blocks decode");
                 let unit = lo % self.dec_cycles.len();
                 self.dec_cycles[unit] += u64::from(blocks[lo].len).max(bdocs.len() as u64) / 2 + 4;
                 cached_block = lo;
@@ -187,15 +192,36 @@ impl<'a> Run<'a> {
     fn spill_intermediate(&mut self, len: usize) {
         let bytes = (len as u64 * 8).max(8);
         let addr = self.scratch.alloc(bytes);
-        self.mem.access(addr, bytes, AccessKind::Write, AccessCategory::StInter, PatternHint::Sequential, 0);
-        self.mem.access(addr, bytes, AccessKind::Read, AccessCategory::LdInter, PatternHint::Sequential, 0);
+        self.mem.access(
+            addr,
+            bytes,
+            AccessKind::Write,
+            AccessCategory::StInter,
+            PatternHint::Sequential,
+            0,
+        );
+        self.mem.access(
+            addr,
+            bytes,
+            AccessKind::Read,
+            AccessCategory::LdInter,
+            PatternHint::Sequential,
+            0,
+        );
     }
 
     fn score(&mut self, doc: DocId, entries: &[(TermId, u32)]) -> f32 {
         // Same 64-byte line buffer as BOSS's scoring module.
         let addr = self.image.norm_addr(doc);
         if addr / 64 != self.norm_line {
-            self.mem.access(addr, 4, AccessKind::Read, AccessCategory::LdScore, PatternHint::Random, 0);
+            self.mem.access(
+                addr,
+                4,
+                AccessKind::Read,
+                AccessCategory::LdScore,
+                PatternHint::Random,
+                0,
+            );
             self.norm_line = addr / 64;
         }
         let norm = self.index.doc_norms()[doc as usize];
@@ -221,7 +247,12 @@ impl<'a> IiuEngine<'a> {
             memory: config.memory.clone(),
             ..BossConfig::default()
         };
-        IiuEngine { index, image: IndexImage::new(index), config, plan_config }
+        IiuEngine {
+            index,
+            image: IndexImage::new(index),
+            config,
+            plan_config,
+        }
     }
 
     /// The configuration.
@@ -250,7 +281,8 @@ impl<'a> IiuEngine<'a> {
 
         // Each group: SvS with binary-search membership testing, spilling
         // intermediates between iterations; groups then merge exhaustively.
-        let mut merged: std::collections::BTreeMap<DocId, Vec<(TermId, u32)>> = std::collections::BTreeMap::new();
+        let mut merged: std::collections::BTreeMap<DocId, Vec<(TermId, u32)>> =
+            std::collections::BTreeMap::new();
         for group in plan.groups() {
             let mut order: Vec<TermId> = group.clone();
             order.sort_by_key(|&t| self.index.list(t).df());
@@ -288,7 +320,14 @@ impl<'a> IiuEngine<'a> {
         }
         let result_bytes = (scored.len() as u64 * 8).max(8);
         let addr = run.scratch.alloc(result_bytes);
-        run.mem.access(addr, result_bytes, AccessKind::Write, AccessCategory::StResult, PatternHint::Sequential, 0);
+        run.mem.access(
+            addr,
+            result_bytes,
+            AccessKind::Write,
+            AccessCategory::StResult,
+            PatternHint::Sequential,
+            0,
+        );
 
         // Host-side top-k (free, per the paper's methodology).
         let mut topk = TopK::new(k.max(1));
@@ -384,14 +423,22 @@ mod tests {
         let out = engine.execute(&q, 10).unwrap();
         // Every data block of the probed list reached by membership testing
         // is fetched with a random access (plus random norm-line loads).
-        assert!(out.mem.rand_accesses >= 3, "binary-search fetches are random: {}", out.mem.rand_accesses);
+        assert!(
+            out.mem.rand_accesses >= 3,
+            "binary-search fetches are random: {}",
+            out.mem.rand_accesses
+        );
     }
 
     #[test]
     fn multi_term_queries_spill_intermediates() {
         let idx = corpus();
         let engine = IiuEngine::new(&idx, IiuConfig::default());
-        let q3 = QueryExpr::and([QueryExpr::term("aa"), QueryExpr::term("bb"), QueryExpr::term("cc")]);
+        let q3 = QueryExpr::and([
+            QueryExpr::term("aa"),
+            QueryExpr::term("bb"),
+            QueryExpr::term("cc"),
+        ]);
         let out = engine.execute(&q3, 10).unwrap();
         assert!(out.mem.bytes(AccessCategory::StInter) > 0);
         assert!(out.mem.bytes(AccessCategory::LdInter) > 0);
@@ -400,7 +447,10 @@ mod tests {
         let out2 = engine.execute(&q2, 10).unwrap();
         assert!(out2.mem.bytes(AccessCategory::StInter) > 0);
         // Every spill is read back in full.
-        assert_eq!(out.mem.bytes(AccessCategory::StInter), out.mem.bytes(AccessCategory::LdInter));
+        assert_eq!(
+            out.mem.bytes(AccessCategory::StInter),
+            out.mem.bytes(AccessCategory::LdInter)
+        );
     }
 
     #[test]
@@ -410,7 +460,10 @@ mod tests {
         let q = QueryExpr::term("aa");
         let out = engine.execute(&q, 10).unwrap();
         let cand = reference::candidates(&idx, &q).unwrap();
-        assert_eq!(out.mem.bytes(AccessCategory::StResult), cand.len() as u64 * 8);
+        assert_eq!(
+            out.mem.bytes(AccessCategory::StResult),
+            cand.len() as u64 * 8
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl Bm25 {
     pub fn new(params: Bm25Params, n_docs: u32, avgdl: f32) -> Self {
         assert!(n_docs > 0, "corpus must contain documents");
         assert!(avgdl > 0.0, "average document length must be positive");
-        Bm25 { params, n_docs, avgdl }
+        Bm25 {
+            params,
+            n_docs,
+            avgdl,
+        }
     }
 
     /// The free parameters.
@@ -147,8 +151,8 @@ mod tests {
         let got = s.term_score(idf, tf, s.doc_norm(dl));
         let k1 = 1.5f32;
         let b = 0.75f32;
-        let expect = idf * (tf as f32 * (k1 + 1.0))
-            / (tf as f32 + k1 * (1.0 - b + b * dl as f32 / 87.3));
+        let expect =
+            idf * (tf as f32 * (k1 + 1.0)) / (tf as f32 + k1 * (1.0 - b + b * dl as f32 / 87.3));
         assert!((got - expect).abs() < 1e-5);
     }
 

@@ -102,7 +102,13 @@ impl IndexBuilder {
     /// for invalid posting data, [`Error::InvalidQuery`] never, and codec
     /// errors if no scheme can encode a list (cannot happen with hybrid).
     pub fn build(self) -> Result<InvertedIndex, Error> {
-        let IndexBuilder { postings, mut doc_lens, params, scheme, .. } = self;
+        let IndexBuilder {
+            postings,
+            mut doc_lens,
+            params,
+            scheme,
+            ..
+        } = self;
 
         // Determine corpus size.
         let max_doc = postings
@@ -114,7 +120,9 @@ impl IndexBuilder {
             (None, l) => l,
         };
         if n_docs == 0 {
-            return Err(Error::InvalidQuery { reason: "cannot build an empty index".into() });
+            return Err(Error::InvalidQuery {
+                reason: "cannot build an empty index".into(),
+            });
         }
         if doc_lens.len() < n_docs {
             doc_lens.resize(n_docs, 0);
@@ -154,7 +162,10 @@ impl IndexBuilder {
                     let mut best: Option<EncodedList> = None;
                     for s in ALL_SCHEMES {
                         if let Ok(enc) = EncodedList::encode(&plist, s, &bm25, idf, &doc_norms) {
-                            if best.as_ref().is_none_or(|b| enc.data_bytes() < b.data_bytes()) {
+                            if best
+                                .as_ref()
+                                .is_none_or(|b| enc.data_bytes() < b.data_bytes())
+                            {
                                 best = Some(enc);
                             }
                         }
@@ -169,7 +180,14 @@ impl IndexBuilder {
             lists.push(encoded);
         }
 
-        Ok(InvertedIndex { vocab, terms, lists, doc_norms, doc_lens, bm25 })
+        Ok(InvertedIndex {
+            vocab,
+            terms,
+            lists,
+            doc_norms,
+            doc_lens,
+            bm25,
+        })
     }
 }
 

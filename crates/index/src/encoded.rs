@@ -237,7 +237,11 @@ impl EncodedList {
 
         let base = docs.len();
         codec.decode(delta_part, &meta.delta_info, docs)?;
-        let mut prev = if i == 0 { 0 } else { self.blocks[i - 1].last_doc };
+        let mut prev = if i == 0 {
+            0
+        } else {
+            self.blocks[i - 1].last_doc
+        };
         let mut first = i == 0;
         for d in &mut docs[base..] {
             let decoded = if first { *d } else { prev + *d };

@@ -65,7 +65,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = Error::UnknownTerm { term: "zebra".into() };
+        let e = Error::UnknownTerm {
+            term: "zebra".into(),
+        };
         assert!(e.to_string().contains("zebra"));
         let e: Error = boss_compress::Error::Corrupt { reason: "x" }.into();
         assert!(std::error::Error::source(&e).is_some());

@@ -57,7 +57,9 @@ impl InvertedIndex {
         self.vocab
             .get(term)
             .copied()
-            .ok_or_else(|| Error::UnknownTerm { term: term.to_owned() })
+            .ok_or_else(|| Error::UnknownTerm {
+                term: term.to_owned(),
+            })
     }
 
     /// Per-term statistics.

@@ -42,7 +42,10 @@ impl std::fmt::Display for IoError {
             IoError::Io(e) => write!(f, "index file I/O error: {e}"),
             IoError::BadMagic => write!(f, "not a BOSS index file (bad magic)"),
             IoError::BadVersion { found } => {
-                write!(f, "unsupported index file version {found} (supported: {VERSION})")
+                write!(
+                    f,
+                    "unsupported index file version {found} (supported: {VERSION})"
+                )
             }
             IoError::Corrupt(m) => write!(f, "corrupt index file: {m}"),
             IoError::Invalid(e) => write!(f, "index file contains an invalid index: {e}"),

@@ -175,7 +175,8 @@ mod tests {
     #[test]
     fn total_bytes_consistent() {
         let (idx, img) = image();
-        let expect: u64 = idx.total_meta_bytes() + idx.total_data_bytes() + u64::from(idx.n_docs()) * 4;
+        let expect: u64 =
+            idx.total_meta_bytes() + idx.total_data_bytes() + u64::from(idx.n_docs()) * 4;
         assert_eq!(img.total_bytes(), expect);
     }
 }

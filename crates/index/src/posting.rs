@@ -71,11 +71,15 @@ impl PostingList {
     pub fn push(&mut self, doc: DocId, tf: u32) -> Result<(), Error> {
         if let Some(&last) = self.docs.last() {
             if doc <= last {
-                return Err(Error::UnsortedPostings { at: self.docs.len() });
+                return Err(Error::UnsortedPostings {
+                    at: self.docs.len(),
+                });
             }
         }
         if tf == 0 {
-            return Err(Error::ZeroTermFrequency { at: self.docs.len() });
+            return Err(Error::ZeroTermFrequency {
+                at: self.docs.len(),
+            });
         }
         self.docs.push(doc);
         self.tfs.push(tf);
@@ -152,7 +156,10 @@ mod tests {
     fn iter_yields_pairs() {
         let l = PostingList::from_columns(vec![2, 9], vec![1, 4]).unwrap();
         let v: Vec<_> = l.iter().collect();
-        assert_eq!(v, vec![Posting { doc: 2, tf: 1 }, Posting { doc: 9, tf: 4 }]);
+        assert_eq!(
+            v,
+            vec![Posting { doc: 2, tf: 1 }, Posting { doc: 9, tf: 4 }]
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl QueryExpr {
         self.validate_structure()?;
         let n = self.terms().len();
         if n == 0 {
-            return Err(Error::InvalidQuery { reason: "query has no terms".into() });
+            return Err(Error::InvalidQuery {
+                reason: "query has no terms".into(),
+            });
         }
         if n > max_terms {
             return Err(Error::InvalidQuery {
@@ -77,13 +79,15 @@ impl QueryExpr {
 
     fn validate_structure(&self) -> Result<(), Error> {
         match self {
-            QueryExpr::Term(t) if t.is_empty() => {
-                Err(Error::InvalidQuery { reason: "empty term".into() })
-            }
+            QueryExpr::Term(t) if t.is_empty() => Err(Error::InvalidQuery {
+                reason: "empty term".into(),
+            }),
             QueryExpr::Term(_) => Ok(()),
             QueryExpr::And(subs) | QueryExpr::Or(subs) => {
                 if subs.is_empty() {
-                    return Err(Error::InvalidQuery { reason: "empty operator".into() });
+                    return Err(Error::InvalidQuery {
+                        reason: "empty operator".into(),
+                    });
                 }
                 for s in subs {
                     s.validate_structure()?;

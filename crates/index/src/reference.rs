@@ -28,7 +28,9 @@ pub fn candidates(index: &InvertedIndex, expr: &QueryExpr) -> Result<Vec<DocId>,
         }
         QueryExpr::And(subs) => {
             if subs.is_empty() {
-                return Err(Error::InvalidQuery { reason: "empty AND".into() });
+                return Err(Error::InvalidQuery {
+                    reason: "empty AND".into(),
+                });
             }
             let mut sets: Vec<Vec<DocId>> = subs
                 .iter()
@@ -47,7 +49,9 @@ pub fn candidates(index: &InvertedIndex, expr: &QueryExpr) -> Result<Vec<DocId>,
         }
         QueryExpr::Or(subs) => {
             if subs.is_empty() {
-                return Err(Error::InvalidQuery { reason: "empty OR".into() });
+                return Err(Error::InvalidQuery {
+                    reason: "empty OR".into(),
+                });
             }
             let mut acc: Vec<DocId> = Vec::new();
             for s in subs {
@@ -163,7 +167,11 @@ fn matched_terms(
 /// # Errors
 ///
 /// Same conditions as [`candidates`].
-pub fn evaluate(index: &InvertedIndex, expr: &QueryExpr, k: usize) -> Result<Vec<SearchHit>, Error> {
+pub fn evaluate(
+    index: &InvertedIndex,
+    expr: &QueryExpr,
+    k: usize,
+) -> Result<Vec<SearchHit>, Error> {
     let cands = candidates(index, expr)?;
     // Per-document (term, tf) for all query terms.
     let mut ids: Vec<_> = expr

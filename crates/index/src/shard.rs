@@ -43,7 +43,11 @@ impl ShardedIndex {
 
         let mut builders: Vec<IndexBuilder> = Vec::new();
         for (i, &base) in bases.iter().enumerate() {
-            let end = if i + 1 < bases.len() { bases[i + 1] } else { n_docs };
+            let end = if i + 1 < bases.len() {
+                bases[i + 1]
+            } else {
+                n_docs
+            };
             let lens = index.doc_lens()[base as usize..end as usize].to_vec();
             builders.push(IndexBuilder::new().doc_lens(lens));
         }
@@ -56,12 +60,15 @@ impl ShardedIndex {
             let mut cur_docs: Vec<DocId> = Vec::new();
             let mut cur_tfs: Vec<u32> = Vec::new();
             let flush = |s: usize,
-                             cur_docs: &mut Vec<DocId>,
-                             cur_tfs: &mut Vec<u32>,
-                             builders: &mut Vec<IndexBuilder>|
+                         cur_docs: &mut Vec<DocId>,
+                         cur_tfs: &mut Vec<u32>,
+                         builders: &mut Vec<IndexBuilder>|
              -> Result<(), Error> {
                 if !cur_docs.is_empty() {
-                    let list = PostingList::from_columns(std::mem::take(cur_docs), std::mem::take(cur_tfs))?;
+                    let list = PostingList::from_columns(
+                        std::mem::take(cur_docs),
+                        std::mem::take(cur_tfs),
+                    )?;
                     let b = std::mem::take(&mut builders[s]);
                     builders[s] = b.add_posting_list(&info.text, &list);
                 }
@@ -82,7 +89,11 @@ impl ShardedIndex {
             .into_iter()
             .map(IndexBuilder::build)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedIndex { shards, bases, n_docs })
+        Ok(ShardedIndex {
+            shards,
+            bases,
+            n_docs,
+        })
     }
 
     /// Number of shards.
@@ -221,7 +232,10 @@ mod tests {
     fn merge_topk_ranks_globally() {
         let idx = corpus();
         let sharded = ShardedIndex::split(&idx, 2).unwrap();
-        let a = vec![SearchHit { doc: 0, score: 3.0 }, SearchHit { doc: 5, score: 1.0 }];
+        let a = vec![
+            SearchHit { doc: 0, score: 3.0 },
+            SearchHit { doc: 5, score: 1.0 },
+        ];
         let b = vec![SearchHit { doc: 0, score: 2.0 }];
         let merged = sharded.merge_topk(&[a, b], 2);
         assert_eq!(merged.len(), 2);

@@ -63,7 +63,10 @@ impl Default for LuceneConfig {
 impl LuceneConfig {
     /// `n` threads, defaults elsewhere.
     pub fn with_threads(n: u32) -> Self {
-        LuceneConfig { n_threads: n, ..Self::default() }
+        LuceneConfig {
+            n_threads: n,
+            ..Self::default()
+        }
     }
 
     /// Replaces the host memory system.
@@ -257,7 +260,12 @@ impl<'a> LuceneEngine<'a> {
         let mem_cycles_host = mem.stats().last_done_cycle as f64 * self.config.clock_ghz;
         let cycles = (compute + mem_cycles_host) as u64;
 
-        Ok(QueryOutcome { hits, cycles, mem: mem.take_stats(), eval })
+        Ok(QueryOutcome {
+            hits,
+            cycles,
+            mem: mem.take_stats(),
+            eval,
+        })
     }
 
     /// Batch execution with query-level parallelism: greedy assignment of
@@ -267,7 +275,11 @@ impl<'a> LuceneEngine<'a> {
     /// # Errors
     ///
     /// Fails on the first unplannable query.
-    pub fn run_batch(&self, queries: &[QueryExpr], k: usize) -> Result<(Vec<QueryOutcome>, u64), Error> {
+    pub fn run_batch(
+        &self,
+        queries: &[QueryExpr],
+        k: usize,
+    ) -> Result<(Vec<QueryOutcome>, u64), Error> {
         let mut threads = vec![0u64; self.config.n_threads as usize];
         let mut outcomes = Vec::with_capacity(queries.len());
         let mut busy = 0u64;
@@ -284,8 +296,8 @@ impl<'a> LuceneEngine<'a> {
         // Same roofline as the accelerators: the host memory system can
         // serve at most `channels` channel-cycles per (1 GHz) cycle;
         // convert to host cycles.
-        let bw_limited =
-            (busy as f64 / f64::from(self.config.memory.channels.max(1)) * self.config.clock_ghz) as u64;
+        let bw_limited = (busy as f64 / f64::from(self.config.memory.channels.max(1))
+            * self.config.clock_ghz) as u64;
         let makespan = threads.into_iter().max().unwrap_or(0).max(bw_limited);
         Ok((outcomes, makespan))
     }

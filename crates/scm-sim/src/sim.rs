@@ -140,7 +140,11 @@ impl MemorySim {
             PatternHint::Random => false,
             // Auto: sequential if this access begins within one granule of
             // where the previous same-kind access on this channel ended.
-            PatternHint::Auto => addr >= last_end.saturating_sub(granule) && addr <= last_end + granule && last_end != 0,
+            PatternHint::Auto => {
+                addr >= last_end.saturating_sub(granule)
+                    && addr <= last_end + granule
+                    && last_end != 0
+            }
         };
 
         let bpc = match (kind, sequential) {
@@ -158,7 +162,11 @@ impl MemorySim {
         // Sequential accesses are parts of a stream: consecutive requests
         // coalesce, so they cost their actual bytes. Isolated (random)
         // accesses move at least one line.
-        let eff_bytes = if sequential { bytes } else { bytes.max(MIN_TRANSFER_BYTES) };
+        let eff_bytes = if sequential {
+            bytes
+        } else {
+            bytes.max(MIN_TRANSFER_BYTES)
+        };
         let busy = ((eff_bytes as f64 / bpc).ceil() as u64).max(1);
 
         let ch = &mut self.channels[ch_idx];
@@ -170,23 +178,45 @@ impl MemorySim {
             AccessKind::Read => ch.last_read_end = end,
             AccessKind::Write => ch.last_write_end = end,
         }
-        self.stats.record(cat, bytes, eff_bytes, sequential, busy, done);
+        self.stats
+            .record(cat, bytes, eff_bytes, sequential, busy, done);
         done
     }
 
     /// Convenience: sequential read.
     pub fn read_seq(&mut self, addr: u64, bytes: u64, cat: AccessCategory, earliest: u64) -> u64 {
-        self.access(addr, bytes, AccessKind::Read, cat, PatternHint::Sequential, earliest)
+        self.access(
+            addr,
+            bytes,
+            AccessKind::Read,
+            cat,
+            PatternHint::Sequential,
+            earliest,
+        )
     }
 
     /// Convenience: random read.
     pub fn read_rand(&mut self, addr: u64, bytes: u64, cat: AccessCategory, earliest: u64) -> u64 {
-        self.access(addr, bytes, AccessKind::Read, cat, PatternHint::Random, earliest)
+        self.access(
+            addr,
+            bytes,
+            AccessKind::Read,
+            cat,
+            PatternHint::Random,
+            earliest,
+        )
     }
 
     /// Convenience: sequential write.
     pub fn write_seq(&mut self, addr: u64, bytes: u64, cat: AccessCategory, earliest: u64) -> u64 {
-        self.access(addr, bytes, AccessKind::Write, cat, PatternHint::Sequential, earliest)
+        self.access(
+            addr,
+            bytes,
+            AccessKind::Write,
+            cat,
+            PatternHint::Sequential,
+            earliest,
+        )
     }
 }
 
@@ -250,9 +280,23 @@ mod tests {
     #[test]
     fn auto_detects_contiguous_stream() {
         let mut m = sim();
-        let d1 = m.access(0, 512, AccessKind::Read, AccessCategory::LdList, PatternHint::Random, 0);
+        let d1 = m.access(
+            0,
+            512,
+            AccessKind::Read,
+            AccessCategory::LdList,
+            PatternHint::Random,
+            0,
+        );
         // Next access continues exactly where the previous ended on channel 0.
-        let d2 = m.access(512, 512, AccessKind::Read, AccessCategory::LdList, PatternHint::Auto, d1);
+        let d2 = m.access(
+            512,
+            512,
+            AccessKind::Read,
+            AccessCategory::LdList,
+            PatternHint::Auto,
+            d1,
+        );
         assert_eq!(m.stats().seq_bytes, 512);
         assert_eq!(m.stats().rand_bytes, 512);
         assert!(d2 > d1);
@@ -261,7 +305,14 @@ mod tests {
     #[test]
     fn auto_first_access_is_random() {
         let mut m = sim();
-        m.access(4096 * 3, 256, AccessKind::Read, AccessCategory::LdList, PatternHint::Auto, 0);
+        m.access(
+            4096 * 3,
+            256,
+            AccessKind::Read,
+            AccessCategory::LdList,
+            PatternHint::Auto,
+            0,
+        );
         assert_eq!(m.stats().rand_accesses, 1);
     }
 
@@ -289,7 +340,14 @@ mod tests {
         let d1 = m.read_seq(0, 3072, AccessCategory::LdList, 0);
         // Same channel (same 4 KiB interleave stride), issued at cycle 0 but
         // the channel is busy until d1.
-        let d2 = m.access(3072, 1024, AccessKind::Read, AccessCategory::LdList, PatternHint::Sequential, 0);
+        let d2 = m.access(
+            3072,
+            1024,
+            AccessKind::Read,
+            AccessCategory::LdList,
+            PatternHint::Sequential,
+            0,
+        );
         assert!(d2 > d1);
     }
 

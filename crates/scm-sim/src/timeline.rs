@@ -22,7 +22,10 @@ impl Timeline {
     /// Panics if `bucket_cycles == 0`.
     pub fn new(bucket_cycles: u64) -> Self {
         assert!(bucket_cycles > 0, "bucket width must be positive");
-        Timeline { bucket_cycles, buckets: Vec::new() }
+        Timeline {
+            bucket_cycles,
+            buckets: Vec::new(),
+        }
     }
 
     /// Records `bytes` of transfer completing at `cycle`.
@@ -76,7 +79,10 @@ impl Timeline {
     ///
     /// Panics on mismatched bucket widths.
     pub fn merge(&mut self, other: &Timeline) {
-        assert_eq!(self.bucket_cycles, other.bucket_cycles, "bucket widths must match");
+        assert_eq!(
+            self.bucket_cycles, other.bucket_cycles,
+            "bucket widths must match"
+        );
         if other.buckets.len() > self.buckets.len() {
             self.buckets.resize(other.buckets.len(), 0);
         }

@@ -60,7 +60,12 @@ impl QueryType {
     ///
     /// Panics if `terms.len() != self.n_terms()`.
     pub fn build(self, terms: &[String]) -> QueryExpr {
-        assert_eq!(terms.len(), self.n_terms(), "{self:?} takes {} terms", self.n_terms());
+        assert_eq!(
+            terms.len(),
+            self.n_terms(),
+            "{self:?} takes {} terms",
+            self.n_terms()
+        );
         let t = |i: usize| QueryExpr::term(terms[i].clone());
         match self {
             QueryType::Q1 => t(0),
@@ -116,8 +121,15 @@ impl QuerySampler {
                 cumulative.push(acc);
             }
         }
-        assert!(!terms.is_empty(), "index vocabulary too small to sample queries");
-        QuerySampler { terms, cumulative, rng: rng::rng(seed) }
+        assert!(
+            !terms.is_empty(),
+            "index vocabulary too small to sample queries"
+        );
+        QuerySampler {
+            terms,
+            cumulative,
+            rng: rng::rng(seed),
+        }
     }
 
     fn sample_term(&mut self) -> String {
@@ -142,7 +154,10 @@ impl QuerySampler {
                 out.push(t);
             }
             guard += 1;
-            assert!(guard < 10_000, "term sampling failed to find distinct terms");
+            assert!(
+                guard < 10_000,
+                "term sampling failed to find distinct terms"
+            );
         }
         out
     }
@@ -150,7 +165,10 @@ impl QuerySampler {
     /// Samples one query of the given type.
     pub fn sample(&mut self, qtype: QueryType) -> TypedQuery {
         let terms = self.sample_terms(qtype.n_terms());
-        TypedQuery { qtype, expr: qtype.build(&terms) }
+        TypedQuery {
+            qtype,
+            expr: qtype.build(&terms),
+        }
     }
 
     /// The paper's methodology: equal thirds of 1-, 2- and 4-term queries
@@ -201,8 +219,14 @@ mod tests {
     fn table2_shapes() {
         let terms: Vec<String> = (0..4).map(|i| format!("w{i}")).collect();
         assert_eq!(QueryType::Q1.build(&terms[..1]).to_string(), "\"w0\"");
-        assert_eq!(QueryType::Q2.build(&terms[..2]).to_string(), "(\"w0\" AND \"w1\")");
-        assert_eq!(QueryType::Q3.build(&terms[..2]).to_string(), "(\"w0\" OR \"w1\")");
+        assert_eq!(
+            QueryType::Q2.build(&terms[..2]).to_string(),
+            "(\"w0\" AND \"w1\")"
+        );
+        assert_eq!(
+            QueryType::Q3.build(&terms[..2]).to_string(),
+            "(\"w0\" OR \"w1\")"
+        );
         assert_eq!(
             QueryType::Q6.build(&terms).to_string(),
             "(\"w0\" AND (\"w1\" OR \"w2\" OR \"w3\"))"
@@ -229,7 +253,10 @@ mod tests {
                 top_hits += 1;
             }
         }
-        assert!(top_hits > 100, "df-weighted sampling should mostly pick frequent terms ({top_hits}/200)");
+        assert!(
+            top_hits > 100,
+            "df-weighted sampling should mostly pick frequent terms ({top_hits}/200)"
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl Zipf {
     /// Samples a rank in `1..=n`.
     pub fn sample(&self, rng: &mut SeededRng) -> usize {
         let u: f64 = rng.random_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }
     }
@@ -99,7 +102,10 @@ impl Zipf {
 ///
 /// Panics if `count > range`.
 pub fn sorted_distinct(rng: &mut SeededRng, count: usize, range: u32) -> Vec<u32> {
-    assert!(count as u64 <= u64::from(range), "cannot draw {count} distinct values from {range}");
+    assert!(
+        count as u64 <= u64::from(range),
+        "cannot draw {count} distinct values from {range}"
+    );
     if count == 0 {
         return Vec::new();
     }

@@ -152,7 +152,11 @@ mod tests {
 
     #[test]
     fn lengths_match_request() {
-        for kind in [StreamKind::UniformSparse, StreamKind::Outlier10, StreamKind::Zipf] {
+        for kind in [
+            StreamKind::UniformSparse,
+            StreamKind::Outlier10,
+            StreamKind::Zipf,
+        ] {
             assert_eq!(generate(kind, 5000, 1).len(), 5000);
         }
     }
@@ -189,10 +193,17 @@ mod tests {
     fn zipf_mostly_tiny_values() {
         let z = generate(StreamKind::Zipf, 20_000, 6);
         let zeros = z.iter().filter(|&&x| x == 0).count();
-        assert!(zeros as f64 > z.len() as f64 * 0.1, "rank 1 dominates: {zeros}");
+        assert!(
+            zeros as f64 > z.len() as f64 * 0.1,
+            "rank 1 dominates: {zeros}"
+        );
         let mut sorted = z.clone();
         sorted.sort_unstable();
-        assert!(sorted[z.len() / 2] < 16, "median is tiny: {}", sorted[z.len() / 2]);
+        assert!(
+            sorted[z.len() / 2] < 16,
+            "median is tiny: {}",
+            sorted[z.len() / 2]
+        );
     }
 
     #[test]

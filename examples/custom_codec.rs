@@ -22,7 +22,11 @@ fn encode_xor_delta(values: &[u32], out: &mut Vec<u8>) -> BlockInfo {
         prev = v;
     }
     w.finish();
-    BlockInfo { count: values.len() as u16, bit_width: 12, exception_offset: 0 }
+    BlockInfo {
+        count: values.len() as u16,
+        bit_width: 12,
+        exception_offset: 0,
+    }
 }
 
 const XOR_DELTA_CONFIG: &str = "
@@ -46,13 +50,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let values: Vec<u32> = (0..40u32).map(|i| (i * 97) % 4096).collect();
     let mut data = Vec::new();
     let info = encode_xor_delta(&values, &mut data);
-    println!("encoded {} values into {} bytes (12-bit xor-delta)", values.len(), data.len());
+    println!(
+        "encoded {} values into {} bytes (12-bit xor-delta)",
+        values.len(),
+        data.len()
+    );
 
     let engine = DecompEngine::from_config_text(XOR_DELTA_CONFIG)?;
     let decoded = engine.decode(&data, &info)?;
     assert_eq!(decoded.values, values);
-    println!("programmable datapath decoded them back in {} cycles", decoded.cycles);
+    println!(
+        "programmable datapath decoded them back in {} cycles",
+        decoded.cycles
+    );
     println!("first ten: {:?}", &decoded.values[..10]);
-    println!("\nno new hardware was invented: one XOR primitive + one register, wired by config text.");
+    println!(
+        "\nno new hardware was invented: one XOR primitive + one register, wired by config text."
+    );
     Ok(())
 }

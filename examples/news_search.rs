@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let queries: Vec<_> = sampler.trec_like_mix(30);
     let k = 10;
 
-    let mut boss = BossDevice::new(&index, BossConfig::default().with_et(EtMode::Full).with_k(k));
+    let mut boss = BossDevice::new(
+        &index,
+        BossConfig::default().with_et(EtMode::Full).with_k(k),
+    );
     let iiu = IiuEngine::new(&index, IiuConfig::default());
     let lucene = LuceneEngine::new(&index, LuceneConfig::default());
 
@@ -41,8 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         boss_cycles += b.cycles;
     }
     println!("\nran {} TREC-like queries (k={k})", queries.len());
-    println!("all three engines agreed on {agree}/{} result lists", queries.len());
-    println!("BOSS mean latency: {:.1} us/query at 1 GHz", boss_cycles as f64 / queries.len() as f64 / 1e3);
+    println!(
+        "all three engines agreed on {agree}/{} result lists",
+        queries.len()
+    );
+    println!(
+        "BOSS mean latency: {:.1} us/query at 1 GHz",
+        boss_cycles as f64 / queries.len() as f64 / 1e3
+    );
 
     // Show one query end to end.
     let tq = &queries[1];

@@ -13,14 +13,20 @@ use boss_workload::queries::QuerySampler;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let index = CorpusSpec::clueweb12_like(Scale::Smoke).build()?;
     let mut sampler = QuerySampler::new(&index, 7);
-    let queries: Vec<_> = sampler.trec_like_mix(48).into_iter().map(|t| t.expr).collect();
+    let queries: Vec<_> = sampler
+        .trec_like_mix(48)
+        .into_iter()
+        .map(|t| t.expr)
+        .collect();
     let k = 100;
 
     println!("cores\tBOSS qps\tIIU qps\tBOSS GB/s\tIIU GB/s");
     for cores in [1u32, 2, 4, 8, 16] {
         let mut boss = BossDevice::new(
             &index,
-            BossConfig::with_cores(cores).with_et(EtMode::Full).with_k(k),
+            BossConfig::with_cores(cores)
+                .with_et(EtMode::Full)
+                .with_k(k),
         );
         let batch = boss.run_batch(&queries, k)?;
         let boss_qps = batch.throughput_qps(1.0);
@@ -37,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             channel_busy += out.mem.busy_cycles;
         }
         let channels = u64::from(MemoryConfig::optane_dcpmm().channels);
-        let makespan = busy.into_iter().max().unwrap_or(0).max(channel_busy / channels);
+        let makespan = busy
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+            .max(channel_busy / channels);
         let iiu_qps = queries.len() as f64 / (makespan as f64 / 1e9);
         let iiu_bw = bytes as f64 / makespan as f64;
         println!(

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let out = boss.search(&SearchRequest::new(q).with_k(3))?;
         println!("\nquery {q}");
         for hit in &out.hits {
-            println!("  doc {:>2}  score {:.3}  | {}", hit.doc, hit.score, documents[hit.doc as usize]);
+            println!(
+                "  doc {:>2}  score {:.3}  | {}",
+                hit.doc, hit.score, documents[hit.doc as usize]
+            );
         }
         println!(
             "  [{} cycles, {} bytes of SCM traffic, {} docs scored, {} skipped]",

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  node {i}: {} docs, {} terms", s.n_docs(), s.n_terms());
     }
 
-    let mut pool = MemoryPool::new(&sharded, BossConfig::with_cores(2), InterconnectConfig::default());
+    let mut pool = MemoryPool::new(
+        &sharded,
+        BossConfig::with_cores(2),
+        InterconnectConfig::default(),
+    );
     let mut sampler = QuerySampler::new(&index, 11);
     let k = 10;
 

@@ -9,7 +9,9 @@ use boss_workload::corpus::{CorpusSpec, Scale};
 use boss_workload::queries::{QuerySampler, ALL_QUERY_TYPES};
 
 fn corpus() -> boss_index::InvertedIndex {
-    CorpusSpec::ccnews_like(Scale::Smoke).build().expect("corpus builds")
+    CorpusSpec::ccnews_like(Scale::Smoke)
+        .build()
+        .expect("corpus builds")
 }
 
 #[test]
@@ -51,25 +53,43 @@ fn et_modes_identical_results_different_work() {
         }
         scored.push(out.eval.docs_scored);
     }
-    assert!(scored[2] <= scored[1] && scored[1] <= scored[0], "monotone pruning: {scored:?}");
-    assert!(scored[2] < scored[0], "full ET must actually skip on a Q5 with k=10");
+    assert!(
+        scored[2] <= scored[1] && scored[1] <= scored[0],
+        "monotone pruning: {scored:?}"
+    );
+    assert!(
+        scored[2] < scored[0],
+        "full ET must actually skip on a Q5 with k=10"
+    );
 }
 
 #[test]
 fn dram_never_slower_than_scm() {
     let index = corpus();
     let mut sampler = QuerySampler::new(&index, 5);
-    let queries: Vec<_> = sampler.trec_like_mix(12).into_iter().map(|t| t.expr).collect();
+    let queries: Vec<_> = sampler
+        .trec_like_mix(12)
+        .into_iter()
+        .map(|t| t.expr)
+        .collect();
 
     let mut boss_scm = BossDevice::new(&index, BossConfig::default());
-    let mut boss_dram =
-        BossDevice::new(&index, BossConfig::default().on_memory(MemoryConfig::ddr4_2666()));
+    let mut boss_dram = BossDevice::new(
+        &index,
+        BossConfig::default().on_memory(MemoryConfig::ddr4_2666()),
+    );
     let b_scm = boss_scm.run_batch(&queries, 100).expect("runs");
     let b_dram = boss_dram.run_batch(&queries, 100).expect("runs");
-    assert!(b_dram.makespan_cycles <= b_scm.makespan_cycles, "BOSS on DRAM is at least as fast");
+    assert!(
+        b_dram.makespan_cycles <= b_scm.makespan_cycles,
+        "BOSS on DRAM is at least as fast"
+    );
 
     let l_scm = LuceneEngine::new(&index, LuceneConfig::default());
-    let l_dram = LuceneEngine::new(&index, LuceneConfig::default().on_memory(MemoryConfig::host_ddr4_6ch()));
+    let l_dram = LuceneEngine::new(
+        &index,
+        LuceneConfig::default().on_memory(MemoryConfig::host_ddr4_6ch()),
+    );
     let (_, m_scm) = l_scm.run_batch(&queries, 100).expect("runs");
     let (_, m_dram) = l_dram.run_batch(&queries, 100).expect("runs");
     assert!(m_dram <= m_scm);
@@ -97,8 +117,13 @@ fn offload_api_round_trip() {
     // Build an expression from real vocabulary.
     let mut sampler = QuerySampler::new(&index, 3);
     let terms = sampler.sample_terms(3);
-    let q = format!("\"{}\" AND (\"{}\" OR \"{}\")", terms[0], terms[1], terms[2]);
-    let out = h.search(&SearchRequest::new(&q).with_k(25)).expect("api search runs");
+    let q = format!(
+        "\"{}\" AND (\"{}\" OR \"{}\")",
+        terms[0], terms[1], terms[2]
+    );
+    let out = h
+        .search(&SearchRequest::new(&q).with_k(25))
+        .expect("api search runs");
     let expr = boss_core::parse_query(&q).expect("parses");
     let expect = boss_index::reference::evaluate(&index, &expr, 25).expect("reference runs");
     assert_eq!(out.hits, expect);

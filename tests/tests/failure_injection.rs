@@ -16,10 +16,16 @@ fn corrupted_blocks_surface_codec_errors() {
         // Truncation must be detected.
         if buf.len() > 2 {
             let short = &buf[..buf.len() / 2];
-            assert!(codec.decode(short, &info, &mut Vec::new()).is_err(), "{s} truncated");
+            assert!(
+                codec.decode(short, &info, &mut Vec::new()).is_err(),
+                "{s} truncated"
+            );
         }
         // A count larger than the data supports must be detected.
-        let overlong = BlockInfo { count: info.count + 64, ..info };
+        let overlong = BlockInfo {
+            count: info.count + 64,
+            ..info
+        };
         let result = codec.decode(&buf, &overlong, &mut Vec::new());
         // Some schemes can legally pad (BP width 0); others must error.
         if info.bit_width > 0 || matches!(s, Scheme::Vb | Scheme::S16 | Scheme::S8b) {
@@ -33,7 +39,10 @@ fn decomp_engine_rejects_broken_configs() {
     // No extractor enabled.
     assert!(DecompEngine::from_config_text("UseDelta = 1\n").is_err());
     // Undefined wire.
-    assert!(DecompEngine::from_config_text("Extractor[0].use = 1\nOutput := ADD(nothing, 1)\n").is_err());
+    assert!(
+        DecompEngine::from_config_text("Extractor[0].use = 1\nOutput := ADD(nothing, 1)\n")
+            .is_err()
+    );
     // Unknown primitive.
     assert!(DecompEngine::from_config_text("Extractor[0].use = 1\nx := NAND(Input, 1)\n").is_err());
     // Garbage line.
@@ -78,7 +87,10 @@ fn api_rejects_malformed_and_oversized_queries() {
     let and17: Vec<String> = (0..17).map(|i| format!("\"t{i}\"")).collect();
     let q = and17.join(" AND ");
     assert!(parse_query(&q).is_ok(), "parses fine");
-    assert!(h.search(&SearchRequest::new(q)).is_err(), "but cannot be planned");
+    assert!(
+        h.search(&SearchRequest::new(q)).is_err(),
+        "but cannot be planned"
+    );
 }
 
 #[test]
@@ -88,10 +100,14 @@ fn queries_against_vocabulary_edge_cases() {
         .build()
         .expect("builds");
     let mut h = BossHandle::init(&index, BossConfig::default());
-    let out = h.search(&SearchRequest::new(r#""document""#).with_k(10)).expect("runs");
+    let out = h
+        .search(&SearchRequest::new(r#""document""#).with_k(10))
+        .expect("runs");
     assert_eq!(out.hits.len(), 1);
     // k far above the corpus size.
-    let out = h.search(&SearchRequest::new(r#""document""#).with_k(100_000)).expect("runs");
+    let out = h
+        .search(&SearchRequest::new(r#""document""#).with_k(100_000))
+        .expect("runs");
     assert_eq!(out.hits.len(), 1);
 }
 

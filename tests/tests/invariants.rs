@@ -8,7 +8,9 @@ use boss_workload::corpus::{CorpusSpec, Scale};
 use boss_workload::queries::{QuerySampler, QueryType};
 
 fn corpus() -> boss_index::InvertedIndex {
-    CorpusSpec::clueweb12_like(Scale::Smoke).build().expect("corpus builds")
+    CorpusSpec::clueweb12_like(Scale::Smoke)
+        .build()
+        .expect("corpus builds")
 }
 
 #[test]
@@ -41,7 +43,10 @@ fn boss_never_spills_intermediates() {
         assert_eq!(b.mem.bytes(AccessCategory::StInter), 0, "{qt:?}");
         assert_eq!(b.mem.bytes(AccessCategory::LdInter), 0, "{qt:?}");
         let i = iiu.execute(&q, 100).expect("runs");
-        assert!(i.mem.bytes(AccessCategory::StInter) > 0, "{qt:?}: IIU spills");
+        assert!(
+            i.mem.bytes(AccessCategory::StInter) > 0,
+            "{qt:?}: IIU spills"
+        );
     }
 }
 
@@ -68,19 +73,32 @@ fn boss_union_traffic_not_above_iiu() {
 
 #[test]
 fn eval_counters_conserved_for_unions() {
-    // Every candidate document is either scored or skipped; the three
-    // modes agree on the total.
+    // Every candidate document is either scored or skipped. Scoring
+    // counts a document once, but skipping is accounted per stream — a
+    // document shared by several posting lists can be bypassed once in
+    // each — so the total is a lower bound, not an equality.
     let index = corpus();
     let mut sampler = QuerySampler::new(&index, 4);
     let q = sampler.sample(QueryType::Q5).expr;
     let total = {
-        let mut dev = BossDevice::new(&index, BossConfig::default().with_et(EtMode::Exhaustive).with_k(10));
+        let mut dev = BossDevice::new(
+            &index,
+            BossConfig::default().with_et(EtMode::Exhaustive).with_k(10),
+        );
         dev.search_expr(&q, 10).expect("runs").eval.docs_scored
     };
     for et in [EtMode::BlockOnly, EtMode::Full] {
         let mut dev = BossDevice::new(&index, BossConfig::default().with_et(et).with_k(10));
         let out = dev.search_expr(&q, 10).expect("runs");
-        assert_eq!(out.eval.docs_total(), total, "{et:?}");
+        assert!(
+            out.eval.docs_total() >= total,
+            "{et:?}: {} candidates accounted, exhaustive scored {total}",
+            out.eval.docs_total()
+        );
+        assert!(
+            out.eval.docs_scored <= total,
+            "{et:?}: pruning must never score more than exhaustive"
+        );
     }
 }
 

@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` entry points and the
+//! `BenchmarkGroup`/`Bencher` surface the workspace's benches use, backed
+//! by a plain wall-clock timing loop (short warm-up, fixed measurement
+//! window, mean ns/iter printed to stdout). No statistics, plots, or
+//! baselines — just enough to run `cargo bench` offline and spot gross
+//! regressions.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Runs one benchmark's timing loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, set by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: brief warm-up, then enough iterations to fill the
+    /// measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_end = Instant::now() + Duration::from_millis(50);
+        let mut warmup_iters: u64 = 0;
+        while Instant::now() < warmup_end {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        // Size batches from the warm-up rate; measure ~200 ms.
+        let batch = warmup_iters.div_ceil(5).max(1);
+        let mut iters: u64 = 0;
+        let started = Instant::now();
+        let deadline = started + Duration::from_millis(200);
+        while Instant::now() < deadline {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            iters += batch;
+        }
+        self.ns_per_iter = started.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmarks `f` with a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        self.report(&id.id, b.ns_per_iter);
+        self
+    }
+
+    /// Benchmarks a routine with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        self.report(&id.to_string(), b.ns_per_iter);
+        self
+    }
+
+    fn report(&self, id: &str, ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {ns:.1} ns/iter{rate}", self.name);
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_nonzero_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(16));
+        let mut observed = 0.0;
+        group.bench_with_input(BenchmarkId::new("sum", 16), &16u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            observed = b.ns_per_iter;
+        });
+        group.finish();
+        assert!(observed > 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Since Rust 1.63 the standard library ships structured scoped threads
+//! (`std::thread::scope`), which cover everything this workspace needs
+//! from crossbeam: spawning borrowing worker threads with a join-all
+//! guarantee at scope exit. This crate simply re-exports them under the
+//! `crossbeam::thread` paths call sites expect.
+
+/// Scoped thread API (`crossbeam::thread::scope`).
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut partials = vec![0u64; 2];
+        super::thread::scope(|s| {
+            for (i, out) in partials.iter_mut().enumerate() {
+                let chunk = &data[i * 2..(i + 1) * 2];
+                s.spawn(move || {
+                    *out = chunk.iter().sum();
+                });
+            }
+        });
+        assert_eq!(partials, vec![3, 7]);
+    }
+}

@@ -1,0 +1,677 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`/`prop_recursive`,
+//! range and tuple strategies, `prop::collection::{vec, btree_set}`,
+//! `prop::sample::select`, weighted `prop_oneof!`, and the `proptest!`
+//! test macro with `#![proptest_config(..)]`. Cases are generated from a
+//! deterministic per-test RNG (seeded from the test name) and failures
+//! print the sampled inputs. There is **no shrinking**: the failing case
+//! is reported as drawn.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// Test-case failure carried out of a `proptest!` body.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure with a message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Deterministic generator used to draw test cases (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator; `proptest!` derives the seed from the test name.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no value tree: strategies sample
+/// directly and failures are not shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then samples the strategy `f` builds from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and `branch`
+    /// wraps an inner strategy into one recursion layer. The recursion is
+    /// unrolled eagerly to `depth` layers, with each layer choosing
+    /// between a leaf (weight 1) and a deeper value (weight 2).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = branch(strat).boxed();
+            strat = Union::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy behind a cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Debug> Union<T> {
+    /// Creates a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weight bookkeeping")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: any value works.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Types with a canonical "anything goes" strategy, used via [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Generates arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection size bound: an exact size or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Smallest allowed size.
+    pub min: usize,
+    /// One past the largest allowed size.
+    pub max_exclusive: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        if self.max_exclusive - self.min <= 1 {
+            self.min
+        } else {
+            self.min + rng.below((self.max_exclusive - self.min) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<T>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.draw(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose length falls in `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with size drawn from `len`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.len.draw(rng);
+            let mut set = BTreeSet::new();
+            // Duplicate draws are discarded; cap the attempts so narrow
+            // element domains terminate with a smaller-than-target set.
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 10 + 16 {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            if set.len() < self.len.min {
+                panic!(
+                    "btree_set could not draw {} distinct elements (got {})",
+                    self.len.min,
+                    set.len()
+                );
+            }
+            set
+        }
+    }
+
+    /// Generates ordered sets whose size falls in `len`.
+    pub fn btree_set<S: Strategy>(element: S, len: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::*;
+
+    /// Strategy picking uniformly from a fixed list.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Picks one of `options` uniformly at random.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+}
+
+/// Runner configuration and entry points used by the `proptest!` macro.
+pub mod test_runner {
+    pub use super::TestCaseError;
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Builds a config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Derives a deterministic RNG seed from a test's module path and name.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a: stable across platforms and runs.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs one sampled case, capturing panics so inputs can be reported.
+pub fn run_case<F>(case: u32, inputs: &str, body: F)
+where
+    F: FnOnce() -> Result<(), TestCaseError> + std::panic::UnwindSafe,
+{
+    match std::panic::catch_unwind(body) {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => panic!("property failed at case {case}: {e}\n  inputs: {inputs}"),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property panicked at case {case}: {msg}\n  inputs: {inputs}");
+        }
+    }
+}
+
+/// Defines property tests: each `fn` runs its body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::seed_for(concat!(module_path!(), "::", stringify!($name))));
+            for case in 0..config.cases {
+                let values = ($($crate::Strategy::sample(&$strat, &mut rng),)+);
+                let inputs = format!("{values:?}");
+                let values = ::std::panic::AssertUnwindSafe(values);
+                $crate::run_case(case, &inputs, move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    let ::std::panic::AssertUnwindSafe(($($pat,)+)) = values;
+                    $body
+                    #[allow(unreachable_code)]
+                    return Ok(());
+                });
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Chooses between strategies, optionally weighted (`w => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!("assertion failed: ", stringify!($cond))));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`", l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// The names tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespace mirror so call sites can write `prop::collection::vec`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (10u32..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let s = (3usize..7).sample(&mut rng);
+            assert!((3..7).contains(&s));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u32..100, 2..9).sample(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 9);
+        }
+    }
+
+    #[test]
+    fn union_weights_bias_draws() {
+        let mut rng = TestRng::new(3);
+        let s = prop_oneof![9 => 0u32..1, 1 => 1u32..2];
+        let zeros = (0..1000).filter(|_| s.sample(&mut rng) == 0).count();
+        assert!(zeros > 800, "expected heavy bias, got {zeros}");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)] // fields exist to give the strategies shape
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::new(4);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            if matches!(strat.sample(&mut rng), Tree::Node(_)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_tuples((a, b) in (0u32..50, 50u32..100), flag in any::<bool>()) {
+            prop_assert!(a < 50);
+            prop_assert!(b >= 50, "b was {}", b);
+            let _ = flag;
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

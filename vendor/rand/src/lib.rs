@@ -1,0 +1,171 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the *exact* RNG surface it consumes: [`RngCore`], [`SeedableRng`] (with
+//! the standard SplitMix64 `seed_from_u64` expansion) and [`RngExt`] with
+//! uniform range sampling. Everything is deterministic given the seed,
+//! which is all the simulators require.
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+/// An RNG constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type, e.g. `[u8; 32]`.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 (the same
+    /// expansion `rand_core` uses, so seeds stay portable).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A half-open or inclusive range that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                // Widening-multiply rejection-free mapping; the bias over a
+                // 64-bit draw is negligible for simulation workloads.
+                let draw = rng.next_u64() as $wide;
+                self.start.wrapping_add((draw % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return (rng.next_u64() as $wide) as $t;
+                }
+                let draw = rng.next_u64() as $wide;
+                start.wrapping_add((draw % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+                i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// A uniformly random `bool`.
+    fn random_bool(&mut self) -> bool {
+        self.next_u32() & 1 == 1
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Alias matching older `rand` spellings.
+pub use RngExt as Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // xorshift so range tests see varied high/low bits
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Counter(0x1234_5678_9abc_def0);
+        for _ in 0..1000 {
+            let v: u32 = r.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let f: f64 = r.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i: i32 = r.random_range(-5..5);
+            assert!((-5..5).contains(&i));
+            let inc: u8 = r.random_range(0..=255);
+            let _ = inc;
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = Counter(42);
+        let mut buf = [0u8; 7];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the *vendored* `serde::Serialize`/`serde::Deserialize`
+//! (a value-tree model, see `vendor/serde`) for the shapes this workspace
+//! actually uses: named-field structs, tuple structs, and enums with unit,
+//! tuple, or struct variants. No generics, no `#[serde(...)]` attributes —
+//! the macro fails loudly if it meets something it cannot handle, so a
+//! future addition cannot silently serialize wrongly.
+//!
+//! Implemented with raw `proc_macro` token parsing because the container
+//! has no `syn`/`quote` either.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: (variant name, variant shape) pairs.
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic type `{name}` not supported");
+        }
+    }
+    let body = iter.next();
+    let shape = match (kind.as_str(), body) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Struct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", _) => Shape::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream()))
+        }
+        (k, b) => panic!("serde derive: unsupported item {k} {b:?}"),
+    };
+    Item { name, shape }
+}
+
+/// Parses `{ #[attr] pub name: Type, ... }` field lists into names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes + visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = iter.next() else { break };
+        let TokenTree::Ident(fname) = tree else {
+            panic!("serde derive: expected field name, got {tree:?}");
+        };
+        fields.push(fname.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' {
+                        angle -= 1;
+                    } else if c == ',' && angle == 0 {
+                        iter.next();
+                        break;
+                    }
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated segments of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut seen_any = false;
+    let mut angle = 0i32;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' {
+                    angle -= 1;
+                } else if c == ',' && angle == 0 {
+                    count += 1;
+                    seen_any = false;
+                    continue;
+                }
+                seen_any = true;
+            }
+            _ => seen_any = true,
+        }
+    }
+    if seen_any {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = iter.next() else { break };
+        let TokenTree::Ident(vname) = tree else {
+            panic!("serde derive: expected variant name, got {tree:?}");
+        };
+        let vname = vname.to_string();
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push((vname, shape));
+        // Skip optional discriminant and the trailing comma.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                    iter.next();
+                    break;
+                }
+                None => break,
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+    }
+    variants
+}
+
+fn emit(src: String) -> TokenStream {
+    src.parse().expect("serde derive: generated code parses")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    }
+                    Shape::Tuple(1) => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({b}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Seq(vec![{vl}]))]),",
+                            b = binds.join(", "),
+                            vl = vals.join(", ")
+                        )
+                    }
+                    Shape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![(\"{v}\"\
+                             .to_string(), ::serde::Value::Map(vec![{p}]))]),",
+                            p = pairs.join(", ")
+                        )
+                    }
+                    Shape::Enum(_) => unreachable!("nested enum shape"),
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    emit(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    ))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(v.index({i})?)?"))
+                .collect();
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v}),"))
+                .collect();
+            let keyed_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| !matches!(s, Shape::Unit))
+                .map(|(v, shape)| match shape {
+                    Shape::Tuple(1) => format!(
+                        "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(inner.index({i})?)?")
+                            })
+                            .collect();
+                        format!("\"{v}\" => return Ok({name}::{v}({})),", inits.join(", "))
+                    }
+                    Shape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => return Ok({name}::{v} {{ {} }}),",
+                            inits.join(", ")
+                        )
+                    }
+                    _ => unreachable!("unit handled above"),
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         other => Err(::serde::DeError::new(format!(\
+                             \"unknown variant {{other}} of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (key, inner) = (&entries[0].0, &entries[0].1);\n\
+                         match key.as_str() {{\n\
+                             {keyed}\n\
+                             other => {{ let _ = inner; Err(::serde::DeError::new(format!(\
+                                 \"unknown variant {{other}} of {name}\"))) }}\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::DeError::new(\
+                         \"expected enum representation for {name}\".to_string())),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                keyed = keyed_arms.join("\n"),
+            )
+        }
+    };
+    emit(format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    ))
+}
