@@ -39,13 +39,19 @@ fn main() {
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
                 args.k,
+                args.block_cache,
             ),
             &queries,
             args.k,
             args.threads,
         );
         let i = run_system(
-            &iiu_engine(&index, cores, MemoryConfig::optane_dcpmm()),
+            &iiu_engine(
+                &index,
+                cores,
+                MemoryConfig::optane_dcpmm(),
+                args.block_cache,
+            ),
             &queries,
             args.k,
             args.threads,

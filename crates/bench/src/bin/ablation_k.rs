@@ -37,6 +37,7 @@ fn main() {
                 EtMode::Exhaustive,
                 MemoryConfig::optane_dcpmm(),
                 10,
+                args.block_cache,
             ),
             queries,
             10,
@@ -45,7 +46,14 @@ fn main() {
         let total = exhaustive.eval.docs_scored.max(1);
         for k in [10usize, 100, 1000] {
             let r = run_system(
-                &boss_engine(&index, 1, EtMode::Full, MemoryConfig::optane_dcpmm(), k),
+                &boss_engine(
+                    &index,
+                    1,
+                    EtMode::Full,
+                    MemoryConfig::optane_dcpmm(),
+                    k,
+                    args.block_cache,
+                ),
                 queries,
                 k,
                 args.threads,

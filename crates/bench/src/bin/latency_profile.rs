@@ -42,11 +42,11 @@ fn main() {
     for (qt, queries) in &suite.per_type {
         let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
         if args.engines.lucene {
-            let mut luc = lucene_engine(&index, 1, MemoryConfig::host_scm_6ch());
+            let mut luc = lucene_engine(&index, 1, MemoryConfig::host_scm_6ch(), args.block_cache);
             rows.push(("Lucene", latencies_us(&mut luc, queries, args.k)));
         }
         if args.engines.iiu {
-            let mut iiu = iiu_engine(&index, 1, MemoryConfig::optane_dcpmm());
+            let mut iiu = iiu_engine(&index, 1, MemoryConfig::optane_dcpmm(), args.block_cache);
             rows.push(("IIU", latencies_us(&mut iiu, queries, args.k)));
         }
         if args.engines.boss {
@@ -56,6 +56,7 @@ fn main() {
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
                 args.k,
+                args.block_cache,
             );
             rows.push(("BOSS", latencies_us(&mut boss, queries, args.k)));
         }

@@ -1,0 +1,215 @@
+//! Wall-clock decode microbenchmark: seed per-value path vs word-level
+//! kernels.
+//!
+//! For each compression scheme, encodes a corpus of 128-value d-gap
+//! blocks and times two functionally identical decode paths:
+//!
+//! * **seed** — [`Codec::decode_reference`], the per-value `bitio` loop
+//!   the repo shipped with (for BP/OptPFD; schemes without a rerouted
+//!   kernel report the same path twice);
+//! * **kernel** — [`Codec::decode`], which for BP and the regular part
+//!   of OptPFD now runs the word-level unpack kernels.
+//!
+//! Outputs decoded MB/s (decoded output bytes over wall time, best of
+//! `--reps` repetitions) per scheme as TSV on stdout, verifies the two
+//! paths decode bit-identically, and writes a machine-readable summary
+//! to `BENCH_decode.json` (`--json PATH` to move it).
+//!
+//! This is the one binary in the harness that measures *host* wall-clock
+//! time: its numbers vary run to run and machine to machine, unlike the
+//! simulated figures, which are deterministic.
+
+use boss_bench::{f, header, row};
+use boss_compress::{codec_for, BlockInfo, Scheme, ALL_SCHEMES};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+const VALUES_PER_BLOCK: usize = 128;
+
+#[derive(Debug, Serialize)]
+struct SchemeResult {
+    scheme: String,
+    blocks: usize,
+    values_per_block: usize,
+    encoded_bytes: usize,
+    seed_mbps: f64,
+    kernel_mbps: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: String,
+    reps: usize,
+    results: Vec<SchemeResult>,
+}
+
+struct Args {
+    blocks: usize,
+    reps: usize,
+    seed: u64,
+    json: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        blocks: 4096,
+        reps: 5,
+        seed: 42,
+        json: "BENCH_decode.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--blocks" => args.blocks = take("--blocks").parse().expect("--blocks N"),
+            "--reps" => args.reps = take("--reps").parse::<usize>().expect("--reps N").max(1),
+            "--seed" => args.seed = take("--seed").parse().expect("--seed N"),
+            "--json" => args.json = take("--json"),
+            "--help" | "-h" => {
+                println!("usage: [--blocks N] [--reps N] [--seed N] [--json PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// A 128-value d-gap block with the paper's skewed gap distribution:
+/// mostly small gaps, occasional large outliers (which exercises OptPFD
+/// exceptions and the full BP width range).
+fn gap_block(rng: &mut ChaCha8Rng) -> Vec<u32> {
+    (0..VALUES_PER_BLOCK)
+        .map(|_| match rng.random_range(0..10u32) {
+            0..=5 => rng.random_range(0..16u32),
+            6..=7 => rng.random_range(0..256u32),
+            8 => rng.random_range(0..65536u32),
+            _ => rng.random_range(0..(1u32 << 27)),
+        })
+        .collect()
+}
+
+/// Times `pass` over all blocks, returning the best-of-`reps` decoded
+/// MB/s. The decoded output buffer is reused across blocks, as the
+/// query hot path does.
+fn throughput_mbps(
+    reps: usize,
+    blocks: &[(Vec<u8>, BlockInfo)],
+    pass: impl Fn(&[u8], &BlockInfo, &mut Vec<u32>),
+) -> f64 {
+    let decoded_bytes: usize = blocks.iter().map(|(_, info)| info.count as usize * 4).sum();
+    let mut best = f64::INFINITY;
+    let mut out: Vec<u32> = Vec::with_capacity(VALUES_PER_BLOCK);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for (data, info) in blocks {
+            out.clear();
+            pass(data, info, &mut out);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        best = best.min(elapsed);
+        std::hint::black_box(&out);
+    }
+    decoded_bytes as f64 / best / 1e6
+}
+
+fn main() {
+    let args = parse_args();
+    println!("# Wall-clock decode throughput, seed per-value path vs word-level kernels");
+    println!(
+        "# {} blocks x {} values, best of {} reps; MB/s of decoded output",
+        args.blocks, VALUES_PER_BLOCK, args.reps
+    );
+    header(&[
+        "scheme",
+        "encoded_mb",
+        "seed_mbps",
+        "kernel_mbps",
+        "speedup",
+    ]);
+
+    let mut results = Vec::new();
+    for scheme in ALL_SCHEMES {
+        let codec = codec_for(scheme);
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+        let mut blocks: Vec<(Vec<u8>, BlockInfo)> = Vec::with_capacity(args.blocks);
+        for _ in 0..args.blocks {
+            let values = gap_block(&mut rng);
+            let mut data = Vec::new();
+            let info = codec.encode(&values, &mut data).expect("block encodes");
+            blocks.push((data, info));
+        }
+        let encoded_bytes: usize = blocks.iter().map(|(d, _)| d.len()).sum();
+
+        // Bit-identity first: the kernel path must reproduce the seed
+        // path exactly on every block.
+        let mut identical = true;
+        for (data, info) in &blocks {
+            let mut fast = Vec::new();
+            codec.decode(data, info, &mut fast).expect("decodes");
+            let mut slow = Vec::new();
+            codec
+                .decode_reference(data, info, &mut slow)
+                .expect("decodes");
+            if fast != slow {
+                identical = false;
+            }
+        }
+        assert!(identical, "{scheme}: kernel path diverged from seed path");
+
+        let seed_mbps = throughput_mbps(args.reps, &blocks, |d, i, out| {
+            codec.decode_reference(d, i, out).expect("decodes");
+        });
+        let kernel_mbps = throughput_mbps(args.reps, &blocks, |d, i, out| {
+            codec.decode(d, i, out).expect("decodes");
+        });
+        let speedup = kernel_mbps / seed_mbps;
+        row(&[
+            scheme.to_string(),
+            f(encoded_bytes as f64 / 1e6),
+            f(seed_mbps),
+            f(kernel_mbps),
+            f(speedup),
+        ]);
+        results.push(SchemeResult {
+            scheme: scheme.to_string(),
+            blocks: args.blocks,
+            values_per_block: VALUES_PER_BLOCK,
+            encoded_bytes,
+            seed_mbps,
+            kernel_mbps,
+            speedup,
+            bit_identical: identical,
+        });
+    }
+
+    let bp = results
+        .iter()
+        .find(|r| r.scheme == Scheme::Bp.to_string())
+        .expect("BP is benchmarked");
+    println!(
+        "# BP kernel speedup over seed path: {}x (target >= 2x on 128-value blocks)",
+        f(bp.speedup)
+    );
+
+    let report = Report {
+        bench: "wallclock_decode".into(),
+        reps: args.reps,
+        results,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&args.json, json + "\n").expect("report written");
+    eprintln!("wrote {}", args.json);
+}

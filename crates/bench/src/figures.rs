@@ -38,7 +38,7 @@ pub fn multicore_throughput(
     for (qt, queries) in &suite.per_type {
         // The Lucene baseline always runs: every row normalizes to it.
         let lucene = run_system(
-            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch()),
+            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), args.block_cache),
             queries,
             k,
             args.threads,
@@ -56,7 +56,7 @@ pub fn multicore_throughput(
         if args.engines.iiu {
             for &cores in &CORE_SWEEP {
                 let iiu = run_system(
-                    &iiu_engine(index, cores, MemoryConfig::optane_dcpmm()),
+                    &iiu_engine(index, cores, MemoryConfig::optane_dcpmm(), args.block_cache),
                     queries,
                     k,
                     args.threads,
@@ -76,7 +76,14 @@ pub fn multicore_throughput(
         if args.engines.boss {
             for &cores in &CORE_SWEEP {
                 let boss = run_system(
-                    &boss_engine(index, cores, EtMode::Full, MemoryConfig::optane_dcpmm(), k),
+                    &boss_engine(
+                        index,
+                        cores,
+                        EtMode::Full,
+                        MemoryConfig::optane_dcpmm(),
+                        k,
+                        args.block_cache,
+                    ),
                     queries,
                     k,
                     args.threads,
@@ -128,7 +135,7 @@ pub fn bandwidth_utilization(
                 runs.push((
                     "IIU",
                     run_system(
-                        &iiu_engine(index, cores, MemoryConfig::optane_dcpmm()),
+                        &iiu_engine(index, cores, MemoryConfig::optane_dcpmm(), args.block_cache),
                         queries,
                         k,
                         args.threads,
@@ -139,7 +146,14 @@ pub fn bandwidth_utilization(
                 runs.push((
                     "BOSS",
                     run_system(
-                        &boss_engine(index, cores, EtMode::Full, MemoryConfig::optane_dcpmm(), k),
+                        &boss_engine(
+                            index,
+                            cores,
+                            EtMode::Full,
+                            MemoryConfig::optane_dcpmm(),
+                            k,
+                            args.block_cache,
+                        ),
                         queries,
                         k,
                         args.threads,
@@ -169,14 +183,14 @@ pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
     header(&["qtype", "Lucene", "IIU", "BOSS-exhaustive", "BOSS"]);
     for (qt, queries) in &suite.per_type {
         let lucene = run_system(
-            &lucene_engine(index, 1, MemoryConfig::host_scm_6ch()),
+            &lucene_engine(index, 1, MemoryConfig::host_scm_6ch(), args.block_cache),
             queries,
             k,
             args.threads,
         );
         let base = lucene.qps;
         let iiu = run_system(
-            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm()),
+            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), args.block_cache),
             queries,
             k,
             args.threads,
@@ -188,13 +202,21 @@ pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 EtMode::Exhaustive,
                 MemoryConfig::optane_dcpmm(),
                 k,
+                args.block_cache,
             ),
             queries,
             k,
             args.threads,
         );
         let full = run_system(
-            &boss_engine(index, 1, EtMode::Full, MemoryConfig::optane_dcpmm(), k),
+            &boss_engine(
+                index,
+                1,
+                EtMode::Full,
+                MemoryConfig::optane_dcpmm(),
+                k,
+                args.block_cache,
+            ),
             queries,
             k,
             args.threads,
@@ -222,19 +244,33 @@ pub fn evaluated_docs(name: &str, index: &InvertedIndex, suite: &TypedSuite, arg
             continue; // the paper plots the union types
         }
         let iiu = run_system(
-            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm()),
+            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), args.block_cache),
             queries,
             k,
             args.threads,
         );
         let block = run_system(
-            &boss_engine(index, 1, EtMode::BlockOnly, MemoryConfig::optane_dcpmm(), k),
+            &boss_engine(
+                index,
+                1,
+                EtMode::BlockOnly,
+                MemoryConfig::optane_dcpmm(),
+                k,
+                args.block_cache,
+            ),
             queries,
             k,
             args.threads,
         );
         let full = run_system(
-            &boss_engine(index, 1, EtMode::Full, MemoryConfig::optane_dcpmm(), k),
+            &boss_engine(
+                index,
+                1,
+                EtMode::Full,
+                MemoryConfig::optane_dcpmm(),
+                k,
+                args.block_cache,
+            ),
             queries,
             k,
             args.threads,
@@ -272,13 +308,20 @@ pub fn memory_accesses(name: &str, index: &InvertedIndex, suite: &TypedSuite, ar
     ]);
     for (qt, queries) in &suite.per_type {
         let iiu = run_system(
-            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm()),
+            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), args.block_cache),
             queries,
             k,
             args.threads,
         );
         let boss = run_system(
-            &boss_engine(index, 1, EtMode::Full, MemoryConfig::optane_dcpmm(), k),
+            &boss_engine(
+                index,
+                1,
+                EtMode::Full,
+                MemoryConfig::optane_dcpmm(),
+                k,
+                args.block_cache,
+            ),
             queries,
             k,
             args.threads,
@@ -316,7 +359,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
     ];
     for (qt, queries) in &suite.per_type {
         let base = run_system(
-            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch()),
+            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), args.block_cache),
             queries,
             k,
             args.threads,
@@ -328,7 +371,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "Lucene",
                 "SCM",
                 run_system(
-                    &lucene_engine(index, 8, MemoryConfig::host_scm_6ch()),
+                    &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), args.block_cache),
                     queries,
                     k,
                     args.threads,
@@ -338,7 +381,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "Lucene",
                 "DRAM",
                 run_system(
-                    &lucene_engine(index, 8, MemoryConfig::host_ddr4_6ch()),
+                    &lucene_engine(index, 8, MemoryConfig::host_ddr4_6ch(), args.block_cache),
                     queries,
                     k,
                     args.threads,
@@ -350,7 +393,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "IIU",
                 "SCM",
                 run_system(
-                    &iiu_engine(index, 8, MemoryConfig::optane_dcpmm()),
+                    &iiu_engine(index, 8, MemoryConfig::optane_dcpmm(), args.block_cache),
                     queries,
                     k,
                     args.threads,
@@ -360,7 +403,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "IIU",
                 "DRAM",
                 run_system(
-                    &iiu_engine(index, 8, MemoryConfig::ddr4_2666()),
+                    &iiu_engine(index, 8, MemoryConfig::ddr4_2666(), args.block_cache),
                     queries,
                     k,
                     args.threads,
@@ -372,7 +415,14 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "BOSS",
                 "SCM",
                 run_system(
-                    &boss_engine(index, 8, EtMode::Full, MemoryConfig::optane_dcpmm(), k),
+                    &boss_engine(
+                        index,
+                        8,
+                        EtMode::Full,
+                        MemoryConfig::optane_dcpmm(),
+                        k,
+                        args.block_cache,
+                    ),
                     queries,
                     k,
                     args.threads,
@@ -382,7 +432,14 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "BOSS",
                 "DRAM",
                 run_system(
-                    &boss_engine(index, 8, EtMode::Full, MemoryConfig::ddr4_2666(), k),
+                    &boss_engine(
+                        index,
+                        8,
+                        EtMode::Full,
+                        MemoryConfig::ddr4_2666(),
+                        k,
+                        args.block_cache,
+                    ),
                     queries,
                     k,
                     args.threads,
@@ -429,13 +486,20 @@ pub fn energy(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: &Benc
     let mut savings = Vec::new();
     for (qt, queries) in &suite.per_type {
         let lucene = run_system(
-            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch()),
+            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), args.block_cache),
             queries,
             k,
             args.threads,
         );
         let boss = run_system(
-            &boss_engine(index, 8, EtMode::Full, MemoryConfig::optane_dcpmm(), k),
+            &boss_engine(
+                index,
+                8,
+                EtMode::Full,
+                MemoryConfig::optane_dcpmm(),
+                k,
+                args.block_cache,
+            ),
             queries,
             k,
             args.threads,

@@ -99,6 +99,9 @@ pub struct BenchArgs {
     pub threads: usize,
     /// Systems to simulate.
     pub engines: EngineSelection,
+    /// Decoded-block cache capacity per engine fork, in blocks (0
+    /// disables it). Wall-clock only — never changes a data row.
+    pub block_cache: usize,
 }
 
 impl Default for BenchArgs {
@@ -110,6 +113,7 @@ impl Default for BenchArgs {
             k: 1000,
             threads: default_threads(),
             engines: EngineSelection::default(),
+            block_cache: 0,
         }
     }
 }
@@ -149,10 +153,13 @@ impl BenchArgs {
                     args.threads = parsed_value::<usize>(&take("--threads"), "--threads").max(1);
                 }
                 "--engines" => args.engines = parsed_value(&take("--engines"), "--engines"),
+                "--block-cache" => {
+                    args.block_cache = parsed_value(&take("--block-cache"), "--block-cache");
+                }
                 "--help" | "-h" => {
                     println!(
                         "usage: [--scale smoke|small|full] [--seed N] [--queries-per-type N] \
-                         [--k N] [--threads N] [--engines boss,iiu,lucene]"
+                         [--k N] [--threads N] [--engines boss,iiu,lucene] [--block-cache BLOCKS]"
                     );
                     std::process::exit(0);
                 }
@@ -254,26 +261,40 @@ pub fn run_system<E: SearchEngine + Send>(
     }
 }
 
-/// A BOSS engine in the paper's evaluation configuration.
+/// A BOSS engine in the paper's evaluation configuration. `block_cache`
+/// is the decoded-block cache capacity (0 disables it); it speeds up the
+/// simulation without changing any simulated number.
 pub fn boss_engine<'a>(
     index: &'a InvertedIndex,
     cores: u32,
     et: EtMode,
     memory: MemoryConfig,
     k: usize,
+    block_cache: usize,
 ) -> Boss<'a> {
     Boss::new(
         index,
         BossConfig::with_cores(cores)
             .with_et(et)
             .with_k(k)
-            .on_memory(memory),
+            .on_memory(memory)
+            .with_block_cache(block_cache),
     )
 }
 
 /// An IIU engine in the paper's evaluation configuration.
-pub fn iiu_engine<'a>(index: &'a InvertedIndex, cores: u32, memory: MemoryConfig) -> Iiu<'a> {
-    Iiu::new(index, IiuConfig::with_cores(cores).on_memory(memory))
+pub fn iiu_engine<'a>(
+    index: &'a InvertedIndex,
+    cores: u32,
+    memory: MemoryConfig,
+    block_cache: usize,
+) -> Iiu<'a> {
+    Iiu::new(
+        index,
+        IiuConfig::with_cores(cores)
+            .on_memory(memory)
+            .with_block_cache(block_cache),
+    )
 }
 
 /// A Lucene-like engine in the paper's evaluation configuration.
@@ -281,8 +302,14 @@ pub fn lucene_engine<'a>(
     index: &'a InvertedIndex,
     threads: u32,
     memory: MemoryConfig,
+    block_cache: usize,
 ) -> Lucene<'a> {
-    Lucene::new(index, LuceneConfig::with_threads(threads).on_memory(memory))
+    Lucene::new(
+        index,
+        LuceneConfig::with_threads(threads)
+            .on_memory(memory)
+            .with_block_cache(block_cache),
+    )
 }
 
 /// The two corpora of the paper's evaluation, at the requested scale.
@@ -347,19 +374,26 @@ mod tests {
         for (qt, qs) in &suite.per_type {
             assert_eq!(qs.len(), 2, "{qt:?}");
             let boss = run_system(
-                &boss_engine(&index, 2, EtMode::Full, MemoryConfig::optane_dcpmm(), 50),
+                &boss_engine(
+                    &index,
+                    2,
+                    EtMode::Full,
+                    MemoryConfig::optane_dcpmm(),
+                    50,
+                    64,
+                ),
                 qs,
                 50,
                 2,
             );
             let iiu = run_system(
-                &iiu_engine(&index, 2, MemoryConfig::optane_dcpmm()),
+                &iiu_engine(&index, 2, MemoryConfig::optane_dcpmm(), 64),
                 qs,
                 50,
                 2,
             );
             let luc = run_system(
-                &lucene_engine(&index, 2, MemoryConfig::host_scm_6ch()),
+                &lucene_engine(&index, 2, MemoryConfig::host_scm_6ch(), 64),
                 qs,
                 50,
                 2,

@@ -1,8 +1,8 @@
 //! Bit-Packing: all values of a block stored with the bit width of the
 //! largest value.
 
-use crate::bitio::{bits_for, BitReader, BitWriter};
-use crate::{check_len, BlockInfo, Codec, Error, Scheme};
+use crate::bitio::{bits_for, BitWriter};
+use crate::{check_len, unpack, BlockInfo, Codec, Error, Scheme};
 
 /// The BP codec (Lemire & Boytsov style frame-of-reference packing, without
 /// the SIMD layout — the simulator cares about sizes, not host speed).
@@ -36,12 +36,38 @@ impl Codec for BitPacking {
                 reason: "BP bit width above 32",
             });
         }
-        let mut r = BitReader::new(data);
-        out.reserve(info.count as usize);
-        for _ in 0..info.count {
-            out.push(r.read(width)?);
+        unpack::unpack(data, info.count as usize, width, out)
+    }
+
+    fn decode_reference(
+        &self,
+        data: &[u8],
+        info: &BlockInfo,
+        out: &mut Vec<u32>,
+    ) -> Result<(), Error> {
+        let width = u32::from(info.bit_width);
+        if width > 32 {
+            return Err(Error::Corrupt {
+                reason: "BP bit width above 32",
+            });
         }
-        Ok(())
+        unpack::unpack_reference(data, info.count as usize, width, out)
+    }
+
+    fn decode_d1(
+        &self,
+        data: &[u8],
+        info: &BlockInfo,
+        base: u32,
+        out: &mut Vec<u32>,
+    ) -> Result<(), Error> {
+        let width = u32::from(info.bit_width);
+        if width > 32 {
+            return Err(Error::Corrupt {
+                reason: "BP bit width above 32",
+            });
+        }
+        unpack::unpack_d1(data, info.count as usize, width, base, out)
     }
 }
 

@@ -40,6 +40,7 @@ mod hybrid;
 mod pfd;
 mod s16;
 mod s8b;
+pub mod unpack;
 mod vb;
 
 pub use bitio::{BitReader, BitWriter};
@@ -140,6 +141,45 @@ pub trait Codec: std::fmt::Debug + Send + Sync {
     /// Returns [`Error::Truncated`] or [`Error::Corrupt`] when `data` does
     /// not contain a valid encoding for `info`.
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error>;
+
+    /// The seed per-value decode path, kept as the reference oracle for the
+    /// word-level kernels in [`unpack`]. Codecs whose [`Codec::decode`] was
+    /// rerouted through the kernels override this with the original
+    /// implementation; for the rest the two paths are the same.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::decode`].
+    fn decode_reference(
+        &self,
+        data: &[u8],
+        info: &BlockInfo,
+        out: &mut Vec<u32>,
+    ) -> Result<(), Error> {
+        self.decode(data, info, out)
+    }
+
+    /// Decode `info.count` d-gap values and append their running
+    /// (wrapping) prefix sum seeded with `base` — i.e. absolute docIDs.
+    ///
+    /// The default decodes then runs a second pass; BP fuses the prefix
+    /// sum into its unpack loop.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::decode`].
+    fn decode_d1(
+        &self,
+        data: &[u8],
+        info: &BlockInfo,
+        base: u32,
+        out: &mut Vec<u32>,
+    ) -> Result<(), Error> {
+        let start = out.len();
+        self.decode(data, info, out)?;
+        unpack::prefix_sum_d1(base, &mut out[start..]);
+        Ok(())
+    }
 }
 
 /// Largest number of values a single block may hold.

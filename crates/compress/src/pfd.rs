@@ -9,7 +9,7 @@
 //! paper's 12-bit "offset of the first exception value and index" field.
 
 use crate::bitio::{bits_for, BitReader, BitWriter};
-use crate::{check_len, BlockInfo, Codec, Error, Scheme};
+use crate::{check_len, unpack, BlockInfo, Codec, Error, Scheme};
 
 /// The OptPFD codec.
 #[derive(Debug, Clone, Copy, Default)]
@@ -68,48 +68,71 @@ impl Codec for OptPfd {
     }
 
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
-        let b = u32::from(info.bit_width);
-        if b > 32 {
-            return Err(Error::Corrupt {
-                reason: "OptPFD bit width above 32",
-            });
-        }
-        let exc_off = info.exception_offset as usize;
-        if exc_off > data.len() {
-            return Err(Error::Truncated {
-                have: data.len(),
-                need: exc_off,
-            });
-        }
+        let (b, exc_off) = check_header(data, info)?;
+        let base = out.len();
+        unpack::unpack(&data[..exc_off], info.count as usize, b, out)?;
+        apply_exceptions(&data[exc_off..], b, info.count as usize, &mut out[base..])
+    }
+
+    fn decode_reference(
+        &self,
+        data: &[u8],
+        info: &BlockInfo,
+        out: &mut Vec<u32>,
+    ) -> Result<(), Error> {
+        let (b, exc_off) = check_header(data, info)?;
         let base = out.len();
         let mut r = BitReader::new(&data[..exc_off]);
         out.reserve(info.count as usize);
         for _ in 0..info.count {
             out.push(r.read(b)?);
         }
-        let patch = &data[exc_off..];
-        if !patch.len().is_multiple_of(EXCEPTION_BYTES) {
+        apply_exceptions(&data[exc_off..], b, info.count as usize, &mut out[base..])
+    }
+}
+
+fn check_header(data: &[u8], info: &BlockInfo) -> Result<(u32, usize), Error> {
+    let b = u32::from(info.bit_width);
+    if b > 32 {
+        return Err(Error::Corrupt {
+            reason: "OptPFD bit width above 32",
+        });
+    }
+    let exc_off = info.exception_offset as usize;
+    if exc_off > data.len() {
+        return Err(Error::Truncated {
+            have: data.len(),
+            need: exc_off,
+        });
+    }
+    Ok((b, exc_off))
+}
+
+/// Patches the exception area's high bits back into the unpacked low bits.
+/// The prefix sum cannot be fused through this step, which is why OptPFD
+/// keeps the default two-pass [`Codec::decode_d1`].
+fn apply_exceptions(patch: &[u8], b: u32, count: usize, out: &mut [u32]) -> Result<(), Error> {
+    if !patch.len().is_multiple_of(EXCEPTION_BYTES) {
+        return Err(Error::Corrupt {
+            reason: "OptPFD exception area misaligned",
+        });
+    }
+    for chunk in patch.chunks_exact(EXCEPTION_BYTES) {
+        let idx = u16::from_le_bytes([chunk[0], chunk[1]]) as usize;
+        let high = u32::from_le_bytes([chunk[2], chunk[3], chunk[4], chunk[5]]);
+        if idx >= count {
             return Err(Error::Corrupt {
-                reason: "OptPFD exception area misaligned",
+                reason: "OptPFD exception index out of range",
             });
         }
-        for chunk in patch.chunks_exact(EXCEPTION_BYTES) {
-            let idx = u16::from_le_bytes([chunk[0], chunk[1]]) as usize;
-            let high = u32::from_le_bytes([chunk[2], chunk[3], chunk[4], chunk[5]]);
-            if idx >= info.count as usize {
-                return Err(Error::Corrupt {
-                    reason: "OptPFD exception index out of range",
-                });
-            }
-            if b < 32 {
-                let shifted = high.checked_shl(b).ok_or(Error::Corrupt {
-                    reason: "OptPFD exception high bits overflow",
-                })?;
-                out[base + idx] |= shifted;
-            }
+        if b < 32 {
+            let shifted = high.checked_shl(b).ok_or(Error::Corrupt {
+                reason: "OptPFD exception high bits overflow",
+            })?;
+            out[idx] |= shifted;
         }
-        Ok(())
     }
+    Ok(())
 }
 
 #[cfg(test)]

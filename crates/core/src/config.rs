@@ -97,6 +97,10 @@ pub struct BossConfig {
     pub memory: MemoryConfig,
     /// Timing constants.
     pub timing: TimingModel,
+    /// Capacity (in decoded blocks) of the host-side decoded-block cache;
+    /// 0 disables it. Wall-clock only: simulated cycles and traffic are
+    /// independent of this setting (see `boss_index::cache`).
+    pub block_cache_blocks: usize,
 }
 
 impl Default for BossConfig {
@@ -112,6 +116,7 @@ impl Default for BossConfig {
             max_terms: 16,
             memory: MemoryConfig::optane_dcpmm(),
             timing: TimingModel::default(),
+            block_cache_blocks: 0,
         }
     }
 }
@@ -150,6 +155,13 @@ impl BossConfig {
     #[must_use]
     pub fn with_fidelity(mut self, fidelity: TimingFidelity) -> Self {
         self.timing.fidelity = fidelity;
+        self
+    }
+
+    /// Replaces the decoded-block cache capacity (0 disables the cache).
+    #[must_use]
+    pub fn with_block_cache(mut self, blocks: usize) -> Self {
+        self.block_cache_blocks = blocks;
         self
     }
 

@@ -17,7 +17,7 @@ use crate::stats::QueryOutcome;
 use crate::topk::TopK;
 use crate::union::{union_topk, UnionStream};
 use boss_index::layout::IndexImage;
-use boss_index::InvertedIndex;
+use boss_index::{BlockCache, InvertedIndex};
 use boss_scm::AccessCategory;
 
 /// One BOSS core (Figure 4(b)): block fetch, four decompression modules,
@@ -58,7 +58,22 @@ impl BossCore {
         plan: &QueryPlan,
         k: usize,
     ) -> QueryOutcome {
-        let mut ctx = ExecCtx::new(index, image, &self.config);
+        self.execute_with_cache(index, image, plan, k, None)
+    }
+
+    /// [`BossCore::execute`] with an optional decoded-block cache. The
+    /// cache is strictly a host-side accelerant: hits and misses charge
+    /// identical simulated cycles and traffic, so the outcome is
+    /// bit-identical with any cache (or none).
+    pub fn execute_with_cache(
+        &self,
+        index: &InvertedIndex,
+        image: &IndexImage,
+        plan: &QueryPlan,
+        k: usize,
+        cache: Option<&BlockCache>,
+    ) -> QueryOutcome {
+        let mut ctx = ExecCtx::with_cache(index, image, &self.config, cache);
         let fill = self.config.timing.decomp_fill;
 
         // Intersections first (Section IV-B "Mixed Query"), then one

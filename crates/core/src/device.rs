@@ -6,7 +6,7 @@ use crate::core::BossCore;
 use crate::plan::QueryPlan;
 use crate::stats::{EvalCounts, QueryOutcome};
 use boss_index::layout::IndexImage;
-use boss_index::{Error, InvertedIndex, QueryExpr};
+use boss_index::{BlockCache, BlockCacheStats, Error, InvertedIndex, QueryExpr};
 use boss_scm::MemStats;
 use serde::{Deserialize, Serialize};
 
@@ -57,6 +57,9 @@ pub struct BossDevice<'a> {
     image: IndexImage,
     config: BossConfig,
     cores: Vec<BossCore>,
+    /// Host-side decoded-block cache shared by this device's cores
+    /// (wall-clock only; `None` when `config.block_cache_blocks == 0`).
+    cache: Option<BlockCache>,
 }
 
 impl<'a> BossDevice<'a> {
@@ -66,12 +69,20 @@ impl<'a> BossDevice<'a> {
         let cores = (0..config.n_cores)
             .map(|_| BossCore::new(config.clone()))
             .collect();
+        let cache =
+            (config.block_cache_blocks > 0).then(|| BlockCache::new(config.block_cache_blocks));
         BossDevice {
             index,
             image: IndexImage::new(index),
             config,
             cores,
+            cache,
         }
+    }
+
+    /// Decoded-block cache counters, when a cache is configured.
+    pub fn block_cache_stats(&self) -> Option<BlockCacheStats> {
+        self.cache.as_ref().map(BlockCache::stats)
     }
 
     /// The device configuration.
@@ -182,7 +193,15 @@ impl<'a> BossDevice<'a> {
     /// [`Error::InvalidQuery`]) without touching the cores.
     pub fn search_expr(&mut self, expr: &QueryExpr, k: usize) -> Result<QueryOutcome, Error> {
         let plan = QueryPlan::from_expr(self.index, expr, &self.config)?;
-        Ok(self.cores[0].execute(self.index, &self.image, &plan, k))
+        Ok(
+            self.cores[0].execute_with_cache(
+                self.index,
+                &self.image,
+                &plan,
+                k,
+                self.cache.as_ref(),
+            ),
+        )
     }
 
     /// Runs a batch with greedy list scheduling: each query goes to the
@@ -248,7 +267,13 @@ impl<'a> BossDevice<'a> {
                 .map(|&i| self.cores[i].busy_until)
                 .max()
                 .expect("gang non-empty");
-            let out = self.cores[chosen[0]].execute(self.index, &self.image, plan, k);
+            let out = self.cores[chosen[0]].execute_with_cache(
+                self.index,
+                &self.image,
+                plan,
+                k,
+                self.cache.as_ref(),
+            );
             let end = start + out.cycles;
             for &i in chosen {
                 self.cores[i].busy_until = end;

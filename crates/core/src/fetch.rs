@@ -8,7 +8,10 @@ use crate::pipeline::BlockEvent;
 use crate::stats::EvalCounts;
 use boss_compress::Scheme;
 use boss_index::layout::IndexImage;
-use boss_index::{BlockMeta, DocId, EncodedList, InvertedIndex, TermId, BLOCK_META_BYTES};
+use boss_index::{
+    decode_block_cached, BlockCache, BlockMeta, DecodeScratch, DocId, EncodedList, InvertedIndex,
+    TermId, BLOCK_META_BYTES,
+};
 use boss_scm::{AccessCategory, AccessKind, MemorySim, PatternHint};
 
 /// Why documents were skipped — drives Figure 14's attribution.
@@ -37,13 +40,26 @@ pub(crate) struct ExecCtx<'a> {
     norm_line: u64,
     /// Block trace for the event-driven timing replay.
     pub trace: Vec<BlockEvent>,
+    /// Decoded-block cache (wall-clock only: hits skip the host-side
+    /// decode, never any simulated charge — see `boss_index::cache`).
+    pub cache: Option<&'a BlockCache>,
 }
 
 impl<'a> ExecCtx<'a> {
+    #[cfg(test)]
     pub(crate) fn new(
         index: &'a InvertedIndex,
         image: &'a IndexImage,
         config: &BossConfig,
+    ) -> Self {
+        Self::with_cache(index, image, config, None)
+    }
+
+    pub(crate) fn with_cache(
+        index: &'a InvertedIndex,
+        image: &'a IndexImage,
+        config: &BossConfig,
+        cache: Option<&'a BlockCache>,
     ) -> Self {
         ExecCtx {
             index,
@@ -55,6 +71,7 @@ impl<'a> ExecCtx<'a> {
             scored: 0,
             norm_line: u64::MAX,
             trace: Vec::new(),
+            cache,
         }
     }
 
@@ -140,9 +157,9 @@ pub(crate) struct ListCursor<'a> {
     data_addr: u64,
     /// Current block; `list.n_blocks()` when exhausted.
     block: usize,
-    /// Decoded docIDs/tfs of the current block (empty if not decoded).
-    docs: Vec<DocId>,
-    tfs: Vec<u32>,
+    /// Decoded docIDs/tfs of the current block (empty if not decoded),
+    /// in buffers reserved once from block metadata.
+    scratch: DecodeScratch,
     pos: usize,
     /// Which decompression module this list is bound to.
     dec_unit: usize,
@@ -159,14 +176,15 @@ impl<'a> ListCursor<'a> {
         decomp_fill: u64,
     ) -> Self {
         let list = ctx.index.list(term);
+        let mut scratch = DecodeScratch::new();
+        scratch.reserve_for(list);
         let mut c = ListCursor {
             term,
             list,
             meta_addr: ctx.image.meta_addr(term),
             data_addr: ctx.image.data_addr(term),
             block: 0,
-            docs: Vec::new(),
-            tfs: Vec::new(),
+            scratch,
             pos: 0,
             dec_unit,
             meta_read_upto: 0,
@@ -212,10 +230,10 @@ impl<'a> ListCursor<'a> {
     ///
     /// Panics if the cursor is exhausted.
     pub(crate) fn current_doc(&self) -> DocId {
-        if self.docs.is_empty() {
+        if self.scratch.is_empty() {
             self.meta().first_doc
         } else {
-            self.docs[self.pos]
+            self.scratch.docs[self.pos]
         }
     }
 
@@ -235,7 +253,7 @@ impl<'a> ListCursor<'a> {
     /// returns that block's last docID — the only unit the block fetch
     /// module can skip without the union module's help.
     pub(crate) fn whole_block_skippable(&self) -> Option<DocId> {
-        if !self.exhausted() && self.docs.is_empty() {
+        if !self.exhausted() && self.scratch.is_empty() {
             Some(self.meta().last_doc)
         } else {
             None
@@ -245,13 +263,15 @@ impl<'a> ListCursor<'a> {
     /// Term frequency at the cursor (decodes the current block if needed).
     pub(crate) fn current_tf(&mut self, ctx: &mut ExecCtx<'_>) -> u32 {
         self.ensure_decoded(ctx);
-        self.tfs[self.pos]
+        self.scratch.tfs[self.pos]
     }
 
     fn ensure_decoded(&mut self, ctx: &mut ExecCtx<'_>) {
-        if !self.docs.is_empty() {
+        if !self.scratch.is_empty() {
             return;
         }
+        // Every simulated charge below happens regardless of cache state:
+        // the cache only changes which host-side path fills the scratch.
         let meta = *self.meta();
         let data_ready = ctx.read(
             self.data_addr + u64::from(meta.offset),
@@ -259,11 +279,16 @@ impl<'a> ListCursor<'a> {
             AccessCategory::LdList,
             PatternHint::Auto,
         );
-        self.docs.clear();
-        self.tfs.clear();
-        self.list
-            .decode_block(self.block, &mut self.docs, &mut self.tfs)
-            .expect("index blocks decode (built by this process)");
+        self.scratch.clear();
+        decode_block_cached(
+            self.list,
+            self.term,
+            self.block,
+            ctx.cache,
+            &mut self.scratch.docs,
+            &mut self.scratch.tfs,
+        )
+        .expect("index blocks decode (built by this process)");
         ctx.eval.blocks_fetched += 1;
         let dec = decomp_cycles(self.list.scheme(), &meta, self.decomp_fill);
         ctx.dec_cycles[self.dec_unit] += dec;
@@ -278,8 +303,7 @@ impl<'a> ListCursor<'a> {
 
     fn enter_block(&mut self, ctx: &mut ExecCtx<'_>, block: usize) {
         self.block = block;
-        self.docs.clear();
-        self.tfs.clear();
+        self.scratch.clear();
         self.pos = 0;
         if block < self.list.n_blocks() {
             self.charge_meta(ctx, block);
@@ -292,7 +316,7 @@ impl<'a> ListCursor<'a> {
     pub(crate) fn advance(&mut self, ctx: &mut ExecCtx<'_>) {
         self.ensure_decoded(ctx);
         self.pos += 1;
-        if self.pos >= self.docs.len() {
+        if self.pos >= self.scratch.len() {
             let next = self.block + 1;
             self.enter_block(ctx, next);
         }
@@ -303,12 +327,12 @@ impl<'a> ListCursor<'a> {
     pub(crate) fn seek(&mut self, ctx: &mut ExecCtx<'_>, target: DocId, reason: SkipReason) {
         // Skip whole blocks that end before the target.
         while !self.exhausted() && self.meta().last_doc < target {
-            let remaining_in_block = if self.docs.is_empty() {
+            let remaining_in_block = if self.scratch.is_empty() {
                 self.meta().count() as u64
             } else {
-                (self.docs.len() - self.pos) as u64
+                (self.scratch.len() - self.pos) as u64
             };
-            if self.docs.is_empty() {
+            if self.scratch.is_empty() {
                 ctx.eval.blocks_skipped += 1;
                 ctx.eval.docs_skipped_block += remaining_in_block;
             } else {
@@ -327,7 +351,7 @@ impl<'a> ListCursor<'a> {
         }
         // The target falls inside the current block: decode and scan.
         self.ensure_decoded(ctx);
-        while self.pos < self.docs.len() && self.docs[self.pos] < target {
+        while self.pos < self.scratch.len() && self.scratch.docs[self.pos] < target {
             self.pos += 1;
             ctx.eval.comparisons += 1;
             match reason {
@@ -335,7 +359,7 @@ impl<'a> ListCursor<'a> {
                 SkipReason::Wand => ctx.eval.docs_skipped_wand += 1,
             }
         }
-        if self.pos >= self.docs.len() {
+        if self.pos >= self.scratch.len() {
             let next = self.block + 1;
             self.enter_block(ctx, next);
         }
@@ -346,10 +370,10 @@ impl<'a> ListCursor<'a> {
         if self.exhausted() {
             return 0;
         }
-        let in_block = if self.docs.is_empty() {
+        let in_block = if self.scratch.is_empty() {
             self.meta().count() as u64
         } else {
-            (self.docs.len() - self.pos) as u64
+            (self.scratch.len() - self.pos) as u64
         };
         let later: u64 = self.list.blocks()[self.block + 1..]
             .iter()

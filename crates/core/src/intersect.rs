@@ -206,4 +206,37 @@ mod tests {
         let (b, _) = run(&idx, &["eleven", "base"]);
         assert_eq!(a.docs, b.docs);
     }
+
+    #[test]
+    fn block_cache_changes_nothing_observable() {
+        // Same invariant as the union module: the decoded-block cache may
+        // only change host wall-clock, never the materialized stream, the
+        // counters, or the simulated traffic.
+        use boss_index::BlockCache;
+        let idx = corpus();
+        let cfg = BossConfig::default();
+        let image = IndexImage::new(&idx);
+        let ids: Vec<TermId> = ["two", "five", "eleven"]
+            .iter()
+            .map(|t| idx.term_id(t).unwrap())
+            .collect();
+        let run_with = |cache: Option<&boss_index::BlockCache>| {
+            let mut ctx = crate::fetch::ExecCtx::with_cache(&idx, &image, &cfg, cache);
+            let m = intersect_group(&mut ctx, &ids, 4);
+            (m, ctx.eval, ctx.mem.take_stats())
+        };
+        let (m0, eval0, mem0) = run_with(None);
+        let cache = BlockCache::new(128);
+        let (m1, eval1, mem1) = run_with(Some(&cache));
+        assert!(cache.stats().misses > 0);
+        let (m2, eval2, mem2) = run_with(Some(&cache));
+        assert!(cache.stats().hits > 0, "second pass hits");
+        assert_eq!(m0.docs, m1.docs);
+        assert_eq!(m0.docs, m2.docs);
+        assert_eq!(m0.entries, m1.entries);
+        assert_eq!(eval0, eval1);
+        assert_eq!(eval0, eval2);
+        assert_eq!(mem0, mem1);
+        assert_eq!(mem0, mem2);
+    }
 }

@@ -63,5 +63,5 @@ pub use mai::{Tlb, TlbStats};
 pub use pipeline::TimingFidelity;
 pub use plan::QueryPlan;
 pub use queueing::OpenLoopResult;
-pub use stats::{EvalCounts, QueryOutcome};
+pub use stats::{BlockCacheStats, EvalCounts, QueryOutcome};
 pub use topk::TopK;

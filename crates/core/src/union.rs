@@ -540,6 +540,47 @@ mod tests {
         let expect = reference_hits(&idx, &["alpha", "gamma"], 1000);
         assert_eq!(topk.into_hits(), expect);
     }
+
+    #[test]
+    fn block_cache_changes_nothing_observable() {
+        // The decoded-block cache is wall-clock only: hits, eval counters
+        // and memory traffic must be bit-identical with and without it,
+        // and across repeated runs that turn misses into hits.
+        use boss_index::BlockCache;
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let terms = ["alpha", "beta", "gamma", "delta"];
+        let k = 10;
+        let run_with = |cache: Option<&BlockCache>| {
+            let cfg = BossConfig::default().with_k(k);
+            let mut ctx = ExecCtx::with_cache(&idx, &image, &cfg, cache);
+            let streams: Vec<UnionStream> = terms
+                .iter()
+                .enumerate()
+                .map(|(u, t)| {
+                    let id = idx.term_id(t).unwrap();
+                    UnionStream::List(ListCursor::new(&mut ctx, id, u % 4, 4))
+                })
+                .collect();
+            let mut topk = TopK::new(k);
+            union_topk(&mut ctx, streams, EtMode::Full, &mut topk);
+            (topk.into_hits(), ctx.eval, ctx.mem.take_stats())
+        };
+        let (hits0, eval0, mem0) = run_with(None);
+        let cache = BlockCache::new(256);
+        let (hits1, eval1, mem1) = run_with(Some(&cache));
+        let first = cache.stats();
+        assert!(first.misses > 0, "cold cache misses");
+        let (hits2, eval2, mem2) = run_with(Some(&cache));
+        let second = cache.stats();
+        assert!(second.hits > first.hits, "warm cache hits");
+        assert_eq!(hits0, hits1);
+        assert_eq!(hits0, hits2);
+        assert_eq!(eval0, eval1);
+        assert_eq!(eval0, eval2);
+        assert_eq!(mem0, mem1);
+        assert_eq!(mem0, mem2);
+    }
 }
 
 #[cfg(test)]

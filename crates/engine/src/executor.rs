@@ -1,4 +1,10 @@
 //! The generic, deterministic batch executor.
+//!
+//! Each worker thread owns a [`SearchEngine::fork`], so each worker also
+//! owns its own decoded-block cache when one is configured. Hit/miss
+//! patterns therefore vary with the thread count, but outcomes do not:
+//! the cache is functional-speed only (see the crate-level determinism
+//! contract).
 
 use crate::SearchEngine;
 use boss_core::{EvalCounts, QueryOutcome, SchedPolicy};

@@ -1,0 +1,117 @@
+//! The decoded-block cache must be invisible to every observable batch
+//! result: for all three engines, serial and 1/2/4-thread executor runs
+//! are bit-identical to each other *and* to the cache-disabled run. The
+//! cache is wall-clock only — simulated cycles, traffic, and counters
+//! never depend on it (see the `boss-engine` determinism contract).
+
+use boss_core::BossConfig;
+use boss_engine::{BatchExecutor, Boss, EngineBatch, Iiu, Lucene, SearchEngine};
+use boss_iiu::IiuConfig;
+use boss_index::{InvertedIndex, QueryExpr};
+use boss_luceneish::LuceneConfig;
+use boss_workload::corpus::{CorpusSpec, Scale};
+use boss_workload::queries::{QuerySampler, ALL_QUERY_TYPES};
+
+const CACHE_BLOCKS: usize = 256;
+
+fn corpus() -> InvertedIndex {
+    CorpusSpec::ccnews_like(Scale::Smoke)
+        .build()
+        .expect("corpus builds")
+}
+
+/// A mixed suite covering all six Table II query types, repeated so that
+/// the cache sees real cross-query block reuse.
+fn suite(index: &InvertedIndex) -> Vec<QueryExpr> {
+    let mut sampler = QuerySampler::new(index, 11);
+    let mut queries = Vec::new();
+    for _ in 0..2 {
+        for qt in ALL_QUERY_TYPES {
+            for _ in 0..2 {
+                queries.push(sampler.sample(qt).expr);
+            }
+        }
+    }
+    queries
+}
+
+fn assert_batches_identical(a: &EngineBatch, b: &EngineBatch, ctx: &str) {
+    assert_eq!(a.makespan_cycles, b.makespan_cycles, "{ctx}: makespan");
+    assert_eq!(a.mem, b.mem, "{ctx}: merged MemStats");
+    assert_eq!(a.eval, b.eval, "{ctx}: merged EvalCounts");
+    assert_eq!(a.outcomes.len(), b.outcomes.len(), "{ctx}: outcome count");
+    for (i, (x, y)) in a.outcomes.iter().zip(&b.outcomes).enumerate() {
+        assert_eq!(x, y, "{ctx}: outcome {i}");
+    }
+}
+
+/// Runs `cached` at 1/2/4 executor threads and `uncached` serially;
+/// every combination must produce the same batch, and the serial cached
+/// engine must actually be exercising its cache.
+fn check_cache_invisible<E: SearchEngine + Send>(
+    cached: &E,
+    uncached: &E,
+    queries: &[QueryExpr],
+    k: usize,
+) {
+    let label = cached.label();
+    let baseline = BatchExecutor::with_threads(1)
+        .run(uncached, queries, k)
+        .expect("runs");
+    for threads in [1usize, 2, 4] {
+        let with_cache = BatchExecutor::with_threads(threads)
+            .run(cached, queries, k)
+            .expect("runs");
+        assert_batches_identical(
+            &with_cache,
+            &baseline,
+            &format!("{label} cached at {threads} threads vs uncached serial"),
+        );
+    }
+    assert!(
+        uncached.block_cache_stats().is_none(),
+        "{label}: cache disabled must report no stats"
+    );
+    // The executor forks workers, so the template engine's own cache
+    // stays cold; run one query directly to prove the cache is live.
+    let mut probe = cached.fork();
+    probe.search(&queries[0], k).expect("probe query runs");
+    probe.search(&queries[0], k).expect("probe query repeats");
+    let stats = probe
+        .block_cache_stats()
+        .unwrap_or_else(|| panic!("{label}: cache enabled must report stats"));
+    assert!(
+        stats.hits > 0,
+        "{label}: repeating a query must hit the cache (stats: {stats:?})"
+    );
+}
+
+#[test]
+fn boss_cache_invisible_at_every_thread_count() {
+    let index = corpus();
+    let queries = suite(&index);
+    let cfg = BossConfig::with_cores(4).with_k(50);
+    let cached = Boss::new(&index, cfg.clone().with_block_cache(CACHE_BLOCKS));
+    let uncached = Boss::new(&index, cfg);
+    check_cache_invisible(&cached, &uncached, &queries, 50);
+}
+
+#[test]
+fn iiu_cache_invisible_at_every_thread_count() {
+    let index = corpus();
+    let queries = suite(&index);
+    let cfg = IiuConfig::with_cores(4);
+    let cached = Iiu::new(&index, cfg.clone().with_block_cache(CACHE_BLOCKS));
+    let uncached = Iiu::new(&index, cfg);
+    check_cache_invisible(&cached, &uncached, &queries, 50);
+}
+
+#[test]
+fn lucene_cache_invisible_at_every_thread_count() {
+    let index = corpus();
+    let queries = suite(&index);
+    let cfg = LuceneConfig::with_threads(4);
+    let cached = Lucene::new(&index, cfg.clone().with_block_cache(CACHE_BLOCKS));
+    let uncached = Lucene::new(&index, cfg);
+    check_cache_invisible(&cached, &uncached, &queries, 50);
+}

@@ -3,7 +3,10 @@
 use boss_core::{BossConfig, TimingModel};
 use boss_core::{EvalCounts, QueryOutcome, QueryPlan, TopK};
 use boss_index::layout::{IndexImage, ScratchRegion};
-use boss_index::{DocId, Error, InvertedIndex, QueryExpr, TermId, BLOCK_META_BYTES};
+use boss_index::{
+    decode_block_cached, BlockCache, BlockCacheStats, DocId, Error, InvertedIndex, QueryExpr,
+    TermId, BLOCK_META_BYTES,
+};
 use boss_scm::{AccessCategory, AccessKind, MemoryConfig, MemorySim, PatternHint};
 
 /// IIU configuration: core count, memory node, and module timing (kept
@@ -21,6 +24,10 @@ pub struct IiuConfig {
     pub memory: MemoryConfig,
     /// Module timing constants (shared shape with BOSS).
     pub timing: TimingModel,
+    /// Capacity (in decoded blocks) of the host-side decoded-block cache;
+    /// 0 disables it. Wall-clock only: simulated cycles and traffic are
+    /// independent of this setting (see `boss_index::cache`).
+    pub block_cache_blocks: usize,
 }
 
 impl Default for IiuConfig {
@@ -31,6 +38,7 @@ impl Default for IiuConfig {
             units_per_core: 4,
             memory: MemoryConfig::optane_dcpmm(),
             timing: TimingModel::default(),
+            block_cache_blocks: 0,
         }
     }
 }
@@ -50,6 +58,13 @@ impl IiuConfig {
         self.memory = memory;
         self
     }
+
+    /// Replaces the decoded-block cache capacity (0 disables the cache).
+    #[must_use]
+    pub fn with_block_cache(mut self, blocks: usize) -> Self {
+        self.block_cache_blocks = blocks;
+        self
+    }
 }
 
 /// One IIU device bound to an index.
@@ -61,6 +76,8 @@ pub struct IiuEngine<'a> {
     /// BOSS planning config reused for expression normalization (same
     /// 16-term limit).
     plan_config: BossConfig,
+    /// Functional-speed decoded-block cache (never affects the model).
+    cache: Option<BlockCache>,
 }
 
 struct Run<'a> {
@@ -72,6 +89,7 @@ struct Run<'a> {
     scored: u64,
     scratch: ScratchRegion,
     norm_line: u64,
+    cache: Option<&'a BlockCache>,
 }
 
 impl<'a> Run<'a> {
@@ -105,7 +123,7 @@ impl<'a> Run<'a> {
             self.eval.blocks_fetched += 1;
             let unit = bi % self.dec_cycles.len();
             self.dec_cycles[unit] += u64::from(meta.len).max(meta.count() as u64 * 2) / 2 + 4;
-            list.decode_block(bi, &mut docs, &mut tfs)
+            decode_block_cached(list, term, bi, self.cache, &mut docs, &mut tfs)
                 .expect("index blocks decode");
         }
         (docs, tfs)
@@ -170,7 +188,7 @@ impl<'a> Run<'a> {
                 self.eval.blocks_fetched += 1;
                 bdocs.clear();
                 btfs.clear();
-                list.decode_block(lo, &mut bdocs, &mut btfs)
+                decode_block_cached(list, term, lo, self.cache, &mut bdocs, &mut btfs)
                     .expect("index blocks decode");
                 let unit = lo % self.dec_cycles.len();
                 self.dec_cycles[unit] += u64::from(blocks[lo].len).max(bdocs.len() as u64) / 2 + 4;
@@ -247,17 +265,25 @@ impl<'a> IiuEngine<'a> {
             memory: config.memory.clone(),
             ..BossConfig::default()
         };
+        let cache =
+            (config.block_cache_blocks > 0).then(|| BlockCache::new(config.block_cache_blocks));
         IiuEngine {
             index,
             image: IndexImage::new(index),
             config,
             plan_config,
+            cache,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &IiuConfig {
         &self.config
+    }
+
+    /// Hit/miss/eviction counters of the decoded-block cache, if enabled.
+    pub fn block_cache_stats(&self) -> Option<BlockCacheStats> {
+        self.cache.as_ref().map(BlockCache::stats)
     }
 
     /// Executes one query; the host-side sort that extracts the top-k is
@@ -277,6 +303,7 @@ impl<'a> IiuEngine<'a> {
             scored: 0,
             scratch: ScratchRegion::after(&self.image),
             norm_line: u64::MAX,
+            cache: self.cache.as_ref(),
         };
 
         // Each group: SvS with binary-search membership testing, spilling

@@ -215,7 +215,22 @@ impl EncodedList {
         self.blocks.len() as u64 * BLOCK_META_BYTES
     }
 
+    /// The docID the d-gap prefix sum of block `i` is seeded with: the
+    /// previous block's last docID, or 0 for the first block (whose first
+    /// stored gap is the absolute docID).
+    fn block_base(&self, i: usize) -> DocId {
+        if i == 0 {
+            0
+        } else {
+            self.blocks[i - 1].last_doc
+        }
+    }
+
     /// Decodes block `i`, appending docIDs and tfs to the output columns.
+    ///
+    /// The docID sub-stream goes through the codec's fused d-gap path
+    /// ([`boss_compress::Codec::decode_d1`]), so gaps become absolute
+    /// docIDs inside the unpack loop where the codec supports it.
     ///
     /// # Errors
     ///
@@ -235,20 +250,7 @@ impl EncodedList {
         let block = &self.data[meta.offset as usize..(meta.offset + meta.len) as usize];
         let (delta_part, tf_part) = block.split_at(meta.tf_offset as usize);
 
-        let base = docs.len();
-        codec.decode(delta_part, &meta.delta_info, docs)?;
-        let mut prev = if i == 0 {
-            0
-        } else {
-            self.blocks[i - 1].last_doc
-        };
-        let mut first = i == 0;
-        for d in &mut docs[base..] {
-            let decoded = if first { *d } else { prev + *d };
-            first = false;
-            *d = decoded;
-            prev = decoded;
-        }
+        codec.decode_d1(delta_part, &meta.delta_info, self.block_base(i), docs)?;
 
         let tf_base = tfs.len();
         codec.decode(tf_part, &meta.tf_info, tfs)?;
@@ -258,18 +260,102 @@ impl EncodedList {
         Ok(())
     }
 
+    /// Decodes block `i` into `scratch`, replacing its previous contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns codec errors on corrupt data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn decode_block_into(&self, i: usize, scratch: &mut DecodeScratch) -> Result<(), Error> {
+        scratch.clear();
+        self.decode_block(i, &mut scratch.docs, &mut scratch.tfs)
+    }
+
     /// Decodes the whole list into fresh columns.
     ///
     /// # Errors
     ///
     /// Returns codec errors on corrupt data.
     pub fn decode_all(&self) -> Result<(Vec<DocId>, Vec<u32>), Error> {
-        let mut docs = Vec::with_capacity(self.df as usize);
-        let mut tfs = Vec::with_capacity(self.df as usize);
+        let mut scratch = DecodeScratch::new();
+        self.decode_all_into(&mut scratch)?;
+        Ok((scratch.docs, scratch.tfs))
+    }
+
+    /// Decodes the whole list into `scratch`, replacing its previous
+    /// contents. The full list length is reserved up front from the
+    /// per-block metadata counts, so the columns never re-grow mid-decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns codec errors on corrupt data.
+    pub fn decode_all_into(&self, scratch: &mut DecodeScratch) -> Result<(), Error> {
+        scratch.clear();
+        let total: usize = self.blocks.iter().map(BlockMeta::count).sum();
+        scratch.docs.reserve(total);
+        scratch.tfs.reserve(total);
         for i in 0..self.blocks.len() {
-            self.decode_block(i, &mut docs, &mut tfs)?;
+            self.decode_block(i, &mut scratch.docs, &mut scratch.tfs)?;
         }
-        Ok((docs, tfs))
+        Ok(())
+    }
+}
+
+/// Reusable decode output buffers: callers allocate once (sized from block
+/// metadata via [`DecodeScratch::reserve_for`]) and every block decode
+/// lands in place instead of growing fresh vectors.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    /// Decoded absolute docIDs.
+    pub docs: Vec<DocId>,
+    /// Decoded term frequencies (the stored `tf - 1` already undone).
+    pub tfs: Vec<u32>,
+}
+
+impl DecodeScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for `n` values per decode.
+    pub fn with_capacity(n: usize) -> Self {
+        DecodeScratch {
+            docs: Vec::with_capacity(n),
+            tfs: Vec::with_capacity(n),
+        }
+    }
+
+    /// Reserves enough room for the largest block of `list`, so per-block
+    /// decodes through this scratch never reallocate.
+    pub fn reserve_for(&mut self, list: &EncodedList) {
+        let largest = list
+            .blocks()
+            .iter()
+            .map(BlockMeta::count)
+            .max()
+            .unwrap_or(0);
+        self.docs.reserve(largest.saturating_sub(self.docs.len()));
+        self.tfs.reserve(largest.saturating_sub(self.tfs.len()));
+    }
+
+    /// Clears both columns, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.docs.clear();
+        self.tfs.clear();
+    }
+
+    /// Number of decoded postings currently held.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the scratch holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
     }
 }
 

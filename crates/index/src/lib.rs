@@ -33,6 +33,7 @@
 
 mod bm25;
 mod builder;
+pub mod cache;
 mod encoded;
 mod error;
 mod index;
@@ -45,7 +46,8 @@ pub mod shard;
 
 pub use bm25::{Bm25, Bm25Params};
 pub use builder::{IndexBuilder, SchemeChoice};
-pub use encoded::{BlockMeta, EncodedList, BLOCK_META_BYTES, BLOCK_SIZE};
+pub use cache::{decode_block_cached, BlockCache, BlockCacheStats, DecodedBlock};
+pub use encoded::{BlockMeta, DecodeScratch, EncodedList, BLOCK_META_BYTES, BLOCK_SIZE};
 pub use error::Error;
 pub use index::{InvertedIndex, TermId, TermInfo};
 pub use posting::{Posting, PostingList};

@@ -2,7 +2,10 @@
 
 use boss_core::{EvalCounts, QueryOutcome, QueryPlan, TopK};
 use boss_index::layout::IndexImage;
-use boss_index::{Error, InvertedIndex, QueryExpr, TermId, BLOCK_META_BYTES};
+use boss_index::{
+    decode_block_cached, BlockCache, BlockCacheStats, Error, InvertedIndex, QueryExpr, TermId,
+    BLOCK_META_BYTES,
+};
 use boss_scm::{AccessCategory, AccessKind, MemStats, MemoryConfig, MemorySim, PatternHint};
 
 /// CPU cycles charged per unit of work, at the host clock.
@@ -47,6 +50,10 @@ pub struct LuceneConfig {
     pub memory: MemoryConfig,
     /// Cost constants.
     pub cost: LuceneCostModel,
+    /// Capacity (in decoded blocks) of the host-side decoded-block cache;
+    /// 0 disables it. Wall-clock only: simulated cycles and traffic are
+    /// independent of this setting (see `boss_index::cache`).
+    pub block_cache_blocks: usize,
 }
 
 impl Default for LuceneConfig {
@@ -56,6 +63,7 @@ impl Default for LuceneConfig {
             clock_ghz: 2.7,
             memory: MemoryConfig::host_scm_6ch(),
             cost: LuceneCostModel::default(),
+            block_cache_blocks: 0,
         }
     }
 }
@@ -75,6 +83,13 @@ impl LuceneConfig {
         self.memory = memory;
         self
     }
+
+    /// Replaces the decoded-block cache capacity (0 disables the cache).
+    #[must_use]
+    pub fn with_block_cache(mut self, blocks: usize) -> Self {
+        self.block_cache_blocks = blocks;
+        self
+    }
 }
 
 /// The Lucene-like engine bound to an index.
@@ -84,22 +99,32 @@ pub struct LuceneEngine<'a> {
     image: IndexImage,
     config: LuceneConfig,
     plan_config: boss_core::BossConfig,
+    /// Functional-speed decoded-block cache (never affects the model).
+    cache: Option<BlockCache>,
 }
 
 impl<'a> LuceneEngine<'a> {
     /// Binds the engine to an index.
     pub fn new(index: &'a InvertedIndex, config: LuceneConfig) -> Self {
+        let cache =
+            (config.block_cache_blocks > 0).then(|| BlockCache::new(config.block_cache_blocks));
         LuceneEngine {
             index,
             image: IndexImage::new(index),
             config,
             plan_config: boss_core::BossConfig::default(),
+            cache,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &LuceneConfig {
         &self.config
+    }
+
+    /// Hit/miss/eviction counters of the decoded-block cache, if enabled.
+    pub fn block_cache_stats(&self) -> Option<BlockCacheStats> {
+        self.cache.as_ref().map(BlockCache::stats)
     }
 
     /// Executes one query on one thread.
@@ -151,7 +176,18 @@ impl<'a> LuceneEngine<'a> {
             eval.metas_read += lead_list.n_blocks() as u64;
             eval.blocks_fetched += lead_list.n_blocks() as u64;
             postings_decoded += u64::from(lead_list.df());
-            let (mut acc, _) = lead_list.decode_all()?;
+            let mut acc: Vec<u32> = Vec::with_capacity(lead_list.df() as usize);
+            let mut lead_tfs: Vec<u32> = Vec::with_capacity(lead_list.df() as usize);
+            for bi in 0..lead_list.n_blocks() {
+                decode_block_cached(
+                    lead_list,
+                    lead,
+                    bi,
+                    self.cache.as_ref(),
+                    &mut acc,
+                    &mut lead_tfs,
+                )?;
+            }
             merge_steps += acc.len() as u64;
 
             for &t in &order[1..] {
@@ -196,7 +232,7 @@ impl<'a> LuceneEngine<'a> {
                     );
                     eval.blocks_fetched += 1;
                     postings_decoded += meta.count() as u64;
-                    list.decode_block(*bi, &mut docs, &mut tfs)?;
+                    decode_block_cached(list, t, *bi, self.cache.as_ref(), &mut docs, &mut tfs)?;
                 }
                 merge_steps += acc.len() as u64 + docs.len() as u64;
                 acc = boss_index::reference::intersect_sorted(&acc, &docs);
