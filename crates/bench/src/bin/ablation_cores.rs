@@ -40,6 +40,7 @@ fn main() {
                 MemoryConfig::optane_dcpmm(),
                 args.k,
                 args.block_cache,
+                args.bulk_score,
             ),
             &queries,
             args.k,
@@ -51,6 +52,7 @@ fn main() {
                 cores,
                 MemoryConfig::optane_dcpmm(),
                 args.block_cache,
+                args.bulk_score,
             ),
             &queries,
             args.k,

@@ -38,6 +38,7 @@ fn main() {
                 MemoryConfig::optane_dcpmm(),
                 10,
                 args.block_cache,
+                args.bulk_score,
             ),
             queries,
             10,
@@ -53,6 +54,7 @@ fn main() {
                     MemoryConfig::optane_dcpmm(),
                     k,
                     args.block_cache,
+                    args.bulk_score,
                 ),
                 queries,
                 k,

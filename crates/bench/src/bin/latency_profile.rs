@@ -1,9 +1,15 @@
 //! Latency percentiles (p50/p95/p99) per engine and query type — serving
 //! systems live and die on tail latency, which throughput figures hide.
+//!
+//! When `--block-cache` is set, per-engine decoded-block cache counters
+//! (hits/misses/evictions) are reported as `#` comment lines: the cache
+//! is wall-clock only, so its counters must stay out of the data rows
+//! the invariance diffs compare.
 
 use boss_bench::{boss_engine, f, header, iiu_engine, lucene_engine, row, BenchArgs, TypedSuite};
 use boss_core::EtMode;
 use boss_engine::SearchEngine;
+use boss_index::BlockCacheStats;
 use boss_scm::MemoryConfig;
 use boss_workload::corpus::CorpusSpec;
 
@@ -16,19 +22,20 @@ fn pct(sorted_us: &[f64], p: f64) -> f64 {
 }
 
 /// Per-query latencies in microseconds, sorted (cycles at the engine's
-/// own clock — host cycles for Lucene, 1 GHz device cycles otherwise).
+/// own clock — host cycles for Lucene, 1 GHz device cycles otherwise),
+/// plus the engine's decoded-block cache counters after the run.
 fn latencies_us<E: SearchEngine>(
     engine: &mut E,
     queries: &[boss_index::QueryExpr],
     k: usize,
-) -> Vec<f64> {
+) -> (Vec<f64>, Option<BlockCacheStats>) {
     let clk = engine.clock_ghz();
     let mut us: Vec<f64> = queries
         .iter()
         .map(|q| engine.search(q, k).expect("runs").cycles as f64 / (clk * 1e3))
         .collect();
     us.sort_by(f64::total_cmp);
-    us
+    (us, engine.block_cache_stats())
 }
 
 fn main() {
@@ -40,14 +47,28 @@ fn main() {
     println!("# Per-query latency percentiles (single engine instance, us)");
     header(&["qtype", "system", "p50_us", "p95_us", "p99_us"]);
     for (qt, queries) in &suite.per_type {
-        let mut rows: Vec<(&str, Vec<f64>)> = Vec::new();
+        let mut rows: Vec<(&str, Vec<f64>, Option<BlockCacheStats>)> = Vec::new();
         if args.engines.lucene {
-            let mut luc = lucene_engine(&index, 1, MemoryConfig::host_scm_6ch(), args.block_cache);
-            rows.push(("Lucene", latencies_us(&mut luc, queries, args.k)));
+            let mut luc = lucene_engine(
+                &index,
+                1,
+                MemoryConfig::host_scm_6ch(),
+                args.block_cache,
+                args.bulk_score,
+            );
+            let (us, cache) = latencies_us(&mut luc, queries, args.k);
+            rows.push(("Lucene", us, cache));
         }
         if args.engines.iiu {
-            let mut iiu = iiu_engine(&index, 1, MemoryConfig::optane_dcpmm(), args.block_cache);
-            rows.push(("IIU", latencies_us(&mut iiu, queries, args.k)));
+            let mut iiu = iiu_engine(
+                &index,
+                1,
+                MemoryConfig::optane_dcpmm(),
+                args.block_cache,
+                args.bulk_score,
+            );
+            let (us, cache) = latencies_us(&mut iiu, queries, args.k);
+            rows.push(("IIU", us, cache));
         }
         if args.engines.boss {
             let mut boss = boss_engine(
@@ -57,10 +78,12 @@ fn main() {
                 MemoryConfig::optane_dcpmm(),
                 args.k,
                 args.block_cache,
+                args.bulk_score,
             );
-            rows.push(("BOSS", latencies_us(&mut boss, queries, args.k)));
+            let (us, cache) = latencies_us(&mut boss, queries, args.k);
+            rows.push(("BOSS", us, cache));
         }
-        for (name, v) in &rows {
+        for (name, v, _) in &rows {
             row(&[
                 qt.label().into(),
                 (*name).into(),
@@ -68,6 +91,21 @@ fn main() {
                 f(pct(v, 0.95)),
                 f(pct(v, 0.99)),
             ]);
+        }
+        // Cache counters ride in comments: wall-clock only, stripped by
+        // the invariance diffs.
+        for (name, _, cache) in &rows {
+            if let Some(c) = cache {
+                println!(
+                    "# block-cache {} {}: hits {} misses {} evictions {} hit_rate {}",
+                    qt.label(),
+                    name,
+                    c.hits,
+                    c.misses,
+                    c.evictions,
+                    f(c.hit_rate()),
+                );
+            }
         }
     }
 }

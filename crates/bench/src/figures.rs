@@ -38,7 +38,13 @@ pub fn multicore_throughput(
     for (qt, queries) in &suite.per_type {
         // The Lucene baseline always runs: every row normalizes to it.
         let lucene = run_system(
-            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), args.block_cache),
+            &lucene_engine(
+                index,
+                8,
+                MemoryConfig::host_scm_6ch(),
+                args.block_cache,
+                args.bulk_score,
+            ),
             queries,
             k,
             args.threads,
@@ -56,7 +62,13 @@ pub fn multicore_throughput(
         if args.engines.iiu {
             for &cores in &CORE_SWEEP {
                 let iiu = run_system(
-                    &iiu_engine(index, cores, MemoryConfig::optane_dcpmm(), args.block_cache),
+                    &iiu_engine(
+                        index,
+                        cores,
+                        MemoryConfig::optane_dcpmm(),
+                        args.block_cache,
+                        args.bulk_score,
+                    ),
                     queries,
                     k,
                     args.threads,
@@ -83,6 +95,7 @@ pub fn multicore_throughput(
                         MemoryConfig::optane_dcpmm(),
                         k,
                         args.block_cache,
+                        args.bulk_score,
                     ),
                     queries,
                     k,
@@ -135,7 +148,13 @@ pub fn bandwidth_utilization(
                 runs.push((
                     "IIU",
                     run_system(
-                        &iiu_engine(index, cores, MemoryConfig::optane_dcpmm(), args.block_cache),
+                        &iiu_engine(
+                            index,
+                            cores,
+                            MemoryConfig::optane_dcpmm(),
+                            args.block_cache,
+                            args.bulk_score,
+                        ),
                         queries,
                         k,
                         args.threads,
@@ -153,6 +172,7 @@ pub fn bandwidth_utilization(
                             MemoryConfig::optane_dcpmm(),
                             k,
                             args.block_cache,
+                            args.bulk_score,
                         ),
                         queries,
                         k,
@@ -183,14 +203,26 @@ pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
     header(&["qtype", "Lucene", "IIU", "BOSS-exhaustive", "BOSS"]);
     for (qt, queries) in &suite.per_type {
         let lucene = run_system(
-            &lucene_engine(index, 1, MemoryConfig::host_scm_6ch(), args.block_cache),
+            &lucene_engine(
+                index,
+                1,
+                MemoryConfig::host_scm_6ch(),
+                args.block_cache,
+                args.bulk_score,
+            ),
             queries,
             k,
             args.threads,
         );
         let base = lucene.qps;
         let iiu = run_system(
-            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), args.block_cache),
+            &iiu_engine(
+                index,
+                1,
+                MemoryConfig::optane_dcpmm(),
+                args.block_cache,
+                args.bulk_score,
+            ),
             queries,
             k,
             args.threads,
@@ -203,6 +235,7 @@ pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 MemoryConfig::optane_dcpmm(),
                 k,
                 args.block_cache,
+                args.bulk_score,
             ),
             queries,
             k,
@@ -216,6 +249,7 @@ pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 MemoryConfig::optane_dcpmm(),
                 k,
                 args.block_cache,
+                args.bulk_score,
             ),
             queries,
             k,
@@ -244,7 +278,13 @@ pub fn evaluated_docs(name: &str, index: &InvertedIndex, suite: &TypedSuite, arg
             continue; // the paper plots the union types
         }
         let iiu = run_system(
-            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), args.block_cache),
+            &iiu_engine(
+                index,
+                1,
+                MemoryConfig::optane_dcpmm(),
+                args.block_cache,
+                args.bulk_score,
+            ),
             queries,
             k,
             args.threads,
@@ -257,6 +297,7 @@ pub fn evaluated_docs(name: &str, index: &InvertedIndex, suite: &TypedSuite, arg
                 MemoryConfig::optane_dcpmm(),
                 k,
                 args.block_cache,
+                args.bulk_score,
             ),
             queries,
             k,
@@ -270,6 +311,7 @@ pub fn evaluated_docs(name: &str, index: &InvertedIndex, suite: &TypedSuite, arg
                 MemoryConfig::optane_dcpmm(),
                 k,
                 args.block_cache,
+                args.bulk_score,
             ),
             queries,
             k,
@@ -308,7 +350,13 @@ pub fn memory_accesses(name: &str, index: &InvertedIndex, suite: &TypedSuite, ar
     ]);
     for (qt, queries) in &suite.per_type {
         let iiu = run_system(
-            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), args.block_cache),
+            &iiu_engine(
+                index,
+                1,
+                MemoryConfig::optane_dcpmm(),
+                args.block_cache,
+                args.bulk_score,
+            ),
             queries,
             k,
             args.threads,
@@ -321,6 +369,7 @@ pub fn memory_accesses(name: &str, index: &InvertedIndex, suite: &TypedSuite, ar
                 MemoryConfig::optane_dcpmm(),
                 k,
                 args.block_cache,
+                args.bulk_score,
             ),
             queries,
             k,
@@ -359,7 +408,13 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
     ];
     for (qt, queries) in &suite.per_type {
         let base = run_system(
-            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), args.block_cache),
+            &lucene_engine(
+                index,
+                8,
+                MemoryConfig::host_scm_6ch(),
+                args.block_cache,
+                args.bulk_score,
+            ),
             queries,
             k,
             args.threads,
@@ -371,7 +426,13 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "Lucene",
                 "SCM",
                 run_system(
-                    &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), args.block_cache),
+                    &lucene_engine(
+                        index,
+                        8,
+                        MemoryConfig::host_scm_6ch(),
+                        args.block_cache,
+                        args.bulk_score,
+                    ),
                     queries,
                     k,
                     args.threads,
@@ -381,7 +442,13 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "Lucene",
                 "DRAM",
                 run_system(
-                    &lucene_engine(index, 8, MemoryConfig::host_ddr4_6ch(), args.block_cache),
+                    &lucene_engine(
+                        index,
+                        8,
+                        MemoryConfig::host_ddr4_6ch(),
+                        args.block_cache,
+                        args.bulk_score,
+                    ),
                     queries,
                     k,
                     args.threads,
@@ -393,7 +460,13 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "IIU",
                 "SCM",
                 run_system(
-                    &iiu_engine(index, 8, MemoryConfig::optane_dcpmm(), args.block_cache),
+                    &iiu_engine(
+                        index,
+                        8,
+                        MemoryConfig::optane_dcpmm(),
+                        args.block_cache,
+                        args.bulk_score,
+                    ),
                     queries,
                     k,
                     args.threads,
@@ -403,7 +476,13 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "IIU",
                 "DRAM",
                 run_system(
-                    &iiu_engine(index, 8, MemoryConfig::ddr4_2666(), args.block_cache),
+                    &iiu_engine(
+                        index,
+                        8,
+                        MemoryConfig::ddr4_2666(),
+                        args.block_cache,
+                        args.bulk_score,
+                    ),
                     queries,
                     k,
                     args.threads,
@@ -422,6 +501,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                         MemoryConfig::optane_dcpmm(),
                         k,
                         args.block_cache,
+                        args.bulk_score,
                     ),
                     queries,
                     k,
@@ -439,6 +519,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                         MemoryConfig::ddr4_2666(),
                         k,
                         args.block_cache,
+                        args.bulk_score,
                     ),
                     queries,
                     k,
@@ -486,7 +567,13 @@ pub fn energy(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: &Benc
     let mut savings = Vec::new();
     for (qt, queries) in &suite.per_type {
         let lucene = run_system(
-            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), args.block_cache),
+            &lucene_engine(
+                index,
+                8,
+                MemoryConfig::host_scm_6ch(),
+                args.block_cache,
+                args.bulk_score,
+            ),
             queries,
             k,
             args.threads,
@@ -499,6 +586,7 @@ pub fn energy(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: &Benc
                 MemoryConfig::optane_dcpmm(),
                 k,
                 args.block_cache,
+                args.bulk_score,
             ),
             queries,
             k,

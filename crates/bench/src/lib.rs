@@ -102,6 +102,10 @@ pub struct BenchArgs {
     /// Decoded-block cache capacity per engine fork, in blocks (0
     /// disables it). Wall-clock only — never changes a data row.
     pub block_cache: usize,
+    /// Whether the engines run the block-at-a-time scoring kernels
+    /// (`--no-bulk` reverts to the seed per-document hot loop).
+    /// Wall-clock only — never changes a data row.
+    pub bulk_score: bool,
 }
 
 impl Default for BenchArgs {
@@ -114,6 +118,7 @@ impl Default for BenchArgs {
             threads: default_threads(),
             engines: EngineSelection::default(),
             block_cache: 0,
+            bulk_score: true,
         }
     }
 }
@@ -156,10 +161,12 @@ impl BenchArgs {
                 "--block-cache" => {
                     args.block_cache = parsed_value(&take("--block-cache"), "--block-cache");
                 }
+                "--no-bulk" => args.bulk_score = false,
                 "--help" | "-h" => {
                     println!(
                         "usage: [--scale smoke|small|full] [--seed N] [--queries-per-type N] \
-                         [--k N] [--threads N] [--engines boss,iiu,lucene] [--block-cache BLOCKS]"
+                         [--k N] [--threads N] [--engines boss,iiu,lucene] [--block-cache BLOCKS] \
+                         [--no-bulk]"
                     );
                     std::process::exit(0);
                 }
@@ -262,7 +269,8 @@ pub fn run_system<E: SearchEngine + Send>(
 }
 
 /// A BOSS engine in the paper's evaluation configuration. `block_cache`
-/// is the decoded-block cache capacity (0 disables it); it speeds up the
+/// is the decoded-block cache capacity (0 disables it) and `bulk`
+/// selects the block-at-a-time scoring hot loop; both speed up the
 /// simulation without changing any simulated number.
 pub fn boss_engine<'a>(
     index: &'a InvertedIndex,
@@ -271,6 +279,7 @@ pub fn boss_engine<'a>(
     memory: MemoryConfig,
     k: usize,
     block_cache: usize,
+    bulk: bool,
 ) -> Boss<'a> {
     Boss::new(
         index,
@@ -278,7 +287,8 @@ pub fn boss_engine<'a>(
             .with_et(et)
             .with_k(k)
             .on_memory(memory)
-            .with_block_cache(block_cache),
+            .with_block_cache(block_cache)
+            .with_bulk_score(bulk),
     )
 }
 
@@ -288,12 +298,14 @@ pub fn iiu_engine<'a>(
     cores: u32,
     memory: MemoryConfig,
     block_cache: usize,
+    bulk: bool,
 ) -> Iiu<'a> {
     Iiu::new(
         index,
         IiuConfig::with_cores(cores)
             .on_memory(memory)
-            .with_block_cache(block_cache),
+            .with_block_cache(block_cache)
+            .with_bulk_score(bulk),
     )
 }
 
@@ -303,12 +315,14 @@ pub fn lucene_engine<'a>(
     threads: u32,
     memory: MemoryConfig,
     block_cache: usize,
+    bulk: bool,
 ) -> Lucene<'a> {
     Lucene::new(
         index,
         LuceneConfig::with_threads(threads)
             .on_memory(memory)
-            .with_block_cache(block_cache),
+            .with_block_cache(block_cache)
+            .with_bulk_score(bulk),
     )
 }
 
@@ -381,19 +395,20 @@ mod tests {
                     MemoryConfig::optane_dcpmm(),
                     50,
                     64,
+                    true,
                 ),
                 qs,
                 50,
                 2,
             );
             let iiu = run_system(
-                &iiu_engine(&index, 2, MemoryConfig::optane_dcpmm(), 64),
+                &iiu_engine(&index, 2, MemoryConfig::optane_dcpmm(), 64, true),
                 qs,
                 50,
                 2,
             );
             let luc = run_system(
-                &lucene_engine(&index, 2, MemoryConfig::host_scm_6ch(), 64),
+                &lucene_engine(&index, 2, MemoryConfig::host_scm_6ch(), 64, true),
                 qs,
                 50,
                 2,

@@ -29,6 +29,81 @@ fn layout_count(layout: &[(u32, u32)]) -> u32 {
     layout.iter().map(|&(n, _)| n).sum()
 }
 
+/// Values held by each layout, indexed by selector.
+const LAYOUT_COUNTS: [usize; 16] = [28, 21, 21, 21, 14, 9, 8, 7, 6, 6, 5, 5, 4, 3, 2, 1];
+
+/// Emits `N` fields of `BITS` bits starting at `*shift`; monomorphized per
+/// (run, width) pair so the compiler fully unrolls each run, and staged
+/// through a stack array so the `Vec` pays one capacity check per run
+/// instead of one per value.
+#[inline]
+fn emit_run<const N: usize, const BITS: u32>(word: u32, shift: &mut u32, out: &mut Vec<u32>) {
+    let mask = (1u32 << BITS) - 1;
+    let mut vals = [0u32; N];
+    for (i, v) in vals.iter_mut().enumerate() {
+        *v = (word >> (*shift + i as u32 * BITS)) & mask;
+    }
+    *shift += N as u32 * BITS;
+    out.extend_from_slice(&vals);
+}
+
+/// Decodes one full word (all `LAYOUT_COUNTS[sel]` values) with the
+/// unrolled per-selector kernel.
+#[inline]
+fn decode_word(sel: usize, word: u32, out: &mut Vec<u32>) {
+    let s = &mut 0u32;
+    match sel {
+        0 => emit_run::<28, 1>(word, s, out),
+        1 => {
+            emit_run::<7, 2>(word, s, out);
+            emit_run::<14, 1>(word, s, out);
+        }
+        2 => {
+            emit_run::<7, 1>(word, s, out);
+            emit_run::<7, 2>(word, s, out);
+            emit_run::<7, 1>(word, s, out);
+        }
+        3 => {
+            emit_run::<14, 1>(word, s, out);
+            emit_run::<7, 2>(word, s, out);
+        }
+        4 => emit_run::<14, 2>(word, s, out),
+        5 => {
+            emit_run::<1, 4>(word, s, out);
+            emit_run::<8, 3>(word, s, out);
+        }
+        6 => {
+            emit_run::<1, 3>(word, s, out);
+            emit_run::<4, 4>(word, s, out);
+            emit_run::<3, 3>(word, s, out);
+        }
+        7 => emit_run::<7, 4>(word, s, out),
+        8 => {
+            emit_run::<4, 5>(word, s, out);
+            emit_run::<2, 4>(word, s, out);
+        }
+        9 => {
+            emit_run::<2, 4>(word, s, out);
+            emit_run::<4, 5>(word, s, out);
+        }
+        10 => {
+            emit_run::<3, 6>(word, s, out);
+            emit_run::<2, 5>(word, s, out);
+        }
+        11 => {
+            emit_run::<2, 5>(word, s, out);
+            emit_run::<3, 6>(word, s, out);
+        }
+        12 => emit_run::<4, 7>(word, s, out),
+        13 => {
+            emit_run::<1, 10>(word, s, out);
+            emit_run::<2, 9>(word, s, out);
+        }
+        14 => emit_run::<2, 14>(word, s, out),
+        _ => emit_run::<1, 28>(word, s, out),
+    }
+}
+
 /// Returns how many leading `values` fit layout `sel` (0 if the first field
 /// already overflows).
 fn fits(layout: &[(u32, u32)], values: &[u32]) -> bool {
@@ -111,6 +186,49 @@ impl Codec for Simple16 {
             pos += 4;
             let word = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
             let sel = (word >> 28) as usize;
+            if remaining >= LAYOUT_COUNTS[sel] {
+                // Full word: per-selector unrolled kernel, no per-value
+                // remaining checks.
+                decode_word(sel, word, out);
+                remaining -= LAYOUT_COUNTS[sel];
+            } else {
+                // Final partial word: the generic field walk.
+                let mut shift = 0u32;
+                for &(n, bits) in LAYOUTS[sel] {
+                    let mask = (1u32 << bits) - 1;
+                    for _ in 0..n {
+                        if remaining == 0 {
+                            break;
+                        }
+                        out.push((word >> shift) & mask);
+                        shift += bits;
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn decode_reference(
+        &self,
+        data: &[u8],
+        info: &BlockInfo,
+        out: &mut Vec<u32>,
+    ) -> Result<(), Error> {
+        let mut remaining = info.count as usize;
+        let mut pos = 0usize;
+        out.reserve(remaining);
+        while remaining > 0 {
+            let Some(bytes) = data.get(pos..pos + 4) else {
+                return Err(Error::Truncated {
+                    have: data.len(),
+                    need: pos + 4,
+                });
+            };
+            pos += 4;
+            let word = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+            let sel = (word >> 28) as usize;
             let layout = LAYOUTS[sel];
             let mut shift = 0u32;
             for &(n, bits) in layout {
@@ -147,6 +265,43 @@ mod tests {
         for layout in &LAYOUTS {
             let bits: u32 = layout.iter().map(|&(n, b)| n * b).sum();
             assert_eq!(bits, 28);
+        }
+    }
+
+    #[test]
+    fn layout_counts_match_table() {
+        for (sel, layout) in LAYOUTS.iter().enumerate() {
+            assert_eq!(LAYOUT_COUNTS[sel], layout_count(layout) as usize, "{sel}");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_on_random_streams() {
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for len in [1usize, 2, 27, 28, 29, 100, 128, 513] {
+            let values: Vec<u32> = (0..len)
+                .map(|_| {
+                    let r = next();
+                    match r % 8 {
+                        0..=4 => r % 4,
+                        5 => r % 128,
+                        6 => r % 65536,
+                        _ => r % (1 << 28),
+                    }
+                })
+                .collect();
+            let mut buf = Vec::new();
+            let info = Simple16.encode(&values, &mut buf).unwrap();
+            let mut fast = Vec::new();
+            Simple16.decode(&buf, &info, &mut fast).unwrap();
+            let mut slow = Vec::new();
+            Simple16.decode_reference(&buf, &info, &mut slow).unwrap();
+            assert_eq!(fast, slow, "len {len}");
+            assert_eq!(fast, values, "len {len}");
         }
     }
 

@@ -35,6 +35,96 @@ impl Codec for VariableByte {
     }
 
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
+        let count = info.count as usize;
+        out.reserve(count);
+        let mut pos = 0usize;
+        let mut i = 0usize;
+        // Fast path: while an 8-byte word is in bounds, locate the
+        // terminator with one trailing-zeros over the MSB mask and merge
+        // the 7-bit payload groups branchlessly — the only data-dependent
+        // branch per value is the rare 5-byte/overwide case.
+        const MSBS: u64 = 0x8080_8080_8080_8080;
+        const PAYLOADS: u64 = 0x0000_007F_7F7F_7F7F;
+        while i < count && pos + 8 <= data.len() {
+            let word = u64::from_le_bytes(data[pos..pos + 8].try_into().expect("8 bytes"));
+            let tz = (word & MSBS).trailing_zeros();
+            if tz >= 39 {
+                if tz > 39 {
+                    // No terminator within 5 bytes: the reference reports
+                    // Corrupt here (either at the byte-4 payload check or
+                    // at the sixth byte, which is in bounds).
+                    return Err(Error::Corrupt {
+                        reason: "VB value wider than 32 bits",
+                    });
+                }
+                // Legal 5-byte value; byte 4 carries at most 4 bits.
+                let payload = (word >> 32) & 0x7F;
+                if payload > 0xF {
+                    return Err(Error::Corrupt {
+                        reason: "VB value wider than 32 bits",
+                    });
+                }
+                let w = word & PAYLOADS;
+                let v = (w & 0x7F)
+                    | ((w >> 1) & (0x7F << 7))
+                    | ((w >> 2) & (0x7F << 14))
+                    | ((w >> 3) & (0x7F << 21))
+                    | (payload << 28);
+                out.push(v as u32);
+                pos += 5;
+            } else {
+                // tz = 8*len - 1 for a terminator in bytes 0..=3.
+                let len = (tz as usize >> 3) + 1;
+                let w = word & (u64::MAX >> (63 - tz)) & PAYLOADS;
+                let v = (w & 0x7F)
+                    | ((w >> 1) & (0x7F << 7))
+                    | ((w >> 2) & (0x7F << 14))
+                    | ((w >> 3) & (0x7F << 21));
+                out.push(v as u32);
+                pos += len;
+            }
+            i += 1;
+        }
+        // Tail: per-byte bounds-checked loop, identical to the reference.
+        for _ in i..count {
+            let mut v: u32 = 0;
+            let mut shift = 0u32;
+            loop {
+                let Some(&b) = data.get(pos) else {
+                    return Err(Error::Truncated {
+                        have: data.len(),
+                        need: pos + 1,
+                    });
+                };
+                pos += 1;
+                if shift >= 35 {
+                    return Err(Error::Corrupt {
+                        reason: "VB value wider than 32 bits",
+                    });
+                }
+                let payload = u32::from(b & 0x7F);
+                if shift == 28 && payload > 0xF {
+                    return Err(Error::Corrupt {
+                        reason: "VB value wider than 32 bits",
+                    });
+                }
+                v |= payload << shift;
+                shift += 7;
+                if b & 0x80 != 0 {
+                    break;
+                }
+            }
+            out.push(v);
+        }
+        Ok(())
+    }
+
+    fn decode_reference(
+        &self,
+        data: &[u8],
+        info: &BlockInfo,
+        out: &mut Vec<u32>,
+    ) -> Result<(), Error> {
         let mut pos = 0usize;
         out.reserve(info.count as usize);
         for _ in 0..info.count {
@@ -114,6 +204,55 @@ mod tests {
             .decode(&buf, &info, &mut Vec::new())
             .unwrap_err();
         assert!(matches!(err, Error::Truncated { .. }));
+    }
+
+    #[test]
+    fn kernel_matches_reference_on_random_streams() {
+        let mut state = 0xdead_beef_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for len in [1usize, 2, 5, 100, 128, 333] {
+            let values: Vec<u32> = (0..len)
+                .map(|_| {
+                    let r = next();
+                    match r % 8 {
+                        0..=4 => r % 128,
+                        5 => r % 16384,
+                        6 => r % 2097152,
+                        _ => r,
+                    }
+                })
+                .collect();
+            let mut buf = Vec::new();
+            let info = VariableByte.encode(&values, &mut buf).unwrap();
+            let mut fast = Vec::new();
+            VariableByte.decode(&buf, &info, &mut fast).unwrap();
+            let mut slow = Vec::new();
+            VariableByte
+                .decode_reference(&buf, &info, &mut slow)
+                .unwrap();
+            assert_eq!(fast, slow, "len {len}");
+            assert_eq!(fast, values, "len {len}");
+        }
+    }
+
+    #[test]
+    fn truncated_five_byte_value_errors_like_reference() {
+        // A 5-byte value whose terminator byte is cut off: both paths
+        // report the same error shape.
+        let mut buf = Vec::new();
+        let info = VariableByte.encode(&[u32::MAX], &mut buf).unwrap();
+        buf.truncate(4);
+        let fast = VariableByte
+            .decode(&buf, &info, &mut Vec::new())
+            .unwrap_err();
+        let slow = VariableByte
+            .decode_reference(&buf, &info, &mut Vec::new())
+            .unwrap_err();
+        assert_eq!(format!("{fast}"), format!("{slow}"));
+        assert!(matches!(fast, Error::Truncated { .. }));
     }
 
     #[test]

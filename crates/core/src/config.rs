@@ -101,6 +101,12 @@ pub struct BossConfig {
     /// 0 disables it. Wall-clock only: simulated cycles and traffic are
     /// independent of this setting (see `boss_index::cache`).
     pub block_cache_blocks: usize,
+    /// Whether the host executes the query hot loop with the
+    /// block-at-a-time scoring kernels and the software-pipelined
+    /// (double-buffered) posting traversal. Wall-clock only: simulated
+    /// cycles, traffic, and every evaluation counter are bit-identical
+    /// with this on or off (see `crate::union`).
+    pub bulk_score: bool,
 }
 
 impl Default for BossConfig {
@@ -117,6 +123,7 @@ impl Default for BossConfig {
             memory: MemoryConfig::optane_dcpmm(),
             timing: TimingModel::default(),
             block_cache_blocks: 0,
+            bulk_score: true,
         }
     }
 }
@@ -162,6 +169,14 @@ impl BossConfig {
     #[must_use]
     pub fn with_block_cache(mut self, blocks: usize) -> Self {
         self.block_cache_blocks = blocks;
+        self
+    }
+
+    /// Enables or disables the bulk scoring hot loop (wall-clock only;
+    /// simulated figures do not depend on this).
+    #[must_use]
+    pub fn with_bulk_score(mut self, on: bool) -> Self {
+        self.bulk_score = on;
         self
     }
 

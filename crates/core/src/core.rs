@@ -15,10 +15,27 @@ use crate::intersect::intersect_group;
 use crate::plan::QueryPlan;
 use crate::stats::QueryOutcome;
 use crate::topk::TopK;
-use crate::union::{union_topk, UnionStream};
+use crate::union::{union_topk, BulkScratch, UnionStream};
 use boss_index::layout::IndexImage;
 use boss_index::{BlockCache, InvertedIndex};
 use boss_scm::AccessCategory;
+
+/// Reusable per-core (or per-worker) query buffers: the top-k queue and
+/// the bulk scoring scratch. Recycling these across the queries of a
+/// batch removes the per-query heap allocations from the hot path;
+/// results are unaffected ([`TopK::reset`] restores a pristine queue).
+#[derive(Debug, Default)]
+pub struct CoreScratch {
+    topk: Option<TopK>,
+    bulk: BulkScratch,
+}
+
+impl CoreScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        CoreScratch::default()
+    }
+}
 
 /// One BOSS core (Figure 4(b)): block fetch, four decompression modules,
 /// intersection and union modules, four scoring modules and a top-k queue.
@@ -73,6 +90,22 @@ impl BossCore {
         k: usize,
         cache: Option<&BlockCache>,
     ) -> QueryOutcome {
+        self.execute_with_scratch(index, image, plan, k, cache, &mut CoreScratch::new())
+    }
+
+    /// [`BossCore::execute_with_cache`] with caller-owned reusable query
+    /// buffers, so a batch driver allocates the top-k queue and scoring
+    /// scratch once per worker instead of once per query. Results are
+    /// identical to the allocating paths.
+    pub fn execute_with_scratch(
+        &self,
+        index: &InvertedIndex,
+        image: &IndexImage,
+        plan: &QueryPlan,
+        k: usize,
+        cache: Option<&BlockCache>,
+        scratch: &mut CoreScratch,
+    ) -> QueryOutcome {
         let mut ctx = ExecCtx::with_cache(index, image, &self.config, cache);
         let fill = self.config.timing.decomp_fill;
 
@@ -100,8 +133,10 @@ impl BossCore {
             }
         }
 
-        let mut topk = TopK::new(k);
-        union_topk(&mut ctx, streams, et, &mut topk);
+        let CoreScratch { topk, bulk } = scratch;
+        let topk = topk.get_or_insert_with(|| TopK::new(k));
+        topk.reset(k);
+        union_topk(&mut ctx, streams, et, topk, bulk);
 
         // The top-k list crosses the shared interconnect: 8 B per entry
         // (docID + score), written once at the end of the query.
@@ -114,7 +149,7 @@ impl BossCore {
 
         let cycles = self.pipeline_cycles(&ctx, plan);
         QueryOutcome {
-            hits: topk.into_hits(),
+            hits: topk.hits().to_vec(),
             cycles,
             mem: ctx.mem.take_stats(),
             eval: ctx.eval,
@@ -293,6 +328,47 @@ mod tests {
         assert!(full.eval.docs_scored < ex.eval.docs_scored);
         assert!(full.cycles <= ex.cycles);
         assert!(full.mem.total_bytes() <= ex.mem.total_bytes());
+    }
+
+    #[test]
+    fn bulk_score_changes_nothing_observable() {
+        // Whole-query invariance: cycles, traffic, counters, and hits are
+        // bit-identical with the bulk hot loop on or off, and reusing one
+        // CoreScratch across queries changes nothing either.
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let queries = [
+            QueryExpr::term("bb"),
+            QueryExpr::or([QueryExpr::term("aa"), QueryExpr::term("dd")]),
+            QueryExpr::and([QueryExpr::term("aa"), QueryExpr::term("bb")]),
+            QueryExpr::and([
+                QueryExpr::term("cc"),
+                QueryExpr::or([QueryExpr::term("bb"), QueryExpr::term("dd")]),
+            ]),
+        ];
+        for et in [EtMode::Exhaustive, EtMode::BlockOnly, EtMode::Full] {
+            let mut scratch = CoreScratch::new();
+            for q in &queries {
+                for k in [5usize, 300] {
+                    let run_with = |bulk_on: bool, scratch: &mut CoreScratch| {
+                        let cfg = BossConfig::default()
+                            .with_et(et)
+                            .with_k(k)
+                            .with_bulk_score(bulk_on);
+                        let core = BossCore::new(cfg.clone());
+                        let plan = QueryPlan::from_expr(&idx, q, &cfg).unwrap();
+                        core.execute_with_scratch(&idx, &image, &plan, k, None, scratch)
+                    };
+                    let base = run_with(false, &mut CoreScratch::new());
+                    let bulk = run_with(true, &mut scratch);
+                    let label = format!("{q} k={k} {et:?}");
+                    assert_eq!(base.hits, bulk.hits, "hits {label}");
+                    assert_eq!(base.eval, bulk.eval, "eval {label}");
+                    assert_eq!(base.mem, bulk.mem, "mem {label}");
+                    assert_eq!(base.cycles, bulk.cycles, "cycles {label}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! sharing one SCM memory node (Figure 4(a)).
 
 use crate::config::BossConfig;
-use crate::core::BossCore;
+use crate::core::{BossCore, CoreScratch};
 use crate::plan::QueryPlan;
 use crate::stats::{EvalCounts, QueryOutcome};
 use boss_index::layout::IndexImage;
@@ -60,6 +60,9 @@ pub struct BossDevice<'a> {
     /// Host-side decoded-block cache shared by this device's cores
     /// (wall-clock only; `None` when `config.block_cache_blocks == 0`).
     cache: Option<BlockCache>,
+    /// Reusable query buffers (top-k queue + bulk scoring scratch),
+    /// recycled across every query this device runs.
+    scratch: CoreScratch,
 }
 
 impl<'a> BossDevice<'a> {
@@ -77,6 +80,7 @@ impl<'a> BossDevice<'a> {
             config,
             cores,
             cache,
+            scratch: CoreScratch::new(),
         }
     }
 
@@ -193,15 +197,14 @@ impl<'a> BossDevice<'a> {
     /// [`Error::InvalidQuery`]) without touching the cores.
     pub fn search_expr(&mut self, expr: &QueryExpr, k: usize) -> Result<QueryOutcome, Error> {
         let plan = QueryPlan::from_expr(self.index, expr, &self.config)?;
-        Ok(
-            self.cores[0].execute_with_cache(
-                self.index,
-                &self.image,
-                &plan,
-                k,
-                self.cache.as_ref(),
-            ),
-        )
+        Ok(self.cores[0].execute_with_scratch(
+            self.index,
+            &self.image,
+            &plan,
+            k,
+            self.cache.as_ref(),
+            &mut self.scratch,
+        ))
     }
 
     /// Runs a batch with greedy list scheduling: each query goes to the
@@ -267,12 +270,13 @@ impl<'a> BossDevice<'a> {
                 .map(|&i| self.cores[i].busy_until)
                 .max()
                 .expect("gang non-empty");
-            let out = self.cores[chosen[0]].execute_with_cache(
+            let out = self.cores[chosen[0]].execute_with_scratch(
                 self.index,
                 &self.image,
                 plan,
                 k,
                 self.cache.as_ref(),
+                &mut self.scratch,
             );
             let end = start + out.cycles;
             for &i in chosen {

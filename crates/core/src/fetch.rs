@@ -43,6 +43,9 @@ pub(crate) struct ExecCtx<'a> {
     /// Decoded-block cache (wall-clock only: hits skip the host-side
     /// decode, never any simulated charge — see `boss_index::cache`).
     pub cache: Option<&'a BlockCache>,
+    /// Whether the union module may take the block-at-a-time scoring
+    /// path (wall-clock only, from [`BossConfig::bulk_score`]).
+    pub bulk: bool,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -72,6 +75,7 @@ impl<'a> ExecCtx<'a> {
             norm_line: u64::MAX,
             trace: Vec::new(),
             cache,
+            bulk: config.bulk_score,
         }
     }
 
@@ -160,6 +164,14 @@ pub(crate) struct ListCursor<'a> {
     /// Decoded docIDs/tfs of the current block (empty if not decoded),
     /// in buffers reserved once from block metadata.
     scratch: DecodeScratch,
+    /// Second half of the double buffer: the next block, decoded ahead of
+    /// time by [`ListCursor::prefetch_next`] while the scoring kernel
+    /// drains `scratch`. Host-side only — prefetching carries no
+    /// simulated charge; [`ListCursor::ensure_decoded`] still issues
+    /// every charge when the block is actually entered.
+    spare: DecodeScratch,
+    /// Block index decoded into `spare`, if any.
+    prefetched: Option<usize>,
     pos: usize,
     /// Which decompression module this list is bound to.
     dec_unit: usize,
@@ -178,6 +190,10 @@ impl<'a> ListCursor<'a> {
         let list = ctx.index.list(term);
         let mut scratch = DecodeScratch::new();
         scratch.reserve_for(list);
+        let mut spare = DecodeScratch::new();
+        if ctx.bulk {
+            spare.reserve_for(list);
+        }
         let mut c = ListCursor {
             term,
             list,
@@ -185,6 +201,8 @@ impl<'a> ListCursor<'a> {
             data_addr: ctx.image.data_addr(term),
             block: 0,
             scratch,
+            spare,
+            prefetched: None,
             pos: 0,
             dec_unit,
             meta_read_upto: 0,
@@ -270,8 +288,9 @@ impl<'a> ListCursor<'a> {
         if !self.scratch.is_empty() {
             return;
         }
-        // Every simulated charge below happens regardless of cache state:
-        // the cache only changes which host-side path fills the scratch.
+        // Every simulated charge below happens regardless of cache or
+        // prefetch state: those only change which host-side path fills
+        // the scratch.
         let meta = *self.meta();
         let data_ready = ctx.read(
             self.data_addr + u64::from(meta.offset),
@@ -279,16 +298,22 @@ impl<'a> ListCursor<'a> {
             AccessCategory::LdList,
             PatternHint::Auto,
         );
-        self.scratch.clear();
-        decode_block_cached(
-            self.list,
-            self.term,
-            self.block,
-            ctx.cache,
-            &mut self.scratch.docs,
-            &mut self.scratch.tfs,
-        )
-        .expect("index blocks decode (built by this process)");
+        if self.prefetched == Some(self.block) {
+            // The double buffer already holds this block: swap it in.
+            std::mem::swap(&mut self.scratch, &mut self.spare);
+            self.prefetched = None;
+        } else {
+            self.scratch.clear();
+            decode_block_cached(
+                self.list,
+                self.term,
+                self.block,
+                ctx.cache,
+                &mut self.scratch.docs,
+                &mut self.scratch.tfs,
+            )
+            .expect("index blocks decode (built by this process)");
+        }
         ctx.eval.blocks_fetched += 1;
         let dec = decomp_cycles(self.list.scheme(), &meta, self.decomp_fill);
         ctx.dec_cycles[self.dec_unit] += dec;
@@ -359,6 +384,79 @@ impl<'a> ListCursor<'a> {
                 SkipReason::Wand => ctx.eval.docs_skipped_wand += 1,
             }
         }
+        if self.pos >= self.scratch.len() {
+            let next = self.block + 1;
+            self.enter_block(ctx, next);
+        }
+    }
+
+    /// Fetches and decodes the current block (same simulated charges as
+    /// the per-posting path's lazy decode; a no-op if already decoded).
+    pub(crate) fn fetch_block(&mut self, ctx: &mut ExecCtx<'_>) {
+        self.ensure_decoded(ctx);
+    }
+
+    /// Decodes the *next* block into the spare half of the double buffer,
+    /// so the decode overlaps with draining the current block. Pure host
+    /// work: no simulated charge — [`ListCursor::fetch_block`] charges in
+    /// full when the block is entered.
+    pub(crate) fn prefetch_next(&mut self, cache: Option<&BlockCache>) {
+        let next = self.block + 1;
+        if next >= self.list.n_blocks() || self.prefetched == Some(next) {
+            return;
+        }
+        self.spare.clear();
+        decode_block_cached(
+            self.list,
+            self.term,
+            next,
+            cache,
+            &mut self.spare.docs,
+            &mut self.spare.tfs,
+        )
+        .expect("index blocks decode (built by this process)");
+        self.prefetched = Some(next);
+    }
+
+    /// Whether the current block is decoded into the scratch.
+    pub(crate) fn is_decoded(&self) -> bool {
+        !self.scratch.is_empty()
+    }
+
+    /// The unconsumed postings of the current (decoded) block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is not decoded.
+    pub(crate) fn run(&self) -> (&[DocId], &[u32]) {
+        assert!(self.is_decoded(), "run() requires a decoded block");
+        (
+            &self.scratch.docs[self.pos..],
+            &self.scratch.tfs[self.pos..],
+        )
+    }
+
+    /// Block-max term score of the current block.
+    pub(crate) fn block_max(&self) -> f32 {
+        self.meta().max_score
+    }
+
+    /// Last docID of the current block.
+    pub(crate) fn block_last_doc(&self) -> DocId {
+        self.meta().last_doc
+    }
+
+    /// Consumes `n` postings of the current decoded block in one step —
+    /// charge-identical to `n` calls of [`ListCursor::advance`]: nothing
+    /// is charged inside the block, and crossing into the next block
+    /// charges its metadata exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not decoded or `n` exceeds the run length.
+    pub(crate) fn advance_run(&mut self, ctx: &mut ExecCtx<'_>, n: usize) {
+        assert!(self.is_decoded() && self.pos + n <= self.scratch.len());
+        self.pos += n;
         if self.pos >= self.scratch.len() {
             let next = self.block + 1;
             self.enter_block(ctx, next);

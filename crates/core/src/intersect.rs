@@ -36,12 +36,32 @@ pub(crate) fn intersect_group(
         // Degenerate single-term group: materialize the list.
         let first = order[0];
         let mut c = ListCursor::new(ctx, first, 0, decomp_fill);
-        while !c.exhausted() {
-            let d = c.current_doc();
-            let tf = c.current_tf(ctx);
-            docs.push(d);
-            entries.push(vec![(first, tf)]);
-            c.advance(ctx);
+        if ctx.bulk {
+            // Block-at-a-time: copy each decoded run wholesale while the
+            // next block decodes into the spare buffer. Charge-identical
+            // to the per-posting loop (no counters fire here, and the
+            // block-entry and metadata charges land at the same points).
+            let cache = ctx.cache;
+            while !c.exhausted() {
+                c.fetch_block(ctx);
+                c.prefetch_next(cache);
+                let n;
+                {
+                    let (rdocs, rtfs) = c.run();
+                    n = rdocs.len();
+                    docs.extend_from_slice(rdocs);
+                    entries.extend(rtfs.iter().map(|&tf| vec![(first, tf)]));
+                }
+                c.advance_run(ctx, n);
+            }
+        } else {
+            while !c.exhausted() {
+                let d = c.current_doc();
+                let tf = c.current_tf(ctx);
+                docs.push(d);
+                entries.push(vec![(first, tf)]);
+                c.advance(ctx);
+            }
         }
     } else {
         // First pair: 2-way merge with *mutual* overlap checking, so both
@@ -205,6 +225,30 @@ mod tests {
         let (a, _) = run(&idx, &["base", "eleven"]);
         let (b, _) = run(&idx, &["eleven", "base"]);
         assert_eq!(a.docs, b.docs);
+    }
+
+    #[test]
+    fn bulk_materialize_changes_nothing_observable() {
+        // The block-at-a-time single-term materialization must produce
+        // the same stream, counters, and simulated traffic as the
+        // per-posting loop.
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        for term in ["two", "base", "tail"] {
+            let ids = [idx.term_id(term).unwrap()];
+            let run_with = |bulk_on: bool| {
+                let cfg = BossConfig::default().with_bulk_score(bulk_on);
+                let mut ctx = crate::fetch::ExecCtx::new(&idx, &image, &cfg);
+                let m = intersect_group(&mut ctx, &ids, 4);
+                (m, ctx.eval, ctx.mem.take_stats())
+            };
+            let (m0, e0, mem0) = run_with(false);
+            let (m1, e1, mem1) = run_with(true);
+            assert_eq!(m0.docs, m1.docs, "{term}");
+            assert_eq!(m0.entries, m1.entries, "{term}");
+            assert_eq!(e0, e1, "{term}");
+            assert_eq!(mem0, mem1, "{term}");
+        }
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod union;
 
 pub use api::{BossHandle, SearchRequest};
 pub use config::{BossConfig, EtMode, TimingModel};
-pub use core::BossCore;
+pub use core::{BossCore, CoreScratch};
 pub use device::{BatchOutcome, BossDevice, SchedPolicy};
 pub use expr::parse_query;
 pub use fixed::{topk_overlap, FixedScorer, Q16};

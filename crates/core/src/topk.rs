@@ -39,6 +39,21 @@ impl TopK {
         self.k
     }
 
+    /// Empties the queue and resets both counters for a new query of
+    /// capacity `k`, keeping the entry allocation (per-worker scratch
+    /// reuse across a batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "top-k capacity must be positive");
+        self.k = k;
+        self.entries.clear();
+        self.inserts = 0;
+        self.offers = 0;
+    }
+
     /// The current cutoff θ: the score of the lowest-ranked entry once the
     /// queue is full, `f32::NEG_INFINITY` before that.
     ///
@@ -95,6 +110,46 @@ impl TopK {
     /// Whether no documents were accepted yet.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Offers a whole scored block, exactly equivalent to calling
+    /// [`TopK::offer`] once per posting in order (same entries, same
+    /// `inserts`/`offers` counters), but without touching the queue for
+    /// runs of losers: once the queue is full, a posting with
+    /// `score <= θ` can only be rejected, and rejections leave θ
+    /// unchanged, so a cheap compare sweep stands in for those calls.
+    ///
+    /// Like `offer`, postings must arrive in ascending docID order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `docs` and `scores` differ in length.
+    pub fn sift_block(&mut self, docs: &[DocId], scores: &[f32]) {
+        assert_eq!(docs.len(), scores.len(), "docID / score streams must align");
+        let n = docs.len();
+        let mut i = 0;
+        while i < n {
+            if self.entries.len() == self.k {
+                let theta = self.cutoff();
+                let start = i;
+                while i < n && scores[i] <= theta {
+                    i += 1;
+                }
+                self.offers += (i - start) as u64;
+                if i == n {
+                    break;
+                }
+            }
+            self.offer(docs[i], scores[i]);
+            i += 1;
+        }
+    }
+
+    /// The current hits in ranking order, without consuming the queue
+    /// (used by the scratch-reuse path, which copies results out and
+    /// recycles the allocation).
+    pub fn hits(&self) -> &[SearchHit] {
+        &self.entries
     }
 
     /// Consumes the queue, returning hits in ranking order.
@@ -175,6 +230,43 @@ mod tests {
         assert_eq!(q.inserts(), 2);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn sift_block_equals_sequential_offers() {
+        let scores: Vec<f32> = (0..640u32)
+            .map(|i| ((i.wrapping_mul(2654435761) >> 9) % 997) as f32 / 31.0)
+            .collect();
+        let docs: Vec<u32> = (0..640).collect();
+        for k in [1usize, 7, 50, 640, 1000] {
+            let mut seq = TopK::new(k);
+            for (&d, &s) in docs.iter().zip(&scores) {
+                seq.offer(d, s);
+            }
+            let mut bulk = TopK::new(k);
+            for chunk in 0..5 {
+                let r = chunk * 128..(chunk + 1) * 128;
+                bulk.sift_block(&docs[r.clone()], &scores[r]);
+            }
+            assert_eq!(bulk.hits(), seq.hits(), "k={k}");
+            assert_eq!(bulk.offers(), seq.offers(), "k={k}");
+            assert_eq!(bulk.inserts(), seq.inserts(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn reset_keeps_allocation_and_clears_state() {
+        let mut q = TopK::new(3);
+        q.offer(0, 1.0);
+        q.offer(1, 2.0);
+        q.reset(2);
+        assert_eq!(q.k(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.offers(), 0);
+        assert_eq!(q.inserts(), 0);
+        assert_eq!(q.cutoff(), f32::NEG_INFINITY);
+        q.offer(5, 4.0);
+        assert_eq!(q.hits(), &[boss_index::SearchHit { doc: 5, score: 4.0 }]);
     }
 
     #[test]

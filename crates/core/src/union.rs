@@ -10,7 +10,16 @@
 use crate::config::EtMode;
 use crate::fetch::{ExecCtx, ListCursor, SkipReason};
 use crate::topk::TopK;
-use boss_index::{DocId, TermId};
+use boss_index::{DocId, ScoreScratch, TermId};
+
+/// Reusable buffers for the block-at-a-time scoring path: one decoded
+/// run's docIDs plus the matching [`ScoreScratch`]. Held per core/worker
+/// so the bulk path allocates nothing per query.
+#[derive(Debug, Default)]
+pub(crate) struct BulkScratch {
+    pub scores: ScoreScratch,
+    pub docs: Vec<DocId>,
+}
 
 /// A materialized intermediate stream (the output of an intersection
 /// group), held in on-chip buffers — BOSS never spills it to memory.
@@ -197,6 +206,7 @@ pub(crate) fn union_topk(
     mut streams: Vec<UnionStream<'_>>,
     et: EtMode,
     topk: &mut TopK,
+    bulk: &mut BulkScratch,
 ) {
     let mut order: Vec<usize> = Vec::with_capacity(streams.len());
     let mut entries: Vec<(TermId, u32)> = Vec::with_capacity(8);
@@ -213,6 +223,17 @@ pub(crate) fn union_topk(
         order.extend((0..streams.len()).filter(|&i| !streams[i].exhausted()));
         if order.is_empty() {
             break;
+        }
+        // Block-at-a-time fast path: once a single live posting-list
+        // stream remains (which covers single-term queries entirely and
+        // the tail of multi-stream unions), drain it with the bulk
+        // scoring kernels. Wall-clock only — the drain replicates every
+        // counter and simulated charge of the per-posting iterations.
+        if ctx.bulk && order.len() == 1 {
+            if let UnionStream::List(c) = &mut streams[order[0]] {
+                drain_single_list(ctx, c, et, topk, bulk);
+                break;
+            }
         }
         // ① The sorter orders streams by sID.
         order.sort_by_key(|&i| streams[i].current_doc());
@@ -356,6 +377,150 @@ pub(crate) fn union_topk(
     ctx.eval.topk_inserts = topk.inserts();
 }
 
+/// Drains the last live posting-list stream with the block-at-a-time
+/// kernels ([`boss_index::Bm25::score_block`] + [`TopK::sift_block`]) and
+/// the double-buffered traversal ([`ListCursor::prefetch_next`]).
+///
+/// Exactly equivalent — counter for counter, charge for charge, bit for
+/// bit — to running the per-posting `union_topk` loop with this stream as
+/// the only live entry:
+///
+/// * A per-posting scalar iteration does `pivot_rounds += 1`, reads θ,
+///   runs the ET checks, then scores `0.0 + term_score(...)` (bitwise
+///   `term_score`, which is positive) and offers. The drain batches the
+///   iterations whose checks are provably no-ops and replicates the rest.
+/// * In `Exhaustive` mode no check has any effect, so a whole decoded run
+///   is scored with one kernel call (`pivot_rounds += run length`).
+/// * In `BlockOnly` mode the only effective check happens at an undecoded
+///   block boundary (inside a decoded block `whole_block_skippable` is
+///   `None` and the scalar loop falls through to scoring); the drain
+///   replays that boundary round and bulk-scores the rest.
+/// * In `Full` mode θ feeds back per posting, so the drain keeps the
+///   per-posting round structure but precomputes the run's scores with
+///   the kernel and strips the per-posting stream dispatch.
+///
+/// Simulated charge order is preserved: block data reads happen at decode
+/// entry, next-block metadata is charged by the advance that crosses the
+/// boundary *before* the final norm load of the run, and norm loads occur
+/// in document order.
+fn drain_single_list(
+    ctx: &mut ExecCtx<'_>,
+    c: &mut ListCursor<'_>,
+    et: EtMode,
+    topk: &mut TopK,
+    bulk: &mut BulkScratch,
+) {
+    let cache = ctx.cache;
+    let bm25 = *ctx.index.bm25();
+    let norms = ctx.index.doc_norms();
+    let idf = ctx.index.term_info(c.term).idf;
+
+    // Scores the whole unconsumed run of the current block and offers it.
+    // `pre_counted` pivot rounds were already charged by a boundary round.
+    let drain_run = |ctx: &mut ExecCtx<'_>,
+                     c: &mut ListCursor<'_>,
+                     topk: &mut TopK,
+                     bulk: &mut BulkScratch,
+                     pre_counted: u64| {
+        c.fetch_block(ctx);
+        c.prefetch_next(cache);
+        {
+            let (rdocs, rtfs) = c.run();
+            bulk.docs.clear();
+            bulk.docs.extend_from_slice(rdocs);
+            bm25.score_block(idf, rdocs, rtfs, norms, &mut bulk.scores);
+        }
+        let n = bulk.docs.len();
+        ctx.eval.pivot_rounds += n as u64 - pre_counted;
+        for j in 0..n {
+            if j + 1 == n {
+                // The advance that crosses the block boundary charges the
+                // next block's metadata before the last norm load, exactly
+                // as the per-posting order does.
+                c.advance_run(ctx, n);
+            }
+            ctx.load_norm(bulk.docs[j]);
+        }
+        ctx.scored += n as u64;
+        ctx.eval.docs_scored += n as u64;
+        topk.sift_block(&bulk.docs, bulk.scores.scores());
+    };
+
+    match et {
+        EtMode::Exhaustive => {
+            while !c.exhausted() {
+                drain_run(ctx, c, topk, bulk, 0);
+            }
+        }
+        EtMode::BlockOnly => {
+            while !c.exhausted() {
+                let mut pre = 0;
+                if !c.is_decoded() {
+                    // Boundary round: the block fetch module may skip the
+                    // whole unfetched block.
+                    ctx.eval.pivot_rounds += 1;
+                    let theta = topk.cutoff();
+                    if cannot_beat(f64::from(c.block_max()), theta) {
+                        let pivot = c.current_doc();
+                        let last = c.block_last_doc();
+                        let next = last.saturating_add(1).max(pivot.saturating_add(1));
+                        if last < next {
+                            c.seek(ctx, last.saturating_add(1), SkipReason::Block);
+                            continue;
+                        }
+                    }
+                    pre = 1;
+                }
+                drain_run(ctx, c, topk, bulk, pre);
+            }
+        }
+        EtMode::Full => {
+            let list_ub = f64::from(c.list_max());
+            let mut run_valid = false;
+            let mut run_j = 0usize;
+            while !c.exhausted() {
+                ctx.eval.pivot_rounds += 1;
+                let theta = topk.cutoff();
+                if cannot_beat(list_ub, theta) {
+                    // Document-level WAND termination.
+                    ctx.eval.docs_skipped_wand += c.remaining();
+                    break;
+                }
+                let pivot = c.current_doc();
+                if cannot_beat(f64::from(c.block_max()), theta) {
+                    let next = c
+                        .block_last_doc()
+                        .saturating_add(1)
+                        .max(pivot.saturating_add(1));
+                    c.seek(ctx, next, SkipReason::Block);
+                    run_valid = false;
+                    continue;
+                }
+                if !c.is_decoded() {
+                    run_valid = false;
+                }
+                if !run_valid {
+                    c.fetch_block(ctx);
+                    c.prefetch_next(cache);
+                    let (rdocs, rtfs) = c.run();
+                    bulk.docs.clear();
+                    bulk.docs.extend_from_slice(rdocs);
+                    bm25.score_block(idf, rdocs, rtfs, norms, &mut bulk.scores);
+                    run_valid = true;
+                    run_j = 0;
+                }
+                let score = bulk.scores.scores()[run_j];
+                run_j += 1;
+                c.advance_run(ctx, 1);
+                ctx.load_norm(pivot);
+                ctx.scored += 1;
+                ctx.eval.docs_scored += 1;
+                topk.offer(pivot, score);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,7 +576,13 @@ mod tests {
             })
             .collect();
         let mut topk = TopK::new(k);
-        union_topk(&mut ctx, streams, et, &mut topk);
+        union_topk(
+            &mut ctx,
+            streams,
+            et,
+            &mut topk,
+            &mut BulkScratch::default(),
+        );
         (topk.into_hits(), ctx.eval)
     }
 
@@ -536,9 +707,91 @@ mod tests {
             vec![UnionStream::Mat(mat), UnionStream::List(cursor)],
             EtMode::Full,
             &mut topk,
+            &mut BulkScratch::default(),
         );
         let expect = reference_hits(&idx, &["alpha", "gamma"], 1000);
         assert_eq!(topk.into_hits(), expect);
+    }
+
+    #[test]
+    fn bulk_path_changes_nothing_observable() {
+        // The block-at-a-time drain is wall-clock only: hits, every eval
+        // counter, and all simulated traffic must be bit-identical with
+        // the bulk path on or off, in every ET mode, for single-stream
+        // queries (drain from the start) and multi-stream unions (drain
+        // engages for the surviving tail stream).
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let cases: &[&[&str]] = &[
+            &["delta"],
+            &["alpha"],
+            &["alpha", "delta"],
+            &["alpha", "beta", "gamma", "delta"],
+        ];
+        for et in [EtMode::Exhaustive, EtMode::BlockOnly, EtMode::Full] {
+            for terms in cases {
+                for k in [3usize, 50, 2000] {
+                    let run_with = |bulk_on: bool| {
+                        let cfg = BossConfig::default().with_k(k).with_bulk_score(bulk_on);
+                        let mut ctx = ExecCtx::new(&idx, &image, &cfg);
+                        let streams: Vec<UnionStream> = terms
+                            .iter()
+                            .enumerate()
+                            .map(|(u, t)| {
+                                let id = idx.term_id(t).unwrap();
+                                UnionStream::List(ListCursor::new(&mut ctx, id, u % 4, 4))
+                            })
+                            .collect();
+                        let mut topk = TopK::new(k);
+                        union_topk(
+                            &mut ctx,
+                            streams,
+                            et,
+                            &mut topk,
+                            &mut BulkScratch::default(),
+                        );
+                        (topk.into_hits(), ctx.eval, ctx.scored, ctx.mem.take_stats())
+                    };
+                    let (h0, e0, s0, m0) = run_with(false);
+                    let (h1, e1, s1, m1) = run_with(true);
+                    let label = format!("{et:?} {terms:?} k={k}");
+                    assert_eq!(h0, h1, "hits {label}");
+                    assert_eq!(e0, e1, "eval {label}");
+                    assert_eq!(s0, s1, "scored {label}");
+                    assert_eq!(m0, m1, "mem {label}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_path_with_cache_changes_nothing_observable() {
+        // Bulk + prefetch + decoded-block cache together must still leave
+        // every simulated number untouched.
+        use boss_index::BlockCache;
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let cache = BlockCache::new(64);
+        let run_with = |bulk_on: bool, cache: Option<&BlockCache>| {
+            let cfg = BossConfig::default().with_k(10).with_bulk_score(bulk_on);
+            let mut ctx = ExecCtx::with_cache(&idx, &image, &cfg, cache);
+            let id = idx.term_id("alpha").unwrap();
+            let streams = vec![UnionStream::List(ListCursor::new(&mut ctx, id, 0, 4))];
+            let mut topk = TopK::new(10);
+            union_topk(
+                &mut ctx,
+                streams,
+                EtMode::Full,
+                &mut topk,
+                &mut BulkScratch::default(),
+            );
+            (topk.into_hits(), ctx.eval, ctx.mem.take_stats())
+        };
+        let base = run_with(false, None);
+        for _ in 0..3 {
+            // Repeat so prefetched blocks and cache hits interleave.
+            assert_eq!(run_with(true, Some(&cache)), base);
+        }
     }
 
     #[test]
@@ -563,7 +816,13 @@ mod tests {
                 })
                 .collect();
             let mut topk = TopK::new(k);
-            union_topk(&mut ctx, streams, EtMode::Full, &mut topk);
+            union_topk(
+                &mut ctx,
+                streams,
+                EtMode::Full,
+                &mut topk,
+                &mut BulkScratch::default(),
+            );
             (topk.into_hits(), ctx.eval, ctx.mem.take_stats())
         };
         let (hits0, eval0, mem0) = run_with(None);

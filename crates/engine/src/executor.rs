@@ -294,6 +294,34 @@ mod tests {
     }
 
     #[test]
+    fn bulk_score_invariant_across_threads() {
+        // The bulk hot loop is wall-clock only: every observable of a
+        // batch (per-query hits/cycles, merged stats, makespan) matches
+        // the scalar engine at every thread count. Workers reuse their
+        // fork's top-k heap and scoring scratch across queries, which
+        // must not leak state between queries either.
+        let idx = corpus();
+        let qs = queries();
+        let scalar = Boss::new(&idx, BossConfig::with_cores(2).with_bulk_score(false));
+        let base = BatchExecutor::with_threads(1)
+            .run(&scalar, &qs, 10)
+            .unwrap();
+        for threads in [1usize, 2, 4] {
+            let bulk = Boss::new(&idx, BossConfig::with_cores(2).with_bulk_score(true));
+            let b = BatchExecutor::with_threads(threads)
+                .run(&bulk, &qs, 10)
+                .unwrap();
+            assert_eq!(b.makespan_cycles, base.makespan_cycles, "{threads} threads");
+            assert_eq!(b.mem, base.mem, "{threads} threads");
+            assert_eq!(b.eval, base.eval, "{threads} threads");
+            for (a, s) in b.outcomes.iter().zip(&base.outcomes) {
+                assert_eq!(a.hits, s.hits, "{threads} threads");
+                assert_eq!(a.cycles, s.cycles, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
     fn error_reported_in_submission_order_without_partial_results() {
         let idx = corpus();
         let qs = vec![

@@ -5,7 +5,7 @@ use boss_core::{EvalCounts, QueryOutcome, QueryPlan, TopK};
 use boss_index::layout::{IndexImage, ScratchRegion};
 use boss_index::{
     decode_block_cached, BlockCache, BlockCacheStats, DocId, Error, InvertedIndex, QueryExpr,
-    TermId, BLOCK_META_BYTES,
+    ScoreScratch, TermId, BLOCK_META_BYTES,
 };
 use boss_scm::{AccessCategory, AccessKind, MemoryConfig, MemorySim, PatternHint};
 
@@ -28,6 +28,9 @@ pub struct IiuConfig {
     /// 0 disables it. Wall-clock only: simulated cycles and traffic are
     /// independent of this setting (see `boss_index::cache`).
     pub block_cache_blocks: usize,
+    /// Whether single-term queries score block-at-a-time on the host.
+    /// Wall-clock only: simulated figures are bit-identical either way.
+    pub bulk_score: bool,
 }
 
 impl Default for IiuConfig {
@@ -39,6 +42,7 @@ impl Default for IiuConfig {
             memory: MemoryConfig::optane_dcpmm(),
             timing: TimingModel::default(),
             block_cache_blocks: 0,
+            bulk_score: true,
         }
     }
 }
@@ -63,6 +67,13 @@ impl IiuConfig {
     #[must_use]
     pub fn with_block_cache(mut self, blocks: usize) -> Self {
         self.block_cache_blocks = blocks;
+        self
+    }
+
+    /// Enables or disables the bulk scoring path (wall-clock only).
+    #[must_use]
+    pub fn with_bulk_score(mut self, on: bool) -> Self {
+        self.bulk_score = on;
         self
     }
 }
@@ -228,8 +239,9 @@ impl<'a> Run<'a> {
         );
     }
 
-    fn score(&mut self, doc: DocId, entries: &[(TermId, u32)]) -> f32 {
-        // Same 64-byte line buffer as BOSS's scoring module.
+    /// Charges one norm load through the 64-byte line buffer (BOSS's
+    /// scoring-module discipline) and returns the norm.
+    fn charge_norm(&mut self, doc: DocId) -> f32 {
         let addr = self.image.norm_addr(doc);
         if addr / 64 != self.norm_line {
             self.mem.access(
@@ -242,7 +254,11 @@ impl<'a> Run<'a> {
             );
             self.norm_line = addr / 64;
         }
-        let norm = self.index.doc_norms()[doc as usize];
+        self.index.doc_norms()[doc as usize]
+    }
+
+    fn score(&mut self, doc: DocId, entries: &[(TermId, u32)]) -> f32 {
+        let norm = self.charge_norm(doc);
         let mut ids: Vec<(TermId, u32)> = entries.to_vec();
         ids.sort_unstable_by_key(|&(t, _)| t);
         ids.dedup_by_key(|&mut (t, _)| t);
@@ -306,6 +322,34 @@ impl<'a> IiuEngine<'a> {
             cache: self.cache.as_ref(),
         };
 
+        // Bulk path: a single-term query needs no merging, so the decoded
+        // list can be scored block-at-a-time with the shared kernel. The
+        // simulated run is bit-identical to the scalar path below: the
+        // list load charges are the same `load_list` call, the merge loop's
+        // one-comparison-per-document bookkeeping is batched, norms are
+        // charged per document in the same ascending order through the same
+        // line buffer, and `score_block` equals `0.0 + term_score` bitwise.
+        if self.config.bulk_score && plan.groups().len() == 1 && plan.groups()[0].len() == 1 {
+            let term = plan.groups()[0][0];
+            let (docs, tfs) = run.load_list(term);
+            run.eval.comparisons += docs.len() as u64;
+            let idf = self.index.term_info(term).idf;
+            let bm25 = *self.index.bm25();
+            let norms = self.index.doc_norms();
+            let mut block_scores = ScoreScratch::new();
+            let mut scored: Vec<(DocId, f32)> = Vec::with_capacity(docs.len());
+            for (cd, ct) in docs.chunks(128).zip(tfs.chunks(128)) {
+                bm25.score_block(idf, cd, ct, norms, &mut block_scores);
+                for (j, &d) in cd.iter().enumerate() {
+                    run.charge_norm(d);
+                    scored.push((d, block_scores.scores()[j]));
+                }
+            }
+            run.scored += docs.len() as u64;
+            run.eval.docs_scored += docs.len() as u64;
+            return Ok(self.finish(run, &plan, scored, k));
+        }
+
         // Each group: SvS with binary-search membership testing, spilling
         // intermediates between iterations; groups then merge exhaustively.
         let mut merged: std::collections::BTreeMap<DocId, Vec<(TermId, u32)>> =
@@ -345,6 +389,18 @@ impl<'a> IiuEngine<'a> {
             let s = run.score(*d, e);
             scored.push((*d, s));
         }
+        Ok(self.finish(run, &plan, scored, k))
+    }
+
+    /// Shared tail of `execute`: the result-list writeback, the free
+    /// host-side top-k (per the paper's methodology), and pipeline timing.
+    fn finish(
+        &self,
+        mut run: Run<'_>,
+        plan: &QueryPlan,
+        scored: Vec<(DocId, f32)>,
+        k: usize,
+    ) -> QueryOutcome {
         let result_bytes = (scored.len() as u64 * 8).max(8);
         let addr = run.scratch.alloc(result_bytes);
         run.mem.access(
@@ -356,19 +412,18 @@ impl<'a> IiuEngine<'a> {
             0,
         );
 
-        // Host-side top-k (free, per the paper's methodology).
         let mut topk = TopK::new(k.max(1));
         for (d, s) in scored {
             topk.offer(d, s);
         }
 
-        let cycles = self.pipeline_cycles(&run, &plan);
-        Ok(QueryOutcome {
+        let cycles = self.pipeline_cycles(&run, plan);
+        QueryOutcome {
             hits: topk.into_hits(),
             cycles,
             mem: run.mem.take_stats(),
             eval: run.eval,
-        })
+        }
     }
 
     fn pipeline_cycles(&self, run: &Run<'_>, plan: &QueryPlan) -> u64 {
@@ -491,6 +546,40 @@ mod tests {
             out.mem.bytes(AccessCategory::StResult),
             cand.len() as u64 * 8
         );
+    }
+
+    #[test]
+    fn bulk_score_changes_nothing_observable() {
+        // The block-at-a-time single-term path must match the scalar
+        // merge+score path on every observable: hits, counters, traffic,
+        // and cycles — with and without the decoded-block cache.
+        let idx = corpus();
+        let t = |s: &str| QueryExpr::term(s);
+        let queries = [t("aa"), t("bb"), t("cc"), t("fill")];
+        for cache_blocks in [0usize, 64] {
+            let scalar = IiuEngine::new(
+                &idx,
+                IiuConfig::default()
+                    .with_bulk_score(false)
+                    .with_block_cache(cache_blocks),
+            );
+            let bulk = IiuEngine::new(
+                &idx,
+                IiuConfig::default()
+                    .with_bulk_score(true)
+                    .with_block_cache(cache_blocks),
+            );
+            for q in &queries {
+                for k in [3usize, 100] {
+                    let a = scalar.execute(q, k).unwrap();
+                    let b = bulk.execute(q, k).unwrap();
+                    assert_eq!(a.hits, b.hits, "{q} k={k} cache={cache_blocks}");
+                    assert_eq!(a.eval, b.eval, "{q} k={k} cache={cache_blocks}");
+                    assert_eq!(a.mem, b.mem, "{q} k={k} cache={cache_blocks}");
+                    assert_eq!(a.cycles, b.cycles, "{q} k={k} cache={cache_blocks}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod layout;
 mod posting;
 mod query;
 pub mod reference;
+mod score;
 pub mod shard;
 
 pub use bm25::{Bm25, Bm25Params};
@@ -52,6 +53,7 @@ pub use error::Error;
 pub use index::{InvertedIndex, TermId, TermInfo};
 pub use posting::{Posting, PostingList};
 pub use query::{QueryExpr, SearchHit};
+pub use score::ScoreScratch;
 
 /// Document identifier within a shard.
 pub type DocId = u32;

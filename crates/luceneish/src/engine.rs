@@ -3,8 +3,8 @@
 use boss_core::{EvalCounts, QueryOutcome, QueryPlan, TopK};
 use boss_index::layout::IndexImage;
 use boss_index::{
-    decode_block_cached, BlockCache, BlockCacheStats, Error, InvertedIndex, QueryExpr, TermId,
-    BLOCK_META_BYTES,
+    decode_block_cached, BlockCache, BlockCacheStats, Error, InvertedIndex, QueryExpr,
+    ScoreScratch, TermId, BLOCK_META_BYTES,
 };
 use boss_scm::{AccessCategory, AccessKind, MemStats, MemoryConfig, MemorySim, PatternHint};
 
@@ -54,6 +54,10 @@ pub struct LuceneConfig {
     /// 0 disables it. Wall-clock only: simulated cycles and traffic are
     /// independent of this setting (see `boss_index::cache`).
     pub block_cache_blocks: usize,
+    /// Whether the host scores with the block-at-a-time kernels and a
+    /// single ranking pass. Wall-clock only: hits, counters, and simulated
+    /// figures are bit-identical either way.
+    pub bulk_score: bool,
 }
 
 impl Default for LuceneConfig {
@@ -64,6 +68,7 @@ impl Default for LuceneConfig {
             memory: MemoryConfig::host_scm_6ch(),
             cost: LuceneCostModel::default(),
             block_cache_blocks: 0,
+            bulk_score: true,
         }
     }
 }
@@ -88,6 +93,13 @@ impl LuceneConfig {
     #[must_use]
     pub fn with_block_cache(mut self, blocks: usize) -> Self {
         self.block_cache_blocks = blocks;
+        self
+    }
+
+    /// Enables or disables the bulk scoring path (wall-clock only).
+    #[must_use]
+    pub fn with_bulk_score(mut self, on: bool) -> Self {
+        self.bulk_score = on;
         self
     }
 }
@@ -149,6 +161,11 @@ impl<'a> LuceneEngine<'a> {
         //    normalization) decode their whole list.
         let mut postings_decoded = 0u64;
         let mut merge_steps = 0u64;
+        // A single-term plan decodes the whole list below; keep its tfs so
+        // the bulk path can score block-at-a-time without re-decoding.
+        let single_term_plan =
+            self.config.bulk_score && plan.groups().len() == 1 && plan.groups()[0].len() == 1;
+        let mut single_term_tfs: Option<Vec<u32>> = None;
         let mut group_sets: Vec<Vec<u32>> = Vec::with_capacity(plan.groups().len());
         for group in plan.groups() {
             let mut order: Vec<TermId> = group.clone();
@@ -189,6 +206,9 @@ impl<'a> LuceneEngine<'a> {
                 )?;
             }
             merge_steps += acc.len() as u64;
+            if single_term_plan {
+                single_term_tfs = Some(std::mem::take(&mut lead_tfs));
+            }
 
             for &t in &order[1..] {
                 let list = self.index.list(t);
@@ -251,10 +271,9 @@ impl<'a> LuceneEngine<'a> {
 
         // 3) Score every candidate (norm fetches go through the cacheable
         //    host hierarchy; charge the cold 4-byte load) + heap top-k.
-        //    Hits come from the shared reference evaluator, which performs
-        //    the identical computation — keeping scores bit-equal across
-        //    engines by construction.
-        let hits = boss_index::reference::evaluate(self.index, expr, k)?;
+        //    Hits match the shared reference evaluator bit-for-bit on every
+        //    path: the scalar path calls it directly, the bulk paths score
+        //    with the same arithmetic in the same order.
         if !candidates.is_empty() {
             // Norms on the CPU flow through a 38.5 MB LLC that captures the
             // reuse; charge one streaming pass over the touched norms
@@ -272,13 +291,47 @@ impl<'a> LuceneEngine<'a> {
         }
         eval.docs_scored = candidates.len() as u64;
         let mut heap = TopK::new(k.max(1));
-        // Heap behaviour (insert count) replayed from candidate scores in
-        // docID order, like the real collector sees them.
-        let full = boss_index::reference::evaluate(self.index, expr, usize::MAX)?;
-        let mut by_doc: Vec<(u32, f32)> = full.iter().map(|h| (h.doc, h.score)).collect();
-        by_doc.sort_unstable_by_key(|&(d, _)| d);
-        for (d, s) in by_doc {
-            heap.offer(d, s);
+        let hits: Vec<boss_index::SearchHit>;
+        if let Some(tfs) = single_term_tfs {
+            // Bulk single-term: the candidates ARE the decoded list in
+            // docID order with their tfs, so score block-at-a-time with
+            // the shared kernel and sift into the heap. Bit-identical to
+            // the reference: a one-term score is exactly `term_score`,
+            // documents arrive in the same docID order, and the heap
+            // realizes the workspace ranking.
+            let term = plan.groups()[0][0];
+            let idf = self.index.term_info(term).idf;
+            let bm25 = *self.index.bm25();
+            let norms = self.index.doc_norms();
+            let mut block_scores = ScoreScratch::new();
+            for (cd, ct) in candidates.chunks(128).zip(tfs.chunks(128)) {
+                bm25.score_block(idf, cd, ct, norms, &mut block_scores);
+                heap.sift_block(cd, block_scores.scores());
+            }
+            hits = heap.hits().to_vec();
+        } else if self.config.bulk_score {
+            // Bulk multi-term: one full reference evaluation instead of
+            // two. The k-prefix of the exhaustively ranked list IS the
+            // k-ranked list (the ranking is a total order), and the heap
+            // replay consumes the same full list in docID order.
+            let mut full = boss_index::reference::evaluate(self.index, expr, usize::MAX)?;
+            let mut by_doc: Vec<(u32, f32)> = full.iter().map(|h| (h.doc, h.score)).collect();
+            by_doc.sort_unstable_by_key(|&(d, _)| d);
+            for (d, s) in by_doc {
+                heap.offer(d, s);
+            }
+            full.truncate(k);
+            hits = full;
+        } else {
+            hits = boss_index::reference::evaluate(self.index, expr, k)?;
+            // Heap behaviour (insert count) replayed from candidate scores
+            // in docID order, like the real collector sees them.
+            let full = boss_index::reference::evaluate(self.index, expr, usize::MAX)?;
+            let mut by_doc: Vec<(u32, f32)> = full.iter().map(|h| (h.doc, h.score)).collect();
+            by_doc.sort_unstable_by_key(|&(d, _)| d);
+            for (d, s) in by_doc {
+                heap.offer(d, s);
+            }
         }
         eval.topk_inserts = heap.inserts();
 
@@ -449,5 +502,33 @@ mod tests {
         let idx = corpus();
         let engine = LuceneEngine::new(&idx, LuceneConfig::default());
         assert!(engine.execute(&QueryExpr::term("zzz"), 3).is_err());
+    }
+
+    #[test]
+    fn bulk_score_changes_nothing_observable() {
+        // Both bulk paths (kernel-scored single-term, single-evaluation
+        // multi-term) must match the scalar path on every observable.
+        let idx = corpus();
+        let scalar = LuceneEngine::new(&idx, LuceneConfig::default().with_bulk_score(false));
+        let bulk = LuceneEngine::new(&idx, LuceneConfig::default().with_bulk_score(true));
+        let t = |s: &str| QueryExpr::term(s);
+        let queries = [
+            t("aa"),
+            t("cc"),
+            t("x"),
+            QueryExpr::and([t("aa"), t("bb")]),
+            QueryExpr::or([t("aa"), t("cc")]),
+            QueryExpr::and([t("aa"), QueryExpr::or([t("bb"), t("cc")])]),
+        ];
+        for q in &queries {
+            for k in [2usize, 10, 5000] {
+                let a = scalar.execute(q, k).unwrap();
+                let b = bulk.execute(q, k).unwrap();
+                assert_eq!(a.hits, b.hits, "{q} k={k}");
+                assert_eq!(a.eval, b.eval, "{q} k={k}");
+                assert_eq!(a.mem, b.mem, "{q} k={k}");
+                assert_eq!(a.cycles, b.cycles, "{q} k={k}");
+            }
+        }
     }
 }
