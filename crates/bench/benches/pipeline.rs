@@ -9,10 +9,10 @@ use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
     let index = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
-    let mut sampler = QuerySampler::new(&index, 404);
+    let mut sampler = QuerySampler::new(&index, 404).unwrap();
     let mut group = c.benchmark_group("boss-query");
     for qt in ALL_QUERY_TYPES {
-        let q = sampler.sample(qt).expr;
+        let q = sampler.sample(qt).unwrap().expr;
         for et in [EtMode::Exhaustive, EtMode::Full] {
             let cfg = BossConfig::default().with_et(et).with_k(100);
             group.bench_with_input(

@@ -12,9 +12,10 @@ fn main() {
     let index = CorpusSpec::clueweb12_like(args.scale)
         .build()
         .expect("corpus builds");
-    let mut sampler = QuerySampler::new(&index, args.seed);
+    let mut sampler = QuerySampler::new(&index, args.seed).expect("corpus vocabulary");
     let queries: Vec<_> = sampler
         .trec_like_mix(args.queries_per_type * 6)
+        .expect("corpus samples")
         .into_iter()
         .map(|t| t.expr)
         .collect();
@@ -39,21 +40,14 @@ fn main() {
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
                 args.k,
-                args.block_cache,
-                args.bulk_score,
+                &args.tuning(),
             ),
             &queries,
             args.k,
             args.threads,
         );
         let i = run_system(
-            &iiu_engine(
-                &index,
-                cores,
-                MemoryConfig::optane_dcpmm(),
-                args.block_cache,
-                args.bulk_score,
-            ),
+            &iiu_engine(&index, cores, MemoryConfig::optane_dcpmm(), &args.tuning()),
             &queries,
             args.k,
             args.threads,

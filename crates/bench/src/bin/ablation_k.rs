@@ -37,8 +37,7 @@ fn main() {
                 EtMode::Exhaustive,
                 MemoryConfig::optane_dcpmm(),
                 10,
-                args.block_cache,
-                args.bulk_score,
+                &args.tuning(),
             ),
             queries,
             10,
@@ -53,8 +52,7 @@ fn main() {
                     EtMode::Full,
                     MemoryConfig::optane_dcpmm(),
                     k,
-                    args.block_cache,
-                    args.bulk_score,
+                    &args.tuning(),
                 ),
                 queries,
                 k,

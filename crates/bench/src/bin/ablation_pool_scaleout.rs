@@ -17,7 +17,7 @@ fn main() {
     let index = CorpusSpec::ccnews_like(args.scale)
         .build()
         .expect("corpus builds");
-    let mut sampler = QuerySampler::new(&index, args.seed);
+    let mut sampler = QuerySampler::new(&index, args.seed).expect("corpus vocabulary");
     let queries: Vec<_> = (0..args.queries_per_type.max(4))
         .map(|i| {
             sampler
@@ -26,6 +26,7 @@ fn main() {
                 } else {
                     QueryType::Q5
                 })
+                .expect("corpus samples")
                 .expr
         })
         .collect();

@@ -14,9 +14,10 @@ fn main() {
     let index = CorpusSpec::ccnews_like(args.scale)
         .build()
         .expect("corpus builds");
-    let mut sampler = QuerySampler::new(&index, args.seed);
+    let mut sampler = QuerySampler::new(&index, args.seed).expect("corpus vocabulary");
     let queries: Vec<_> = sampler
         .trec_like_mix(args.queries_per_type * 6)
+        .expect("corpus samples")
         .into_iter()
         .map(|t| t.expr)
         .collect();

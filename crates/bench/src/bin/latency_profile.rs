@@ -23,19 +23,21 @@ fn pct(sorted_us: &[f64], p: f64) -> f64 {
 
 /// Per-query latencies in microseconds, sorted (cycles at the engine's
 /// own clock — host cycles for Lucene, 1 GHz device cycles otherwise),
-/// plus the engine's decoded-block cache counters after the run.
+/// plus the engine's decoded-block cache counters and fault-skipped
+/// block count after the run.
 fn latencies_us<E: SearchEngine>(
     engine: &mut E,
     queries: &[boss_index::QueryExpr],
     k: usize,
-) -> (Vec<f64>, Option<BlockCacheStats>) {
+) -> (Vec<f64>, Option<BlockCacheStats>, u64) {
     let clk = engine.clock_ghz();
     let mut us: Vec<f64> = queries
         .iter()
         .map(|q| engine.search(q, k).expect("runs").cycles as f64 / (clk * 1e3))
         .collect();
     us.sort_by(f64::total_cmp);
-    (us, engine.block_cache_stats())
+    let skipped = engine.eval_counts().blocks_skipped_fault;
+    (us, engine.block_cache_stats(), skipped)
 }
 
 fn main() {
@@ -47,28 +49,16 @@ fn main() {
     println!("# Per-query latency percentiles (single engine instance, us)");
     header(&["qtype", "system", "p50_us", "p95_us", "p99_us"]);
     for (qt, queries) in &suite.per_type {
-        let mut rows: Vec<(&str, Vec<f64>, Option<BlockCacheStats>)> = Vec::new();
+        let mut rows: Vec<(&str, Vec<f64>, Option<BlockCacheStats>, u64)> = Vec::new();
         if args.engines.lucene {
-            let mut luc = lucene_engine(
-                &index,
-                1,
-                MemoryConfig::host_scm_6ch(),
-                args.block_cache,
-                args.bulk_score,
-            );
-            let (us, cache) = latencies_us(&mut luc, queries, args.k);
-            rows.push(("Lucene", us, cache));
+            let mut luc = lucene_engine(&index, 1, MemoryConfig::host_scm_6ch(), &args.tuning());
+            let (us, cache, skipped) = latencies_us(&mut luc, queries, args.k);
+            rows.push(("Lucene", us, cache, skipped));
         }
         if args.engines.iiu {
-            let mut iiu = iiu_engine(
-                &index,
-                1,
-                MemoryConfig::optane_dcpmm(),
-                args.block_cache,
-                args.bulk_score,
-            );
-            let (us, cache) = latencies_us(&mut iiu, queries, args.k);
-            rows.push(("IIU", us, cache));
+            let mut iiu = iiu_engine(&index, 1, MemoryConfig::optane_dcpmm(), &args.tuning());
+            let (us, cache, skipped) = latencies_us(&mut iiu, queries, args.k);
+            rows.push(("IIU", us, cache, skipped));
         }
         if args.engines.boss {
             let mut boss = boss_engine(
@@ -77,13 +67,12 @@ fn main() {
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
                 args.k,
-                args.block_cache,
-                args.bulk_score,
+                &args.tuning(),
             );
-            let (us, cache) = latencies_us(&mut boss, queries, args.k);
-            rows.push(("BOSS", us, cache));
+            let (us, cache, skipped) = latencies_us(&mut boss, queries, args.k);
+            rows.push(("BOSS", us, cache, skipped));
         }
-        for (name, v, _) in &rows {
+        for (name, v, _, _) in &rows {
             row(&[
                 qt.label().into(),
                 (*name).into(),
@@ -92,9 +81,9 @@ fn main() {
                 f(pct(v, 0.99)),
             ]);
         }
-        // Cache counters ride in comments: wall-clock only, stripped by
-        // the invariance diffs.
-        for (name, _, cache) in &rows {
+        // Cache and fault counters ride in comments: wall-clock /
+        // degradation diagnostics only, stripped by the invariance diffs.
+        for (name, _, cache, skipped) in &rows {
             if let Some(c) = cache {
                 println!(
                     "# block-cache {} {}: hits {} misses {} evictions {} hit_rate {}",
@@ -105,6 +94,9 @@ fn main() {
                     c.evictions,
                     f(c.hit_rate()),
                 );
+            }
+            if *skipped > 0 {
+                println!("# fault-skipped-blocks {} {}: {skipped}", qt.label(), name,);
             }
         }
     }

@@ -308,11 +308,20 @@ fn cache_counters(seed: u64, k: usize) -> Vec<CacheCounters> {
         EtMode::Full,
         MemoryConfig::optane_dcpmm(),
         k,
-        CACHE_BLOCKS,
-        true,
+        &boss_bench::EngineTuning::new(CACHE_BLOCKS, true),
     );
-    let mut iiu = iiu_engine(&index, 1, MemoryConfig::optane_dcpmm(), CACHE_BLOCKS, true);
-    let mut luc = lucene_engine(&index, 1, MemoryConfig::host_scm_6ch(), CACHE_BLOCKS, true);
+    let mut iiu = iiu_engine(
+        &index,
+        1,
+        MemoryConfig::optane_dcpmm(),
+        &boss_bench::EngineTuning::new(CACHE_BLOCKS, true),
+    );
+    let mut luc = lucene_engine(
+        &index,
+        1,
+        MemoryConfig::host_scm_6ch(),
+        &boss_bench::EngineTuning::new(CACHE_BLOCKS, true),
+    );
     let mut out = Vec::new();
     for (label, stats) in [
         ("BOSS", {

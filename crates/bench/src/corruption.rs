@@ -1,0 +1,441 @@
+//! Deterministic corruption harness: seeded mutations of encoded blocks,
+//! block metadata, and netlist configuration text, with one invariant —
+//! **typed error or bit-correct decode, never a panic, never an
+//! out-of-bounds reserve**.
+//!
+//! The `corruption_harness` binary drives these trials at CI scale
+//! (≥ 10,000 mutations across the five schemes and the netlist
+//! interpreter); the functions are a library so tests can run focused
+//! slices of the same machinery.
+//!
+//! Every trial is a pure function of its seed: the same seed mutates the
+//! same bytes the same way on every run, so a CI failure is reproducible
+//! locally from the printed seed alone.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use boss_compress::{codec_for, BlockInfo, Scheme, ALL_SCHEMES, MAX_BLOCK_VALUES};
+use boss_decomp::{schemes, DecompEngine};
+use boss_index::{EncodedList, IndexBuilder, SchemeChoice};
+
+/// Output vectors start empty and every decode path reserves at most
+/// [`MAX_BLOCK_VALUES`] slots up front, so allocator round-up aside the
+/// capacity after a decode attempt must stay within a small multiple.
+pub const RESERVE_BOUND: usize = 2 * MAX_BLOCK_VALUES;
+
+/// xorshift64* — the harness's only randomness source. Deliberately
+/// hand-rolled: the mutation stream must stay identical across toolchain
+/// and dependency updates, because CI failure messages quote seeds.
+#[derive(Debug, Clone)]
+pub struct Xorshift64 {
+    state: u64,
+}
+
+impl Xorshift64 {
+    /// A generator seeded with `seed` (0 is remapped; xorshift has no
+    /// zero orbit).
+    pub fn new(seed: u64) -> Self {
+        Xorshift64 {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// One category of seeded mutation. The harness cycles through all of
+/// them; `apply` mutates in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Flip one random bit of the encoded bytes.
+    BitFlip,
+    /// Overwrite one random byte with a random value.
+    ByteSet,
+    /// Truncate the encoded bytes at a random point.
+    Truncate,
+    /// Append random garbage bytes.
+    Extend,
+    /// Corrupt the block descriptor (count / bit width / exception
+    /// offset) instead of the data.
+    Descriptor,
+}
+
+/// All mutation categories, in the order the harness cycles through them.
+pub const ALL_MUTATIONS: [Mutation; 5] = [
+    Mutation::BitFlip,
+    Mutation::ByteSet,
+    Mutation::Truncate,
+    Mutation::Extend,
+    Mutation::Descriptor,
+];
+
+/// Applies `mutation` to an encoded block (`data`, `info`) using draws
+/// from `rng`.
+pub fn apply_mutation(
+    mutation: Mutation,
+    rng: &mut Xorshift64,
+    data: &mut Vec<u8>,
+    info: &mut BlockInfo,
+) {
+    match mutation {
+        Mutation::BitFlip => {
+            if !data.is_empty() {
+                let i = rng.below(data.len());
+                data[i] ^= 1 << rng.below(8);
+            }
+        }
+        Mutation::ByteSet => {
+            if !data.is_empty() {
+                let i = rng.below(data.len());
+                data[i] = rng.next_u64() as u8;
+            }
+        }
+        Mutation::Truncate => {
+            let keep = rng.below(data.len() + 1);
+            data.truncate(keep);
+        }
+        Mutation::Extend => {
+            let extra = 1 + rng.below(16);
+            for _ in 0..extra {
+                data.push(rng.next_u64() as u8);
+            }
+        }
+        Mutation::Descriptor => match rng.below(3) {
+            0 => info.count = rng.next_u64() as u16,
+            1 => info.bit_width = rng.next_u64() as u8,
+            _ => info.exception_offset = rng.next_u64() as u16,
+        },
+    }
+}
+
+/// Aggregate outcome of a batch of trials.
+#[derive(Debug, Default)]
+pub struct Tally {
+    /// Mutations exercised.
+    pub trials: u64,
+    /// Decodes that still succeeded after mutation.
+    pub accepted: u64,
+    /// Decodes that surfaced a typed error.
+    pub rejected: u64,
+    /// Invariant violations, formatted with the offending seed. Empty on
+    /// a passing run.
+    pub violations: Vec<String>,
+}
+
+impl Tally {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: Tally) {
+        self.trials += other.trials;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.violations.extend(other.violations);
+    }
+
+    fn record(&mut self, accepted: bool) {
+        self.trials += 1;
+        if accepted {
+            self.accepted += 1;
+        } else {
+            self.rejected += 1;
+        }
+    }
+}
+
+/// Deterministic pseudo-random block content: `count` values of up to
+/// `max_width` bits (27 keeps every stock scheme in range).
+fn random_values(rng: &mut Xorshift64, count: usize, max_width: u32) -> Vec<u32> {
+    (0..count)
+        .map(|_| {
+            let width = rng.below(max_width as usize + 1) as u32;
+            if width == 0 {
+                0
+            } else {
+                (rng.next_u64() as u32) & ((1u32 << width) - 1).max(1)
+            }
+        })
+        .collect()
+}
+
+/// Encodes one seeded block under `scheme`. Returns `None` for the rare
+/// seed whose values a scheme cannot represent (counted as no trial).
+fn encoded_block(rng: &mut Xorshift64, scheme: Scheme) -> Option<(Vec<u8>, BlockInfo)> {
+    let count = 1 + rng.below(128);
+    let values = random_values(rng, count, 27);
+    let mut data = Vec::new();
+    let info = codec_for(scheme).encode(&values, &mut data).ok()?;
+    Some((data, info))
+}
+
+/// One codec trial: mutate an encoded block, then require that the fast
+/// decode path and [`boss_compress::Codec::decode_reference`] agree on
+/// accept/reject (and on the values when both accept), that the fused
+/// d-gap path agrees with the fast path, that nothing panics, and that
+/// no path reserves beyond [`RESERVE_BOUND`].
+pub fn codec_trial(scheme: Scheme, seed: u64, tally: &mut Tally) {
+    let mut rng = Xorshift64::new(seed ^ ((scheme as u64) << 56));
+    let Some((mut data, mut info)) = encoded_block(&mut rng, scheme) else {
+        return;
+    };
+    let mutation = ALL_MUTATIONS[rng.below(ALL_MUTATIONS.len())];
+    apply_mutation(mutation, &mut rng, &mut data, &mut info);
+
+    let codec = codec_for(scheme);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut fast = Vec::new();
+        let mut reference = Vec::new();
+        let mut fused = Vec::new();
+        let fast_res = codec.decode(&data, &info, &mut fast);
+        let ref_res = codec.decode_reference(&data, &info, &mut reference);
+        let fused_res = codec.decode_d1(&data, &info, 7, &mut fused);
+        (
+            fast_res.is_ok(),
+            ref_res.is_ok(),
+            fused_res.is_ok(),
+            fast,
+            reference,
+        )
+    }));
+    match outcome {
+        Err(_) => tally
+            .violations
+            .push(format!("{scheme}: PANIC on {mutation:?} seed {seed}")),
+        Ok((fast_ok, ref_ok, fused_ok, fast, reference)) => {
+            tally.record(fast_ok);
+            if fast_ok != ref_ok {
+                tally.violations.push(format!(
+                    "{scheme}: fast/reference accept disagreement ({fast_ok} vs {ref_ok}) on {mutation:?} seed {seed}"
+                ));
+            }
+            if fast_ok && ref_ok && fast != reference {
+                tally.violations.push(format!(
+                    "{scheme}: fast/reference value disagreement on {mutation:?} seed {seed}"
+                ));
+            }
+            if fast_ok != fused_ok {
+                tally.violations.push(format!(
+                    "{scheme}: decode/decode_d1 accept disagreement ({fast_ok} vs {fused_ok}) on {mutation:?} seed {seed}"
+                ));
+            }
+            for (label, v) in [("fast", &fast), ("reference", &reference)] {
+                if v.capacity() > RESERVE_BOUND {
+                    tally.violations.push(format!(
+                        "{scheme}: {label} reserved {} (> {RESERVE_BOUND}) on {mutation:?} seed {seed}",
+                        v.capacity()
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// One netlist-data trial: the Fig. 8 interpreter over a mutated block
+/// must return `Ok` with exactly `info.count` values or a typed error —
+/// never panic, never over-reserve.
+pub fn netlist_data_trial(engine: &DecompEngine, scheme: Scheme, seed: u64, tally: &mut Tally) {
+    let mut rng = Xorshift64::new(seed ^ 0xD1C0_0000 ^ ((scheme as u64) << 56));
+    let Some((mut data, mut info)) = encoded_block(&mut rng, scheme) else {
+        return;
+    };
+    let mutation = ALL_MUTATIONS[rng.below(ALL_MUTATIONS.len())];
+    apply_mutation(mutation, &mut rng, &mut data, &mut info);
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        engine.decode(&data, &info).map(|d| d.values)
+    }));
+    match outcome {
+        Err(_) => tally.violations.push(format!(
+            "{scheme} netlist: PANIC on {mutation:?} seed {seed}"
+        )),
+        Ok(res) => {
+            tally.record(res.is_ok());
+            if let Ok(values) = res {
+                if values.len() != info.count as usize {
+                    tally.violations.push(format!(
+                        "{scheme} netlist: accepted but produced {} of {} values on {mutation:?} seed {seed}",
+                        values.len(),
+                        info.count
+                    ));
+                }
+                if values.capacity() > RESERVE_BOUND {
+                    tally.violations.push(format!(
+                        "{scheme} netlist: reserved {} (> {RESERVE_BOUND}) on {mutation:?} seed {seed}",
+                        values.capacity()
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// One netlist-config trial: mutate the scheme's shipped configuration
+/// *text* and require parse to return `Ok` or a typed [`boss_decomp::ParseError`];
+/// when the mangled text still parses, decoding a valid block through it
+/// must also not panic (typed errors and wrong values are both fine — a
+/// different program is a different program).
+pub fn netlist_config_trial(scheme: Scheme, seed: u64, tally: &mut Tally) {
+    let mut rng = Xorshift64::new(seed ^ 0xCF60_0000 ^ ((scheme as u64) << 56));
+    let mut text = schemes::config_text(scheme).as_bytes().to_vec();
+    // One or two byte-level edits; lossy UTF-8 recovery keeps the parser
+    // exercised rather than trivially rejecting invalid encodings.
+    for _ in 0..=rng.below(2) {
+        let mut unused = BlockInfo::default();
+        let mutation = ALL_MUTATIONS[rng.below(4)]; // data mutations only
+        apply_mutation(mutation, &mut rng, &mut text, &mut unused);
+    }
+    let text = String::from_utf8_lossy(&text).into_owned();
+
+    let Some((data, info)) = encoded_block(&mut rng, scheme) else {
+        return;
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        match DecompEngine::from_config_text(&text) {
+            Err(_) => false,
+            Ok(engine) => {
+                // Whatever program survived the mangling, running it must
+                // stay inside the typed-error contract.
+                let _ = engine.decode(&data, &info);
+                true
+            }
+        }
+    }));
+    match outcome {
+        Err(_) => tally
+            .violations
+            .push(format!("{scheme} netlist config: PANIC at seed {seed}")),
+        Ok(parsed) => tally.record(parsed),
+    }
+}
+
+/// One index-level trial: clone a real [`EncodedList`], corrupt its data
+/// area or a [`boss_index::BlockMeta`] field through the harness hooks,
+/// and require `decode_block` to return a typed error or a coherent
+/// decode (equal-length columns), never panic, never over-reserve.
+pub fn meta_trial(list: &EncodedList, seed: u64, tally: &mut Tally) {
+    let mut rng = Xorshift64::new(seed ^ 0x3E7A_0000);
+    let mut list = list.clone();
+    let block = rng.below(list.n_blocks());
+    if rng.below(2) == 0 {
+        let mut unused = BlockInfo::default();
+        let mutation = ALL_MUTATIONS[rng.below(4)]; // data mutations only
+        apply_mutation(mutation, &mut rng, list.data_mut(), &mut unused);
+    } else {
+        let meta = &mut list.blocks_mut()[block];
+        match rng.below(6) {
+            0 => meta.offset = rng.next_u64() as u32,
+            1 => meta.len = rng.next_u64() as u32,
+            2 => meta.tf_offset = rng.next_u64() as u32,
+            3 => meta.delta_info.count = rng.next_u64() as u16,
+            4 => meta.tf_info.count = rng.next_u64() as u16,
+            _ => meta.delta_info.bit_width = rng.next_u64() as u8,
+        }
+    }
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut docs = Vec::new();
+        let mut tfs = Vec::new();
+        let res = list.decode_block(block, &mut docs, &mut tfs);
+        (res.is_ok(), docs, tfs)
+    }));
+    match outcome {
+        Err(_) => tally
+            .violations
+            .push(format!("meta: PANIC at seed {seed} (block {block})")),
+        Ok((ok, docs, tfs)) => {
+            tally.record(ok);
+            if ok && docs.len() != tfs.len() {
+                tally.violations.push(format!(
+                    "meta: accepted with ragged columns ({} docs, {} tfs) at seed {seed}",
+                    docs.len(),
+                    tfs.len()
+                ));
+            }
+            if docs.capacity() > RESERVE_BOUND || tfs.capacity() > RESERVE_BOUND {
+                tally.violations.push(format!(
+                    "meta: reserved {}/{} (> {RESERVE_BOUND}) at seed {seed}",
+                    docs.capacity(),
+                    tfs.capacity()
+                ));
+            }
+        }
+    }
+}
+
+/// Builds one multi-block [`EncodedList`] per stock scheme for the
+/// metadata trials, via a small deterministic synthetic corpus.
+///
+/// # Panics
+///
+/// Panics if the synthetic corpus fails to build — impossible by
+/// construction, and a harness that cannot set up must fail loudly.
+pub fn lists_per_scheme() -> Vec<(Scheme, EncodedList)> {
+    ALL_SCHEMES
+        .iter()
+        .map(|&scheme| {
+            let docs: Vec<String> = (0u32..700)
+                .map(|i| {
+                    if i.wrapping_mul(2654435761) % 3 == 0 {
+                        "probe filler".to_string()
+                    } else {
+                        "probe".to_string()
+                    }
+                })
+                .collect();
+            let index = IndexBuilder::new()
+                .scheme(SchemeChoice::Fixed(scheme))
+                .add_documents(docs.iter().map(String::as_str))
+                .build()
+                .expect("harness corpus builds");
+            let tid = index.term_id("probe").expect("probe term present");
+            let list = index.list(tid).clone();
+            assert!(list.n_blocks() > 1, "need a multi-block list");
+            (scheme, list)
+        })
+        .collect()
+}
+
+/// Runs `trials_per_scheme` seeded mutations of every category against
+/// every stock scheme plus the netlist interpreter, starting at
+/// `base_seed`. This is the whole harness; the binary just picks the
+/// counts and prints the tally.
+///
+/// # Panics
+///
+/// Panics only if harness *setup* fails (corpus build, stock netlist
+/// parse) — trial panics are caught and reported as violations.
+pub fn run(base_seed: u64, trials_per_scheme: u64) -> Tally {
+    let mut tally = Tally::default();
+    // Codec + netlist-data trials split the budget; config and metadata
+    // trials add a quarter each so every surface sees real volume.
+    let data_trials = trials_per_scheme / 2;
+    let side_trials = trials_per_scheme / 4;
+    let lists = lists_per_scheme();
+    for &scheme in &ALL_SCHEMES {
+        let engine = DecompEngine::for_scheme(scheme).expect("stock netlist parses");
+        for t in 0..data_trials {
+            codec_trial(scheme, base_seed + t, &mut tally);
+            netlist_data_trial(&engine, scheme, base_seed + t, &mut tally);
+        }
+        for t in 0..side_trials {
+            netlist_config_trial(scheme, base_seed + t, &mut tally);
+        }
+    }
+    for (_, list) in &lists {
+        for t in 0..side_trials {
+            meta_trial(list, base_seed + t, &mut tally);
+        }
+    }
+    tally
+}

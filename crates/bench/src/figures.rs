@@ -38,13 +38,7 @@ pub fn multicore_throughput(
     for (qt, queries) in &suite.per_type {
         // The Lucene baseline always runs: every row normalizes to it.
         let lucene = run_system(
-            &lucene_engine(
-                index,
-                8,
-                MemoryConfig::host_scm_6ch(),
-                args.block_cache,
-                args.bulk_score,
-            ),
+            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
             queries,
             k,
             args.threads,
@@ -62,13 +56,7 @@ pub fn multicore_throughput(
         if args.engines.iiu {
             for &cores in &CORE_SWEEP {
                 let iiu = run_system(
-                    &iiu_engine(
-                        index,
-                        cores,
-                        MemoryConfig::optane_dcpmm(),
-                        args.block_cache,
-                        args.bulk_score,
-                    ),
+                    &iiu_engine(index, cores, MemoryConfig::optane_dcpmm(), &args.tuning()),
                     queries,
                     k,
                     args.threads,
@@ -94,8 +82,7 @@ pub fn multicore_throughput(
                         EtMode::Full,
                         MemoryConfig::optane_dcpmm(),
                         k,
-                        args.block_cache,
-                        args.bulk_score,
+                        &args.tuning(),
                     ),
                     queries,
                     k,
@@ -148,13 +135,7 @@ pub fn bandwidth_utilization(
                 runs.push((
                     "IIU",
                     run_system(
-                        &iiu_engine(
-                            index,
-                            cores,
-                            MemoryConfig::optane_dcpmm(),
-                            args.block_cache,
-                            args.bulk_score,
-                        ),
+                        &iiu_engine(index, cores, MemoryConfig::optane_dcpmm(), &args.tuning()),
                         queries,
                         k,
                         args.threads,
@@ -171,8 +152,7 @@ pub fn bandwidth_utilization(
                             EtMode::Full,
                             MemoryConfig::optane_dcpmm(),
                             k,
-                            args.block_cache,
-                            args.bulk_score,
+                            &args.tuning(),
                         ),
                         queries,
                         k,
@@ -203,26 +183,14 @@ pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
     header(&["qtype", "Lucene", "IIU", "BOSS-exhaustive", "BOSS"]);
     for (qt, queries) in &suite.per_type {
         let lucene = run_system(
-            &lucene_engine(
-                index,
-                1,
-                MemoryConfig::host_scm_6ch(),
-                args.block_cache,
-                args.bulk_score,
-            ),
+            &lucene_engine(index, 1, MemoryConfig::host_scm_6ch(), &args.tuning()),
             queries,
             k,
             args.threads,
         );
         let base = lucene.qps;
         let iiu = run_system(
-            &iiu_engine(
-                index,
-                1,
-                MemoryConfig::optane_dcpmm(),
-                args.block_cache,
-                args.bulk_score,
-            ),
+            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), &args.tuning()),
             queries,
             k,
             args.threads,
@@ -234,8 +202,7 @@ pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 EtMode::Exhaustive,
                 MemoryConfig::optane_dcpmm(),
                 k,
-                args.block_cache,
-                args.bulk_score,
+                &args.tuning(),
             ),
             queries,
             k,
@@ -248,8 +215,7 @@ pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
                 k,
-                args.block_cache,
-                args.bulk_score,
+                &args.tuning(),
             ),
             queries,
             k,
@@ -278,13 +244,7 @@ pub fn evaluated_docs(name: &str, index: &InvertedIndex, suite: &TypedSuite, arg
             continue; // the paper plots the union types
         }
         let iiu = run_system(
-            &iiu_engine(
-                index,
-                1,
-                MemoryConfig::optane_dcpmm(),
-                args.block_cache,
-                args.bulk_score,
-            ),
+            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), &args.tuning()),
             queries,
             k,
             args.threads,
@@ -296,8 +256,7 @@ pub fn evaluated_docs(name: &str, index: &InvertedIndex, suite: &TypedSuite, arg
                 EtMode::BlockOnly,
                 MemoryConfig::optane_dcpmm(),
                 k,
-                args.block_cache,
-                args.bulk_score,
+                &args.tuning(),
             ),
             queries,
             k,
@@ -310,8 +269,7 @@ pub fn evaluated_docs(name: &str, index: &InvertedIndex, suite: &TypedSuite, arg
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
                 k,
-                args.block_cache,
-                args.bulk_score,
+                &args.tuning(),
             ),
             queries,
             k,
@@ -350,13 +308,7 @@ pub fn memory_accesses(name: &str, index: &InvertedIndex, suite: &TypedSuite, ar
     ]);
     for (qt, queries) in &suite.per_type {
         let iiu = run_system(
-            &iiu_engine(
-                index,
-                1,
-                MemoryConfig::optane_dcpmm(),
-                args.block_cache,
-                args.bulk_score,
-            ),
+            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), &args.tuning()),
             queries,
             k,
             args.threads,
@@ -368,8 +320,7 @@ pub fn memory_accesses(name: &str, index: &InvertedIndex, suite: &TypedSuite, ar
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
                 k,
-                args.block_cache,
-                args.bulk_score,
+                &args.tuning(),
             ),
             queries,
             k,
@@ -408,13 +359,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
     ];
     for (qt, queries) in &suite.per_type {
         let base = run_system(
-            &lucene_engine(
-                index,
-                8,
-                MemoryConfig::host_scm_6ch(),
-                args.block_cache,
-                args.bulk_score,
-            ),
+            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
             queries,
             k,
             args.threads,
@@ -426,13 +371,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "Lucene",
                 "SCM",
                 run_system(
-                    &lucene_engine(
-                        index,
-                        8,
-                        MemoryConfig::host_scm_6ch(),
-                        args.block_cache,
-                        args.bulk_score,
-                    ),
+                    &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
                     queries,
                     k,
                     args.threads,
@@ -442,13 +381,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "Lucene",
                 "DRAM",
                 run_system(
-                    &lucene_engine(
-                        index,
-                        8,
-                        MemoryConfig::host_ddr4_6ch(),
-                        args.block_cache,
-                        args.bulk_score,
-                    ),
+                    &lucene_engine(index, 8, MemoryConfig::host_ddr4_6ch(), &args.tuning()),
                     queries,
                     k,
                     args.threads,
@@ -460,13 +393,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "IIU",
                 "SCM",
                 run_system(
-                    &iiu_engine(
-                        index,
-                        8,
-                        MemoryConfig::optane_dcpmm(),
-                        args.block_cache,
-                        args.bulk_score,
-                    ),
+                    &iiu_engine(index, 8, MemoryConfig::optane_dcpmm(), &args.tuning()),
                     queries,
                     k,
                     args.threads,
@@ -476,13 +403,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "IIU",
                 "DRAM",
                 run_system(
-                    &iiu_engine(
-                        index,
-                        8,
-                        MemoryConfig::ddr4_2666(),
-                        args.block_cache,
-                        args.bulk_score,
-                    ),
+                    &iiu_engine(index, 8, MemoryConfig::ddr4_2666(), &args.tuning()),
                     queries,
                     k,
                     args.threads,
@@ -500,8 +421,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                         EtMode::Full,
                         MemoryConfig::optane_dcpmm(),
                         k,
-                        args.block_cache,
-                        args.bulk_score,
+                        &args.tuning(),
                     ),
                     queries,
                     k,
@@ -518,8 +438,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                         EtMode::Full,
                         MemoryConfig::ddr4_2666(),
                         k,
-                        args.block_cache,
-                        args.bulk_score,
+                        &args.tuning(),
                     ),
                     queries,
                     k,
@@ -567,13 +486,7 @@ pub fn energy(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: &Benc
     let mut savings = Vec::new();
     for (qt, queries) in &suite.per_type {
         let lucene = run_system(
-            &lucene_engine(
-                index,
-                8,
-                MemoryConfig::host_scm_6ch(),
-                args.block_cache,
-                args.bulk_score,
-            ),
+            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
             queries,
             k,
             args.threads,
@@ -585,8 +498,7 @@ pub fn energy(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: &Benc
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
                 k,
-                args.block_cache,
-                args.bulk_score,
+                &args.tuning(),
             ),
             queries,
             k,

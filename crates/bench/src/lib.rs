@@ -14,9 +14,10 @@
 //! * TSV emission helpers (rows go to stdout; commentary lines start
 //!   with `#`).
 
+pub mod corruption;
 pub mod figures;
 
-use boss_core::{BossConfig, EtMode, EvalCounts, QueryOutcome};
+use boss_core::{BossConfig, DegradePolicy, EtMode, EvalCounts, QueryOutcome};
 use boss_engine::{BatchExecutor, Boss, Iiu, Lucene, SearchEngine};
 use boss_iiu::IiuConfig;
 use boss_index::{InvertedIndex, QueryExpr};
@@ -106,6 +107,17 @@ pub struct BenchArgs {
     /// (`--no-bulk` reverts to the seed per-document hot loop).
     /// Wall-clock only — never changes a data row.
     pub bulk_score: bool,
+    /// Seed of an SCM [`boss_scm::FaultPlan`] installed on the BOSS
+    /// device (`--fault-plan SEED`); `None` runs fault-free. With the
+    /// default zero fault rate the plan is quiet, and the invariance
+    /// contract requires byte-identical output to a fault-free run.
+    pub fault_seed: Option<u64>,
+    /// Uncorrectable-line error rate of the installed plan
+    /// (`--fault-rate F`); only meaningful with `--fault-plan`.
+    pub fault_rate: f64,
+    /// Degradation policy for faulted/corrupt blocks (`--degrade
+    /// fail|skip`).
+    pub degrade_skip: bool,
 }
 
 impl Default for BenchArgs {
@@ -119,6 +131,9 @@ impl Default for BenchArgs {
             engines: EngineSelection::default(),
             block_cache: 0,
             bulk_score: true,
+            fault_seed: None,
+            fault_rate: 0.0,
+            degrade_skip: false,
         }
     }
 }
@@ -162,11 +177,25 @@ impl BenchArgs {
                     args.block_cache = parsed_value(&take("--block-cache"), "--block-cache");
                 }
                 "--no-bulk" => args.bulk_score = false,
+                "--fault-plan" => {
+                    args.fault_seed = Some(parsed_value(&take("--fault-plan"), "--fault-plan"));
+                }
+                "--fault-rate" => {
+                    args.fault_rate = parsed_value(&take("--fault-rate"), "--fault-rate");
+                }
+                "--degrade" => match take("--degrade").as_str() {
+                    "fail" => args.degrade_skip = false,
+                    "skip" => args.degrade_skip = true,
+                    other => {
+                        eprintln!("unknown degrade policy {other:?}: expected fail or skip");
+                        std::process::exit(2);
+                    }
+                },
                 "--help" | "-h" => {
                     println!(
                         "usage: [--scale smoke|small|full] [--seed N] [--queries-per-type N] \
                          [--k N] [--threads N] [--engines boss,iiu,lucene] [--block-cache BLOCKS] \
-                         [--no-bulk]"
+                         [--no-bulk] [--fault-plan SEED] [--fault-rate F] [--degrade fail|skip]"
                     );
                     std::process::exit(0);
                 }
@@ -177,6 +206,17 @@ impl BenchArgs {
             }
         }
         args
+    }
+
+    /// The engine tuning these arguments describe.
+    pub fn tuning(&self) -> EngineTuning {
+        EngineTuning {
+            block_cache: self.block_cache,
+            bulk_score: self.bulk_score,
+            fault_seed: self.fault_seed,
+            fault_rate: self.fault_rate,
+            degrade_skip: self.degrade_skip,
+        }
     }
 
     /// Prints the `# threads` line of the TSV preamble. Thread count is
@@ -208,11 +248,19 @@ pub struct TypedSuite {
 
 impl TypedSuite {
     /// Samples `per_type` queries of each type from `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus vocabulary is too small to sample from; the
+    /// benchmark corpora are generated large enough by construction.
     pub fn sample(index: &InvertedIndex, per_type: usize, seed: u64) -> Self {
-        let mut sampler = QuerySampler::new(index, seed);
+        let mut sampler =
+            QuerySampler::new(index, seed).expect("benchmark corpus has a vocabulary");
         let mut out = Vec::new();
         for qt in ALL_QUERY_TYPES {
-            let qs = (0..per_type).map(|_| sampler.sample(qt).expr).collect();
+            let qs = (0..per_type)
+                .map(|_| sampler.sample(qt).expect("benchmark corpus samples").expr)
+                .collect();
             out.push((qt, qs));
         }
         TypedSuite { per_type: out }
@@ -246,7 +294,9 @@ pub struct SystemRun {
 /// # Panics
 ///
 /// Panics if a query fails to plan (the samplers only produce plannable
-/// shapes).
+/// shapes) or if an installed fault plan fails a query under the
+/// `FailQuery` degradation policy — pass `--degrade skip` when running
+/// figures against a faulty device.
 pub fn run_system<E: SearchEngine + Send>(
     engine: &E,
     queries: &[QueryExpr],
@@ -255,7 +305,7 @@ pub fn run_system<E: SearchEngine + Send>(
 ) -> SystemRun {
     let batch = BatchExecutor::with_threads(threads)
         .run(engine, queries, k)
-        .expect("sampled queries plan");
+        .expect("sampled queries plan and decode (use --degrade skip on a faulty device)");
     let clock = engine.clock_ghz();
     SystemRun {
         system: engine.label(),
@@ -265,6 +315,51 @@ pub fn run_system<E: SearchEngine + Send>(
         mem: batch.mem,
         eval: batch.eval,
         outcomes: batch.outcomes,
+    }
+}
+
+/// Engine knobs shared by the figure binaries: decoded-block cache,
+/// bulk-scoring toggle, and (BOSS-only) the SCM fault plan and
+/// degradation policy. [`BenchArgs::tuning`] builds one from the CLI.
+#[derive(Debug, Clone)]
+pub struct EngineTuning {
+    /// Decoded-block cache capacity per engine fork, in blocks.
+    pub block_cache: usize,
+    /// Block-at-a-time scoring kernels on or off.
+    pub bulk_score: bool,
+    /// Seed of a [`boss_scm::FaultPlan`] to install on the BOSS device.
+    pub fault_seed: Option<u64>,
+    /// Uncorrectable-line rate of the installed plan (0.0 keeps it quiet).
+    pub fault_rate: f64,
+    /// `SkipBlock` instead of the default `FailQuery` degradation.
+    pub degrade_skip: bool,
+}
+
+impl EngineTuning {
+    /// Tuning with only the cache/bulk knobs set; no fault plan.
+    pub fn new(block_cache: usize, bulk_score: bool) -> Self {
+        EngineTuning {
+            block_cache,
+            bulk_score,
+            fault_seed: None,
+            fault_rate: 0.0,
+            degrade_skip: false,
+        }
+    }
+
+    /// The fault plan these knobs describe, if any.
+    pub fn fault_plan(&self) -> Option<boss_scm::FaultPlan> {
+        self.fault_seed
+            .map(|seed| boss_scm::FaultPlan::quiet(seed).with_uncorrectable_rate(self.fault_rate))
+    }
+
+    /// The degradation policy these knobs describe.
+    pub fn degrade(&self) -> DegradePolicy {
+        if self.degrade_skip {
+            DegradePolicy::SkipBlock
+        } else {
+            DegradePolicy::FailQuery
+        }
     }
 }
 
@@ -278,8 +373,7 @@ pub fn boss_engine<'a>(
     et: EtMode,
     memory: MemoryConfig,
     k: usize,
-    block_cache: usize,
-    bulk: bool,
+    tuning: &EngineTuning,
 ) -> Boss<'a> {
     Boss::new(
         index,
@@ -287,42 +381,45 @@ pub fn boss_engine<'a>(
             .with_et(et)
             .with_k(k)
             .on_memory(memory)
-            .with_block_cache(block_cache)
-            .with_bulk_score(bulk),
+            .with_block_cache(tuning.block_cache)
+            .with_bulk_score(tuning.bulk_score)
+            .with_fault_plan(tuning.fault_plan())
+            .with_degrade(tuning.degrade()),
     )
 }
 
-/// An IIU engine in the paper's evaluation configuration.
+/// An IIU engine in the paper's evaluation configuration. Fault-plan
+/// tuning fields are BOSS-only (the fault model lives in the BOSS
+/// device's memory controller) and are ignored here.
 pub fn iiu_engine<'a>(
     index: &'a InvertedIndex,
     cores: u32,
     memory: MemoryConfig,
-    block_cache: usize,
-    bulk: bool,
+    tuning: &EngineTuning,
 ) -> Iiu<'a> {
     Iiu::new(
         index,
         IiuConfig::with_cores(cores)
             .on_memory(memory)
-            .with_block_cache(block_cache)
-            .with_bulk_score(bulk),
+            .with_block_cache(tuning.block_cache)
+            .with_bulk_score(tuning.bulk_score),
     )
 }
 
 /// A Lucene-like engine in the paper's evaluation configuration.
+/// Fault-plan tuning fields are BOSS-only and are ignored here.
 pub fn lucene_engine<'a>(
     index: &'a InvertedIndex,
     threads: u32,
     memory: MemoryConfig,
-    block_cache: usize,
-    bulk: bool,
+    tuning: &EngineTuning,
 ) -> Lucene<'a> {
     Lucene::new(
         index,
         LuceneConfig::with_threads(threads)
             .on_memory(memory)
-            .with_block_cache(block_cache)
-            .with_bulk_score(bulk),
+            .with_block_cache(tuning.block_cache)
+            .with_bulk_score(tuning.bulk_score),
     )
 }
 
@@ -387,6 +484,7 @@ mod tests {
         assert_eq!(suite.per_type.len(), 6);
         for (qt, qs) in &suite.per_type {
             assert_eq!(qs.len(), 2, "{qt:?}");
+            let tuning = EngineTuning::new(64, true);
             let boss = run_system(
                 &boss_engine(
                     &index,
@@ -394,21 +492,20 @@ mod tests {
                     EtMode::Full,
                     MemoryConfig::optane_dcpmm(),
                     50,
-                    64,
-                    true,
+                    &tuning,
                 ),
                 qs,
                 50,
                 2,
             );
             let iiu = run_system(
-                &iiu_engine(&index, 2, MemoryConfig::optane_dcpmm(), 64, true),
+                &iiu_engine(&index, 2, MemoryConfig::optane_dcpmm(), &tuning),
                 qs,
                 50,
                 2,
             );
             let luc = run_system(
-                &lucene_engine(&index, 2, MemoryConfig::host_scm_6ch(), 64, true),
+                &lucene_engine(&index, 2, MemoryConfig::host_scm_6ch(), &tuning),
                 qs,
                 50,
                 2,

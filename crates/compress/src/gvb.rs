@@ -7,7 +7,7 @@
 //! `boss-decomp` decodes it through a dedicated extractor flavor plus the
 //! identity stage-2 program.
 
-use crate::{check_len, BlockInfo, Codec, Error, Scheme};
+use crate::{check_count, check_len, BlockInfo, Codec, Error, Scheme};
 
 /// The Group-Varint codec.
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,7 +49,7 @@ impl Codec for GroupVarint {
 
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
         let mut pos = 0usize;
-        let mut remaining = info.count as usize;
+        let mut remaining = check_count(info)?;
         out.reserve(remaining);
         while remaining > 0 {
             let Some(&ctrl) = data.get(pos) else {

@@ -53,6 +53,9 @@ pub fn best_scheme(values: &[u32]) -> HybridChoice {
             }
         }
     }
+    // Infallible: BitPacking and VariableByte encode every u32 slice, so
+    // at least one candidate always lands in `best`.
+    #[allow(clippy::expect_used)]
     let (scheme, bytes) = best.expect("at least one total codec must succeed");
     HybridChoice {
         scheme,

@@ -32,6 +32,11 @@
 //! # }
 //! ```
 
+// Decode paths consume untrusted (possibly corrupt) bytes; corruption
+// must surface as typed errors, so panicking constructs need a
+// per-site justification.
+#![warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 mod bitio;
 mod bp;
 mod error;
@@ -195,6 +200,27 @@ pub(crate) fn check_len(values: &[u32]) -> Result<u16, Error> {
     Ok(values.len() as u16)
 }
 
+/// Decode-side guard on a block descriptor's claimed value count.
+///
+/// `BlockInfo::count` is a `u16` read back from (possibly corrupt) index
+/// metadata, so it can claim up to 65535 values while a block may hold at
+/// most [`MAX_BLOCK_VALUES`]. Every decode path validates the count with
+/// this *before* reserving output space, so corrupt metadata surfaces as
+/// [`Error::Corrupt`] instead of an oversized allocation.
+///
+/// # Errors
+///
+/// [`Error::Corrupt`] when `info.count` exceeds [`MAX_BLOCK_VALUES`].
+pub fn check_count(info: &BlockInfo) -> Result<usize, Error> {
+    let count = info.count as usize;
+    if count > MAX_BLOCK_VALUES {
+        return Err(Error::Corrupt {
+            reason: "block descriptor claims more values than a block can hold",
+        });
+    }
+    Ok(count)
+}
+
 /// Returns the canonical codec instance for `scheme`.
 pub fn codec_for(scheme: Scheme) -> &'static dyn Codec {
     match scheme {
@@ -258,6 +284,45 @@ mod tests {
         for s in ALL_SCHEMES {
             let err = codec_for(s).encode(&values, &mut Vec::new()).unwrap_err();
             assert!(matches!(err, Error::TooManyValues { .. }), "scheme {s}");
+        }
+    }
+
+    #[test]
+    fn oversized_count_rejected_by_every_decoder_without_reserving() {
+        // A corrupt descriptor claiming 65535 values must surface as
+        // Error::Corrupt from every decode path, fast and reference, and
+        // must never grow the output vector toward the bogus count.
+        let info = BlockInfo {
+            count: u16::MAX,
+            bit_width: 1,
+            exception_offset: 0,
+        };
+        let data = vec![0u8; 64];
+        for s in ALL_SCHEMES {
+            let codec = codec_for(s);
+            let mut out = Vec::new();
+            assert!(
+                matches!(
+                    codec.decode(&data, &info, &mut out),
+                    Err(Error::Corrupt { .. })
+                ),
+                "scheme {s} fast"
+            );
+            assert_eq!(out.capacity(), 0, "scheme {s} reserved for corrupt count");
+            assert!(
+                matches!(
+                    codec.decode_reference(&data, &info, &mut Vec::new()),
+                    Err(Error::Corrupt { .. })
+                ),
+                "scheme {s} reference"
+            );
+            assert!(
+                matches!(
+                    codec.decode_d1(&data, &info, 0, &mut Vec::new()),
+                    Err(Error::Corrupt { .. })
+                ),
+                "scheme {s} d1"
+            );
         }
     }
 

@@ -9,7 +9,7 @@
 //! paper's 12-bit "offset of the first exception value and index" field.
 
 use crate::bitio::{bits_for, BitReader, BitWriter};
-use crate::{check_len, unpack, BlockInfo, Codec, Error, Scheme};
+use crate::{check_count, check_len, unpack, BlockInfo, Codec, Error, Scheme};
 
 /// The OptPFD codec.
 #[derive(Debug, Clone, Copy, Default)]
@@ -92,6 +92,7 @@ impl Codec for OptPfd {
 }
 
 fn check_header(data: &[u8], info: &BlockInfo) -> Result<(u32, usize), Error> {
+    check_count(info)?;
     let b = u32::from(info.bit_width);
     if b > 32 {
         return Err(Error::Corrupt {

@@ -2,7 +2,7 @@
 //! split into equal-width (or two-width) fields according to one of 16
 //! layouts (Zhang, Long & Suel).
 
-use crate::{check_len, BlockInfo, Codec, Error, Scheme};
+use crate::{check_count, check_len, BlockInfo, Codec, Error, Scheme};
 
 /// The 16 Simple16 layouts as `(count, bits)` runs. Each layout's field
 /// widths sum to exactly 28 bits.
@@ -173,7 +173,7 @@ impl Codec for Simple16 {
     }
 
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
-        let mut remaining = info.count as usize;
+        let mut remaining = check_count(info)?;
         let mut pos = 0usize;
         out.reserve(remaining);
         while remaining > 0 {
@@ -216,7 +216,7 @@ impl Codec for Simple16 {
         info: &BlockInfo,
         out: &mut Vec<u32>,
     ) -> Result<(), Error> {
-        let mut remaining = info.count as usize;
+        let mut remaining = check_count(info)?;
         let mut pos = 0usize;
         out.reserve(remaining);
         while remaining > 0 {

@@ -3,7 +3,7 @@
 //! encode runs of 240/120 zeros with no payload, which is what makes S8b
 //! excel on dense streams of 0-gaps.
 
-use crate::{check_len, BlockInfo, Codec, Error, Scheme};
+use crate::{check_count, check_len, BlockInfo, Codec, Error, Scheme};
 
 /// `(count, bits)` for selectors 2..=15. Selector 0 = 240 zeros,
 /// selector 1 = 120 zeros.
@@ -112,7 +112,7 @@ impl Codec for Simple8b {
     }
 
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
-        let mut remaining = info.count as usize;
+        let mut remaining = check_count(info)?;
         let mut pos = 0usize;
         out.reserve(remaining);
         while remaining > 0 {
@@ -123,6 +123,8 @@ impl Codec for Simple8b {
                 });
             };
             pos += 8;
+            // Infallible: the let-else above proved the slice is 8 bytes.
+            #[allow(clippy::expect_used)]
             let word = u64::from_le_bytes(bytes.try_into().expect("slice is 8 bytes"));
             let sel = (word >> 60) as usize;
             match sel {
@@ -161,7 +163,7 @@ impl Codec for Simple8b {
         info: &BlockInfo,
         out: &mut Vec<u32>,
     ) -> Result<(), Error> {
-        let mut remaining = info.count as usize;
+        let mut remaining = check_count(info)?;
         let mut pos = 0usize;
         out.reserve(remaining);
         while remaining > 0 {
@@ -172,6 +174,8 @@ impl Codec for Simple8b {
                 });
             };
             pos += 8;
+            // Infallible: the let-else above proved the slice is 8 bytes.
+            #[allow(clippy::expect_used)]
             let word = u64::from_le_bytes(bytes.try_into().expect("slice is 8 bytes"));
             let sel = (word >> 60) as usize;
             match sel {

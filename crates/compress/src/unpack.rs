@@ -29,6 +29,8 @@ use crate::Error;
 /// window is in bounds.
 #[inline(always)]
 fn load_word(data: &[u8], byte: usize) -> u64 {
+    // Infallible: callers bound-check the 8-byte window before calling.
+    #[allow(clippy::expect_used)]
     u64::from_le_bytes(data[byte..byte + 8].try_into().expect("8-byte window"))
 }
 
@@ -158,6 +160,11 @@ fn check_input(data: &[u8], count: usize, width: u32) -> Result<(), Error> {
             reason: "bit width above 32",
         });
     }
+    if count > crate::MAX_BLOCK_VALUES {
+        return Err(Error::Corrupt {
+            reason: "block descriptor claims more values than a block can hold",
+        });
+    }
     let need = packed_bytes(count, width);
     if data.len() < need {
         return Err(Error::Truncated {
@@ -216,13 +223,15 @@ pub fn prefix_sum_d1(base: u32, values: &mut [u32]) {
 ///
 /// # Errors
 ///
-/// [`Error::Truncated`] when `data` runs out mid-value.
+/// Same conditions as [`unpack`]: corrupt width/count are rejected up
+/// front, truncation either up front or mid-value.
 pub fn unpack_reference(
     data: &[u8],
     count: usize,
     width: u32,
     out: &mut Vec<u32>,
 ) -> Result<(), Error> {
+    check_input(data, count, width)?;
     let mut r = BitReader::new(data);
     out.reserve(count);
     for _ in 0..count {
@@ -235,7 +244,7 @@ pub fn unpack_reference(
 ///
 /// # Errors
 ///
-/// [`Error::Truncated`] when `data` runs out mid-value.
+/// Same conditions as [`unpack_reference`].
 pub fn unpack_d1_reference(
     data: &[u8],
     count: usize,
@@ -243,6 +252,7 @@ pub fn unpack_d1_reference(
     base: u32,
     out: &mut Vec<u32>,
 ) -> Result<(), Error> {
+    check_input(data, count, width)?;
     let mut r = BitReader::new(data);
     out.reserve(count);
     let mut prev = base;

@@ -2,7 +2,7 @@
 //! value (the classic Cutting–Pedersen encoding the paper's Figure 8
 //! programs into the BOSS decompression module).
 
-use crate::{check_len, BlockInfo, Codec, Error, Scheme};
+use crate::{check_count, check_len, BlockInfo, Codec, Error, Scheme};
 
 /// The VB codec.
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,7 +35,7 @@ impl Codec for VariableByte {
     }
 
     fn decode(&self, data: &[u8], info: &BlockInfo, out: &mut Vec<u32>) -> Result<(), Error> {
-        let count = info.count as usize;
+        let count = check_count(info)?;
         out.reserve(count);
         let mut pos = 0usize;
         let mut i = 0usize;
@@ -46,6 +46,8 @@ impl Codec for VariableByte {
         const MSBS: u64 = 0x8080_8080_8080_8080;
         const PAYLOADS: u64 = 0x0000_007F_7F7F_7F7F;
         while i < count && pos + 8 <= data.len() {
+            // Infallible: the loop condition keeps the 8-byte window in bounds.
+            #[allow(clippy::expect_used)]
             let word = u64::from_le_bytes(data[pos..pos + 8].try_into().expect("8 bytes"));
             let tz = (word & MSBS).trailing_zeros();
             if tz >= 39 {
@@ -126,7 +128,7 @@ impl Codec for VariableByte {
         out: &mut Vec<u32>,
     ) -> Result<(), Error> {
         let mut pos = 0usize;
-        out.reserve(info.count as usize);
+        out.reserve(check_count(info)?);
         for _ in 0..info.count {
             let mut v: u32 = 0;
             let mut shift = 0u32;

@@ -30,6 +30,20 @@ impl EtMode {
     }
 }
 
+/// What a query does when a posting block cannot be used — its simulated
+/// read came back flagged uncorrectable by the active fault plan, or its
+/// bytes/metadata failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DegradePolicy {
+    /// The query fails with a typed error (the default: no silent
+    /// degradation unless explicitly opted into).
+    #[default]
+    FailQuery,
+    /// The block is skipped and the query continues on the remaining
+    /// postings; `EvalCounts::blocks_skipped_fault` counts the loss.
+    SkipBlock,
+}
+
 /// Per-module cycle costs at the 1 GHz core clock.
 ///
 /// The defaults follow the module descriptions of Section IV-C: one merge
@@ -107,6 +121,13 @@ pub struct BossConfig {
     /// cycles, traffic, and every evaluation counter are bit-identical
     /// with this on or off (see `crate::union`).
     pub bulk_score: bool,
+    /// Optional SCM fault-injection plan applied to every simulated
+    /// memory access. `None` (the default) means a fault-free device and
+    /// bit-identical figures to a build without fault support.
+    pub fault_plan: Option<boss_scm::FaultPlan>,
+    /// How a query reacts to an unusable posting block (uncorrectable
+    /// read or corrupt decode). Irrelevant while no fault fires.
+    pub degrade: DegradePolicy,
 }
 
 impl Default for BossConfig {
@@ -124,6 +145,8 @@ impl Default for BossConfig {
             timing: TimingModel::default(),
             block_cache_blocks: 0,
             bulk_score: true,
+            fault_plan: None,
+            degrade: DegradePolicy::FailQuery,
         }
     }
 }
@@ -177,6 +200,20 @@ impl BossConfig {
     #[must_use]
     pub fn with_bulk_score(mut self, on: bool) -> Self {
         self.bulk_score = on;
+        self
+    }
+
+    /// Installs (or clears) the SCM fault-injection plan.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: Option<boss_scm::FaultPlan>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Replaces the degradation policy for unusable posting blocks.
+    #[must_use]
+    pub fn with_degrade(mut self, policy: DegradePolicy) -> Self {
+        self.degrade = policy;
         self
     }
 

@@ -68,13 +68,23 @@ impl BossCore {
 
     /// Executes one planned query against `index` laid out at `image`,
     /// returning hits, cycles and traffic.
+    ///
+    /// # Errors
+    ///
+    /// Under the default [`crate::DegradePolicy::FailQuery`] policy a
+    /// faulted simulated read ([`boss_index::Error::ReadFault`]) or a
+    /// corrupt posting block (any other decode error) fails the query
+    /// with a typed error. Under `SkipBlock` the affected blocks are
+    /// dropped, counted in `eval.blocks_skipped_fault`, and the query
+    /// completes on the surviving postings. Without a fault plan and with
+    /// well-formed index data, this never errors.
     pub fn execute(
         &self,
         index: &InvertedIndex,
         image: &IndexImage,
         plan: &QueryPlan,
         k: usize,
-    ) -> QueryOutcome {
+    ) -> Result<QueryOutcome, boss_index::Error> {
         self.execute_with_cache(index, image, plan, k, None)
     }
 
@@ -89,7 +99,7 @@ impl BossCore {
         plan: &QueryPlan,
         k: usize,
         cache: Option<&BlockCache>,
-    ) -> QueryOutcome {
+    ) -> Result<QueryOutcome, boss_index::Error> {
         self.execute_with_scratch(index, image, plan, k, cache, &mut CoreScratch::new())
     }
 
@@ -105,7 +115,7 @@ impl BossCore {
         k: usize,
         cache: Option<&BlockCache>,
         scratch: &mut CoreScratch,
-    ) -> QueryOutcome {
+    ) -> Result<QueryOutcome, boss_index::Error> {
         let mut ctx = ExecCtx::with_cache(index, image, &self.config, cache);
         let fill = self.config.timing.decomp_fill;
 
@@ -128,7 +138,7 @@ impl BossCore {
                     &mut ctx, group[0], unit, fill,
                 )));
             } else {
-                let m = intersect_group(&mut ctx, group, fill);
+                let m = intersect_group(&mut ctx, group, fill)?;
                 streams.push(UnionStream::Mat(m));
             }
         }
@@ -136,7 +146,7 @@ impl BossCore {
         let CoreScratch { topk, bulk } = scratch;
         let topk = topk.get_or_insert_with(|| TopK::new(k));
         topk.reset(k);
-        union_topk(&mut ctx, streams, et, topk, bulk);
+        union_topk(&mut ctx, streams, et, topk, bulk)?;
 
         // The top-k list crosses the shared interconnect: 8 B per entry
         // (docID + score), written once at the end of the query.
@@ -148,12 +158,12 @@ impl BossCore {
         );
 
         let cycles = self.pipeline_cycles(&ctx, plan);
-        QueryOutcome {
+        Ok(QueryOutcome {
             hits: topk.hits().to_vec(),
             cycles,
             mem: ctx.mem.take_stats(),
             eval: ctx.eval,
-        }
+        })
     }
 
     /// Query latency under the configured fidelity.
@@ -238,7 +248,7 @@ mod tests {
         let cfg = BossConfig::default().with_et(et).with_k(k);
         let core = BossCore::new(cfg.clone());
         let plan = QueryPlan::from_expr(&idx, expr, &cfg).unwrap();
-        let got = core.execute(&idx, &image, &plan, k);
+        let got = core.execute(&idx, &image, &plan, k).unwrap();
         let expect = reference::evaluate(&idx, expr, k).unwrap();
         assert_eq!(got.hits, expect, "{expr} k={k} {et:?}");
         assert!(got.cycles > 0);
@@ -321,7 +331,7 @@ mod tests {
             let cfg = BossConfig::default().with_et(et).with_k(10);
             let core = BossCore::new(cfg.clone());
             let plan = QueryPlan::from_expr(&idx, &q, &cfg).unwrap();
-            core.execute(&idx, &image, &plan, 10)
+            core.execute(&idx, &image, &plan, 10).unwrap()
         };
         let ex = run(EtMode::Exhaustive);
         let full = run(EtMode::Full);
@@ -358,6 +368,7 @@ mod tests {
                         let core = BossCore::new(cfg.clone());
                         let plan = QueryPlan::from_expr(&idx, q, &cfg).unwrap();
                         core.execute_with_scratch(&idx, &image, &plan, k, None, scratch)
+                            .unwrap()
                     };
                     let base = run_with(false, &mut CoreScratch::new());
                     let bulk = run_with(true, &mut scratch);
@@ -378,7 +389,7 @@ mod tests {
         let cfg = BossConfig::default().with_k(10);
         let core = BossCore::new(cfg.clone());
         let plan = QueryPlan::from_expr(&idx, &QueryExpr::term("aa"), &cfg).unwrap();
-        let out = core.execute(&idx, &image, &plan, 10);
+        let out = core.execute(&idx, &image, &plan, 10).unwrap();
         assert_eq!(out.mem.bytes(AccessCategory::StResult), 80, "10 hits x 8 B");
     }
 }

@@ -197,14 +197,14 @@ impl<'a> BossDevice<'a> {
     /// [`Error::InvalidQuery`]) without touching the cores.
     pub fn search_expr(&mut self, expr: &QueryExpr, k: usize) -> Result<QueryOutcome, Error> {
         let plan = QueryPlan::from_expr(self.index, expr, &self.config)?;
-        Ok(self.cores[0].execute_with_scratch(
+        self.cores[0].execute_with_scratch(
             self.index,
             &self.image,
             &plan,
             k,
             self.cache.as_ref(),
             &mut self.scratch,
-        ))
+        )
     }
 
     /// Runs a batch with greedy list scheduling: each query goes to the
@@ -277,7 +277,7 @@ impl<'a> BossDevice<'a> {
                 k,
                 self.cache.as_ref(),
                 &mut self.scratch,
-            );
+            )?;
             let end = start + out.cycles;
             for &i in chosen {
                 self.cores[i].busy_until = end;

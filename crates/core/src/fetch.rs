@@ -2,15 +2,15 @@
 //! candidate blocks lazily and skip non-candidate blocks using the 19-byte
 //! per-block metadata (Section IV-C "Block Fetch Module").
 
-use crate::config::BossConfig;
+use crate::config::{BossConfig, DegradePolicy};
 use crate::mai::{Tlb, WALK_ACCESSES};
 use crate::pipeline::BlockEvent;
 use crate::stats::EvalCounts;
 use boss_compress::Scheme;
 use boss_index::layout::IndexImage;
 use boss_index::{
-    decode_block_cached, BlockCache, BlockMeta, DecodeScratch, DocId, EncodedList, InvertedIndex,
-    TermId, BLOCK_META_BYTES,
+    decode_block_cached, BlockCache, BlockMeta, DecodeScratch, DocId, EncodedList, Error,
+    InvertedIndex, TermId, BLOCK_META_BYTES,
 };
 use boss_scm::{AccessCategory, AccessKind, MemorySim, PatternHint};
 
@@ -46,6 +46,9 @@ pub(crate) struct ExecCtx<'a> {
     /// Whether the union module may take the block-at-a-time scoring
     /// path (wall-clock only, from [`BossConfig::bulk_score`]).
     pub bulk: bool,
+    /// What to do when a posting block is unusable (faulted read or
+    /// corrupt decode), from [`BossConfig::degrade`].
+    pub degrade: DegradePolicy,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -64,10 +67,14 @@ impl<'a> ExecCtx<'a> {
         config: &BossConfig,
         cache: Option<&'a BlockCache>,
     ) -> Self {
+        let mut mem = MemorySim::new(config.memory.clone());
+        if let Some(plan) = &config.fault_plan {
+            mem.set_fault_plan(Some(plan.clone()));
+        }
         ExecCtx {
             index,
             image,
-            mem: MemorySim::new(config.memory.clone()),
+            mem,
             tlb: Tlb::new(),
             eval: EvalCounts::default(),
             dec_cycles: vec![0; config.decompressors_per_core as usize],
@@ -76,6 +83,7 @@ impl<'a> ExecCtx<'a> {
             trace: Vec::new(),
             cache,
             bulk: config.bulk_score,
+            degrade: config.degrade,
         }
     }
 
@@ -88,6 +96,20 @@ impl<'a> ExecCtx<'a> {
         cat: AccessCategory,
         pattern: PatternHint,
     ) -> u64 {
+        self.read_checked(vaddr, bytes, cat, pattern).0
+    }
+
+    /// Like [`ExecCtx::read`], but also reports whether the fault plan
+    /// flagged the read uncorrectable. Block-data loads use this so a
+    /// faulted read surfaces to the degradation policy instead of being
+    /// silently consumed.
+    pub(crate) fn read_checked(
+        &mut self,
+        vaddr: u64,
+        bytes: u64,
+        cat: AccessCategory,
+        pattern: PatternHint,
+    ) -> (u64, bool) {
         let (paddr, hit) = self.tlb.translate(vaddr);
         if !hit {
             for w in 0..u64::from(WALK_ACCESSES) {
@@ -101,8 +123,10 @@ impl<'a> ExecCtx<'a> {
                 );
             }
         }
-        self.mem
-            .access(paddr, bytes, AccessKind::Read, cat, pattern, 0)
+        let r = self
+            .mem
+            .access_checked(paddr, bytes, AccessKind::Read, cat, pattern, 0);
+        (r.done, r.faulted)
     }
 
     /// Issues a result/intermediate write.
@@ -279,29 +303,60 @@ impl<'a> ListCursor<'a> {
     }
 
     /// Term frequency at the cursor (decodes the current block if needed).
-    pub(crate) fn current_tf(&mut self, ctx: &mut ExecCtx<'_>) -> u32 {
-        self.ensure_decoded(ctx);
-        self.scratch.tfs[self.pos]
+    ///
+    /// Returns `Ok(None)` when the block was unusable and the `SkipBlock`
+    /// policy moved the cursor past it — the document the caller was
+    /// looking at no longer exists from the cursor's point of view.
+    ///
+    /// # Errors
+    ///
+    /// Under [`DegradePolicy::FailQuery`], a faulted read or corrupt
+    /// decode of the block.
+    pub(crate) fn current_tf(&mut self, ctx: &mut ExecCtx<'_>) -> Result<Option<u32>, Error> {
+        if self.ensure_decoded(ctx)? {
+            Ok(Some(self.scratch.tfs[self.pos]))
+        } else {
+            Ok(None)
+        }
     }
 
-    fn ensure_decoded(&mut self, ctx: &mut ExecCtx<'_>) {
+    /// Decodes the current block into the scratch if it is not already.
+    ///
+    /// Returns `Ok(true)` when the cursor's current block is decoded and
+    /// usable. Returns `Ok(false)` when the block could not be used and
+    /// [`DegradePolicy::SkipBlock`] advanced the cursor past it (possibly
+    /// to exhaustion) — the caller must re-examine the cursor position.
+    ///
+    /// # Errors
+    ///
+    /// Under [`DegradePolicy::FailQuery`], [`Error::ReadFault`] when the
+    /// simulated block read is flagged uncorrectable, or the decode error
+    /// for corrupt bytes/metadata.
+    fn ensure_decoded(&mut self, ctx: &mut ExecCtx<'_>) -> Result<bool, Error> {
         if !self.scratch.is_empty() {
-            return;
+            return Ok(true);
+        }
+        if self.exhausted() {
+            return Ok(false);
         }
         // Every simulated charge below happens regardless of cache or
         // prefetch state: those only change which host-side path fills
         // the scratch.
         let meta = *self.meta();
-        let data_ready = ctx.read(
-            self.data_addr + u64::from(meta.offset),
+        let block_addr = self.data_addr + u64::from(meta.offset);
+        let (data_ready, faulted) = ctx.read_checked(
+            block_addr,
             u64::from(meta.len).max(1),
             AccessCategory::LdList,
             PatternHint::Auto,
         );
-        if self.prefetched == Some(self.block) {
+        let filled: Result<(), Error> = if faulted {
+            Err(Error::ReadFault { addr: block_addr })
+        } else if self.prefetched == Some(self.block) {
             // The double buffer already holds this block: swap it in.
             std::mem::swap(&mut self.scratch, &mut self.spare);
             self.prefetched = None;
+            Ok(())
         } else {
             self.scratch.clear();
             decode_block_cached(
@@ -312,7 +367,22 @@ impl<'a> ListCursor<'a> {
                 &mut self.scratch.docs,
                 &mut self.scratch.tfs,
             )
-            .expect("index blocks decode (built by this process)");
+        };
+        if let Err(e) = filled {
+            self.scratch.clear();
+            if self.prefetched == Some(self.block) {
+                self.prefetched = None;
+            }
+            match ctx.degrade {
+                DegradePolicy::FailQuery => return Err(e),
+                DegradePolicy::SkipBlock => {
+                    ctx.eval.blocks_skipped_fault += 1;
+                    ctx.eval.docs_skipped_block += meta.count() as u64;
+                    let next = self.block + 1;
+                    self.enter_block(ctx, next);
+                    return Ok(false);
+                }
+            }
         }
         ctx.eval.blocks_fetched += 1;
         let dec = decomp_cycles(self.list.scheme(), &meta, self.decomp_fill);
@@ -324,6 +394,7 @@ impl<'a> ListCursor<'a> {
             postings: meta.count() as u32,
         });
         self.pos = 0;
+        Ok(true)
     }
 
     fn enter_block(&mut self, ctx: &mut ExecCtx<'_>, block: usize) {
@@ -337,76 +408,110 @@ impl<'a> ListCursor<'a> {
 
     /// Advances one posting (decoding the block if necessary). The consumed
     /// document must already have been accounted (scored or skipped) by the
-    /// caller.
-    pub(crate) fn advance(&mut self, ctx: &mut ExecCtx<'_>) {
-        self.ensure_decoded(ctx);
-        self.pos += 1;
-        if self.pos >= self.scratch.len() {
-            let next = self.block + 1;
-            self.enter_block(ctx, next);
+    /// caller. If the block turned out unusable and the `SkipBlock` policy
+    /// dropped it, the cursor is already past it and no extra posting is
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ListCursor::fetch_block`].
+    pub(crate) fn advance(&mut self, ctx: &mut ExecCtx<'_>) -> Result<(), Error> {
+        if self.ensure_decoded(ctx)? {
+            self.pos += 1;
+            if self.pos >= self.scratch.len() {
+                let next = self.block + 1;
+                self.enter_block(ctx, next);
+            }
         }
+        Ok(())
     }
 
     /// Moves to the first posting with `doc >= target`, skipping whole
     /// blocks via metadata. Documents bypassed are attributed to `reason`.
-    pub(crate) fn seek(&mut self, ctx: &mut ExecCtx<'_>, target: DocId, reason: SkipReason) {
-        // Skip whole blocks that end before the target.
-        while !self.exhausted() && self.meta().last_doc < target {
-            let remaining_in_block = if self.scratch.is_empty() {
-                self.meta().count() as u64
-            } else {
-                (self.scratch.len() - self.pos) as u64
-            };
-            if self.scratch.is_empty() {
-                ctx.eval.blocks_skipped += 1;
-                ctx.eval.docs_skipped_block += remaining_in_block;
-            } else {
-                // Partially consumed block: the tail was decoded already,
-                // so this is a pop, attributed to whichever module asked.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ListCursor::fetch_block`].
+    pub(crate) fn seek(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        target: DocId,
+        reason: SkipReason,
+    ) -> Result<(), Error> {
+        loop {
+            // Skip whole blocks that end before the target.
+            while !self.exhausted() && self.meta().last_doc < target {
+                let remaining_in_block = if self.scratch.is_empty() {
+                    self.meta().count() as u64
+                } else {
+                    (self.scratch.len() - self.pos) as u64
+                };
+                if self.scratch.is_empty() {
+                    ctx.eval.blocks_skipped += 1;
+                    ctx.eval.docs_skipped_block += remaining_in_block;
+                } else {
+                    // Partially consumed block: the tail was decoded already,
+                    // so this is a pop, attributed to whichever module asked.
+                    match reason {
+                        SkipReason::Block => ctx.eval.docs_skipped_block += remaining_in_block,
+                        SkipReason::Wand => ctx.eval.docs_skipped_wand += remaining_in_block,
+                    }
+                }
+                let next = self.block + 1;
+                self.enter_block(ctx, next);
+            }
+            if self.exhausted() || self.current_doc() >= target {
+                return Ok(());
+            }
+            // The target falls inside the current block: decode and scan.
+            if !self.ensure_decoded(ctx)? {
+                // Unusable block dropped by SkipBlock: the cursor moved to
+                // a later block, which may still end before the target.
+                continue;
+            }
+            while self.pos < self.scratch.len() && self.scratch.docs[self.pos] < target {
+                self.pos += 1;
+                ctx.eval.comparisons += 1;
                 match reason {
-                    SkipReason::Block => ctx.eval.docs_skipped_block += remaining_in_block,
-                    SkipReason::Wand => ctx.eval.docs_skipped_wand += remaining_in_block,
+                    SkipReason::Block => ctx.eval.docs_skipped_block += 1,
+                    SkipReason::Wand => ctx.eval.docs_skipped_wand += 1,
                 }
             }
-            let next = self.block + 1;
-            self.enter_block(ctx, next);
-        }
-        if self.exhausted() || self.current_doc() >= target {
-            return;
-        }
-        // The target falls inside the current block: decode and scan.
-        self.ensure_decoded(ctx);
-        while self.pos < self.scratch.len() && self.scratch.docs[self.pos] < target {
-            self.pos += 1;
-            ctx.eval.comparisons += 1;
-            match reason {
-                SkipReason::Block => ctx.eval.docs_skipped_block += 1,
-                SkipReason::Wand => ctx.eval.docs_skipped_wand += 1,
+            if self.pos >= self.scratch.len() {
+                let next = self.block + 1;
+                self.enter_block(ctx, next);
             }
-        }
-        if self.pos >= self.scratch.len() {
-            let next = self.block + 1;
-            self.enter_block(ctx, next);
+            return Ok(());
         }
     }
 
     /// Fetches and decodes the current block (same simulated charges as
     /// the per-posting path's lazy decode; a no-op if already decoded).
-    pub(crate) fn fetch_block(&mut self, ctx: &mut ExecCtx<'_>) {
-        self.ensure_decoded(ctx);
+    ///
+    /// Returns whether the *current* block is decoded — `false` means the
+    /// `SkipBlock` policy dropped it and the cursor moved.
+    ///
+    /// # Errors
+    ///
+    /// Under [`DegradePolicy::FailQuery`], [`Error::ReadFault`] for a
+    /// fault-flagged read or the typed decode error for corrupt data.
+    pub(crate) fn fetch_block(&mut self, ctx: &mut ExecCtx<'_>) -> Result<bool, Error> {
+        self.ensure_decoded(ctx)
     }
 
     /// Decodes the *next* block into the spare half of the double buffer,
     /// so the decode overlaps with draining the current block. Pure host
     /// work: no simulated charge — [`ListCursor::fetch_block`] charges in
-    /// full when the block is entered.
+    /// full when the block is entered. A block that fails to decode is
+    /// simply not prefetched: `fetch_block` will surface the error with
+    /// its charges when the block is actually entered.
     pub(crate) fn prefetch_next(&mut self, cache: Option<&BlockCache>) {
         let next = self.block + 1;
         if next >= self.list.n_blocks() || self.prefetched == Some(next) {
             return;
         }
         self.spare.clear();
-        decode_block_cached(
+        if decode_block_cached(
             self.list,
             self.term,
             next,
@@ -414,8 +519,12 @@ impl<'a> ListCursor<'a> {
             &mut self.spare.docs,
             &mut self.spare.tfs,
         )
-        .expect("index blocks decode (built by this process)");
-        self.prefetched = Some(next);
+        .is_ok()
+        {
+            self.prefetched = Some(next);
+        } else {
+            self.spare.clear();
+        }
     }
 
     /// Whether the current block is decoded into the scratch.
@@ -518,7 +627,7 @@ mod tests {
         let mut seen = Vec::new();
         while !c.exhausted() {
             seen.push(c.current_doc());
-            c.advance(&mut ctx);
+            c.advance(&mut ctx).unwrap();
         }
         let expect: Vec<u32> = (0..600).filter(|i| i % 2 == 0).collect();
         assert_eq!(seen, expect);
@@ -531,7 +640,7 @@ mod tests {
         let term = idx.term_id("even").unwrap(); // 300 postings, 3 blocks
         let mut ctx = ExecCtx::new(&idx, &img, &cfg);
         let mut c = ListCursor::new(&mut ctx, term, 0, 4);
-        c.seek(&mut ctx, 590, SkipReason::Block);
+        c.seek(&mut ctx, 590, SkipReason::Block).unwrap();
         assert_eq!(c.current_doc(), 590);
         assert!(ctx.eval.blocks_skipped >= 2, "first two blocks skipped");
         assert_eq!(ctx.eval.blocks_fetched, 1, "only the target block decoded");
@@ -544,8 +653,8 @@ mod tests {
         let term = idx.term_id("even").unwrap();
         let mut ctx = ExecCtx::new(&idx, &img, &cfg);
         let mut c = ListCursor::new(&mut ctx, term, 0, 4);
-        c.current_tf(&mut ctx); // decode block 0
-        c.seek(&mut ctx, 20, SkipReason::Wand);
+        c.current_tf(&mut ctx).unwrap(); // decode block 0
+        c.seek(&mut ctx, 20, SkipReason::Wand).unwrap();
         assert_eq!(c.current_doc(), 20);
         assert_eq!(ctx.eval.docs_skipped_wand, 10);
     }
@@ -557,9 +666,9 @@ mod tests {
         let mut ctx = ExecCtx::new(&idx, &img, &cfg);
         let mut c = ListCursor::new(&mut ctx, term, 0, 4);
         assert_eq!(c.remaining(), 300);
-        c.advance(&mut ctx);
+        c.advance(&mut ctx).unwrap();
         assert_eq!(c.remaining(), 299);
-        c.seek(&mut ctx, 10_000, SkipReason::Block);
+        c.seek(&mut ctx, 10_000, SkipReason::Block).unwrap();
         assert!(c.exhausted());
         assert_eq!(c.remaining(), 0);
     }
@@ -583,7 +692,7 @@ mod tests {
         let term = idx.term_id("even").unwrap();
         let mut ctx = ExecCtx::new(&idx, &img, &cfg);
         let mut c = ListCursor::new(&mut ctx, term, 0, 4);
-        c.seek(&mut ctx, 10_000, SkipReason::Block); // walk all metadata
+        c.seek(&mut ctx, 10_000, SkipReason::Block).unwrap(); // walk all metadata
         let metas = ctx.eval.metas_read;
         assert_eq!(metas, idx.list(term).n_blocks() as u64);
         assert_eq!(

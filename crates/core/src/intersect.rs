@@ -10,10 +10,16 @@
 
 use crate::fetch::{ExecCtx, ListCursor, SkipReason};
 use crate::union::MatStream;
-use boss_index::{DocId, TermId};
+use boss_index::{DocId, Error, TermId};
 
 /// Intersects a group of terms, producing the materialized intermediate
 /// stream (docs ascending, with each member term's tf attached).
+///
+/// # Errors
+///
+/// Under [`crate::DegradePolicy::FailQuery`] a faulted read or corrupt
+/// block surfaces as a typed error; under `SkipBlock` the affected block
+/// is dropped (its documents cannot intersect) and the merge continues.
 ///
 /// # Panics
 ///
@@ -22,7 +28,7 @@ pub(crate) fn intersect_group(
     ctx: &mut ExecCtx<'_>,
     terms: &[TermId],
     decomp_fill: u64,
-) -> MatStream {
+) -> Result<MatStream, Error> {
     assert!(!terms.is_empty(), "intersection group cannot be empty");
     // Small-versus-Small: ascending document frequency.
     let mut order: Vec<TermId> = terms.to_vec();
@@ -43,7 +49,10 @@ pub(crate) fn intersect_group(
             // block-entry and metadata charges land at the same points).
             let cache = ctx.cache;
             while !c.exhausted() {
-                c.fetch_block(ctx);
+                if !c.fetch_block(ctx)? {
+                    // Fault-skipped block: the cursor already moved on.
+                    continue;
+                }
                 c.prefetch_next(cache);
                 let n;
                 {
@@ -57,10 +66,11 @@ pub(crate) fn intersect_group(
         } else {
             while !c.exhausted() {
                 let d = c.current_doc();
-                let tf = c.current_tf(ctx);
-                docs.push(d);
-                entries.push(vec![(first, tf)]);
-                c.advance(ctx);
+                if let Some(tf) = c.current_tf(ctx)? {
+                    docs.push(d);
+                    entries.push(vec![(first, tf)]);
+                    c.advance(ctx)?;
+                }
             }
         }
     } else {
@@ -73,15 +83,19 @@ pub(crate) fn intersect_group(
             let (da, db) = (a.current_doc(), b.current_doc());
             ctx.eval.comparisons += 1;
             match da.cmp(&db) {
-                std::cmp::Ordering::Less => a.seek(ctx, db, SkipReason::Block),
-                std::cmp::Ordering::Greater => b.seek(ctx, da, SkipReason::Block),
+                std::cmp::Ordering::Less => a.seek(ctx, db, SkipReason::Block)?,
+                std::cmp::Ordering::Greater => b.seek(ctx, da, SkipReason::Block)?,
                 std::cmp::Ordering::Equal => {
-                    let tfa = a.current_tf(ctx);
-                    let tfb = b.current_tf(ctx);
-                    docs.push(da);
-                    entries.push(vec![(ta, tfa), (tb, tfb)]);
-                    a.advance(ctx);
-                    b.advance(ctx);
+                    // A fault-skip under `SkipBlock` moves the affected
+                    // cursor forward, so the merge re-compares and makes
+                    // progress either way.
+                    let (tfa, tfb) = (a.current_tf(ctx)?, b.current_tf(ctx)?);
+                    if let (Some(tfa), Some(tfb)) = (tfa, tfb) {
+                        docs.push(da);
+                        entries.push(vec![(ta, tfa), (tb, tfb)]);
+                        a.advance(ctx)?;
+                        b.advance(ctx)?;
+                    }
                 }
             }
         }
@@ -94,16 +108,17 @@ pub(crate) fn intersect_group(
         for (d, mut e) in docs.drain(..).zip(entries.drain(..)) {
             // Overlap check: the feedback docID drives block skipping in
             // the fetched list (Figure 5(b)).
-            c.seek(ctx, d, SkipReason::Block);
+            c.seek(ctx, d, SkipReason::Block)?;
             if c.exhausted() {
                 break;
             }
             ctx.eval.comparisons += 1;
             if c.current_doc() == d {
-                let tf = c.current_tf(ctx);
-                e.push((term, tf));
-                out_docs.push(d);
-                out_entries.push(e);
+                if let Some(tf) = c.current_tf(ctx)? {
+                    e.push((term, tf));
+                    out_docs.push(d);
+                    out_entries.push(e);
+                }
             }
         }
         docs = out_docs;
@@ -113,7 +128,7 @@ pub(crate) fn intersect_group(
         }
     }
 
-    MatStream::new(docs, entries, max_score)
+    Ok(MatStream::new(docs, entries, max_score))
 }
 
 #[cfg(test)]
@@ -154,7 +169,7 @@ mod tests {
         let image = IndexImage::new(index);
         let mut ctx = crate::fetch::ExecCtx::new(index, &image, &cfg);
         let ids: Vec<TermId> = terms.iter().map(|t| index.term_id(t).unwrap()).collect();
-        let m = intersect_group(&mut ctx, &ids, 4);
+        let m = intersect_group(&mut ctx, &ids, 4).unwrap();
         (m, ctx.eval)
     }
 
@@ -239,7 +254,7 @@ mod tests {
             let run_with = |bulk_on: bool| {
                 let cfg = BossConfig::default().with_bulk_score(bulk_on);
                 let mut ctx = crate::fetch::ExecCtx::new(&idx, &image, &cfg);
-                let m = intersect_group(&mut ctx, &ids, 4);
+                let m = intersect_group(&mut ctx, &ids, 4).unwrap();
                 (m, ctx.eval, ctx.mem.take_stats())
             };
             let (m0, e0, mem0) = run_with(false);
@@ -266,7 +281,7 @@ mod tests {
             .collect();
         let run_with = |cache: Option<&boss_index::BlockCache>| {
             let mut ctx = crate::fetch::ExecCtx::with_cache(&idx, &image, &cfg, cache);
-            let m = intersect_group(&mut ctx, &ids, 4);
+            let m = intersect_group(&mut ctx, &ids, 4).unwrap();
             (m, ctx.eval, ctx.mem.take_stats())
         };
         let (m0, eval0, mem0) = run_with(None);

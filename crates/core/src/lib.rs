@@ -40,6 +40,8 @@ mod config;
 mod core;
 mod device;
 mod expr;
+#[cfg(test)]
+mod fault_tests;
 mod fetch;
 mod fixed;
 mod intersect;
@@ -54,7 +56,7 @@ mod topk;
 mod union;
 
 pub use api::{BossHandle, SearchRequest};
-pub use config::{BossConfig, EtMode, TimingModel};
+pub use config::{BossConfig, DegradePolicy, EtMode, TimingModel};
 pub use core::{BossCore, CoreScratch};
 pub use device::{BatchOutcome, BossDevice, SchedPolicy};
 pub use expr::parse_query;

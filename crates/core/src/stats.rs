@@ -37,6 +37,10 @@ pub struct EvalCounts {
     pub topk_inserts: u64,
     /// WAND pivot-selection rounds.
     pub pivot_rounds: u64,
+    /// Blocks dropped by the [`crate::DegradePolicy::SkipBlock`] policy
+    /// because their read faulted or their bytes failed to decode. Always
+    /// zero without an active fault plan (or with uncorrupted data).
+    pub blocks_skipped_fault: u64,
 }
 
 impl EvalCounts {
@@ -57,6 +61,7 @@ impl EvalCounts {
         self.comparisons += o.comparisons;
         self.topk_inserts += o.topk_inserts;
         self.pivot_rounds += o.pivot_rounds;
+        self.blocks_skipped_fault += o.blocks_skipped_fault;
     }
 }
 

@@ -10,7 +10,7 @@
 use crate::config::EtMode;
 use crate::fetch::{ExecCtx, ListCursor, SkipReason};
 use crate::topk::TopK;
-use boss_index::{DocId, ScoreScratch, TermId};
+use boss_index::{DocId, Error, ScoreScratch, TermId};
 
 /// Reusable buffers for the block-at-a-time scoring path: one decoded
 /// run's docIDs plus the matching [`ScoreScratch`]. Held per core/worker
@@ -103,26 +103,39 @@ impl<'a> UnionStream<'a> {
     }
 
     /// Collects this stream's `(term, tf)` entries at `doc` (which must be
-    /// the current document) and advances past it.
-    fn take_entries(&mut self, ctx: &mut ExecCtx<'_>, out: &mut Vec<(TermId, u32)>) {
+    /// the current document) and advances past it. If the stream's block
+    /// turns out unusable and the `SkipBlock` policy drops it, the stream
+    /// simply contributes nothing for `doc`.
+    fn take_entries(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        out: &mut Vec<(TermId, u32)>,
+    ) -> Result<(), Error> {
         match self {
             UnionStream::List(c) => {
-                let tf = c.current_tf(ctx);
-                out.push((c.term, tf));
-                c.advance(ctx);
+                if let Some(tf) = c.current_tf(ctx)? {
+                    out.push((c.term, tf));
+                    c.advance(ctx)?;
+                }
             }
             UnionStream::Mat(m) => {
                 out.extend_from_slice(&m.entries[m.pos]);
                 m.pos += 1;
             }
         }
+        Ok(())
     }
 
     /// Skips to the first document `>= target`, attributing the bypassed
     /// documents to `reason`.
-    fn seek(&mut self, ctx: &mut ExecCtx<'_>, target: DocId, reason: SkipReason) {
+    fn seek(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        target: DocId,
+        reason: SkipReason,
+    ) -> Result<(), Error> {
         match self {
-            UnionStream::List(c) => c.seek(ctx, target, reason),
+            UnionStream::List(c) => c.seek(ctx, target, reason)?,
             UnionStream::Mat(m) => {
                 while !m.exhausted() && m.docs[m.pos] < target {
                     m.pos += 1;
@@ -134,6 +147,7 @@ impl<'a> UnionStream<'a> {
                 }
             }
         }
+        Ok(())
     }
 
     fn remaining(&self) -> u64 {
@@ -201,13 +215,19 @@ fn cannot_beat(upper: f64, theta: f32) -> bool {
 /// The caller supplies streams in any order; documents are emitted in
 /// ascending docID order, with each document's score summed over the
 /// *distinct* terms contributed by all streams that contain it.
+///
+/// # Errors
+///
+/// Under [`crate::DegradePolicy::FailQuery`] a faulted read or corrupt
+/// block surfaces here as a typed error; under `SkipBlock` the affected
+/// block is dropped and the union continues on the remaining postings.
 pub(crate) fn union_topk(
     ctx: &mut ExecCtx<'_>,
     mut streams: Vec<UnionStream<'_>>,
     et: EtMode,
     topk: &mut TopK,
     bulk: &mut BulkScratch,
-) {
+) -> Result<(), Error> {
     let mut order: Vec<usize> = Vec::with_capacity(streams.len());
     let mut entries: Vec<(TermId, u32)> = Vec::with_capacity(8);
     // Score loader: the pre-computed LUT is exact for up to 4 streams
@@ -231,7 +251,7 @@ pub(crate) fn union_topk(
         // counter and simulated charge of the per-posting iterations.
         if ctx.bulk && order.len() == 1 {
             if let UnionStream::List(c) = &mut streams[order[0]] {
-                drain_single_list(ctx, c, et, topk, bulk);
+                drain_single_list(ctx, c, et, topk, bulk)?;
                 break;
             }
         }
@@ -312,7 +332,7 @@ pub(crate) fn union_topk(
                     // WAND's document scheduler can pop below-window docs
                     // even inside fetched blocks: jump the whole pivot set.
                     for &i in &order[..=pivot_end] {
-                        streams[i].seek(ctx, next, SkipReason::Block);
+                        streams[i].seek(ctx, next, SkipReason::Block)?;
                     }
                     continue;
                 }
@@ -324,7 +344,7 @@ pub(crate) fn union_topk(
                 for &i in &order[..=pivot_end] {
                     if let Some(last) = streams[i].whole_block_skippable() {
                         if last < next {
-                            streams[i].seek(ctx, last.saturating_add(1), SkipReason::Block);
+                            streams[i].seek(ctx, last.saturating_add(1), SkipReason::Block)?;
                             skipped_any = true;
                         }
                     }
@@ -344,7 +364,7 @@ pub(crate) fn union_topk(
         if !aligned {
             for &i in &order[..pivot_pos] {
                 if streams[i].current_doc() < pivot {
-                    streams[i].seek(ctx, pivot, SkipReason::Wand);
+                    streams[i].seek(ctx, pivot, SkipReason::Wand)?;
                 }
             }
             continue;
@@ -355,8 +375,14 @@ pub(crate) fn union_topk(
         entries.clear();
         for &i in &order {
             if !streams[i].exhausted() && streams[i].current_doc() == pivot {
-                streams[i].take_entries(ctx, &mut entries);
+                streams[i].take_entries(ctx, &mut entries)?;
             }
+        }
+        // All contributing streams may have fault-skipped their blocks
+        // under `SkipBlock`; the pivot document is gone, and every such
+        // stream has moved forward, so re-running the round terminates.
+        if entries.is_empty() {
+            continue;
         }
         // Distinct terms only: a term shared by several intersection
         // groups contributes once.
@@ -375,6 +401,7 @@ pub(crate) fn union_topk(
         topk.offer(pivot, score);
     }
     ctx.eval.topk_inserts = topk.inserts();
+    Ok(())
 }
 
 /// Drains the last live posting-list stream with the block-at-a-time
@@ -409,7 +436,7 @@ fn drain_single_list(
     et: EtMode,
     topk: &mut TopK,
     bulk: &mut BulkScratch,
-) {
+) -> Result<(), Error> {
     let cache = ctx.cache;
     let bm25 = *ctx.index.bm25();
     let norms = ctx.index.doc_norms();
@@ -417,12 +444,17 @@ fn drain_single_list(
 
     // Scores the whole unconsumed run of the current block and offers it.
     // `pre_counted` pivot rounds were already charged by a boundary round.
+    // Returns early (without scoring) when the block was fault-skipped or
+    // the cursor ran out; the outer loop then re-examines the cursor.
     let drain_run = |ctx: &mut ExecCtx<'_>,
                      c: &mut ListCursor<'_>,
                      topk: &mut TopK,
                      bulk: &mut BulkScratch,
-                     pre_counted: u64| {
-        c.fetch_block(ctx);
+                     pre_counted: u64|
+     -> Result<(), Error> {
+        if !c.fetch_block(ctx)? {
+            return Ok(());
+        }
         c.prefetch_next(cache);
         {
             let (rdocs, rtfs) = c.run();
@@ -444,12 +476,13 @@ fn drain_single_list(
         ctx.scored += n as u64;
         ctx.eval.docs_scored += n as u64;
         topk.sift_block(&bulk.docs, bulk.scores.scores());
+        Ok(())
     };
 
     match et {
         EtMode::Exhaustive => {
             while !c.exhausted() {
-                drain_run(ctx, c, topk, bulk, 0);
+                drain_run(ctx, c, topk, bulk, 0)?;
             }
         }
         EtMode::BlockOnly => {
@@ -465,13 +498,13 @@ fn drain_single_list(
                         let last = c.block_last_doc();
                         let next = last.saturating_add(1).max(pivot.saturating_add(1));
                         if last < next {
-                            c.seek(ctx, last.saturating_add(1), SkipReason::Block);
+                            c.seek(ctx, last.saturating_add(1), SkipReason::Block)?;
                             continue;
                         }
                     }
                     pre = 1;
                 }
-                drain_run(ctx, c, topk, bulk, pre);
+                drain_run(ctx, c, topk, bulk, pre)?;
             }
         }
         EtMode::Full => {
@@ -492,7 +525,7 @@ fn drain_single_list(
                         .block_last_doc()
                         .saturating_add(1)
                         .max(pivot.saturating_add(1));
-                    c.seek(ctx, next, SkipReason::Block);
+                    c.seek(ctx, next, SkipReason::Block)?;
                     run_valid = false;
                     continue;
                 }
@@ -500,7 +533,10 @@ fn drain_single_list(
                     run_valid = false;
                 }
                 if !run_valid {
-                    c.fetch_block(ctx);
+                    if !c.fetch_block(ctx)? {
+                        // Fault-skipped block: the cursor already moved on.
+                        continue;
+                    }
                     c.prefetch_next(cache);
                     let (rdocs, rtfs) = c.run();
                     bulk.docs.clear();
@@ -519,6 +555,7 @@ fn drain_single_list(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -582,7 +619,8 @@ mod tests {
             et,
             &mut topk,
             &mut BulkScratch::default(),
-        );
+        )
+        .unwrap();
         (topk.into_hits(), ctx.eval)
     }
 
@@ -708,7 +746,8 @@ mod tests {
             EtMode::Full,
             &mut topk,
             &mut BulkScratch::default(),
-        );
+        )
+        .unwrap();
         let expect = reference_hits(&idx, &["alpha", "gamma"], 1000);
         assert_eq!(topk.into_hits(), expect);
     }
@@ -749,7 +788,8 @@ mod tests {
                             et,
                             &mut topk,
                             &mut BulkScratch::default(),
-                        );
+                        )
+                        .unwrap();
                         (topk.into_hits(), ctx.eval, ctx.scored, ctx.mem.take_stats())
                     };
                     let (h0, e0, s0, m0) = run_with(false);
@@ -784,7 +824,8 @@ mod tests {
                 EtMode::Full,
                 &mut topk,
                 &mut BulkScratch::default(),
-            );
+            )
+            .unwrap();
             (topk.into_hits(), ctx.eval, ctx.mem.take_stats())
         };
         let base = run_with(false, None);
@@ -822,7 +863,8 @@ mod tests {
                 EtMode::Full,
                 &mut topk,
                 &mut BulkScratch::default(),
-            );
+            )
+            .unwrap();
             (topk.into_hits(), ctx.eval, ctx.mem.take_stats())
         };
         let (hits0, eval0, mem0) = run_with(None);

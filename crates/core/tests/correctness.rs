@@ -108,10 +108,10 @@ proptest! {
 #[test]
 fn boss_matches_reference_on_trec_mix_over_synthetic_corpus() {
     let index = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
-    let mut sampler = QuerySampler::new(&index, 99);
+    let mut sampler = QuerySampler::new(&index, 99).unwrap();
     let cfg = BossConfig::default().with_k(100);
     let mut device = BossDevice::new(&index, cfg);
-    for tq in sampler.trec_like_mix(24) {
+    for tq in sampler.trec_like_mix(24).unwrap() {
         let got = device.search_expr(&tq.expr, 100).unwrap();
         let expect = reference::evaluate(&index, &tq.expr, 100).unwrap();
         assert_eq!(got.hits, expect, "{:?} {}", tq.qtype, tq.expr);
@@ -121,9 +121,9 @@ fn boss_matches_reference_on_trec_mix_over_synthetic_corpus() {
 #[test]
 fn all_query_types_on_synthetic_corpus_all_modes() {
     let index = CorpusSpec::clueweb12_like(Scale::Smoke).build().unwrap();
-    let mut sampler = QuerySampler::new(&index, 7);
+    let mut sampler = QuerySampler::new(&index, 7).unwrap();
     for qt in ALL_QUERY_TYPES {
-        let tq = sampler.sample(qt);
+        let tq = sampler.sample(qt).unwrap();
         let expect = reference::evaluate(&index, &tq.expr, 1000).unwrap();
         for et in [EtMode::Exhaustive, EtMode::BlockOnly, EtMode::Full] {
             let cfg = BossConfig::default().with_et(et).with_k(1000);
@@ -138,8 +138,8 @@ fn all_query_types_on_synthetic_corpus_all_modes() {
 fn timing_fidelities_agree_functionally_and_order_sanely() {
     use boss_core::TimingFidelity;
     let index = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
-    let mut sampler = QuerySampler::new(&index, 55);
-    for tq in sampler.trec_like_mix(12) {
+    let mut sampler = QuerySampler::new(&index, 55).unwrap();
+    for tq in sampler.trec_like_mix(12).unwrap() {
         let mut roof = BossDevice::new(
             &index,
             BossConfig::default().with_fidelity(TimingFidelity::Roofline),

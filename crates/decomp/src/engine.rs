@@ -131,7 +131,8 @@ impl DecompEngine {
     /// Propagates codec truncation/corruption, program faults, and the
     /// stall guard.
     pub fn decode(&self, data: &[u8], info: &BlockInfo) -> Result<Decoded, EngineError> {
-        let count = info.count as usize;
+        // Reject corrupt descriptors before sizing anything from them.
+        let count = boss_compress::check_count(info)?;
         let exc_off = info.exception_offset as usize;
         // With exceptions enabled the packed area ends where the patch
         // area begins; otherwise the whole slice is payload.
@@ -287,6 +288,21 @@ mod tests {
         };
         let err = engine.decode(&[], &info).unwrap_err();
         assert!(matches!(err, EngineError::Stall { .. }));
+    }
+
+    #[test]
+    fn oversized_count_rejected_without_reserving() {
+        let engine = bp_engine(false);
+        let info = BlockInfo {
+            count: u16::MAX,
+            bit_width: 1,
+            exception_offset: 0,
+        };
+        let err = engine.decode(&[0u8; 64], &info).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Codec(boss_compress::Error::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -112,6 +112,14 @@ impl<'a> Extractor<'a> {
         self.units += 1;
         match self.kind {
             ExtractorKind::FixedWidth => {
+                // `bit_width` comes from (possibly corrupt) block
+                // metadata; the bit reader treats widths over 32 as a
+                // programmer error, so gate it here as a typed error.
+                if self.info.bit_width > 32 {
+                    return Err(EngineError::Codec(boss_compress::Error::Corrupt {
+                        reason: "field bit width exceeds 32",
+                    }));
+                }
                 let r = self
                     .bits
                     .as_mut()

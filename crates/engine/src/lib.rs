@@ -82,8 +82,14 @@ pub trait SearchEngine {
     ///
     /// # Errors
     ///
-    /// Planning errors ([`Error::UnknownTerm`], [`Error::InvalidQuery`]);
-    /// the accumulators are left untouched on error.
+    /// Planning errors ([`Error::UnknownTerm`], [`Error::InvalidQuery`]),
+    /// plus decode/fault errors ([`Error::Codec`],
+    /// [`Error::CorruptMetadata`], [`Error::ReadFault`]) when the engine
+    /// runs over corrupted data or
+    /// an SCM fault plan under the `FailQuery` degradation policy. Under
+    /// `SkipBlock` the query completes instead and the dropped blocks are
+    /// counted in [`EvalCounts::blocks_skipped_fault`]. The accumulators
+    /// are left untouched on error.
     fn search(&mut self, expr: &QueryExpr, k: usize) -> Result<QueryOutcome, Error>;
 
     /// Memory traffic accumulated since the last reset.

@@ -23,12 +23,12 @@ fn corpus() -> InvertedIndex {
 /// A mixed suite covering all six Table II query types, repeated so that
 /// the cache sees real cross-query block reuse.
 fn suite(index: &InvertedIndex) -> Vec<QueryExpr> {
-    let mut sampler = QuerySampler::new(index, 11);
+    let mut sampler = QuerySampler::new(index, 11).unwrap();
     let mut queries = Vec::new();
     for _ in 0..2 {
         for qt in ALL_QUERY_TYPES {
             for _ in 0..2 {
-                queries.push(sampler.sample(qt).expr);
+                queries.push(sampler.sample(qt).unwrap().expr);
             }
         }
     }

@@ -18,11 +18,11 @@ fn corpus() -> InvertedIndex {
 
 /// A mixed suite covering all six Table II query types.
 fn suite(index: &InvertedIndex) -> Vec<QueryExpr> {
-    let mut sampler = QuerySampler::new(index, 7);
+    let mut sampler = QuerySampler::new(index, 7).unwrap();
     let mut queries = Vec::new();
     for qt in ALL_QUERY_TYPES {
         for _ in 0..3 {
-            queries.push(sampler.sample(qt).expr);
+            queries.push(sampler.sample(qt).unwrap().expr);
         }
     }
     queries

@@ -31,8 +31,8 @@ proptest! {
         k in prop::sample::select(vec![5usize, 20, 100]),
     ) {
         let index = index();
-        let mut sampler = QuerySampler::new(index, seed);
-        let queries: Vec<_> = sampler.trec_like_mix(n).into_iter().map(|t| t.expr).collect();
+        let mut sampler = QuerySampler::new(index, seed).unwrap();
+        let queries: Vec<_> = sampler.trec_like_mix(n).unwrap().into_iter().map(|t| t.expr).collect();
         let engine = Boss::new(index, BossConfig::with_cores(cores).with_k(k));
         let run = |policy| {
             BatchExecutor::with_threads(2)

@@ -106,8 +106,8 @@ struct Run<'a> {
 impl<'a> Run<'a> {
     /// Fully decodes a list, charging sequential metadata + block reads,
     /// spreading decompression across units round-robin (IIU exploits
-    /// intra-query parallelism).
-    fn load_list(&mut self, term: TermId) -> (Vec<DocId>, Vec<u32>) {
+    /// intra-query parallelism). Corrupt blocks surface as typed errors.
+    fn load_list(&mut self, term: TermId) -> Result<(Vec<DocId>, Vec<u32>), Error> {
         let list = self.index.list(term);
         let meta_addr = self.image.meta_addr(term);
         let data_addr = self.image.data_addr(term);
@@ -134,10 +134,9 @@ impl<'a> Run<'a> {
             self.eval.blocks_fetched += 1;
             let unit = bi % self.dec_cycles.len();
             self.dec_cycles[unit] += u64::from(meta.len).max(meta.count() as u64 * 2) / 2 + 4;
-            decode_block_cached(list, term, bi, self.cache, &mut docs, &mut tfs)
-                .expect("index blocks decode");
+            decode_block_cached(list, term, bi, self.cache, &mut docs, &mut tfs)?;
         }
-        (docs, tfs)
+        Ok((docs, tfs))
     }
 
     /// Binary-search membership testing of `probe` docs against `term`'s
@@ -145,12 +144,13 @@ impl<'a> Run<'a> {
     /// then each probe binary-searches it (comparisons only) and fetches
     /// the matched *data block* with a random access — the access pattern
     /// the BOSS paper criticizes IIU for on SCM.
+    #[allow(clippy::type_complexity)]
     fn membership_intersect(
         &mut self,
         probe_docs: &[DocId],
         probe_tfs: &[Vec<(TermId, u32)>],
         term: TermId,
-    ) -> (Vec<DocId>, Vec<Vec<(TermId, u32)>>) {
+    ) -> Result<(Vec<DocId>, Vec<Vec<(TermId, u32)>>), Error> {
         let list = self.index.list(term);
         let blocks = list.blocks();
         let meta_addr = self.image.meta_addr(term);
@@ -199,8 +199,7 @@ impl<'a> Run<'a> {
                 self.eval.blocks_fetched += 1;
                 bdocs.clear();
                 btfs.clear();
-                decode_block_cached(list, term, lo, self.cache, &mut bdocs, &mut btfs)
-                    .expect("index blocks decode");
+                decode_block_cached(list, term, lo, self.cache, &mut bdocs, &mut btfs)?;
                 let unit = lo % self.dec_cycles.len();
                 self.dec_cycles[unit] += u64::from(blocks[lo].len).max(bdocs.len() as u64) / 2 + 4;
                 cached_block = lo;
@@ -214,7 +213,7 @@ impl<'a> Run<'a> {
                 out_tfs.push(e);
             }
         }
-        (out_docs, out_tfs)
+        Ok((out_docs, out_tfs))
     }
 
     /// Spills an intermediate list to memory and charges its reload.
@@ -331,7 +330,7 @@ impl<'a> IiuEngine<'a> {
         // line buffer, and `score_block` equals `0.0 + term_score` bitwise.
         if self.config.bulk_score && plan.groups().len() == 1 && plan.groups()[0].len() == 1 {
             let term = plan.groups()[0][0];
-            let (docs, tfs) = run.load_list(term);
+            let (docs, tfs) = run.load_list(term)?;
             run.eval.comparisons += docs.len() as u64;
             let idf = self.index.term_info(term).idf;
             let bm25 = *self.index.bm25();
@@ -357,7 +356,7 @@ impl<'a> IiuEngine<'a> {
         for group in plan.groups() {
             let mut order: Vec<TermId> = group.clone();
             order.sort_by_key(|&t| self.index.list(t).df());
-            let (docs, tfs) = run.load_list(order[0]);
+            let (docs, tfs) = run.load_list(order[0])?;
             let mut cur_docs = docs;
             let mut cur_entries: Vec<Vec<(TermId, u32)>> = cur_docs
                 .iter()
@@ -365,7 +364,7 @@ impl<'a> IiuEngine<'a> {
                 .map(|(_, &tf)| vec![(order[0], tf)])
                 .collect();
             for &t in &order[1..] {
-                let (nd, ne) = run.membership_intersect(&cur_docs, &cur_entries, t);
+                let (nd, ne) = run.membership_intersect(&cur_docs, &cur_entries, t)?;
                 cur_docs = nd;
                 cur_entries = ne;
                 // Intermediate result spilled to memory (the paper's

@@ -170,6 +170,8 @@ impl IndexBuilder {
                             }
                         }
                     }
+                    // Infallible: BitPacking encodes every u32 slice.
+                    #[allow(clippy::expect_used)]
                     best.expect("BP is total, so hybrid always has a candidate")
                 }
             };

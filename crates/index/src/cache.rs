@@ -142,6 +142,12 @@ impl Shard {
 
     /// Inserts (or refreshes) `key`; returns whether an entry was evicted.
     fn insert(&mut self, key: Key, value: Arc<DecodedBlock>) -> bool {
+        if self.cap == 0 {
+            // Disabled shard: nothing to hold, nothing to evict. Without
+            // this guard the eviction path below would detach the NIL
+            // sentinel and index the empty slab.
+            return false;
+        }
         if let Some(&i) = self.map.get(&key) {
             self.slab[i].value = value;
             if self.head != i {
@@ -198,11 +204,15 @@ pub struct BlockCache {
 const SHARDS: usize = 8;
 
 impl BlockCache {
-    /// A cache holding at most `capacity_blocks` decoded blocks (clamped
-    /// to at least 1).
+    /// A cache holding at most `capacity_blocks` decoded blocks.
+    ///
+    /// A capacity of zero yields a *disabled* cache: every lookup misses,
+    /// inserts are dropped, and the counters still record the traffic —
+    /// useful for turning caching off through config without changing the
+    /// calling code.
     pub fn new(capacity_blocks: usize) -> Self {
-        let capacity = capacity_blocks.max(1);
-        let n_shards = SHARDS.min(capacity);
+        let capacity = capacity_blocks;
+        let n_shards = SHARDS.min(capacity).max(1);
         let base = capacity / n_shards;
         let extra = capacity % n_shards;
         let shards = (0..n_shards)
@@ -227,6 +237,9 @@ impl BlockCache {
     /// Looks up block `block` of `term`, bumping it to most-recent on hit.
     pub fn get(&self, term: TermId, block: u32) -> Option<Arc<DecodedBlock>> {
         let key = (term, block);
+        // A poisoned shard means another thread panicked mid-operation;
+        // the cache holds no invariants worth salvaging at that point.
+        #[allow(clippy::expect_used)]
         let hit = self.shards[self.shard_index(key)]
             .lock()
             .expect("cache shard poisoned")
@@ -241,6 +254,8 @@ impl BlockCache {
     /// Inserts (or refreshes) a decoded block.
     pub fn insert(&self, term: TermId, block: u32, value: Arc<DecodedBlock>) {
         let key = (term, block);
+        // See `get` on shard poisoning.
+        #[allow(clippy::expect_used)]
         let evicted = self.shards[self.shard_index(key)]
             .lock()
             .expect("cache shard poisoned")
@@ -256,6 +271,8 @@ impl BlockCache {
     }
 
     /// Decoded blocks currently held.
+    // See `get` on shard poisoning.
+    #[allow(clippy::expect_used)]
     pub fn len(&self) -> usize {
         self.shards
             .iter()
@@ -293,11 +310,9 @@ impl BlockCache {
 ///
 /// # Errors
 ///
-/// Returns codec errors on corrupt data.
-///
-/// # Panics
-///
-/// Panics if `block` is out of range for `list`.
+/// Returns codec errors on corrupt data, and the typed range/metadata
+/// errors of [`crate::EncodedList::decode_block`] — an out-of-range
+/// `block` is `Error::BlockOutOfRange`, never a panic.
 pub fn decode_block_cached(
     list: &crate::EncodedList,
     term: TermId,
@@ -375,6 +390,18 @@ mod tests {
         assert!(!s.insert((1, 0), block(3)), "refresh evicts nothing");
         assert_eq!(s.get((1, 0)).unwrap().docs, vec![3]);
         assert_eq!(s.map.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_disabled_not_a_panic() {
+        let c = BlockCache::new(0);
+        assert_eq!(c.capacity(), 0);
+        assert!(c.get(1, 0).is_none());
+        c.insert(1, 0, block(10)); // dropped, no eviction bookkeeping
+        assert!(c.get(1, 0).is_none());
+        assert!(c.is_empty());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 2, 0));
     }
 
     #[test]

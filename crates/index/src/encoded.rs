@@ -152,6 +152,8 @@ impl EncodedList {
             }
             list_max = list_max.max(max_score);
 
+            // Infallible: `chunks()` never yields an empty chunk.
+            #[allow(clippy::expect_used)]
             blocks.push(BlockMeta {
                 first_doc: bdocs[0],
                 last_doc: *bdocs.last().expect("non-empty block"),
@@ -162,7 +164,10 @@ impl EncodedList {
                 delta_info,
                 tf_info,
             });
-            prev_last = Some(*bdocs.last().expect("non-empty block"));
+            #[allow(clippy::expect_used)]
+            {
+                prev_last = Some(*bdocs.last().expect("non-empty block"));
+            }
         }
 
         Ok(EncodedList {
@@ -210,6 +215,24 @@ impl EncodedList {
         self.data.len()
     }
 
+    /// The raw encoded data area (docID gaps + tf sections of all blocks).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the encoded data area — a corruption-harness
+    /// hook. Decoders must surface any mutation made here as a typed
+    /// error or decode to bit-correct values; they must never panic.
+    pub fn data_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+
+    /// Mutable access to the block metadata records — a corruption-harness
+    /// hook, same contract as [`EncodedList::data_mut`].
+    pub fn blocks_mut(&mut self) -> &mut Vec<BlockMeta> {
+        &mut self.blocks
+    }
+
     /// Metadata bytes as accounted by the paper (19 B per block).
     pub fn meta_bytes(&self) -> u64 {
         self.blocks.len() as u64 * BLOCK_META_BYTES
@@ -234,20 +257,37 @@ impl EncodedList {
     ///
     /// # Errors
     ///
-    /// Returns codec errors on corrupt data.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range.
+    /// Returns [`Error::BlockOutOfRange`] if `i` is out of range,
+    /// [`Error::CorruptMetadata`] if the block descriptor points outside
+    /// the data area or its sub-stream counts disagree, and codec errors
+    /// on corrupt encoded bytes.
     pub fn decode_block(
         &self,
         i: usize,
         docs: &mut Vec<DocId>,
         tfs: &mut Vec<u32>,
     ) -> Result<(), Error> {
-        let meta = &self.blocks[i];
+        let meta = self.blocks.get(i).ok_or(Error::BlockOutOfRange {
+            block: i,
+            n_blocks: self.blocks.len(),
+        })?;
         let codec = codec_for(self.scheme);
-        let block = &self.data[meta.offset as usize..(meta.offset + meta.len) as usize];
+        let block = self
+            .data
+            .get(meta.offset as usize..meta.offset as usize + meta.len as usize)
+            .ok_or(Error::CorruptMetadata {
+                reason: "block offset/len outside the list data area",
+            })?;
+        if meta.tf_offset as usize > block.len() {
+            return Err(Error::CorruptMetadata {
+                reason: "tf sub-stream offset beyond the block data",
+            });
+        }
+        if meta.delta_info.count != meta.tf_info.count {
+            return Err(Error::CorruptMetadata {
+                reason: "docID and tf sub-stream counts disagree",
+            });
+        }
         let (delta_part, tf_part) = block.split_at(meta.tf_offset as usize);
 
         codec.decode_d1(delta_part, &meta.delta_info, self.block_base(i), docs)?;
@@ -264,11 +304,7 @@ impl EncodedList {
     ///
     /// # Errors
     ///
-    /// Returns codec errors on corrupt data.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range.
+    /// Same conditions as [`EncodedList::decode_block`].
     pub fn decode_block_into(&self, i: usize, scratch: &mut DecodeScratch) -> Result<(), Error> {
         scratch.clear();
         self.decode_block(i, &mut scratch.docs, &mut scratch.tfs)
@@ -294,7 +330,14 @@ impl EncodedList {
     /// Returns codec errors on corrupt data.
     pub fn decode_all_into(&self, scratch: &mut DecodeScratch) -> Result<(), Error> {
         scratch.clear();
-        let total: usize = self.blocks.iter().map(BlockMeta::count).sum();
+        // Clamp each block's claimed count so corrupt metadata cannot turn
+        // the up-front reserve into an oversized allocation; the per-block
+        // decode rejects the bogus count with a typed error anyway.
+        let total: usize = self
+            .blocks
+            .iter()
+            .map(|b| b.count().min(boss_compress::MAX_BLOCK_VALUES))
+            .sum();
         scratch.docs.reserve(total);
         scratch.tfs.reserve(total);
         for i in 0..self.blocks.len() {
@@ -335,7 +378,7 @@ impl DecodeScratch {
         let largest = list
             .blocks()
             .iter()
-            .map(BlockMeta::count)
+            .map(|b| b.count().min(boss_compress::MAX_BLOCK_VALUES))
             .max()
             .unwrap_or(0);
         self.docs.reserve(largest.saturating_sub(self.docs.len()));
@@ -473,6 +516,69 @@ mod tests {
         assert_eq!(enc.n_blocks(), 0);
         let (docs, tfs) = enc.decode_all().unwrap();
         assert!(docs.is_empty() && tfs.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_block_is_typed_error() {
+        let list = sample_list(10, 1);
+        let enc = EncodedList::encode(&list, Scheme::Bp, &bm25(), 1.0, &[1.0; 16]).unwrap();
+        let err = enc
+            .decode_block(5, &mut Vec::new(), &mut Vec::new())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::BlockOutOfRange {
+                block: 5,
+                n_blocks: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn corrupt_metadata_is_typed_error_never_panic() {
+        let list = sample_list(300, 2);
+        let norms = vec![1.0f32; 600];
+        for s in ALL_SCHEMES {
+            let base = EncodedList::encode(&list, s, &bm25(), 2.0, &norms).unwrap();
+
+            // Offset/len pointing outside the data area.
+            let mut enc = base.clone();
+            enc.blocks_mut()[1].offset = u32::MAX;
+            let err = enc
+                .decode_block(1, &mut Vec::new(), &mut Vec::new())
+                .unwrap_err();
+            assert!(matches!(err, Error::CorruptMetadata { .. }), "scheme {s}");
+
+            // tf offset beyond the block data.
+            let mut enc = base.clone();
+            let len = enc.blocks()[0].len;
+            enc.blocks_mut()[0].tf_offset = len + 1;
+            let err = enc
+                .decode_block(0, &mut Vec::new(), &mut Vec::new())
+                .unwrap_err();
+            assert!(matches!(err, Error::CorruptMetadata { .. }), "scheme {s}");
+
+            // Sub-stream counts disagreeing.
+            let mut enc = base.clone();
+            enc.blocks_mut()[0].tf_info.count += 1;
+            let err = enc
+                .decode_block(0, &mut Vec::new(), &mut Vec::new())
+                .unwrap_err();
+            assert!(matches!(err, Error::CorruptMetadata { .. }), "scheme {s}");
+
+            // Oversized claimed count must not blow up the bulk reserve.
+            let mut enc = base.clone();
+            for b in enc.blocks_mut() {
+                b.delta_info.count = u16::MAX;
+                b.tf_info.count = u16::MAX;
+            }
+            let mut scratch = DecodeScratch::new();
+            assert!(enc.decode_all_into(&mut scratch).is_err(), "scheme {s}");
+            assert!(
+                scratch.docs.capacity() <= 3 * boss_compress::MAX_BLOCK_VALUES,
+                "scheme {s} reserved for corrupt counts"
+            );
+        }
     }
 
     #[test]

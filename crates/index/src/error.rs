@@ -26,6 +26,25 @@ pub enum Error {
     },
     /// An encoded block failed to decode.
     Codec(boss_compress::Error),
+    /// Per-block metadata was internally inconsistent (offsets or lengths
+    /// outside the data area, mismatched sub-stream counts).
+    CorruptMetadata {
+        /// Human-readable description.
+        reason: &'static str,
+    },
+    /// A block index was outside the list.
+    BlockOutOfRange {
+        /// The requested block index.
+        block: usize,
+        /// Number of blocks in the list.
+        n_blocks: usize,
+    },
+    /// A simulated memory read was flagged uncorrectable by the active
+    /// fault plan (see `boss_scm::FaultPlan`).
+    ReadFault {
+        /// Device address of the faulted read.
+        addr: u64,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -40,6 +59,15 @@ impl std::fmt::Display for Error {
             Error::UnknownTerm { term } => write!(f, "term {term:?} is not in the index"),
             Error::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
             Error::Codec(e) => write!(f, "codec error: {e}"),
+            Error::CorruptMetadata { reason } => {
+                write!(f, "corrupt block metadata: {reason}")
+            }
+            Error::BlockOutOfRange { block, n_blocks } => {
+                write!(f, "block {block} out of range for a {n_blocks}-block list")
+            }
+            Error::ReadFault { addr } => {
+                write!(f, "uncorrectable memory fault reading address {addr:#x}")
+            }
         }
     }
 }

@@ -31,6 +31,11 @@
 //! # }
 //! ```
 
+// Decode paths consume untrusted (possibly corrupt) bytes; corruption
+// must surface as typed errors, so panicking constructs need a
+// per-site justification.
+#![warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 mod bm25;
 mod builder;
 pub mod cache;

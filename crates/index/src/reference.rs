@@ -128,6 +128,8 @@ fn matched_terms(
 ) -> bool {
     match expr {
         QueryExpr::Term(t) => {
+            // Infallible: `evaluate` resolves every term before scoring.
+            #[allow(clippy::expect_used)]
             let id = index.term_id(t).expect("validated before scoring");
             if doc_terms.contains_key(&id) {
                 out.push(id);

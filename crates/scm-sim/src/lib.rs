@@ -18,6 +18,10 @@
 //! All timing is expressed in *core cycles* at the accelerator clock of
 //! 1 GHz, which makes 1 GB/s exactly 1 byte/cycle and keeps the arithmetic
 //! transparent.
+
+// The simulator sits on every decode/fault path; corruption must surface
+// as typed errors, so panicking constructs need a per-site justification.
+#![warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //!
 //! # Example
 //!
@@ -33,11 +37,13 @@
 //! ```
 
 mod config;
+mod fault;
 mod sim;
 mod stats;
 pub mod timeline;
 
 pub use config::{MemoryConfig, MemoryKind};
-pub use sim::{AccessKind, MemorySim, PatternHint, MIN_TRANSFER_BYTES};
+pub use fault::{FaultPlan, FAULT_LINE_BYTES};
+pub use sim::{AccessKind, AccessResult, MemorySim, PatternHint, MIN_TRANSFER_BYTES};
 pub use stats::{AccessCategory, MemStats, ACCESS_CATEGORIES};
 pub use timeline::Timeline;

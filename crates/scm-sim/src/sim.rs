@@ -1,6 +1,7 @@
 //! The channel-level timing model.
 
 use crate::config::MemoryConfig;
+use crate::fault::FaultPlan;
 use crate::stats::{AccessCategory, MemStats};
 
 /// Minimum transfer unit charged per access (a cache line); smaller
@@ -55,6 +56,17 @@ pub struct MemorySim {
     config: MemoryConfig,
     channels: Vec<Channel>,
     stats: MemStats,
+    fault: Option<FaultPlan>,
+}
+
+/// Completion information of one checked access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Completion cycle of the access.
+    pub done: u64,
+    /// True when a read touched an uncorrectable line under the attached
+    /// [`FaultPlan`]; always false when no plan is attached.
+    pub faulted: bool,
 }
 
 impl MemorySim {
@@ -65,7 +77,25 @@ impl MemorySim {
             config,
             channels,
             stats: MemStats::new(),
+            fault: None,
         }
+    }
+
+    /// Creates a node with a fault plan attached.
+    pub fn with_fault_plan(config: MemoryConfig, plan: FaultPlan) -> Self {
+        let mut sim = Self::new(config);
+        sim.fault = Some(plan);
+        sim
+    }
+
+    /// Attaches or removes the fault plan.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// The configuration this node was built with.
@@ -115,6 +145,28 @@ impl MemorySim {
         pattern: PatternHint,
         earliest: u64,
     ) -> u64 {
+        self.access_checked(addr, bytes, kind, cat, pattern, earliest)
+            .done
+    }
+
+    /// Like [`MemorySim::access`], but also reports whether the access
+    /// touched an uncorrectable line under the attached [`FaultPlan`].
+    ///
+    /// Without a plan this is exactly `access` (identical timing and
+    /// counters) with `faulted` always false.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn access_checked(
+        &mut self,
+        addr: u64,
+        bytes: u64,
+        kind: AccessKind,
+        cat: AccessCategory,
+        pattern: PatternHint,
+        earliest: u64,
+    ) -> AccessResult {
         assert!(bytes > 0, "zero-byte memory access");
         let ch_idx = self.channel_index(addr);
         let granule = self.config.granule_bytes;
@@ -167,11 +219,37 @@ impl MemorySim {
         } else {
             bytes.max(MIN_TRANSFER_BYTES)
         };
-        let busy = ((eff_bytes as f64 / bpc).ceil() as u64).max(1);
+        let mut busy = ((eff_bytes as f64 / bpc).ceil() as u64).max(1);
+
+        // Fault plan, part 1: a degraded channel moves the same bytes at a
+        // reduced rate. Consulted only when a plan is attached, so the
+        // no-plan timing is bit-identical to the pre-fault model.
+        let mut degraded = false;
+        if let Some(plan) = &self.fault {
+            let factor = plan.channel_factor(ch_idx);
+            if factor < 1.0 {
+                busy = ((eff_bytes as f64 / (bpc * factor)).ceil() as u64).max(1);
+                degraded = true;
+            }
+        }
+
+        let start = earliest.max(self.channels[ch_idx].ready);
+        let mut done = start + busy + if sequential { 0 } else { lat };
+
+        // Fault plan, parts 2 and 3: latency-spike windows delay the
+        // requester (like background wear-leveling), and reads touching an
+        // uncorrectable line are flagged to the caller.
+        let mut spiked = false;
+        let mut faulted = false;
+        if let Some(plan) = &self.fault {
+            if plan.in_spike_window(start) {
+                done += plan.spike_extra_ns;
+                spiked = true;
+            }
+            faulted = kind == AccessKind::Read && plan.span_is_uncorrectable(addr, bytes);
+        }
 
         let ch = &mut self.channels[ch_idx];
-        let start = earliest.max(ch.ready);
-        let done = start + busy + if sequential { 0 } else { lat };
         ch.ready = start + busy;
         let end = addr + bytes;
         match kind {
@@ -180,7 +258,10 @@ impl MemorySim {
         }
         self.stats
             .record(cat, bytes, eff_bytes, sequential, busy, done);
-        done
+        if faulted || degraded || spiked {
+            self.stats.record_fault(faulted, degraded, spiked);
+        }
+        AccessResult { done, faulted }
     }
 
     /// Convenience: sequential read.
@@ -374,6 +455,75 @@ mod tests {
     #[should_panic(expected = "zero-byte")]
     fn zero_byte_access_panics() {
         sim().read_seq(0, 0, AccessCategory::LdList, 0);
+    }
+
+    #[test]
+    fn no_plan_and_quiet_plan_are_bit_identical() {
+        // A quiet plan must not perturb timing or counters relative to no
+        // plan at all — the invariance guarantee the figure diffs rely on.
+        let mut a = sim();
+        let mut b =
+            MemorySim::with_fault_plan(MemoryConfig::optane_dcpmm(), crate::FaultPlan::quiet(123));
+        let mut ta = 0;
+        let mut tb = 0;
+        for i in 0..32u64 {
+            ta = a.read_rand(i * 3000, 200, AccessCategory::LdList, ta);
+            tb = b.read_rand(i * 3000, 200, AccessCategory::LdList, tb);
+        }
+        assert_eq!(ta, tb);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.stats().fault_events(), 0);
+    }
+
+    #[test]
+    fn uncorrectable_lines_flag_reads_and_count() {
+        let plan = crate::FaultPlan::quiet(5).with_uncorrectable_rate(1.0);
+        let mut m = MemorySim::with_fault_plan(MemoryConfig::optane_dcpmm(), plan);
+        let r = m.access_checked(
+            0,
+            128,
+            AccessKind::Read,
+            AccessCategory::LdList,
+            PatternHint::Sequential,
+            0,
+        );
+        assert!(r.faulted);
+        assert_eq!(m.stats().faulted_reads, 1);
+        // Writes are never flagged.
+        let w = m.access_checked(
+            0,
+            128,
+            AccessKind::Write,
+            AccessCategory::StInter,
+            PatternHint::Sequential,
+            0,
+        );
+        assert!(!w.faulted);
+        assert_eq!(m.stats().faulted_reads, 1);
+    }
+
+    #[test]
+    fn degraded_channel_slows_transfers() {
+        let plan = crate::FaultPlan::quiet(0).with_channel_bw(vec![0.5]);
+        let mut slow = MemorySim::with_fault_plan(MemoryConfig::optane_dcpmm(), plan);
+        let d_slow = slow.read_seq(0, 6400, AccessCategory::LdList, 0);
+        let d_nominal = sim().read_seq(0, 6400, AccessCategory::LdList, 0);
+        assert_eq!(d_nominal, 1000);
+        assert_eq!(d_slow, 2000, "half bandwidth doubles the transfer time");
+        assert_eq!(slow.stats().degraded_accesses, 1);
+    }
+
+    #[test]
+    fn latency_spikes_delay_completion_not_channel() {
+        let plan = crate::FaultPlan::quiet(0).with_spikes(1 << 40, 1 << 40, 700);
+        let mut m = MemorySim::with_fault_plan(MemoryConfig::optane_dcpmm(), plan);
+        let d = m.read_seq(0, 6400, AccessCategory::LdList, 0);
+        assert_eq!(d, 1700, "spike adds to completion");
+        assert_eq!(m.stats().latency_spikes, 1);
+        // The channel itself frees at transfer end, so a queued request on
+        // the same channel starts at 1000, not 1700.
+        let d2 = m.read_seq(1024, 6400, AccessCategory::LdList, 0);
+        assert_eq!(d2, 2700);
     }
 
     #[test]

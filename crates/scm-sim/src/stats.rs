@@ -86,6 +86,15 @@ pub struct MemStats {
     pub busy_cycles: u64,
     /// Completion cycle of the latest access seen so far.
     pub last_done_cycle: u64,
+    /// Reads that touched an uncorrectable line under the active
+    /// [`FaultPlan`](crate::FaultPlan). Always zero without a plan.
+    pub faulted_reads: u64,
+    /// Accesses slowed by per-channel bandwidth degradation. Always zero
+    /// without a plan.
+    pub degraded_accesses: u64,
+    /// Accesses that started inside a latency-spike window. Always zero
+    /// without a plan.
+    pub latency_spikes: u64,
 }
 
 impl MemStats {
@@ -114,6 +123,23 @@ impl MemStats {
         }
         self.busy_cycles += busy;
         self.last_done_cycle = self.last_done_cycle.max(done);
+    }
+
+    pub(crate) fn record_fault(&mut self, uncorrectable: bool, degraded: bool, spiked: bool) {
+        if uncorrectable {
+            self.faulted_reads += 1;
+        }
+        if degraded {
+            self.degraded_accesses += 1;
+        }
+        if spiked {
+            self.latency_spikes += 1;
+        }
+    }
+
+    /// Total fault events of any class recorded so far.
+    pub fn fault_events(&self) -> u64 {
+        self.faulted_reads + self.degraded_accesses + self.latency_spikes
     }
 
     /// Logical bytes moved in `cat`.
@@ -174,6 +200,9 @@ impl MemStats {
         self.effective_bytes += other.effective_bytes;
         self.busy_cycles += other.busy_cycles;
         self.last_done_cycle = self.last_done_cycle.max(other.last_done_cycle);
+        self.faulted_reads += other.faulted_reads;
+        self.degraded_accesses += other.degraded_accesses;
+        self.latency_spikes += other.latency_spikes;
     }
 }
 

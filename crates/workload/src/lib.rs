@@ -20,8 +20,8 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let index = CorpusSpec::ccnews_like(Scale::Smoke).build()?;
-//! let mut sampler = QuerySampler::new(&index, 42);
-//! let queries = sampler.trec_like_mix(12);
+//! let mut sampler = QuerySampler::new(&index, 42)?;
+//! let queries = sampler.trec_like_mix(12)?;
 //! assert_eq!(queries.len(), 12);
 //! # Ok(())
 //! # }

@@ -93,6 +93,49 @@ pub struct TypedQuery {
     pub expr: QueryExpr,
 }
 
+/// Why query sampling could not proceed. These conditions are reachable
+/// from caller input (a tiny or degenerate corpus), so they are errors,
+/// not panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SampleError {
+    /// The index has no term with `df >= 2` to draw from.
+    EmptyVocabulary,
+    /// A query shape needs more distinct terms than the vocabulary has.
+    NotEnoughTerms {
+        /// Distinct terms the query shape requires.
+        wanted: usize,
+        /// Eligible terms the vocabulary offers.
+        have: usize,
+    },
+    /// Rejection sampling failed to find enough *distinct* terms (an
+    /// extremely skewed df distribution can starve the draw).
+    SamplingStalled {
+        /// Distinct terms the query shape requires.
+        wanted: usize,
+    },
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::EmptyVocabulary => {
+                write!(f, "index vocabulary has no term with df >= 2")
+            }
+            SampleError::NotEnoughTerms { wanted, have } => write!(
+                f,
+                "query shape needs {wanted} distinct terms but the vocabulary has {have}"
+            ),
+            SampleError::SamplingStalled { wanted } => write!(
+                f,
+                "df-weighted sampling could not draw {wanted} distinct terms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
 /// Samples query terms the way the TREC Terabyte tracks skew: terms drawn
 /// proportionally to document frequency, excluding the ultra-rare tail
 /// real users seldom type.
@@ -106,10 +149,10 @@ pub struct QuerySampler {
 impl QuerySampler {
     /// Builds a sampler over the index vocabulary.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the index has no term with `df >= 2`.
-    pub fn new(index: &InvertedIndex, seed: u64) -> Self {
+    /// [`SampleError::EmptyVocabulary`] if no term has `df >= 2`.
+    pub fn new(index: &InvertedIndex, seed: u64) -> Result<Self, SampleError> {
         let mut terms = Vec::new();
         let mut cumulative = Vec::new();
         let mut acc = 0u64;
@@ -121,19 +164,19 @@ impl QuerySampler {
                 cumulative.push(acc);
             }
         }
-        assert!(
-            !terms.is_empty(),
-            "index vocabulary too small to sample queries"
-        );
-        QuerySampler {
+        if terms.is_empty() {
+            return Err(SampleError::EmptyVocabulary);
+        }
+        Ok(QuerySampler {
             terms,
             cumulative,
             rng: rng::rng(seed),
-        }
+        })
     }
 
     fn sample_term(&mut self) -> String {
-        let total = *self.cumulative.last().expect("non-empty");
+        // Non-empty by construction: `new` rejects empty vocabularies.
+        let total = *self.cumulative.last().expect("vocabulary non-empty");
         let u = self.rng.random_range(0..total);
         let i = self.cumulative.partition_point(|&c| c <= u);
         self.terms[i].clone()
@@ -141,11 +184,18 @@ impl QuerySampler {
 
     /// Samples `n` distinct terms.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the vocabulary has fewer than `n` eligible terms.
-    pub fn sample_terms(&mut self, n: usize) -> Vec<String> {
-        assert!(n <= self.terms.len(), "not enough eligible terms");
+    /// [`SampleError::NotEnoughTerms`] if the vocabulary has fewer than
+    /// `n` eligible terms, [`SampleError::SamplingStalled`] if rejection
+    /// sampling cannot realize `n` distinct draws.
+    pub fn sample_terms(&mut self, n: usize) -> Result<Vec<String>, SampleError> {
+        if n > self.terms.len() {
+            return Err(SampleError::NotEnoughTerms {
+                wanted: n,
+                have: self.terms.len(),
+            });
+        }
         let mut out: Vec<String> = Vec::with_capacity(n);
         let mut guard = 0;
         while out.len() < n {
@@ -154,27 +204,34 @@ impl QuerySampler {
                 out.push(t);
             }
             guard += 1;
-            assert!(
-                guard < 10_000,
-                "term sampling failed to find distinct terms"
-            );
+            if guard >= 10_000 {
+                return Err(SampleError::SamplingStalled { wanted: n });
+            }
         }
-        out
+        Ok(out)
     }
 
     /// Samples one query of the given type.
-    pub fn sample(&mut self, qtype: QueryType) -> TypedQuery {
-        let terms = self.sample_terms(qtype.n_terms());
-        TypedQuery {
+    ///
+    /// # Errors
+    ///
+    /// As for [`QuerySampler::sample_terms`].
+    pub fn sample(&mut self, qtype: QueryType) -> Result<TypedQuery, SampleError> {
+        let terms = self.sample_terms(qtype.n_terms())?;
+        Ok(TypedQuery {
             qtype,
             expr: qtype.build(&terms),
-        }
+        })
     }
 
     /// The paper's methodology: equal thirds of 1-, 2- and 4-term queries
     /// (the paper uses 100 each from TREC 2005/2006), each randomly
     /// assigned a compatible Table II type.
-    pub fn trec_like_mix(&mut self, n: usize) -> Vec<TypedQuery> {
+    ///
+    /// # Errors
+    ///
+    /// As for [`QuerySampler::sample_terms`].
+    pub fn trec_like_mix(&mut self, n: usize) -> Result<Vec<TypedQuery>, SampleError> {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let qtype = match i % 3 {
@@ -192,21 +249,25 @@ impl QuerySampler {
                     _ => QueryType::Q6,
                 },
             };
-            out.push(self.sample(qtype));
+            out.push(self.sample(qtype)?);
         }
-        out
+        Ok(out)
     }
 
     /// Samples `per_type` queries of *each* Table II type (the per-type
     /// breakdowns of Figures 9–16).
-    pub fn per_type_suite(&mut self, per_type: usize) -> Vec<TypedQuery> {
+    ///
+    /// # Errors
+    ///
+    /// As for [`QuerySampler::sample_terms`].
+    pub fn per_type_suite(&mut self, per_type: usize) -> Result<Vec<TypedQuery>, SampleError> {
         let mut out = Vec::with_capacity(per_type * 6);
         for qtype in ALL_QUERY_TYPES {
             for _ in 0..per_type {
-                out.push(self.sample(qtype));
+                out.push(self.sample(qtype)?);
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -244,10 +305,10 @@ mod tests {
     #[test]
     fn sampler_prefers_frequent_terms() {
         let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
-        let mut s = QuerySampler::new(&idx, 11);
+        let mut s = QuerySampler::new(&idx, 11).unwrap();
         let mut top_hits = 0;
         for _ in 0..200 {
-            let t = s.sample_terms(1).remove(0);
+            let t = s.sample_terms(1).unwrap().remove(0);
             let df = idx.term_info(idx.term_id(&t).unwrap()).df;
             if df > 100 {
                 top_hits += 1;
@@ -262,9 +323,9 @@ mod tests {
     #[test]
     fn sampled_queries_are_valid_and_distinct() {
         let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
-        let mut s = QuerySampler::new(&idx, 12);
+        let mut s = QuerySampler::new(&idx, 12).unwrap();
         for qt in ALL_QUERY_TYPES {
-            let q = s.sample(qt);
+            let q = s.sample(qt).unwrap();
             q.expr.validate(16).unwrap();
             let terms = q.expr.terms();
             assert_eq!(terms.len(), qt.n_terms(), "distinct terms");
@@ -274,8 +335,8 @@ mod tests {
     #[test]
     fn trec_mix_composition() {
         let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
-        let mut s = QuerySampler::new(&idx, 13);
-        let qs = s.trec_like_mix(30);
+        let mut s = QuerySampler::new(&idx, 13).unwrap();
+        let qs = s.trec_like_mix(30).unwrap();
         assert_eq!(qs.len(), 30);
         let ones = qs.iter().filter(|q| q.qtype.n_terms() == 1).count();
         let twos = qs.iter().filter(|q| q.qtype.n_terms() == 2).count();
@@ -286,8 +347,8 @@ mod tests {
     #[test]
     fn per_type_suite_covers_all() {
         let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
-        let mut s = QuerySampler::new(&idx, 14);
-        let qs = s.per_type_suite(3);
+        let mut s = QuerySampler::new(&idx, 14).unwrap();
+        let qs = s.per_type_suite(3).unwrap();
         assert_eq!(qs.len(), 18);
         for qt in ALL_QUERY_TYPES {
             assert_eq!(qs.iter().filter(|q| q.qtype == qt).count(), 3);
@@ -297,8 +358,14 @@ mod tests {
     #[test]
     fn sampler_is_deterministic() {
         let idx = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
-        let a: Vec<_> = QuerySampler::new(&idx, 7).trec_like_mix(9);
-        let b: Vec<_> = QuerySampler::new(&idx, 7).trec_like_mix(9);
+        let a: Vec<_> = QuerySampler::new(&idx, 7)
+            .unwrap()
+            .trec_like_mix(9)
+            .unwrap();
+        let b: Vec<_> = QuerySampler::new(&idx, 7)
+            .unwrap()
+            .trec_like_mix(9)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

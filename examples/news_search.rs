@@ -21,8 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         index.total_raw_bytes() as f64 / (1 << 20) as f64,
     );
 
-    let mut sampler = QuerySampler::new(&index, 2026);
-    let queries: Vec<_> = sampler.trec_like_mix(30);
+    let mut sampler = QuerySampler::new(&index, 2026)?;
+    let queries: Vec<_> = sampler.trec_like_mix(30)?;
     let k = 10;
 
     let mut boss = BossDevice::new(

@@ -12,9 +12,9 @@ use boss_workload::queries::QuerySampler;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let index = CorpusSpec::clueweb12_like(Scale::Smoke).build()?;
-    let mut sampler = QuerySampler::new(&index, 7);
+    let mut sampler = QuerySampler::new(&index, 7)?;
     let queries: Vec<_> = sampler
-        .trec_like_mix(48)
+        .trec_like_mix(48)?
         .into_iter()
         .map(|t| t.expr)
         .collect();

@@ -26,12 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         BossConfig::with_cores(2),
         InterconnectConfig::default(),
     );
-    let mut sampler = QuerySampler::new(&index, 11);
+    let mut sampler = QuerySampler::new(&index, 11)?;
     let k = 10;
 
     println!("\nquery\tlink_bytes\thostside_bytes\tlatency_us\thits");
     for qt in [QueryType::Q1, QueryType::Q3, QueryType::Q5] {
-        let q = sampler.sample(qt).expr;
+        let q = sampler.sample(qt)?.expr;
         let out = pool.search(&q, k)?;
         let hostside = pool.hostside_interconnect_bytes(&q)?;
         println!(

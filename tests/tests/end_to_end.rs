@@ -17,13 +17,13 @@ fn corpus() -> boss_index::InvertedIndex {
 #[test]
 fn three_engines_agree_on_every_query_type() {
     let index = corpus();
-    let mut sampler = QuerySampler::new(&index, 31);
+    let mut sampler = QuerySampler::new(&index, 31).unwrap();
     let mut boss = BossDevice::new(&index, BossConfig::default().with_k(200));
     let iiu = IiuEngine::new(&index, IiuConfig::default());
     let lucene = LuceneEngine::new(&index, LuceneConfig::default());
     for qt in ALL_QUERY_TYPES {
         for _ in 0..3 {
-            let q = sampler.sample(qt).expr;
+            let q = sampler.sample(qt).unwrap().expr;
             let b = boss.search_expr(&q, 200).expect("boss runs");
             let i = iiu.execute(&q, 200).expect("iiu runs");
             let l = lucene.execute(&q, 200).expect("lucene runs");
@@ -39,8 +39,11 @@ fn three_engines_agree_on_every_query_type() {
 #[test]
 fn et_modes_identical_results_different_work() {
     let index = corpus();
-    let mut sampler = QuerySampler::new(&index, 77);
-    let q = sampler.sample(boss_workload::queries::QueryType::Q5).expr;
+    let mut sampler = QuerySampler::new(&index, 77).unwrap();
+    let q = sampler
+        .sample(boss_workload::queries::QueryType::Q5)
+        .unwrap()
+        .expr;
     let mut hits = None;
     let mut scored = Vec::new();
     for et in [EtMode::Exhaustive, EtMode::BlockOnly, EtMode::Full] {
@@ -66,9 +69,10 @@ fn et_modes_identical_results_different_work() {
 #[test]
 fn dram_never_slower_than_scm() {
     let index = corpus();
-    let mut sampler = QuerySampler::new(&index, 5);
+    let mut sampler = QuerySampler::new(&index, 5).unwrap();
     let queries: Vec<_> = sampler
         .trec_like_mix(12)
+        .unwrap()
         .into_iter()
         .map(|t| t.expr)
         .collect();
@@ -102,8 +106,11 @@ fn index_serializes_and_answers_identically() {
     let index = corpus();
     let json = serde_json::to_string(&index).expect("serializes");
     let revived: boss_index::InvertedIndex = serde_json::from_str(&json).expect("deserializes");
-    let mut sampler = QuerySampler::new(&index, 12);
-    let q = sampler.sample(boss_workload::queries::QueryType::Q3).expr;
+    let mut sampler = QuerySampler::new(&index, 12).unwrap();
+    let q = sampler
+        .sample(boss_workload::queries::QueryType::Q3)
+        .unwrap()
+        .expr;
     let a = boss_index::reference::evaluate(&index, &q, 50).expect("runs");
     let b = boss_index::reference::evaluate(&revived, &q, 50).expect("runs");
     assert_eq!(a, b);
@@ -115,8 +122,8 @@ fn offload_api_round_trip() {
     let index = corpus();
     let mut h = BossHandle::init(&index, BossConfig::default());
     // Build an expression from real vocabulary.
-    let mut sampler = QuerySampler::new(&index, 3);
-    let terms = sampler.sample_terms(3);
+    let mut sampler = QuerySampler::new(&index, 3).unwrap();
+    let terms = sampler.sample_terms(3).unwrap();
     let q = format!(
         "\"{}\" AND (\"{}\" OR \"{}\")",
         terms[0], terms[1], terms[2]

@@ -16,11 +16,11 @@ fn corpus() -> boss_index::InvertedIndex {
 #[test]
 fn boss_result_traffic_is_bounded_by_k() {
     let index = corpus();
-    let mut sampler = QuerySampler::new(&index, 1);
+    let mut sampler = QuerySampler::new(&index, 1).unwrap();
     let mut dev = BossDevice::new(&index, BossConfig::default().with_k(100));
     let iiu = IiuEngine::new(&index, IiuConfig::default());
     for qt in [QueryType::Q1, QueryType::Q3, QueryType::Q5] {
-        let q = sampler.sample(qt).expr;
+        let q = sampler.sample(qt).unwrap().expr;
         let b = dev.search_expr(&q, 100).expect("runs");
         let i = iiu.execute(&q, 100).expect("runs");
         assert!(b.mem.bytes(AccessCategory::StResult) <= 100 * 8, "{qt:?}");
@@ -34,11 +34,11 @@ fn boss_result_traffic_is_bounded_by_k() {
 #[test]
 fn boss_never_spills_intermediates() {
     let index = corpus();
-    let mut sampler = QuerySampler::new(&index, 2);
+    let mut sampler = QuerySampler::new(&index, 2).unwrap();
     let mut dev = BossDevice::new(&index, BossConfig::default());
     let iiu = IiuEngine::new(&index, IiuConfig::default());
     for qt in [QueryType::Q2, QueryType::Q4, QueryType::Q6] {
-        let q = sampler.sample(qt).expr;
+        let q = sampler.sample(qt).unwrap().expr;
         let b = dev.search_expr(&q, 100).expect("runs");
         assert_eq!(b.mem.bytes(AccessCategory::StInter), 0, "{qt:?}");
         assert_eq!(b.mem.bytes(AccessCategory::LdInter), 0, "{qt:?}");
@@ -53,12 +53,12 @@ fn boss_never_spills_intermediates() {
 #[test]
 fn boss_union_traffic_not_above_iiu() {
     let index = corpus();
-    let mut sampler = QuerySampler::new(&index, 3);
+    let mut sampler = QuerySampler::new(&index, 3).unwrap();
     let mut dev = BossDevice::new(&index, BossConfig::default().with_k(100));
     let iiu = IiuEngine::new(&index, IiuConfig::default());
     for qt in [QueryType::Q3, QueryType::Q5] {
         for _ in 0..3 {
-            let q = sampler.sample(qt).expr;
+            let q = sampler.sample(qt).unwrap().expr;
             let b = dev.search_expr(&q, 100).expect("runs");
             let i = iiu.execute(&q, 100).expect("runs");
             assert!(
@@ -78,8 +78,8 @@ fn eval_counters_conserved_for_unions() {
     // document shared by several posting lists can be bypassed once in
     // each — so the total is a lower bound, not an equality.
     let index = corpus();
-    let mut sampler = QuerySampler::new(&index, 4);
-    let q = sampler.sample(QueryType::Q5).expr;
+    let mut sampler = QuerySampler::new(&index, 4).unwrap();
+    let q = sampler.sample(QueryType::Q5).unwrap().expr;
     let total = {
         let mut dev = BossDevice::new(
             &index,
@@ -105,8 +105,8 @@ fn eval_counters_conserved_for_unions() {
 #[test]
 fn smaller_k_never_scores_more() {
     let index = corpus();
-    let mut sampler = QuerySampler::new(&index, 5);
-    let q = sampler.sample(QueryType::Q5).expr;
+    let mut sampler = QuerySampler::new(&index, 5).unwrap();
+    let q = sampler.sample(QueryType::Q5).unwrap().expr;
     let mut prev = u64::MAX;
     for k in [1000usize, 100, 10] {
         let mut dev = BossDevice::new(&index, BossConfig::default().with_k(k));
