@@ -1,7 +1,7 @@
 //! Ablation: core scaling beyond the paper's 8, exposing the SCM
 //! bandwidth ceiling — the "scale-out further" argument of Section III-A.
 
-use boss_bench::{boss_engine, f, header, iiu_engine, row, run_system, BenchArgs};
+use boss_bench::{boss_engine, f, header, iiu_engine, row, run_system, BenchArgs, BenchTarget};
 use boss_core::EtMode;
 use boss_scm::MemoryConfig;
 use boss_workload::corpus::CorpusSpec;
@@ -12,6 +12,8 @@ fn main() {
     let index = CorpusSpec::clueweb12_like(args.scale)
         .build()
         .expect("corpus builds");
+    let sharded = args.shard_split(&index);
+    let target = BenchTarget::new(&index, sharded.as_ref());
     let mut sampler = QuerySampler::new(&index, args.seed).expect("corpus vocabulary");
     let queries: Vec<_> = sampler
         .trec_like_mix(args.queries_per_type * 6)
@@ -35,7 +37,7 @@ fn main() {
     for cores in [1u32, 2, 4, 8, 16, 32] {
         let b = run_system(
             &boss_engine(
-                &index,
+                &target,
                 cores,
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
@@ -47,7 +49,7 @@ fn main() {
             args.threads,
         );
         let i = run_system(
-            &iiu_engine(&index, cores, MemoryConfig::optane_dcpmm(), &args.tuning()),
+            &iiu_engine(&target, cores, MemoryConfig::optane_dcpmm(), &args.tuning()),
             &queries,
             args.k,
             args.threads,

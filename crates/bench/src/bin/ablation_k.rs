@@ -4,7 +4,7 @@
 //! The paper fixes k = 1000; this sweep shows why the top-k module's
 //! bandwidth saving grows as k shrinks, and that ET gets sharper.
 
-use boss_bench::{boss_engine, f, header, row, run_system, BenchArgs, TypedSuite};
+use boss_bench::{boss_engine, f, header, row, run_system, BenchArgs, BenchTarget, TypedSuite};
 use boss_core::EtMode;
 use boss_scm::{AccessCategory, MemoryConfig};
 use boss_workload::corpus::CorpusSpec;
@@ -15,6 +15,8 @@ fn main() {
     let index = CorpusSpec::ccnews_like(args.scale)
         .build()
         .expect("corpus builds");
+    let sharded = args.shard_split(&index);
+    let target = BenchTarget::new(&index, sharded.as_ref());
     let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
     println!("# Ablation: k sweep (BOSS, 1 core, union queries)");
     args.print_threads_comment();
@@ -32,7 +34,7 @@ fn main() {
         }
         let exhaustive = run_system(
             &boss_engine(
-                &index,
+                &target,
                 1,
                 EtMode::Exhaustive,
                 MemoryConfig::optane_dcpmm(),
@@ -47,7 +49,7 @@ fn main() {
         for k in [10usize, 100, 1000] {
             let r = run_system(
                 &boss_engine(
-                    &index,
+                    &target,
                     1,
                     EtMode::Full,
                     MemoryConfig::optane_dcpmm(),

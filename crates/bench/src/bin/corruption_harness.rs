@@ -3,10 +3,13 @@
 //! Feeds seeded mutations — bit flips, byte overwrites, truncations,
 //! extensions, descriptor corruption — to every stock codec's fast and
 //! reference decode paths, the Fig. 8 netlist interpreter (encoded data
-//! *and* configuration text), and index-level `decode_block` with
-//! corrupted `BlockMeta`. Passes iff every mutated input produces a typed
-//! error or a bit-correct decode: no panics, no fast/reference
-//! disagreement, no out-of-bounds reserve.
+//! *and* configuration text), index-level `decode_block` with corrupted
+//! `BlockMeta`, and single shards of a sharded index run through the
+//! BOSS engine under the `SkipBlock` degradation policy. Passes iff
+//! every mutated input produces a typed error or a bit-correct decode:
+//! no panics, no fast/reference disagreement, no out-of-bounds reserve,
+//! and no degradation leaking past the shard that owns the mutated
+//! bytes (sibling shards must stay byte-identical to a quiet run).
 //!
 //! ```text
 //! corruption_harness [--seed N] [--trials-per-scheme N]

@@ -3,7 +3,7 @@
 //! Regenerates the figure for the clueweb12-like corpus stand-in. Accepts the common
 //! harness flags (`--scale`, `--seed`, `--queries-per-type`, `--k`, `--threads`, `--engines`).
 
-use boss_bench::{figures, BenchArgs, TypedSuite};
+use boss_bench::{figures, BenchArgs, BenchTarget, TypedSuite};
 use boss_workload::corpus::CorpusSpec;
 
 fn main() {
@@ -12,5 +12,7 @@ fn main() {
         .build()
         .expect("corpus builds");
     let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
-    figures::multicore_throughput("clueweb12-like", &index, &suite, &args);
+    let sharded = args.shard_split(&index);
+    let target = BenchTarget::new(&index, sharded.as_ref());
+    figures::multicore_throughput("clueweb12-like", &target, &suite, &args);
 }

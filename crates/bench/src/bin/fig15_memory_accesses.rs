@@ -1,12 +1,14 @@
 //! Figure 15: normalized memory access volume by category (LD List,
 //! LD Score, LD Inter, ST Inter, ST Result) for IIU vs BOSS.
 
-use boss_bench::{both_corpora, figures, BenchArgs, TypedSuite};
+use boss_bench::{both_corpora, figures, BenchArgs, BenchTarget, TypedSuite};
 
 fn main() {
     let args = BenchArgs::parse();
     for (name, index) in both_corpora(args.scale) {
         let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
-        figures::memory_accesses(name, &index, &suite, &args);
+        let sharded = args.shard_split(&index);
+        let target = BenchTarget::new(&index, sharded.as_ref());
+        figures::memory_accesses(name, &target, &suite, &args);
     }
 }

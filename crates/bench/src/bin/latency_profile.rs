@@ -4,11 +4,16 @@
 //! When `--block-cache` is set, per-engine decoded-block cache counters
 //! (hits/misses/evictions) are reported as `#` comment lines: the cache
 //! is wall-clock only, so its counters must stay out of the data rows
-//! the invariance diffs compare.
+//! the invariance diffs compare. The same rule covers the shard layer
+//! (`--shards`/`--replicas`): per-(shard, replica) fault counters and
+//! routing tallies are diagnostics, printed as labeled `# shard-health`
+//! comments.
 
-use boss_bench::{boss_engine, f, header, iiu_engine, lucene_engine, row, BenchArgs, TypedSuite};
+use boss_bench::{
+    boss_engine, f, header, iiu_engine, lucene_engine, row, BenchArgs, BenchTarget, TypedSuite,
+};
 use boss_core::EtMode;
-use boss_engine::SearchEngine;
+use boss_engine::{SearchEngine, ShardReplicaStats};
 use boss_index::BlockCacheStats;
 use boss_scm::MemoryConfig;
 use boss_workload::corpus::CorpusSpec;
@@ -40,29 +45,52 @@ fn latencies_us<E: SearchEngine>(
     (us, engine.block_cache_stats(), skipped)
 }
 
+/// One engine's row data plus its out-of-band diagnostics.
+struct EngineRow {
+    name: &'static str,
+    us: Vec<f64>,
+    cache: Option<BlockCacheStats>,
+    skipped: u64,
+    shard_health: Vec<ShardReplicaStats>,
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let index = CorpusSpec::ccnews_like(args.scale)
         .build()
         .expect("corpus builds");
+    let sharded = args.shard_split(&index);
+    let target = BenchTarget::new(&index, sharded.as_ref());
     let suite = TypedSuite::sample(&index, args.queries_per_type.max(20), args.seed);
     println!("# Per-query latency percentiles (single engine instance, us)");
     header(&["qtype", "system", "p50_us", "p95_us", "p99_us"]);
     for (qt, queries) in &suite.per_type {
-        let mut rows: Vec<(&str, Vec<f64>, Option<BlockCacheStats>, u64)> = Vec::new();
+        let mut rows: Vec<EngineRow> = Vec::new();
         if args.engines.lucene {
-            let mut luc = lucene_engine(&index, 1, MemoryConfig::host_scm_6ch(), &args.tuning());
+            let mut luc = lucene_engine(&target, 1, MemoryConfig::host_scm_6ch(), &args.tuning());
             let (us, cache, skipped) = latencies_us(&mut luc, queries, args.k);
-            rows.push(("Lucene", us, cache, skipped));
+            rows.push(EngineRow {
+                name: "Lucene",
+                us,
+                cache,
+                skipped,
+                shard_health: luc.shard_stats(),
+            });
         }
         if args.engines.iiu {
-            let mut iiu = iiu_engine(&index, 1, MemoryConfig::optane_dcpmm(), &args.tuning());
+            let mut iiu = iiu_engine(&target, 1, MemoryConfig::optane_dcpmm(), &args.tuning());
             let (us, cache, skipped) = latencies_us(&mut iiu, queries, args.k);
-            rows.push(("IIU", us, cache, skipped));
+            rows.push(EngineRow {
+                name: "IIU",
+                us,
+                cache,
+                skipped,
+                shard_health: iiu.shard_stats(),
+            });
         }
         if args.engines.boss {
             let mut boss = boss_engine(
-                &index,
+                &target,
                 1,
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
@@ -70,33 +98,62 @@ fn main() {
                 &args.tuning(),
             );
             let (us, cache, skipped) = latencies_us(&mut boss, queries, args.k);
-            rows.push(("BOSS", us, cache, skipped));
+            rows.push(EngineRow {
+                name: "BOSS",
+                us,
+                cache,
+                skipped,
+                shard_health: boss.shard_stats(),
+            });
         }
-        for (name, v, _, _) in &rows {
+        for r in &rows {
             row(&[
                 qt.label().into(),
-                (*name).into(),
-                f(pct(v, 0.50)),
-                f(pct(v, 0.95)),
-                f(pct(v, 0.99)),
+                r.name.into(),
+                f(pct(&r.us, 0.50)),
+                f(pct(&r.us, 0.95)),
+                f(pct(&r.us, 0.99)),
             ]);
         }
-        // Cache and fault counters ride in comments: wall-clock /
-        // degradation diagnostics only, stripped by the invariance diffs.
-        for (name, _, cache, skipped) in &rows {
-            if let Some(c) = cache {
+        // Cache, fault, and shard-health counters ride in comments:
+        // wall-clock / degradation diagnostics only, stripped by the
+        // invariance diffs.
+        for r in &rows {
+            if let Some(c) = &r.cache {
                 println!(
                     "# block-cache {} {}: hits {} misses {} evictions {} hit_rate {}",
                     qt.label(),
-                    name,
+                    r.name,
                     c.hits,
                     c.misses,
                     c.evictions,
                     f(c.hit_rate()),
                 );
             }
-            if *skipped > 0 {
-                println!("# fault-skipped-blocks {} {}: {skipped}", qt.label(), name,);
+            if r.skipped > 0 {
+                println!(
+                    "# fault-skipped-blocks {} {}: {}",
+                    qt.label(),
+                    r.name,
+                    r.skipped
+                );
+            }
+            // Labeled per-shard breakdown: which device is sick, with
+            // which symptom, and where the router sent the traffic.
+            for s in &r.shard_health {
+                if s.faults.total() > 0 || s.blocks_skipped_fault > 0 {
+                    println!(
+                        "# shard-health {} {} shard {} replica {}: {} skipped_blocks {} attempts {} selected {}",
+                        qt.label(),
+                        r.name,
+                        s.shard,
+                        s.replica,
+                        s.faults,
+                        s.blocks_skipped_fault,
+                        s.attempts,
+                        s.selected,
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,209 @@
+//! Scatter-gather throughput scaling across shard counts — the
+//! multi-device payoff the pool argument of Section II-C predicts.
+//!
+//! Splits the ccnews-like corpus into 1/2/4/8 shards, builds one BOSS
+//! device per shard behind the engine-layer scatter-gather coordinator
+//! in its honest `ScatterGather` timing mode (slowest leaf + shared-link
+//! transfer + root merge, per-shard traffic summed, bandwidth roofline
+//! divided by the shard count), and reports batch throughput per shard
+//! count as TSV plus a machine-readable `BENCH_shard.json` (`--json
+//! PATH` to move it).
+//!
+//! Unlike the figure binaries (whose `--shards` flag keeps the
+//! figure-preserving `Logical` timing), these numbers are *supposed* to
+//! move with the shard count — that is the experiment.
+
+use boss_bench::{f, header, row, run_system, TypedSuite};
+use boss_core::BossConfig;
+use boss_engine::{Boss, ShardTiming, Sharded};
+use boss_index::shard::ShardedIndex;
+use boss_workload::corpus::{CorpusSpec, Scale};
+use serde::Serialize;
+
+/// Shard counts swept.
+const SHARD_SWEEP: [u32; 4] = [1, 2, 4, 8];
+
+#[derive(Debug, Serialize)]
+struct ShardRun {
+    shards: u32,
+    replicas: usize,
+    qps: f64,
+    seconds: f64,
+    speedup_vs_one_shard: f64,
+    mem_total_bytes: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: String,
+    corpus: String,
+    queries: usize,
+    k: usize,
+    cores_per_shard: u32,
+    results: Vec<ShardRun>,
+}
+
+struct Args {
+    scale: Scale,
+    seed: u64,
+    queries_per_type: usize,
+    k: usize,
+    threads: usize,
+    replicas: usize,
+    cores: u32,
+    json: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::Small,
+        seed: 42,
+        queries_per_type: 10,
+        k: 100,
+        threads: boss_bench::default_threads(),
+        replicas: 1,
+        cores: 4,
+        json: "BENCH_shard.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = take("--scale").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => args.seed = take("--seed").parse().expect("--seed N"),
+            "--queries-per-type" => {
+                args.queries_per_type = take("--queries-per-type")
+                    .parse()
+                    .expect("--queries-per-type N");
+            }
+            "--k" => args.k = take("--k").parse::<usize>().expect("--k N").max(1),
+            "--threads" => {
+                args.threads = take("--threads")
+                    .parse::<usize>()
+                    .expect("--threads N")
+                    .max(1);
+            }
+            "--replicas" => {
+                args.replicas = take("--replicas")
+                    .parse::<usize>()
+                    .expect("--replicas N")
+                    .max(1);
+            }
+            "--cores" => args.cores = take("--cores").parse::<u32>().expect("--cores N").max(1),
+            "--json" => args.json = take("--json"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: [--scale smoke|small|full] [--seed N] [--queries-per-type N] [--k N] \
+                     [--threads N] [--replicas N] [--cores N] [--json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let index = CorpusSpec::ccnews_like(args.scale)
+        .build()
+        .expect("corpus builds");
+    let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
+    let queries: Vec<_> = suite
+        .per_type
+        .iter()
+        .flat_map(|(_, qs)| qs.iter().cloned())
+        .collect();
+
+    println!(
+        "# Scatter-gather shard scaling (ccnews-like, {} queries, k={}, {} cores/shard, {} replica(s))",
+        queries.len(),
+        args.k,
+        args.cores,
+        args.replicas
+    );
+    println!("# honest multi-device timing: slowest leaf + link transfer + root merge");
+    println!("# threads {}", args.threads);
+    header(&[
+        "shards",
+        "qps",
+        "seconds",
+        "speedup_vs_one_shard",
+        "mem_total_mb",
+    ]);
+
+    let config = || BossConfig::with_cores(args.cores).with_k(args.k);
+    let mut results: Vec<ShardRun> = Vec::new();
+    let mut base_qps = 0.0;
+    for n in SHARD_SWEEP {
+        let sharded = ShardedIndex::split(&index, n).expect("corpus larger than shard count");
+        let leaves: Vec<Vec<Boss>> = sharded
+            .shards()
+            .iter()
+            .map(|shard| {
+                (0..args.replicas)
+                    .map(|_| Boss::new(shard, config()))
+                    .collect()
+            })
+            .collect();
+        let engine = Sharded::new(
+            Boss::new(&index, config()),
+            &sharded,
+            leaves,
+            ShardTiming::ScatterGather,
+        );
+        let run = run_system(&engine, &queries, args.k, args.threads);
+        if n == 1 {
+            base_qps = run.qps;
+        }
+        let speedup = run.qps / base_qps.max(1e-12);
+        row(&[
+            n.to_string(),
+            f(run.qps),
+            f(run.seconds),
+            f(speedup),
+            f(run.mem.total_bytes() as f64 / 1e6),
+        ]);
+        results.push(ShardRun {
+            shards: n,
+            replicas: args.replicas,
+            qps: run.qps,
+            seconds: run.seconds,
+            speedup_vs_one_shard: speedup,
+            mem_total_bytes: run.mem.total_bytes(),
+        });
+    }
+
+    let last = results.last().expect("sweep ran");
+    println!(
+        "# {}-shard speedup over 1 shard: {}x",
+        last.shards,
+        f(last.speedup_vs_one_shard)
+    );
+
+    let report = Report {
+        bench: "shard_scaling".into(),
+        corpus: "ccnews-like".into(),
+        queries: queries.len(),
+        k: args.k,
+        cores_per_shard: args.cores,
+        results,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&args.json, json + "\n").expect("report written");
+    eprintln!("wrote {}", args.json);
+}

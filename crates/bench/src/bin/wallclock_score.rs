@@ -22,7 +22,7 @@
 //! Like `wallclock_decode`, this binary measures *host* wall-clock time:
 //! its numbers vary run to run, unlike the simulated figures.
 
-use boss_bench::{boss_engine, f, header, iiu_engine, lucene_engine, row, TypedSuite};
+use boss_bench::{boss_engine, f, header, iiu_engine, lucene_engine, row, BenchTarget, TypedSuite};
 use boss_compress::{BitPacking, BlockInfo, Codec};
 use boss_core::{EtMode, TopK};
 use boss_engine::SearchEngine;
@@ -295,6 +295,7 @@ fn cache_counters(seed: u64, k: usize) -> Vec<CacheCounters> {
     let index = CorpusSpec::ccnews_like(Scale::Smoke)
         .build()
         .expect("corpus builds");
+    let target = BenchTarget::single(&index);
     let suite = TypedSuite::sample(&index, 5, seed);
     let queries: Vec<_> = suite
         .per_type
@@ -303,7 +304,7 @@ fn cache_counters(seed: u64, k: usize) -> Vec<CacheCounters> {
         .collect();
     const CACHE_BLOCKS: usize = 256;
     let mut boss = boss_engine(
-        &index,
+        &target,
         1,
         EtMode::Full,
         MemoryConfig::optane_dcpmm(),
@@ -311,13 +312,13 @@ fn cache_counters(seed: u64, k: usize) -> Vec<CacheCounters> {
         &boss_bench::EngineTuning::new(CACHE_BLOCKS, true),
     );
     let mut iiu = iiu_engine(
-        &index,
+        &target,
         1,
         MemoryConfig::optane_dcpmm(),
         &boss_bench::EngineTuning::new(CACHE_BLOCKS, true),
     );
     let mut luc = lucene_engine(
-        &index,
+        &target,
         1,
         MemoryConfig::host_scm_6ch(),
         &boss_bench::EngineTuning::new(CACHE_BLOCKS, true),

@@ -1,7 +1,9 @@
 //! Deterministic corruption harness: seeded mutations of encoded blocks,
-//! block metadata, and netlist configuration text, with one invariant —
-//! **typed error or bit-correct decode, never a panic, never an
-//! out-of-bounds reserve**.
+//! block metadata, netlist configuration text, and single shards of a
+//! sharded index, with one invariant — **typed error or bit-correct
+//! decode, never a panic, never an out-of-bounds reserve** (and for the
+//! sharded trials: degradation confined to the shard that owns the
+//! mutated bytes).
 //!
 //! The `corruption_harness` binary drives these trials at CI scale
 //! (≥ 10,000 mutations across the five schemes and the netlist
@@ -15,8 +17,11 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use boss_compress::{codec_for, BlockInfo, Scheme, ALL_SCHEMES, MAX_BLOCK_VALUES};
+use boss_core::{BossConfig, DegradePolicy};
 use boss_decomp::{schemes, DecompEngine};
-use boss_index::{EncodedList, IndexBuilder, SchemeChoice};
+use boss_engine::{Boss, SearchEngine};
+use boss_index::shard::ShardedIndex;
+use boss_index::{EncodedList, IndexBuilder, QueryExpr, SchemeChoice};
 
 /// Output vectors start empty and every decode path reserves at most
 /// [`MAX_BLOCK_VALUES`] slots up front, so allocator round-up aside the
@@ -373,6 +378,137 @@ pub fn meta_trial(list: &EncodedList, seed: u64, tally: &mut Tally) {
     }
 }
 
+/// Sharded corpora for the containment trials: a 700-document synthetic
+/// corpus split two and four ways, so every shard holds a multi-block
+/// `probe` list plus a sparser `filler` list.
+///
+/// # Panics
+///
+/// Panics if the synthetic corpus fails to build or split — impossible
+/// by construction, and a harness that cannot set up must fail loudly.
+pub fn sharded_fixtures() -> Vec<ShardedIndex> {
+    let docs: Vec<String> = (0u32..700)
+        .map(|i| {
+            if i.wrapping_mul(2654435761) % 3 == 0 {
+                "probe filler".to_string()
+            } else {
+                "probe".to_string()
+            }
+        })
+        .collect();
+    let index = IndexBuilder::new()
+        .add_documents(docs.iter().map(String::as_str))
+        .build()
+        .expect("harness corpus builds");
+    [2u32, 4]
+        .iter()
+        .map(|&n| ShardedIndex::split(&index, n).expect("harness split succeeds"))
+        .collect()
+}
+
+/// One sharded-containment trial: corrupt a single shard of a
+/// [`ShardedIndex`] clone through the harness hooks, run every shard's
+/// BOSS engine under the `SkipBlock` degradation policy, and require
+///
+/// * no panic anywhere,
+/// * every *other* shard's [`boss_engine::QueryOutcome`] byte-identical
+///   to the quiet (unmutated) split with zero fault-skipped blocks —
+///   shards share no storage, so corruption must stay confined to the
+///   device that owns the mutated bytes,
+/// * the victim shard itself to finish: a completed query (its rejected
+///   blocks counted in `blocks_skipped_fault`) or a typed error, never a
+///   panic.
+///
+/// A trial is *accepted* when the victim shard shrugged the mutation off
+/// entirely (outcome bit-identical to quiet, nothing skipped) and
+/// *rejected* when the mutation cost it blocks or the whole query.
+pub fn sharded_trial(base: &ShardedIndex, seed: u64, tally: &mut Tally) {
+    let n = base.n_shards();
+    let mut rng = Xorshift64::new(seed ^ 0x5AA2_D000 ^ ((n as u64) << 56));
+    let victim = rng.below(n);
+    let mut corrupted = base.clone();
+    {
+        let shard = corrupted.shard_mut(victim);
+        let tid = rng.below(shard.n_terms()) as u32;
+        let list = shard.list_mut(tid);
+        if rng.below(2) == 0 {
+            let mut unused = BlockInfo::default();
+            let mutation = ALL_MUTATIONS[rng.below(4)]; // data mutations only
+            apply_mutation(mutation, &mut rng, list.data_mut(), &mut unused);
+        } else {
+            let block = rng.below(list.n_blocks());
+            let meta = &mut list.blocks_mut()[block];
+            match rng.below(4) {
+                0 => meta.offset = rng.next_u64() as u32,
+                1 => meta.len = rng.next_u64() as u32,
+                2 => meta.delta_info.count = rng.next_u64() as u16,
+                _ => meta.delta_info.bit_width = rng.next_u64() as u8,
+            }
+        }
+    }
+
+    let query = if rng.below(2) == 0 {
+        QueryExpr::and([QueryExpr::term("probe"), QueryExpr::term("filler")])
+    } else {
+        QueryExpr::or([QueryExpr::term("probe"), QueryExpr::term("filler")])
+    };
+    let config = || {
+        BossConfig::with_cores(2)
+            .with_k(50)
+            .with_degrade(DegradePolicy::SkipBlock)
+    };
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        base.shards()
+            .iter()
+            .zip(corrupted.shards())
+            .map(|(quiet_shard, sick_shard)| {
+                let mut quiet = Boss::new(quiet_shard, config());
+                let mut sick = Boss::new(sick_shard, config());
+                let quiet_res = quiet.search(&query, 50);
+                let sick_res = sick.search(&query, 50);
+                let skipped = sick.eval_counts().blocks_skipped_fault;
+                (quiet_res, sick_res, skipped)
+            })
+            .collect::<Vec<_>>()
+    }));
+    match outcome {
+        Err(_) => tally.violations.push(format!(
+            "shard: PANIC at seed {seed} (victim {victim} of {n})"
+        )),
+        Ok(rows) => {
+            let mut unscathed = true;
+            for (s, (quiet_res, sick_res, skipped)) in rows.iter().enumerate() {
+                let Ok(quiet_out) = quiet_res else {
+                    tally
+                        .violations
+                        .push(format!("shard: quiet shard {s} failed at seed {seed}"));
+                    continue;
+                };
+                if s == victim {
+                    unscathed = matches!(sick_res, Ok(out) if *skipped == 0 && out == quiet_out);
+                    continue;
+                }
+                if *skipped != 0 {
+                    tally.violations.push(format!(
+                        "shard: degradation leaked to shard {s} ({skipped} blocks skipped) at seed {seed} (victim {victim} of {n})"
+                    ));
+                }
+                match sick_res {
+                    Ok(out) if out == quiet_out => {}
+                    Ok(_) => tally.violations.push(format!(
+                        "shard: shard {s} outcome diverged from quiet at seed {seed} (victim {victim} of {n})"
+                    )),
+                    Err(e) => tally.violations.push(format!(
+                        "shard: shard {s} failed ({e}) at seed {seed} (victim {victim} of {n})"
+                    )),
+                }
+            }
+            tally.record(unscathed);
+        }
+    }
+}
+
 /// Builds one multi-block [`EncodedList`] per stock scheme for the
 /// metadata trials, via a small deterministic synthetic corpus.
 ///
@@ -435,6 +571,11 @@ pub fn run(base_seed: u64, trials_per_scheme: u64) -> Tally {
     for (_, list) in &lists {
         for t in 0..side_trials {
             meta_trial(list, base_seed + t, &mut tally);
+        }
+    }
+    for base in &sharded_fixtures() {
+        for t in 0..side_trials {
+            sharded_trial(base, base_seed + t, &mut tally);
         }
     }
     tally

@@ -9,11 +9,10 @@
 
 use crate::{
     boss_engine, f, geomean, header, iiu_engine, lucene_engine, row, run_system, BenchArgs,
-    SystemRun, TypedSuite,
+    BenchTarget, SystemRun, TypedSuite,
 };
 use boss_core::power::AreaPowerModel;
 use boss_core::EtMode;
-use boss_index::InvertedIndex;
 use boss_scm::{AccessCategory, MemoryConfig};
 use boss_workload::queries::QueryType;
 
@@ -24,7 +23,7 @@ pub const CORE_SWEEP: [u32; 4] = [1, 2, 4, 8];
 /// cores, normalized to 8-thread Lucene on SCM.
 pub fn multicore_throughput(
     name: &str,
-    index: &InvertedIndex,
+    target: &BenchTarget,
     suite: &TypedSuite,
     args: &BenchArgs,
 ) {
@@ -38,7 +37,7 @@ pub fn multicore_throughput(
     for (qt, queries) in &suite.per_type {
         // The Lucene baseline always runs: every row normalizes to it.
         let lucene = run_system(
-            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
+            &lucene_engine(target, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
             queries,
             k,
             args.threads,
@@ -56,7 +55,7 @@ pub fn multicore_throughput(
         if args.engines.iiu {
             for &cores in &CORE_SWEEP {
                 let iiu = run_system(
-                    &iiu_engine(index, cores, MemoryConfig::optane_dcpmm(), &args.tuning()),
+                    &iiu_engine(target, cores, MemoryConfig::optane_dcpmm(), &args.tuning()),
                     queries,
                     k,
                     args.threads,
@@ -77,7 +76,7 @@ pub fn multicore_throughput(
             for &cores in &CORE_SWEEP {
                 let boss = run_system(
                     &boss_engine(
-                        index,
+                        target,
                         cores,
                         EtMode::Full,
                         MemoryConfig::optane_dcpmm(),
@@ -113,7 +112,7 @@ pub fn multicore_throughput(
 /// type and core count.
 pub fn bandwidth_utilization(
     name: &str,
-    index: &InvertedIndex,
+    target: &BenchTarget,
     suite: &TypedSuite,
     args: &BenchArgs,
 ) {
@@ -135,7 +134,7 @@ pub fn bandwidth_utilization(
                 runs.push((
                     "IIU",
                     run_system(
-                        &iiu_engine(index, cores, MemoryConfig::optane_dcpmm(), &args.tuning()),
+                        &iiu_engine(target, cores, MemoryConfig::optane_dcpmm(), &args.tuning()),
                         queries,
                         k,
                         args.threads,
@@ -147,7 +146,7 @@ pub fn bandwidth_utilization(
                     "BOSS",
                     run_system(
                         &boss_engine(
-                            index,
+                            target,
                             cores,
                             EtMode::Full,
                             MemoryConfig::optane_dcpmm(),
@@ -175,7 +174,7 @@ pub fn bandwidth_utilization(
 
 /// Figure 13: single-core throughput of Lucene / IIU / BOSS-exhaustive /
 /// BOSS, normalized to 1-core Lucene on SCM.
-pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: &BenchArgs) {
+pub fn single_core(name: &str, target: &BenchTarget, suite: &TypedSuite, args: &BenchArgs) {
     let k = args.k;
     println!("# Figure 13 ({name}): single-core throughput normalized to Lucene x1 on SCM");
     println!("# paper shape: BOSS > BOSS-exhaustive > IIU on most types; ET gain shrinks with union width, grows with intersection width");
@@ -183,21 +182,21 @@ pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
     header(&["qtype", "Lucene", "IIU", "BOSS-exhaustive", "BOSS"]);
     for (qt, queries) in &suite.per_type {
         let lucene = run_system(
-            &lucene_engine(index, 1, MemoryConfig::host_scm_6ch(), &args.tuning()),
+            &lucene_engine(target, 1, MemoryConfig::host_scm_6ch(), &args.tuning()),
             queries,
             k,
             args.threads,
         );
         let base = lucene.qps;
         let iiu = run_system(
-            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), &args.tuning()),
+            &iiu_engine(target, 1, MemoryConfig::optane_dcpmm(), &args.tuning()),
             queries,
             k,
             args.threads,
         );
         let ex = run_system(
             &boss_engine(
-                index,
+                target,
                 1,
                 EtMode::Exhaustive,
                 MemoryConfig::optane_dcpmm(),
@@ -210,7 +209,7 @@ pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
         );
         let full = run_system(
             &boss_engine(
-                index,
+                target,
                 1,
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
@@ -233,7 +232,7 @@ pub fn single_core(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
 
 /// Figure 14: number of evaluated (scored) documents for the union query
 /// types, normalized to IIU (which scores everything).
-pub fn evaluated_docs(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: &BenchArgs) {
+pub fn evaluated_docs(name: &str, target: &BenchTarget, suite: &TypedSuite, args: &BenchArgs) {
     let k = args.k;
     println!("# Figure 14 ({name}): evaluated documents, normalized to IIU (=1.0)");
     println!("# paper shape: block-only skips shrink as terms grow; WAND recovers them");
@@ -244,14 +243,14 @@ pub fn evaluated_docs(name: &str, index: &InvertedIndex, suite: &TypedSuite, arg
             continue; // the paper plots the union types
         }
         let iiu = run_system(
-            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), &args.tuning()),
+            &iiu_engine(target, 1, MemoryConfig::optane_dcpmm(), &args.tuning()),
             queries,
             k,
             args.threads,
         );
         let block = run_system(
             &boss_engine(
-                index,
+                target,
                 1,
                 EtMode::BlockOnly,
                 MemoryConfig::optane_dcpmm(),
@@ -264,7 +263,7 @@ pub fn evaluated_docs(name: &str, index: &InvertedIndex, suite: &TypedSuite, arg
         );
         let full = run_system(
             &boss_engine(
-                index,
+                target,
                 1,
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
@@ -287,7 +286,7 @@ pub fn evaluated_docs(name: &str, index: &InvertedIndex, suite: &TypedSuite, arg
 }
 
 /// Figure 15: memory access bytes by category, normalized to IIU's total.
-pub fn memory_accesses(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: &BenchArgs) {
+pub fn memory_accesses(name: &str, target: &BenchTarget, suite: &TypedSuite, args: &BenchArgs) {
     let k = args.k;
     println!(
         "# Figure 15 ({name}): memory access volume by category, normalized to IIU total per type"
@@ -308,14 +307,14 @@ pub fn memory_accesses(name: &str, index: &InvertedIndex, suite: &TypedSuite, ar
     ]);
     for (qt, queries) in &suite.per_type {
         let iiu = run_system(
-            &iiu_engine(index, 1, MemoryConfig::optane_dcpmm(), &args.tuning()),
+            &iiu_engine(target, 1, MemoryConfig::optane_dcpmm(), &args.tuning()),
             queries,
             k,
             args.threads,
         );
         let boss = run_system(
             &boss_engine(
-                index,
+                target,
                 1,
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),
@@ -346,7 +345,7 @@ pub fn memory_accesses(name: &str, index: &InvertedIndex, suite: &TypedSuite, ar
 
 /// Figure 16: all three systems on DRAM vs SCM, 8 cores, normalized to
 /// Lucene x8 on SCM.
-pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: &BenchArgs) {
+pub fn dram_vs_scm(name: &str, target: &BenchTarget, suite: &TypedSuite, args: &BenchArgs) {
     let k = args.k;
     println!("# Figure 16 ({name}): DRAM vs SCM at 8 cores, normalized to Lucene x8 on SCM");
     println!("# paper shape: Lucene barely moves (<=15%); IIU gains ~3.3x on DRAM, BOSS ~2.3x");
@@ -359,7 +358,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
     ];
     for (qt, queries) in &suite.per_type {
         let base = run_system(
-            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
+            &lucene_engine(target, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
             queries,
             k,
             args.threads,
@@ -371,7 +370,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "Lucene",
                 "SCM",
                 run_system(
-                    &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
+                    &lucene_engine(target, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
                     queries,
                     k,
                     args.threads,
@@ -381,7 +380,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "Lucene",
                 "DRAM",
                 run_system(
-                    &lucene_engine(index, 8, MemoryConfig::host_ddr4_6ch(), &args.tuning()),
+                    &lucene_engine(target, 8, MemoryConfig::host_ddr4_6ch(), &args.tuning()),
                     queries,
                     k,
                     args.threads,
@@ -393,7 +392,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "IIU",
                 "SCM",
                 run_system(
-                    &iiu_engine(index, 8, MemoryConfig::optane_dcpmm(), &args.tuning()),
+                    &iiu_engine(target, 8, MemoryConfig::optane_dcpmm(), &args.tuning()),
                     queries,
                     k,
                     args.threads,
@@ -403,7 +402,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "IIU",
                 "DRAM",
                 run_system(
-                    &iiu_engine(index, 8, MemoryConfig::ddr4_2666(), &args.tuning()),
+                    &iiu_engine(target, 8, MemoryConfig::ddr4_2666(), &args.tuning()),
                     queries,
                     k,
                     args.threads,
@@ -416,7 +415,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "SCM",
                 run_system(
                     &boss_engine(
-                        index,
+                        target,
                         8,
                         EtMode::Full,
                         MemoryConfig::optane_dcpmm(),
@@ -433,7 +432,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
                 "DRAM",
                 run_system(
                     &boss_engine(
-                        index,
+                        target,
                         8,
                         EtMode::Full,
                         MemoryConfig::ddr4_2666(),
@@ -476,7 +475,7 @@ pub fn dram_vs_scm(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: 
 
 /// Figure 17: energy per query batch, normalized to Lucene x8 on SCM
 /// (log-scale bars in the paper; we print the ratio).
-pub fn energy(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: &BenchArgs) {
+pub fn energy(name: &str, target: &BenchTarget, suite: &TypedSuite, args: &BenchArgs) {
     let k = args.k;
     println!("# Figure 17 ({name}): energy normalized to Lucene x8 on SCM (lower is better)");
     println!("# paper shape: BOSS ~189x less energy on average");
@@ -486,14 +485,14 @@ pub fn energy(name: &str, index: &InvertedIndex, suite: &TypedSuite, args: &Benc
     let mut savings = Vec::new();
     for (qt, queries) in &suite.per_type {
         let lucene = run_system(
-            &lucene_engine(index, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
+            &lucene_engine(target, 8, MemoryConfig::host_scm_6ch(), &args.tuning()),
             queries,
             k,
             args.threads,
         );
         let boss = run_system(
             &boss_engine(
-                index,
+                target,
                 8,
                 EtMode::Full,
                 MemoryConfig::optane_dcpmm(),

@@ -18,11 +18,12 @@ pub mod corruption;
 pub mod figures;
 
 use boss_core::{BossConfig, DegradePolicy, EtMode, EvalCounts, QueryOutcome};
-use boss_engine::{BatchExecutor, Boss, Iiu, Lucene, SearchEngine};
+use boss_engine::{BatchExecutor, Boss, Iiu, Lucene, SearchEngine, ShardTiming, Sharded};
 use boss_iiu::IiuConfig;
+use boss_index::shard::ShardedIndex;
 use boss_index::{InvertedIndex, QueryExpr};
 use boss_luceneish::LuceneConfig;
-use boss_scm::{MemStats, MemoryConfig};
+use boss_scm::{FaultPlan, MemStats, MemoryConfig};
 use boss_workload::corpus::{CorpusSpec, Scale};
 use boss_workload::queries::{QuerySampler, QueryType, ALL_QUERY_TYPES};
 
@@ -118,6 +119,20 @@ pub struct BenchArgs {
     /// Degradation policy for faulted/corrupt blocks (`--degrade
     /// fail|skip`).
     pub degrade_skip: bool,
+    /// Shard count of the simulated multi-device system (`--shards N`).
+    /// 1 keeps the single-device code path (no shard layer at all), so
+    /// the default run is byte-identical to the pre-shard harness.
+    pub shards: u32,
+    /// Replicas per shard (`--replicas N`); only meaningful with
+    /// `--shards` > 1. Extra replicas give the health-aware router a
+    /// clean device to steer to when a shard's primary degrades.
+    pub replicas: u32,
+    /// Confines the installed fault plan to one shard (`--shard-fault
+    /// S`): the plan lands on (shard S, replica 0) only, and the
+    /// canonical timing engine plus every other leaf stays quiet.
+    /// Without it the plan applies to the canonical engine and all
+    /// leaves uniformly.
+    pub shard_fault: Option<usize>,
 }
 
 impl Default for BenchArgs {
@@ -134,6 +149,9 @@ impl Default for BenchArgs {
             fault_seed: None,
             fault_rate: 0.0,
             degrade_skip: false,
+            shards: 1,
+            replicas: 1,
+            shard_fault: None,
         }
     }
 }
@@ -183,6 +201,15 @@ impl BenchArgs {
                 "--fault-rate" => {
                     args.fault_rate = parsed_value(&take("--fault-rate"), "--fault-rate");
                 }
+                "--shards" => {
+                    args.shards = parsed_value::<u32>(&take("--shards"), "--shards").max(1);
+                }
+                "--replicas" => {
+                    args.replicas = parsed_value::<u32>(&take("--replicas"), "--replicas").max(1);
+                }
+                "--shard-fault" => {
+                    args.shard_fault = Some(parsed_value(&take("--shard-fault"), "--shard-fault"));
+                }
                 "--degrade" => match take("--degrade").as_str() {
                     "fail" => args.degrade_skip = false,
                     "skip" => args.degrade_skip = true,
@@ -195,7 +222,8 @@ impl BenchArgs {
                     println!(
                         "usage: [--scale smoke|small|full] [--seed N] [--queries-per-type N] \
                          [--k N] [--threads N] [--engines boss,iiu,lucene] [--block-cache BLOCKS] \
-                         [--no-bulk] [--fault-plan SEED] [--fault-rate F] [--degrade fail|skip]"
+                         [--no-bulk] [--fault-plan SEED] [--fault-rate F] [--degrade fail|skip] \
+                         [--shards N] [--replicas N] [--shard-fault S]"
                     );
                     std::process::exit(0);
                 }
@@ -216,15 +244,40 @@ impl BenchArgs {
             fault_seed: self.fault_seed,
             fault_rate: self.fault_rate,
             degrade_skip: self.degrade_skip,
+            replicas: self.replicas.max(1) as usize,
+            shard_fault: self.shard_fault,
+        }
+    }
+
+    /// Splits `index` per `--shards`, or `None` for the single-device
+    /// path (`--shards 1`). Invalid shard counts (more shards than
+    /// documents) print a diagnostic and exit with status 2, like every
+    /// other bad flag value.
+    pub fn shard_split(&self, index: &InvertedIndex) -> Option<ShardedIndex> {
+        if self.shards <= 1 {
+            return None;
+        }
+        match ShardedIndex::split(index, self.shards) {
+            Ok(sh) => Some(sh),
+            Err(e) => {
+                eprintln!("invalid --shards {}: {e}", self.shards);
+                std::process::exit(2);
+            }
         }
     }
 
     /// Prints the `# threads` line of the TSV preamble. Thread count is
     /// the only run parameter that must NOT change any data row (the
     /// executor is deterministic), so it lives in a comment the diff
-    /// tooling can strip.
+    /// tooling can strip. Shard count shares the invariant (the shard
+    /// layer's `Logical` timing sources every observable except the hits
+    /// from the canonical engine, and the hits merge bit-identically),
+    /// so it is printed as a comment too.
     pub fn print_threads_comment(&self) {
         println!("# threads {}", self.threads);
+        if self.shards > 1 {
+            println!("# shards {} replicas {}", self.shards, self.replicas.max(1));
+        }
     }
 }
 
@@ -333,6 +386,11 @@ pub struct EngineTuning {
     pub fault_rate: f64,
     /// `SkipBlock` instead of the default `FailQuery` degradation.
     pub degrade_skip: bool,
+    /// Replicas per shard when the target is sharded (min 1).
+    pub replicas: usize,
+    /// Confine the fault plan to (shard S, replica 0); see
+    /// [`BenchArgs::shard_fault`].
+    pub shard_fault: Option<usize>,
 }
 
 impl EngineTuning {
@@ -344,6 +402,8 @@ impl EngineTuning {
             fault_seed: None,
             fault_rate: 0.0,
             degrade_skip: false,
+            replicas: 1,
+            shard_fault: None,
         }
     }
 
@@ -363,64 +423,147 @@ impl EngineTuning {
     }
 }
 
+/// What a figure binary simulates: the canonical single-device index,
+/// plus (optionally) its shard split for the multi-device layer.
+///
+/// With `shards: None` the engine helpers build pure pass-through
+/// wrappers — no shard layer exists at all, so a `--shards 1` run is
+/// byte-identical to the pre-shard harness by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchTarget<'a> {
+    /// The unsplit index every engine's canonical device runs on.
+    pub index: &'a InvertedIndex,
+    /// The shard split, when `--shards` > 1.
+    pub shards: Option<&'a ShardedIndex>,
+}
+
+impl<'a> BenchTarget<'a> {
+    /// A single-device target.
+    pub fn single(index: &'a InvertedIndex) -> Self {
+        BenchTarget {
+            index,
+            shards: None,
+        }
+    }
+
+    /// A target over `index` with an optional shard split (pass
+    /// [`BenchArgs::shard_split`]'s result with `.as_ref()`).
+    pub fn new(index: &'a InvertedIndex, shards: Option<&'a ShardedIndex>) -> Self {
+        BenchTarget { index, shards }
+    }
+}
+
+/// Builds the sharded wrapper for any engine family: a canonical device
+/// over the unsplit index plus `replicas` leaves per shard, with the
+/// fault plan placed per the tuning (uniform, or confined to one shard's
+/// primary replica).
+fn sharded_engine<'a, E: SearchEngine>(
+    target: &BenchTarget<'a>,
+    tuning: &EngineTuning,
+    make: impl Fn(&'a InvertedIndex, Option<FaultPlan>) -> E,
+) -> Sharded<'a, E> {
+    let plan = tuning.fault_plan();
+    let Some(sh) = target.shards else {
+        return Sharded::single(make(target.index, plan));
+    };
+    // With `--shard-fault` the canonical timing engine stays quiet: the
+    // fault is a property of one leaf device, and the figures keep
+    // reporting the healthy-system timing.
+    let canonical_plan = if tuning.shard_fault.is_some() {
+        None
+    } else {
+        plan.clone()
+    };
+    let canonical = make(target.index, canonical_plan);
+    let replicas = tuning.replicas.max(1);
+    let leaves: Vec<Vec<E>> = sh
+        .shards()
+        .iter()
+        .enumerate()
+        .map(|(s, shard)| {
+            (0..replicas)
+                .map(|r| {
+                    let leaf_plan = match tuning.shard_fault {
+                        // The fault is confined to shard S's primary.
+                        Some(fs) => (fs == s && r == 0).then(|| plan.clone()).flatten(),
+                        // Uniform fault: every leaf sees the same plan.
+                        None => plan.clone(),
+                    };
+                    make(shard, leaf_plan)
+                })
+                .collect()
+        })
+        .collect();
+    Sharded::new(canonical, sh, leaves, ShardTiming::Logical)
+}
+
 /// A BOSS engine in the paper's evaluation configuration. `block_cache`
 /// is the decoded-block cache capacity (0 disables it) and `bulk`
 /// selects the block-at-a-time scoring hot loop; both speed up the
-/// simulation without changing any simulated number.
+/// simulation without changing any simulated number. When `target`
+/// carries a shard split, the result is a scatter-gather system of
+/// per-shard BOSS devices behind the figure-preserving `Logical` timing.
 pub fn boss_engine<'a>(
-    index: &'a InvertedIndex,
+    target: &BenchTarget<'a>,
     cores: u32,
     et: EtMode,
     memory: MemoryConfig,
     k: usize,
     tuning: &EngineTuning,
-) -> Boss<'a> {
-    Boss::new(
-        index,
-        BossConfig::with_cores(cores)
-            .with_et(et)
-            .with_k(k)
-            .on_memory(memory)
-            .with_block_cache(tuning.block_cache)
-            .with_bulk_score(tuning.bulk_score)
-            .with_fault_plan(tuning.fault_plan())
-            .with_degrade(tuning.degrade()),
-    )
+) -> Sharded<'a, Boss<'a>> {
+    let degrade = tuning.degrade();
+    sharded_engine(target, tuning, move |index, plan| {
+        Boss::new(
+            index,
+            BossConfig::with_cores(cores)
+                .with_et(et)
+                .with_k(k)
+                .on_memory(memory.clone())
+                .with_block_cache(tuning.block_cache)
+                .with_bulk_score(tuning.bulk_score)
+                .with_fault_plan(plan)
+                .with_degrade(degrade),
+        )
+    })
 }
 
 /// An IIU engine in the paper's evaluation configuration. Fault-plan
 /// tuning fields are BOSS-only (the fault model lives in the BOSS
 /// device's memory controller) and are ignored here.
 pub fn iiu_engine<'a>(
-    index: &'a InvertedIndex,
+    target: &BenchTarget<'a>,
     cores: u32,
     memory: MemoryConfig,
     tuning: &EngineTuning,
-) -> Iiu<'a> {
-    Iiu::new(
-        index,
-        IiuConfig::with_cores(cores)
-            .on_memory(memory)
-            .with_block_cache(tuning.block_cache)
-            .with_bulk_score(tuning.bulk_score),
-    )
+) -> Sharded<'a, Iiu<'a>> {
+    sharded_engine(target, tuning, move |index, _plan| {
+        Iiu::new(
+            index,
+            IiuConfig::with_cores(cores)
+                .on_memory(memory.clone())
+                .with_block_cache(tuning.block_cache)
+                .with_bulk_score(tuning.bulk_score),
+        )
+    })
 }
 
 /// A Lucene-like engine in the paper's evaluation configuration.
 /// Fault-plan tuning fields are BOSS-only and are ignored here.
 pub fn lucene_engine<'a>(
-    index: &'a InvertedIndex,
+    target: &BenchTarget<'a>,
     threads: u32,
     memory: MemoryConfig,
     tuning: &EngineTuning,
-) -> Lucene<'a> {
-    Lucene::new(
-        index,
-        LuceneConfig::with_threads(threads)
-            .on_memory(memory)
-            .with_block_cache(tuning.block_cache)
-            .with_bulk_score(tuning.bulk_score),
-    )
+) -> Sharded<'a, Lucene<'a>> {
+    sharded_engine(target, tuning, move |index, _plan| {
+        Lucene::new(
+            index,
+            LuceneConfig::with_threads(threads)
+                .on_memory(memory.clone())
+                .with_block_cache(tuning.block_cache)
+                .with_bulk_score(tuning.bulk_score),
+        )
+    })
 }
 
 /// The two corpora of the paper's evaluation, at the requested scale.
@@ -480,6 +623,7 @@ mod tests {
     #[test]
     fn suite_and_engines_agree_functionally() {
         let index = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        let target = BenchTarget::single(&index);
         let suite = TypedSuite::sample(&index, 2, 5);
         assert_eq!(suite.per_type.len(), 6);
         for (qt, qs) in &suite.per_type {
@@ -487,7 +631,7 @@ mod tests {
             let tuning = EngineTuning::new(64, true);
             let boss = run_system(
                 &boss_engine(
-                    &index,
+                    &target,
                     2,
                     EtMode::Full,
                     MemoryConfig::optane_dcpmm(),
@@ -499,13 +643,13 @@ mod tests {
                 2,
             );
             let iiu = run_system(
-                &iiu_engine(&index, 2, MemoryConfig::optane_dcpmm(), &tuning),
+                &iiu_engine(&target, 2, MemoryConfig::optane_dcpmm(), &tuning),
                 qs,
                 50,
                 2,
             );
             let luc = run_system(
-                &lucene_engine(&index, 2, MemoryConfig::host_scm_6ch(), &tuning),
+                &lucene_engine(&target, 2, MemoryConfig::host_scm_6ch(), &tuning),
                 qs,
                 50,
                 2,
@@ -515,6 +659,52 @@ mod tests {
                 assert_eq!(boss.outcomes[i].hits, luc.outcomes[i].hits, "{qt:?} q{i}");
             }
             assert!(boss.qps > 0.0 && iiu.qps > 0.0 && luc.qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn sharded_target_runs_are_bit_identical_to_single_device() {
+        let index = CorpusSpec::ccnews_like(Scale::Smoke).build().unwrap();
+        let sh = ShardedIndex::split(&index, 3).unwrap();
+        let single = BenchTarget::single(&index);
+        let multi = BenchTarget::new(&index, Some(&sh));
+        let suite = TypedSuite::sample(&index, 2, 9);
+        let mut tuning = EngineTuning::new(0, true);
+        tuning.replicas = 2;
+        for (qt, qs) in &suite.per_type {
+            let a = run_system(
+                &boss_engine(
+                    &single,
+                    2,
+                    EtMode::Full,
+                    MemoryConfig::optane_dcpmm(),
+                    20,
+                    &tuning,
+                ),
+                qs,
+                20,
+                2,
+            );
+            let b = run_system(
+                &boss_engine(
+                    &multi,
+                    2,
+                    EtMode::Full,
+                    MemoryConfig::optane_dcpmm(),
+                    20,
+                    &tuning,
+                ),
+                qs,
+                20,
+                1,
+            );
+            assert_eq!(a.seconds, b.seconds, "{qt:?}");
+            assert_eq!(a.mem, b.mem, "{qt:?}");
+            assert_eq!(a.eval, b.eval, "{qt:?}");
+            for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+                assert_eq!(x.hits, y.hits, "{qt:?}");
+                assert_eq!(x.cycles, y.cycles, "{qt:?}");
+            }
         }
     }
 

@@ -43,6 +43,14 @@ impl InterconnectConfig {
     pub fn transfer_cycles(&self, bytes: u64) -> u64 {
         self.latency_ns + (bytes as f64 / self.bandwidth_gbps).ceil() as u64
     }
+
+    /// Host-side cycles to k-way-merge `n_nodes` sorted top-`k` streams
+    /// at the root: one comparison per emitted entry, four-wide. Shared
+    /// by [`MemoryPool`] and the engine-layer scatter-gather coordinator
+    /// so both charge the same root cost.
+    pub fn root_merge_cycles(&self, n_nodes: usize, k: usize) -> u64 {
+        (n_nodes as u64) * (k as u64).max(1) / 4
+    }
 }
 
 /// Result of one pooled query.
@@ -146,7 +154,7 @@ impl<'a> MemoryPool<'a> {
         // Root merge: an n-way merge of sorted lists, one comparison per
         // emitted entry on the host (cheap; charged at 1 cycle each).
         let merged = self.sharded.merge_topk(&per_shard, k);
-        let merge_cycles = (self.nodes.len() as u64) * (k as u64).max(1) / 4;
+        let merge_cycles = self.link.root_merge_cycles(self.nodes.len(), k);
 
         Ok(PoolOutcome {
             hits: merged,

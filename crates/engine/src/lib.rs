@@ -43,12 +43,21 @@
 //! [`SearchEngine::block_cache_stats`] — never through the outcome — so
 //! results stay bit-identical at every thread count even though hit
 //! patterns depend on how queries are chunked.
+//!
+//! The shard layer ([`Sharded`]) extends the contract to shard counts:
+//! its routing telemetry (attempt/selection tallies per replica) follows
+//! the same out-of-band rule as the block cache, and its
+//! [`ShardTiming::Logical`] mode sources every [`QueryOutcome`]
+//! observable except the hits from the canonical single-device engine,
+//! so batch results are bit-identical at every *shard* count too.
 
 mod engines;
 mod executor;
+mod sharded;
 
 pub use engines::{Boss, Iiu, Lucene};
 pub use executor::{BatchExecutor, EngineBatch};
+pub use sharded::{ShardReplicaStats, ShardTiming, Sharded};
 
 // Engine-level result vocabulary: the per-query outcome and the two stat
 // accumulators are shared by all engines, so the simulator crates' types

@@ -1,0 +1,704 @@
+//! Multi-device sharding: a scatter-gather coordinator over per-shard
+//! engines with replica/health-aware routing.
+//!
+//! [`Sharded`] wraps any [`SearchEngine`] and removes the single-device
+//! assumption: each shard of a [`ShardedIndex`] is served by one or more
+//! independent *leaf* engines (its own simulated SCM channels, block
+//! cache, and fault plan), and the coordinator fans a query out to every
+//! shard, merges the per-shard top-k into the global top-k, and steers
+//! each shard's traffic toward its healthiest replica.
+//!
+//! # Timing modes
+//!
+//! Because per-shard posting lists re-chunk into different blocks than
+//! the unsplit index (and WAND thresholds evolve per shard), per-shard
+//! *timing* cannot be summed back into the single-device figure numbers
+//! exactly. The coordinator therefore has two modes:
+//!
+//! * [`ShardTiming::Logical`] — the figure-preserving mode. A quiet
+//!   *canonical* engine over the unsplit index executes every query
+//!   first; its cycles/traffic/counters (and its errors) are the
+//!   outcome's, so every TSV-observable stays byte-identical to the
+//!   single-device run at any shard count. The scatter-gather then runs
+//!   for real and supplies the *hits*: under quiet fault plans the merge
+//!   is bit-identical to the canonical hits (shards carry global BM25
+//!   statistics — see [`boss_index::shard`]), and under a shard-targeted
+//!   fault plan the hits honestly reflect the degradation.
+//! * [`ShardTiming::ScatterGather`] — the honest multi-device model used
+//!   by the shard-scaling bench: cycles = slowest selected leaf + link
+//!   transfer of `hits × 8` bytes + root merge, mirroring
+//!   `boss_core::pool::MemoryPool`; traffic and counters are summed over
+//!   the selected leaves; the bandwidth roofline divides by the shard
+//!   count (each shard owns its own channels).
+//!
+//! # Health-aware routing
+//!
+//! Each (shard, replica) leaf accumulates its own fault counters
+//! ([`MemStats::fault_counts`] plus `blocks_skipped_fault`). Per query,
+//! replicas are attempted in ascending accumulated-fault order (replica
+//! id breaks ties) and the first **clean** outcome (no fault events, no
+//! fault-skipped blocks) wins. Clean outcomes are bit-identical across
+//! replicas — the fault model marks a counter whenever it perturbs
+//! timing — so this early exit never changes results. When no attempt is
+//! clean, every replica has been tried and the winner is the minimum of
+//! `(blocks_skipped_fault, fault_events, replica id)`, a per-query
+//! deterministic key. Attempt/selection tallies are exposed only through
+//! [`Sharded::shard_stats`] — like block-cache counters, they depend on
+//! query chunking across executor workers and must never leak into a
+//! [`QueryOutcome`].
+
+use crate::{EvalCounts, MemStats, QueryOutcome, SearchEngine};
+use boss_core::pool::InterconnectConfig;
+use boss_index::shard::ShardedIndex;
+use boss_index::{Error, InvertedIndex, QueryExpr};
+use boss_scm::FaultCounts;
+
+/// How [`Sharded`] charges time for a scatter-gather query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardTiming {
+    /// Figure-preserving: timing, traffic, counters, and errors come from
+    /// the canonical single-device engine; the shards supply the hits.
+    Logical,
+    /// Honest multi-device model: slowest leaf + interconnect transfer +
+    /// root merge, with traffic summed over the selected leaves.
+    ScatterGather,
+}
+
+/// Health/telemetry snapshot of one (shard, replica) leaf engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReplicaStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Replica index within the shard.
+    pub replica: usize,
+    /// Queries routed to this replica (including unselected attempts).
+    pub attempts: u64,
+    /// Queries whose outcome this replica supplied.
+    pub selected: u64,
+    /// Accumulated fault counters, labeled per class.
+    pub faults: FaultCounts,
+    /// Blocks dropped under `SkipBlock` degradation on this replica.
+    pub blocks_skipped_fault: u64,
+}
+
+/// A sharded multi-device system presented as one [`SearchEngine`].
+///
+/// `leaves[s][r]` is replica `r` of shard `s`. With no shard layer
+/// (built via [`Sharded::single`]) every call passes straight through to
+/// the canonical engine, so a `--shards 1` bench run is byte-identical
+/// to the pre-shard code path by construction.
+#[derive(Debug)]
+pub struct Sharded<'a, E: SearchEngine> {
+    canonical: E,
+    sharded: Option<&'a ShardedIndex>,
+    leaves: Vec<Vec<E>>,
+    timing: ShardTiming,
+    link: InterconnectConfig,
+    mem: MemStats,
+    eval: EvalCounts,
+    attempts: Vec<Vec<u64>>,
+    selected: Vec<Vec<u64>>,
+}
+
+/// Aggregates of one scatter-gather fan-out (selected outcomes only).
+struct Scatter {
+    per_shard: Vec<Vec<boss_index::SearchHit>>,
+    slowest_leaf: u64,
+    mem: MemStats,
+    eval: EvalCounts,
+}
+
+impl<'a, E: SearchEngine> Sharded<'a, E> {
+    /// A pass-through wrapper with no shard layer: every query runs on
+    /// `canonical` alone.
+    pub fn single(canonical: E) -> Self {
+        Sharded {
+            canonical,
+            sharded: None,
+            leaves: Vec::new(),
+            timing: ShardTiming::Logical,
+            link: InterconnectConfig::default(),
+            mem: MemStats::new(),
+            eval: EvalCounts::default(),
+            attempts: Vec::new(),
+            selected: Vec::new(),
+        }
+    }
+
+    /// A scatter-gather coordinator: `leaves[s]` holds the replica
+    /// engines of shard `s` of `sharded`, and `canonical` is the
+    /// single-device engine over the unsplit index.
+    ///
+    /// # Panics
+    ///
+    /// When `leaves` does not provide at least one replica per shard —
+    /// a construction bug in the caller, not a runtime condition.
+    pub fn new(
+        canonical: E,
+        sharded: &'a ShardedIndex,
+        leaves: Vec<Vec<E>>,
+        timing: ShardTiming,
+    ) -> Self {
+        assert_eq!(
+            leaves.len(),
+            sharded.n_shards(),
+            "one replica set per shard"
+        );
+        assert!(
+            leaves.iter().all(|r| !r.is_empty()),
+            "every shard needs at least one replica"
+        );
+        let attempts: Vec<Vec<u64>> = leaves.iter().map(|r| vec![0; r.len()]).collect();
+        let selected = attempts.clone();
+        Sharded {
+            canonical,
+            sharded: Some(sharded),
+            leaves,
+            timing,
+            link: InterconnectConfig::default(),
+            mem: MemStats::new(),
+            eval: EvalCounts::default(),
+            attempts,
+            selected,
+        }
+    }
+
+    /// Overrides the root interconnect (default: one CXL-like link).
+    pub fn with_link(mut self, link: InterconnectConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Number of shards (1 for a pass-through wrapper).
+    pub fn n_shards(&self) -> usize {
+        self.sharded.map_or(1, ShardedIndex::n_shards)
+    }
+
+    /// The canonical single-device engine.
+    pub fn canonical(&self) -> &E {
+        &self.canonical
+    }
+
+    /// Per-(shard, replica) health telemetry, in shard-then-replica
+    /// order. Empty for a pass-through wrapper.
+    pub fn shard_stats(&self) -> Vec<ShardReplicaStats> {
+        let mut out = Vec::new();
+        for (s, reps) in self.leaves.iter().enumerate() {
+            for (r, leaf) in reps.iter().enumerate() {
+                out.push(ShardReplicaStats {
+                    shard: s,
+                    replica: r,
+                    attempts: self.attempts[s][r],
+                    selected: self.selected[s][r],
+                    faults: leaf.mem_stats().fault_counts(),
+                    blocks_skipped_fault: leaf.eval_counts().blocks_skipped_fault,
+                });
+            }
+        }
+        out
+    }
+
+    /// Restricts `expr` to terms present in `shard`, or `None` when no
+    /// document of the shard can match:
+    ///
+    /// * a `Term` absent from the shard vocabulary is `None`;
+    /// * an `And` with any `None` child is `None` (every document lives
+    ///   in exactly one shard, so a locally-absent conjunct rules the
+    ///   whole shard out);
+    /// * an `Or` drops `None` children (an absent disjunct contributes
+    ///   nothing to any local document's score) and is `None` only when
+    ///   all children are.
+    fn rewrite(shard: &InvertedIndex, expr: &QueryExpr) -> Option<QueryExpr> {
+        match expr {
+            QueryExpr::Term(t) => shard.term_id(t).ok().map(|_| expr.clone()),
+            QueryExpr::And(subs) => {
+                let mut kept = Vec::with_capacity(subs.len());
+                for s in subs {
+                    kept.push(Self::rewrite(shard, s)?);
+                }
+                Some(QueryExpr::And(kept))
+            }
+            QueryExpr::Or(subs) => {
+                let kept: Vec<QueryExpr> = subs
+                    .iter()
+                    .filter_map(|s| Self::rewrite(shard, s))
+                    .collect();
+                if kept.is_empty() {
+                    None
+                } else {
+                    Some(QueryExpr::Or(kept))
+                }
+            }
+        }
+    }
+
+    /// Replica attempt order for shard `s`: ascending accumulated fault
+    /// load (fault events + fault-skipped blocks), replica id on ties.
+    fn replica_order(&self, s: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.leaves[s].len()).collect();
+        order.sort_by_key(|&r| {
+            let leaf = &self.leaves[s][r];
+            (
+                leaf.mem_stats().fault_events() + leaf.eval_counts().blocks_skipped_fault,
+                r,
+            )
+        });
+        order
+    }
+
+    /// Fans `expr` out to every shard, routing within each shard's
+    /// replicas by health, and returns the selected per-shard hit lists
+    /// plus the aggregates of the selected outcomes.
+    fn scatter_gather(
+        &mut self,
+        sh: &ShardedIndex,
+        expr: &QueryExpr,
+        k: usize,
+    ) -> Result<Scatter, Error> {
+        let n = sh.n_shards();
+        let mut per_shard = Vec::with_capacity(n);
+        let mut slowest_leaf = 0u64;
+        let mut mem = MemStats::new();
+        let mut eval = EvalCounts::default();
+        for s in 0..n {
+            let Some(sub) = Self::rewrite(sh.shard(s), expr) else {
+                per_shard.push(Vec::new());
+                continue;
+            };
+            let order = self.replica_order(s);
+            let mut best: Option<(usize, QueryOutcome)> = None;
+            let mut first_err: Option<Error> = None;
+            for r in order {
+                self.attempts[s][r] += 1;
+                match self.leaves[s][r].search(&sub, k) {
+                    Ok(out) => {
+                        let clean =
+                            out.mem.fault_events() == 0 && out.eval.blocks_skipped_fault == 0;
+                        let better = match &best {
+                            None => true,
+                            Some((br, bo)) => {
+                                (out.eval.blocks_skipped_fault, out.mem.fault_events(), r)
+                                    < (bo.eval.blocks_skipped_fault, bo.mem.fault_events(), *br)
+                            }
+                        };
+                        if better {
+                            best = Some((r, out));
+                        }
+                        if clean {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((r, out)) => {
+                    self.selected[s][r] += 1;
+                    slowest_leaf = slowest_leaf.max(out.cycles);
+                    mem.merge(&out.mem);
+                    eval.merge(&out.eval);
+                    per_shard.push(out.hits);
+                }
+                // Every replica of this shard failed: the shard is down
+                // and the query cannot be answered faithfully.
+                None => {
+                    return Err(first_err.unwrap_or(Error::InvalidQuery {
+                        reason: "shard has no replicas".into(),
+                    }))
+                }
+            }
+        }
+        Ok(Scatter {
+            per_shard,
+            slowest_leaf,
+            mem,
+            eval,
+        })
+    }
+
+    fn uses_own_accumulators(&self) -> bool {
+        self.sharded.is_some() && self.timing == ShardTiming::ScatterGather
+    }
+}
+
+impl<E: SearchEngine> SearchEngine for Sharded<'_, E> {
+    fn label(&self) -> String {
+        self.canonical.label()
+    }
+
+    fn clock_ghz(&self) -> f64 {
+        self.canonical.clock_ghz()
+    }
+
+    fn lanes(&self) -> usize {
+        self.canonical.lanes()
+    }
+
+    fn search(&mut self, expr: &QueryExpr, k: usize) -> Result<QueryOutcome, Error> {
+        let Some(sh) = self.sharded else {
+            return self.canonical.search(expr, k);
+        };
+        match self.timing {
+            ShardTiming::Logical => {
+                // Canonical first: its errors and its stats are the
+                // single-device ones the figures must keep reporting.
+                let canon = self.canonical.search(expr, k)?;
+                let scatter = self.scatter_gather(sh, expr, k)?;
+                let hits = sh.merge_topk(&scatter.per_shard, k);
+                Ok(QueryOutcome {
+                    hits,
+                    cycles: canon.cycles,
+                    mem: canon.mem,
+                    eval: canon.eval,
+                })
+            }
+            ShardTiming::ScatterGather => {
+                // Error parity with single-device planning: a term no
+                // shard knows is globally unknown.
+                for t in expr.terms() {
+                    if sh.shards().iter().all(|s| s.term_id(t).is_err()) {
+                        return Err(Error::UnknownTerm {
+                            term: t.to_string(),
+                        });
+                    }
+                }
+                let scatter = self.scatter_gather(sh, expr, k)?;
+                let bytes: u64 = scatter.per_shard.iter().map(|h| h.len() as u64 * 8).sum();
+                let hits = sh.merge_topk(&scatter.per_shard, k);
+                let cycles = scatter.slowest_leaf
+                    + self.link.transfer_cycles(bytes)
+                    + self.link.root_merge_cycles(sh.n_shards(), k);
+                self.mem.merge(&scatter.mem);
+                self.eval.merge(&scatter.eval);
+                Ok(QueryOutcome {
+                    hits,
+                    cycles,
+                    mem: scatter.mem,
+                    eval: scatter.eval,
+                })
+            }
+        }
+    }
+
+    fn mem_stats(&self) -> &MemStats {
+        if self.uses_own_accumulators() {
+            &self.mem
+        } else {
+            self.canonical.mem_stats()
+        }
+    }
+
+    fn eval_counts(&self) -> &EvalCounts {
+        if self.uses_own_accumulators() {
+            &self.eval
+        } else {
+            self.canonical.eval_counts()
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.canonical.reset_stats();
+        for reps in &mut self.leaves {
+            for leaf in reps {
+                leaf.reset_stats();
+            }
+        }
+        self.mem = MemStats::new();
+        self.eval = EvalCounts::default();
+        for a in &mut self.attempts {
+            a.fill(0);
+        }
+        for s in &mut self.selected {
+            s.fill(0);
+        }
+    }
+
+    fn fork(&self) -> Self {
+        Sharded {
+            canonical: self.canonical.fork(),
+            sharded: self.sharded,
+            leaves: self
+                .leaves
+                .iter()
+                .map(|reps| reps.iter().map(SearchEngine::fork).collect())
+                .collect(),
+            timing: self.timing,
+            link: self.link,
+            mem: MemStats::new(),
+            eval: EvalCounts::default(),
+            attempts: self.leaves.iter().map(|r| vec![0; r.len()]).collect(),
+            selected: self.leaves.iter().map(|r| vec![0; r.len()]).collect(),
+        }
+    }
+
+    fn gang_width(&self, expr: &QueryExpr) -> usize {
+        self.canonical.gang_width(expr)
+    }
+
+    fn work_estimate(&self, expr: &QueryExpr) -> u64 {
+        self.canonical.work_estimate(expr)
+    }
+
+    fn bandwidth_limit_cycles(&self, mem: &MemStats) -> u64 {
+        let base = self.canonical.bandwidth_limit_cycles(mem);
+        if self.uses_own_accumulators() {
+            // Each shard owns its channels, so the aggregate roofline
+            // scales with the shard count.
+            base / self.n_shards() as u64
+        } else {
+            base
+        }
+    }
+
+    fn bandwidth_gbps(&self, mem: &MemStats, makespan_cycles: u64) -> f64 {
+        self.canonical.bandwidth_gbps(mem, makespan_cycles)
+    }
+
+    fn block_cache_stats(&self) -> Option<crate::BlockCacheStats> {
+        self.canonical.block_cache_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Boss;
+    use boss_core::{BossConfig, DegradePolicy};
+    use boss_index::{IndexBuilder, InvertedIndex};
+    use boss_scm::FaultPlan;
+
+    fn corpus() -> InvertedIndex {
+        let docs: Vec<String> = (0u32..240)
+            .map(|i| {
+                let mut t = String::from("alpha");
+                if i % 2 == 0 {
+                    t.push_str(" beta");
+                }
+                if i % 5 == 0 {
+                    t.push_str(" gamma gamma");
+                }
+                if i < 3 {
+                    t.push_str(" rare");
+                }
+                t
+            })
+            .collect();
+        IndexBuilder::new()
+            .add_documents(docs.iter().map(String::as_str))
+            .build()
+            .unwrap()
+    }
+
+    fn leaves<'a>(
+        sh: &'a ShardedIndex,
+        replicas: usize,
+        plan_at: Option<(usize, FaultPlan)>,
+    ) -> Vec<Vec<Boss<'a>>> {
+        sh.shards()
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                (0..replicas)
+                    .map(|r| {
+                        let plan = match &plan_at {
+                            Some((fs, p)) if *fs == s && r == 0 => Some(p.clone()),
+                            _ => None,
+                        };
+                        Boss::new(
+                            shard,
+                            BossConfig::default()
+                                .with_fault_plan(plan)
+                                .with_degrade(DegradePolicy::SkipBlock),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn queries() -> Vec<QueryExpr> {
+        vec![
+            QueryExpr::term("beta"),
+            QueryExpr::and([QueryExpr::term("beta"), QueryExpr::term("gamma")]),
+            QueryExpr::or([QueryExpr::term("gamma"), QueryExpr::term("rare")]),
+            QueryExpr::term("rare"),
+        ]
+    }
+
+    #[test]
+    fn logical_mode_outcome_is_bit_identical_to_single_device() {
+        let idx = corpus();
+        for n in [1u32, 2, 3, 4] {
+            let sh = ShardedIndex::split(&idx, n).unwrap();
+            let mut single = Sharded::single(Boss::new(&idx, BossConfig::default()));
+            let mut multi = Sharded::new(
+                Boss::new(&idx, BossConfig::default()),
+                &sh,
+                leaves(&sh, 1, None),
+                ShardTiming::Logical,
+            );
+            for q in queries() {
+                let a = single.search(&q, 10).unwrap();
+                let b = multi.search(&q, 10).unwrap();
+                assert_eq!(a.hits, b.hits, "{n} shards, {q}");
+                assert_eq!(a.cycles, b.cycles, "{n} shards, {q}");
+                assert_eq!(a.mem, b.mem, "{n} shards, {q}");
+                assert_eq!(a.eval, b.eval, "{n} shards, {q}");
+            }
+            assert_eq!(single.mem_stats(), multi.mem_stats());
+            assert_eq!(single.eval_counts(), multi.eval_counts());
+        }
+    }
+
+    #[test]
+    fn rewrite_drops_absent_or_children_and_kills_absent_and() {
+        let idx = corpus();
+        // "rare" lives only in docs 0..3, i.e. only in shard 0 of 4.
+        let sh = ShardedIndex::split(&idx, 4).unwrap();
+        let last = sh.shard(3);
+        let and = QueryExpr::and([QueryExpr::term("beta"), QueryExpr::term("rare")]);
+        assert_eq!(Sharded::<Boss>::rewrite(last, &and), None);
+        let or = QueryExpr::or([QueryExpr::term("beta"), QueryExpr::term("rare")]);
+        assert_eq!(
+            Sharded::<Boss>::rewrite(last, &or),
+            Some(QueryExpr::Or(vec![QueryExpr::term("beta")]))
+        );
+        let first = sh.shard(0);
+        assert_eq!(Sharded::<Boss>::rewrite(first, &and), Some(and));
+    }
+
+    #[test]
+    fn scatter_gather_mode_sums_leaf_traffic_and_charges_the_link() {
+        let idx = corpus();
+        let sh = ShardedIndex::split(&idx, 4).unwrap();
+        let mut multi = Sharded::new(
+            Boss::new(&idx, BossConfig::default()),
+            &sh,
+            leaves(&sh, 1, None),
+            ShardTiming::ScatterGather,
+        );
+        let q = QueryExpr::term("beta");
+        let out = multi.search(&q, 10).unwrap();
+        let link = InterconnectConfig::default();
+        // Cycles include at least the link latency and the root merge.
+        assert!(out.cycles > link.latency_ns + link.root_merge_cycles(4, 10));
+        assert!(out.mem.total_bytes() > 0);
+        // Hits still match the canonical engine bit for bit.
+        let mut single = Sharded::single(Boss::new(&idx, BossConfig::default()));
+        assert_eq!(out.hits, single.search(&q, 10).unwrap().hits);
+        // Accumulators hold the summed leaf traffic, not the canonical's.
+        assert_eq!(multi.mem_stats().total_bytes(), out.mem.total_bytes());
+    }
+
+    #[test]
+    fn unknown_everywhere_is_unknown_term_in_both_modes() {
+        let idx = corpus();
+        let sh = ShardedIndex::split(&idx, 2).unwrap();
+        for timing in [ShardTiming::Logical, ShardTiming::ScatterGather] {
+            let mut multi = Sharded::new(
+                Boss::new(&idx, BossConfig::default()),
+                &sh,
+                leaves(&sh, 1, None),
+                timing,
+            );
+            assert!(matches!(
+                multi.search(&QueryExpr::term("missing"), 5),
+                Err(Error::UnknownTerm { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn faulted_shard_with_clean_replica_matches_quiet_results() {
+        let idx = corpus();
+        let sh = ShardedIndex::split(&idx, 2).unwrap();
+        let plan = FaultPlan::quiet(42).with_uncorrectable_rate(1.0);
+        let mut faulted = Sharded::new(
+            Boss::new(&idx, BossConfig::default()),
+            &sh,
+            leaves(&sh, 2, Some((0, plan))),
+            ShardTiming::Logical,
+        );
+        let mut quiet = Sharded::new(
+            Boss::new(&idx, BossConfig::default()),
+            &sh,
+            leaves(&sh, 2, None),
+            ShardTiming::Logical,
+        );
+        for q in queries() {
+            let a = faulted.search(&q, 10).unwrap();
+            let b = quiet.search(&q, 10).unwrap();
+            assert_eq!(a.hits, b.hits, "{q}");
+        }
+        // The degraded replica's symptoms are visible in telemetry and
+        // attributed to (shard 0, replica 0) only.
+        let stats = faulted.shard_stats();
+        let bad = &stats[0];
+        assert_eq!((bad.shard, bad.replica), (0, 0));
+        assert!(bad.faults.total() > 0 || bad.blocks_skipped_fault > 0);
+        for s in &stats[1..] {
+            assert_eq!(
+                s.faults.total(),
+                0,
+                "shard {} replica {}",
+                s.shard,
+                s.replica
+            );
+            assert_eq!(s.blocks_skipped_fault, 0);
+        }
+        // Routing learned to prefer the clean replica of shard 0.
+        assert!(bad.selected < stats[1].selected + queries().len() as u64);
+    }
+
+    #[test]
+    fn faulted_shard_without_replica_attributes_skips_to_that_shard() {
+        let idx = corpus();
+        let sh = ShardedIndex::split(&idx, 2).unwrap();
+        let plan = FaultPlan::quiet(42).with_uncorrectable_rate(1.0);
+        let mut multi = Sharded::new(
+            Boss::new(&idx, BossConfig::default()),
+            &sh,
+            leaves(&sh, 1, Some((1, plan))),
+            ShardTiming::Logical,
+        );
+        for q in queries() {
+            let _ = multi.search(&q, 10).unwrap();
+        }
+        let stats = multi.shard_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].faults.total(), 0);
+        assert_eq!(stats[0].blocks_skipped_fault, 0);
+        assert!(
+            stats[1].faults.total() > 0,
+            "shard 1 should show fault symptoms"
+        );
+        assert!(stats[1].blocks_skipped_fault > 0);
+    }
+
+    #[test]
+    fn fork_and_reset_zero_the_telemetry() {
+        let idx = corpus();
+        let sh = ShardedIndex::split(&idx, 2).unwrap();
+        let mut multi = Sharded::new(
+            Boss::new(&idx, BossConfig::default()),
+            &sh,
+            leaves(&sh, 2, None),
+            ShardTiming::Logical,
+        );
+        multi.search(&QueryExpr::term("beta"), 5).unwrap();
+        assert!(multi.shard_stats().iter().any(|s| s.attempts > 0));
+        let fork = multi.fork();
+        assert!(fork.shard_stats().iter().all(|s| s.attempts == 0));
+        assert_eq!(fork.n_shards(), 2);
+        multi.reset_stats();
+        assert!(multi
+            .shard_stats()
+            .iter()
+            .all(|s| s.attempts == 0 && s.selected == 0 && s.faults.total() == 0));
+        assert_eq!(multi.mem_stats().total_bytes(), 0);
+    }
+}

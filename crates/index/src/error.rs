@@ -45,6 +45,14 @@ pub enum Error {
         /// Device address of the faulted read.
         addr: u64,
     },
+    /// A shard split was requested with an impossible shard count: zero,
+    /// or more shards than the corpus has documents.
+    InvalidShardCount {
+        /// The requested number of shards.
+        n_shards: u32,
+        /// Documents in the corpus being split.
+        n_docs: u32,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -67,6 +75,9 @@ impl std::fmt::Display for Error {
             }
             Error::ReadFault { addr } => {
                 write!(f, "uncorrectable memory fault reading address {addr:#x}")
+            }
+            Error::InvalidShardCount { n_shards, n_docs } => {
+                write!(f, "cannot split {n_docs} documents into {n_shards} shards")
             }
         }
     }

@@ -80,6 +80,19 @@ impl InvertedIndex {
         &self.lists[id as usize]
     }
 
+    /// Mutable access to a term's encoded posting list — a
+    /// corruption-harness hook, same contract as
+    /// [`EncodedList::data_mut`]: decoders must surface any mutation made
+    /// through it as a typed error or decode to bit-correct values, never
+    /// panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn list_mut(&mut self, id: TermId) -> &mut EncodedList {
+        &mut self.lists[id as usize]
+    }
+
     /// Per-document precomputed BM25 norms (4 B/doc scoring metadata).
     pub fn doc_norms(&self) -> &[f32] {
         &self.doc_norms

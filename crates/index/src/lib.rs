@@ -48,6 +48,10 @@ mod posting;
 mod query;
 pub mod reference;
 mod score;
+// The shard layer is driven by untrusted CLI parameters (`--shards N`),
+// so the crate-wide warn gate above is hardened to a deny here: shard
+// code must surface every failure as a typed `Error`.
+#[deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 pub mod shard;
 
 pub use bm25::{Bm25, Bm25Params};

@@ -8,9 +8,32 @@
 //! *local* docIDs. Leaf-node engines run unmodified on their shard; the
 //! root merges their top-k lists after translating local hits back to
 //! global docIDs via [`ShardedIndex::global_doc`].
+//!
+//! # Global scoring statistics
+//!
+//! Every shard is built with the **global** corpus statistics: the
+//! parent's [`crate::Bm25`] scorer (global `N`, global `avgdl`), the
+//! parent's per-term `idf`, and bit-copied slices of the parent's
+//! per-document norms. Only the docIDs are local. A term's score for a
+//! document is therefore the *same f32, bit for bit*, whether computed on
+//! the shard or on the unsplit index — which is what makes a
+//! scatter-gather merge of per-shard top-k lists exactly equal to the
+//! single-device top-k at every shard count. Term ids stay in lexical
+//! order on every shard (the same order the parent assigns), so engines
+//! that sum term scores in ascending term-id order produce identical f32
+//! sums on shard and parent alike.
+//!
+//! # No-panic contract
+//!
+//! Like the decode paths, the shard layer is driven by untrusted runtime
+//! parameters (`--shards N` from a CLI); every failure must surface as a
+//! typed [`Error`], never a panic.
 
-use crate::{DocId, Error, IndexBuilder, InvertedIndex, PostingList, SearchHit};
+use crate::index::TermInfo;
+use crate::{Bm25, DocId, EncodedList, Error, InvertedIndex, PostingList, SearchHit};
+use boss_compress::ALL_SCHEMES;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// A corpus split into docID-interval shards.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,72 +46,83 @@ pub struct ShardedIndex {
 }
 
 impl ShardedIndex {
-    /// Splits `index` into `n_shards` contiguous docID intervals of equal
-    /// width and rebuilds each shard as a standalone index.
+    /// Splits `index` into `n_shards` contiguous docID intervals (the
+    /// first `n_docs % n_shards` intervals hold one extra document, so no
+    /// interval is ever empty) and rebuilds each shard as a standalone
+    /// index carrying the global scoring statistics (see the module
+    /// docs). `split(index, 1)` reproduces the parent index exactly.
     ///
     /// # Errors
     ///
-    /// Propagates per-shard build failures; a shard with no documents in
-    /// any list is still built (with its interval's document count).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n_shards` is zero or exceeds the corpus size.
+    /// [`Error::InvalidShardCount`] when `n_shards` is zero or exceeds
+    /// the corpus size; otherwise propagates per-shard decode/encode
+    /// failures.
     pub fn split(index: &InvertedIndex, n_shards: u32) -> Result<Self, Error> {
-        assert!(n_shards > 0, "need at least one shard");
         let n_docs = index.n_docs();
-        assert!(n_shards <= n_docs, "more shards than documents");
-        let width = n_docs.div_ceil(n_shards);
-        let bases: Vec<DocId> = (0..n_shards).map(|i| i * width).collect();
-
-        let mut builders: Vec<IndexBuilder> = Vec::new();
-        for (i, &base) in bases.iter().enumerate() {
-            let end = if i + 1 < bases.len() {
-                bases[i + 1]
-            } else {
-                n_docs
-            };
-            let lens = index.doc_lens()[base as usize..end as usize].to_vec();
-            builders.push(IndexBuilder::new().doc_lens(lens));
+        if n_shards == 0 || n_shards > n_docs {
+            return Err(Error::InvalidShardCount { n_shards, n_docs });
+        }
+        let n = n_shards as usize;
+        // Balanced interval widths: base + 1 for the first `rem` shards.
+        let (width, rem) = (n_docs / n_shards, (n_docs % n_shards) as usize);
+        let mut bases = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for i in 0..n {
+            bases.push(next);
+            next += width + u32::from(i < rem);
         }
 
+        let bm25 = *index.bm25();
+        let mut shards: Vec<InvertedIndex> = (0..n)
+            .map(|i| {
+                let base = bases[i] as usize;
+                let end = if i + 1 < n {
+                    bases[i + 1] as usize
+                } else {
+                    n_docs as usize
+                };
+                InvertedIndex {
+                    vocab: HashMap::new(),
+                    terms: Vec::new(),
+                    lists: Vec::new(),
+                    // Bit-copies of the parent's norms: shard scoring
+                    // inputs are identical to global scoring inputs.
+                    doc_norms: index.doc_norms()[base..end].to_vec(),
+                    doc_lens: index.doc_lens()[base..end].to_vec(),
+                    bm25,
+                }
+            })
+            .collect();
+
+        // Walk terms in the parent's (lexical) id order so every shard
+        // assigns ids in the same relative order as the parent.
         for id in index.term_ids() {
             let info = index.term_info(id);
             let (docs, tfs) = index.list(id).decode_all()?;
-            // Split the posting list at shard boundaries.
-            let mut s = 0usize;
-            let mut cur_docs: Vec<DocId> = Vec::new();
-            let mut cur_tfs: Vec<u32> = Vec::new();
-            let flush = |s: usize,
-                         cur_docs: &mut Vec<DocId>,
-                         cur_tfs: &mut Vec<u32>,
-                         builders: &mut Vec<IndexBuilder>|
-             -> Result<(), Error> {
-                if !cur_docs.is_empty() {
-                    let list = PostingList::from_columns(
-                        std::mem::take(cur_docs),
-                        std::mem::take(cur_tfs),
-                    )?;
-                    let b = std::mem::take(&mut builders[s]);
-                    builders[s] = b.add_posting_list(&info.text, &list);
+            let mut lo = 0usize;
+            for (s, shard) in shards.iter_mut().enumerate() {
+                let end_doc = if s + 1 < n { bases[s + 1] } else { n_docs };
+                let hi = lo + docs[lo..].partition_point(|&d| d < end_doc);
+                if hi > lo {
+                    let local: Vec<DocId> = docs[lo..hi].iter().map(|&d| d - bases[s]).collect();
+                    let plist = PostingList::from_columns(local, tfs[lo..hi].to_vec())?;
+                    let df = plist.len() as u32;
+                    let encoded = encode_hybrid(&plist, &bm25, info.idf, &shard.doc_norms)?;
+                    let tid = shard.terms.len() as u32;
+                    shard.vocab.insert(info.text.clone(), tid);
+                    shard.terms.push(TermInfo {
+                        text: info.text.clone(),
+                        df,
+                        // Global idf, not the shard-local one: scores must
+                        // be bit-identical to the unsplit index.
+                        idf: info.idf,
+                    });
+                    shard.lists.push(encoded);
                 }
-                Ok(())
-            };
-            for (&d, &tf) in docs.iter().zip(&tfs) {
-                while s + 1 < bases.len() && d >= bases[s + 1] {
-                    flush(s, &mut cur_docs, &mut cur_tfs, &mut builders)?;
-                    s += 1;
-                }
-                cur_docs.push(d - bases[s]);
-                cur_tfs.push(tf);
+                lo = hi;
             }
-            flush(s, &mut cur_docs, &mut cur_tfs, &mut builders)?;
         }
 
-        let shards = builders
-            .into_iter()
-            .map(IndexBuilder::build)
-            .collect::<Result<Vec<_>, _>>()?;
         Ok(ShardedIndex {
             shards,
             bases,
@@ -111,45 +145,144 @@ impl ShardedIndex {
         &self.shards
     }
 
+    /// One shard, or `None` when `i` is out of range.
+    pub fn try_shard(&self, i: usize) -> Option<&InvertedIndex> {
+        self.shards.get(i)
+    }
+
     /// One shard.
     ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range.
+    /// Out-of-range `i` is clamped to the last shard (the split
+    /// guarantees at least one); use [`ShardedIndex::try_shard`] to
+    /// detect the range error instead.
     pub fn shard(&self, i: usize) -> &InvertedIndex {
-        &self.shards[i]
+        // `split` never constructs an empty shard list, so the clamp
+        // always lands on a valid index.
+        &self.shards[i.min(self.shards.len().saturating_sub(1))]
     }
 
-    /// Translates a shard-local docID to the global docID.
+    /// Mutable access to one shard — a corruption-harness hook, same
+    /// contract as [`crate::EncodedList::data_mut`]: mutations made
+    /// through it must surface as typed errors or bit-correct decodes on
+    /// *that shard only*; sibling shards share no storage and must stay
+    /// byte-identical to an unmutated split.
     ///
-    /// # Panics
-    ///
-    /// Panics if `shard` is out of range.
+    /// Out-of-range `i` is clamped to the last shard, mirroring
+    /// [`ShardedIndex::shard`].
+    pub fn shard_mut(&mut self, i: usize) -> &mut InvertedIndex {
+        let last = self.shards.len().saturating_sub(1);
+        &mut self.shards[i.min(last)]
+    }
+
+    /// The global docID base of each shard, ascending.
+    pub fn bases(&self) -> &[DocId] {
+        &self.bases
+    }
+
+    /// Translates a shard-local docID to the global docID. Out-of-range
+    /// shard indices translate as the last shard.
     pub fn global_doc(&self, shard: usize, local: DocId) -> DocId {
-        self.bases[shard] + local
+        self.bases[shard.min(self.bases.len().saturating_sub(1))] + local
     }
 
-    /// Merges per-shard hit lists (already in each shard's ranking order)
-    /// into a global top-`k`, translating docIDs.
+    /// Merges per-shard hit lists — each already sorted by
+    /// [`SearchHit::ranking_cmp`], as every engine returns them — into a
+    /// global top-`k` via a k-way streaming merge, translating local
+    /// docIDs to global ones.
+    ///
+    /// The merge order is a *total* order (score descending, global
+    /// docID ascending; translated docIDs are globally unique), so the
+    /// result is deterministic for any shard count and any tie pattern,
+    /// and equals sorting the concatenation — without materializing it.
     pub fn merge_topk(&self, per_shard: &[Vec<SearchHit>], k: usize) -> Vec<SearchHit> {
-        let mut all: Vec<SearchHit> = Vec::new();
-        for (s, hits) in per_shard.iter().enumerate() {
-            all.extend(hits.iter().map(|h| SearchHit {
-                doc: self.global_doc(s, h.doc),
-                score: h.score,
-            }));
+        struct Head {
+            hit: SearchHit,
+            shard: usize,
+            pos: usize,
         }
-        all.sort_by(SearchHit::ranking_cmp);
-        all.truncate(k);
-        all
+        impl PartialEq for Head {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == std::cmp::Ordering::Equal
+            }
+        }
+        impl Eq for Head {}
+        impl PartialOrd for Head {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Head {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // BinaryHeap is a max-heap; "greatest" must be the head
+                // that ranks first, so compare in reverse ranking order.
+                other.hit.ranking_cmp(&self.hit)
+            }
+        }
+
+        let mut heap = std::collections::BinaryHeap::with_capacity(per_shard.len());
+        for (s, hits) in per_shard.iter().enumerate() {
+            if let Some(h) = hits.first() {
+                heap.push(Head {
+                    hit: SearchHit {
+                        doc: self.global_doc(s, h.doc),
+                        score: h.score,
+                    },
+                    shard: s,
+                    pos: 0,
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(k.min(per_shard.iter().map(Vec::len).sum()));
+        while out.len() < k {
+            let Some(head) = heap.pop() else { break };
+            out.push(head.hit);
+            if let Some(h) = per_shard[head.shard].get(head.pos + 1) {
+                heap.push(Head {
+                    hit: SearchHit {
+                        doc: self.global_doc(head.shard, h.doc),
+                        score: h.score,
+                    },
+                    shard: head.shard,
+                    pos: head.pos + 1,
+                });
+            }
+        }
+        out
     }
+}
+
+/// Encodes a shard's posting list the way [`crate::IndexBuilder`] does
+/// under its default hybrid policy: every stock scheme, keep the first
+/// smallest. `bm25`, `idf`, and `norms` carry the *global* statistics.
+fn encode_hybrid(
+    plist: &PostingList,
+    bm25: &Bm25,
+    idf: f32,
+    norms: &[f32],
+) -> Result<EncodedList, Error> {
+    let mut best: Option<EncodedList> = None;
+    for s in ALL_SCHEMES {
+        if let Ok(enc) = EncodedList::encode(plist, s, bm25, idf, norms) {
+            if best
+                .as_ref()
+                .is_none_or(|b| enc.data_bytes() < b.data_bytes())
+            {
+                best = Some(enc);
+            }
+        }
+    }
+    best.ok_or(Error::CorruptMetadata {
+        reason: "no compression scheme could encode a shard posting list",
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use crate::reference;
-    use crate::QueryExpr;
+    use crate::{IndexBuilder, QueryExpr};
 
     fn corpus() -> InvertedIndex {
         let docs: Vec<String> = (0u32..300)
@@ -206,26 +339,53 @@ mod tests {
     }
 
     #[test]
-    fn sharded_search_equals_global_search() {
+    fn shard_scores_are_bit_identical_to_global() {
         let idx = corpus();
-        let sharded = ShardedIndex::split(&idx, 4).unwrap();
-        let q = QueryExpr::and([QueryExpr::term("even"), QueryExpr::term("three")]);
-        // Per-shard top-k with local scoring... shard-local BM25 statistics
-        // (df, avgdl) differ slightly from global ones, so compare the
-        // *document sets*, which must match exactly.
-        let mut per_shard = Vec::new();
-        for shard in sharded.shards() {
-            match reference::evaluate(shard, &q, 1000) {
-                Ok(hits) => per_shard.push(hits),
-                Err(Error::UnknownTerm { .. }) => per_shard.push(Vec::new()),
-                Err(e) => panic!("{e}"),
+        for n in [1u32, 2, 3, 4, 7] {
+            let sharded = ShardedIndex::split(&idx, n).unwrap();
+            let q = QueryExpr::and([QueryExpr::term("even"), QueryExpr::term("three")]);
+            let global = reference::evaluate(&idx, &q, 1000).unwrap();
+            let mut per_shard = Vec::new();
+            for shard in sharded.shards() {
+                match reference::evaluate(shard, &q, 1000) {
+                    Ok(hits) => per_shard.push(hits),
+                    Err(Error::UnknownTerm { .. }) => per_shard.push(Vec::new()),
+                    Err(e) => panic!("{e}"),
+                }
             }
+            let merged = sharded.merge_topk(&per_shard, 1000);
+            // Exact equality — docIDs *and* f32 scores — because shards
+            // carry the global BM25 statistics.
+            assert_eq!(merged, global, "{n} shards");
         }
-        let merged = sharded.merge_topk(&per_shard, 1000);
-        let mut got: Vec<u32> = merged.iter().map(|h| h.doc).collect();
-        got.sort_unstable();
-        let expect: Vec<u32> = reference::candidates(&idx, &q).unwrap();
-        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn single_shard_split_reproduces_parent_lists() {
+        let idx = corpus();
+        let sharded = ShardedIndex::split(&idx, 1).unwrap();
+        let shard = sharded.shard(0);
+        assert_eq!(shard.n_docs(), idx.n_docs());
+        assert_eq!(shard.n_terms(), idx.n_terms());
+        assert_eq!(shard.doc_norms(), idx.doc_norms());
+        assert_eq!(shard.bm25(), idx.bm25());
+        for id in idx.term_ids() {
+            assert_eq!(shard.term_info(id), idx.term_info(id));
+            assert_eq!(shard.list(id), idx.list(id), "term id {id}");
+        }
+    }
+
+    #[test]
+    fn uneven_split_is_balanced_with_no_empty_shard() {
+        let docs: Vec<String> = (0u32..10).map(|_| "tok".to_string()).collect();
+        let idx = IndexBuilder::new()
+            .add_documents(docs.iter().map(String::as_str))
+            .build()
+            .unwrap();
+        let sharded = ShardedIndex::split(&idx, 4).unwrap();
+        let sizes: Vec<u32> = sharded.shards().iter().map(InvertedIndex::n_docs).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(sharded.bases(), &[0, 3, 6, 8]);
     }
 
     #[test]
@@ -244,9 +404,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one shard")]
-    fn zero_shards_panics() {
+    fn merge_topk_breaks_score_ties_by_global_doc() {
         let idx = corpus();
-        let _ = ShardedIndex::split(&idx, 0);
+        let sharded = ShardedIndex::split(&idx, 3).unwrap();
+        // Identical scores everywhere: order must be global docID order.
+        let per_shard: Vec<Vec<SearchHit>> = (0..3)
+            .map(|_| (0..4).map(|d| SearchHit { doc: d, score: 1.0 }).collect())
+            .collect();
+        let merged = sharded.merge_topk(&per_shard, 9);
+        let docs: Vec<u32> = merged.iter().map(|h| h.doc).collect();
+        let mut sorted = docs.clone();
+        sorted.sort_unstable();
+        assert_eq!(docs, sorted, "ties resolve by ascending global docID");
+        assert_eq!(docs.len(), 9);
+    }
+
+    #[test]
+    fn invalid_shard_counts_are_typed_errors() {
+        let idx = corpus();
+        assert!(matches!(
+            ShardedIndex::split(&idx, 0),
+            Err(Error::InvalidShardCount {
+                n_shards: 0,
+                n_docs: 300
+            })
+        ));
+        assert!(matches!(
+            ShardedIndex::split(&idx, 301),
+            Err(Error::InvalidShardCount {
+                n_shards: 301,
+                n_docs: 300
+            })
+        ));
     }
 }

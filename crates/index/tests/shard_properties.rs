@@ -1,0 +1,190 @@
+//! Property tests for the shard layer: over random corpora, shard counts
+//! 1–8, and tie-heavy score distributions, a scatter-gather merge of
+//! per-shard top-k lists must equal the exhaustive single-index oracle —
+//! docIDs *and* f32 scores, bit for bit.
+
+use boss_index::shard::ShardedIndex;
+use boss_index::{reference, Error, IndexBuilder, InvertedIndex, QueryExpr, SearchHit};
+use proptest::prelude::*;
+
+/// Six document templates over a four-term vocabulary. Heavy duplication
+/// is deliberate: identical documents score identically, so every corpus
+/// is saturated with score ties and the merge's docID tie-break is
+/// exercised on every case.
+const TEMPLATES: [&str; 6] = [
+    "alpha",
+    "alpha beta",
+    "alpha beta beta",
+    "alpha gamma",
+    "beta gamma delta",
+    "alpha beta gamma delta",
+];
+
+/// Builds an index from template codes, with one all-terms document
+/// appended so every query term exists in the global vocabulary.
+fn build(codes: &[usize]) -> InvertedIndex {
+    let docs: Vec<&str> = codes
+        .iter()
+        .map(|&c| TEMPLATES[c % TEMPLATES.len()])
+        .chain(std::iter::once("alpha beta gamma delta"))
+        .collect();
+    IndexBuilder::new()
+        .add_documents(docs.iter().copied())
+        .build()
+        .expect("corpus builds")
+}
+
+/// The query shapes swept, indexed by a proptest-drawn selector. The
+/// `delta`/`gamma` terms are rare enough to be absent from some shards,
+/// so per-shard rewriting (absent `Or` child dropped, absent `And` child
+/// killing the conjunction) is exercised too.
+fn query(sel: usize) -> QueryExpr {
+    match sel % 5 {
+        0 => QueryExpr::term("alpha"),
+        1 => QueryExpr::term("delta"),
+        2 => QueryExpr::and([QueryExpr::term("alpha"), QueryExpr::term("beta")]),
+        3 => QueryExpr::or([QueryExpr::term("beta"), QueryExpr::term("delta")]),
+        _ => QueryExpr::or([
+            QueryExpr::and([QueryExpr::term("alpha"), QueryExpr::term("gamma")]),
+            QueryExpr::term("delta"),
+        ]),
+    }
+}
+
+/// Per-shard query rewrite, mirroring the engine-layer coordinator: a
+/// term absent from the shard matches nothing there, an `And` with an
+/// absent child matches nothing, an `Or` drops absent children.
+fn rewrite(shard: &InvertedIndex, q: &QueryExpr) -> Option<QueryExpr> {
+    match q {
+        QueryExpr::Term(t) => shard.term_id(t).ok().map(|_| q.clone()),
+        QueryExpr::And(subs) => subs
+            .iter()
+            .map(|s| rewrite(shard, s))
+            .collect::<Option<Vec<_>>>()
+            .map(QueryExpr::And),
+        QueryExpr::Or(subs) => {
+            let kept: Vec<_> = subs.iter().filter_map(|s| rewrite(shard, s)).collect();
+            (!kept.is_empty()).then_some(QueryExpr::Or(kept))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The end-to-end property: split, evaluate per shard, merge — equal
+    /// to evaluating the unsplit index, for any corpus, shard count, and
+    /// k. Exact `SearchHit` equality means the f32 scores are
+    /// bit-identical, not merely close: shards carry the global BM25
+    /// statistics.
+    #[test]
+    fn scatter_gather_merge_equals_single_index_oracle(
+        codes in prop::collection::vec(0usize..TEMPLATES.len(), 8..120),
+        n_shards in 1u32..9,
+        k in 1usize..40,
+        sel in 0usize..5,
+    ) {
+        let index = build(&codes);
+        let q = query(sel);
+        let oracle = reference::evaluate(&index, &q, k).expect("oracle evaluates");
+
+        let sharded = ShardedIndex::split(&index, n_shards).expect("split succeeds");
+        let mut per_shard = Vec::with_capacity(sharded.n_shards());
+        for shard in sharded.shards() {
+            match rewrite(shard, &q) {
+                None => per_shard.push(Vec::new()),
+                Some(local) => per_shard.push(
+                    reference::evaluate(shard, &local, k).expect("shard evaluates"),
+                ),
+            }
+        }
+        let merged = sharded.merge_topk(&per_shard, k);
+        prop_assert_eq!(merged, oracle);
+    }
+
+    /// The merge in isolation, against a sort-the-concatenation oracle,
+    /// over synthetic per-shard hit lists drawn from a three-value score
+    /// pool (maximally tie-heavy): the streaming k-way merge must equal
+    /// materializing every hit, sorting by the ranking order, and
+    /// truncating.
+    #[test]
+    fn merge_topk_equals_sorted_concatenation(
+        corpus_codes in prop::collection::vec(0usize..TEMPLATES.len(), 16..64),
+        n_shards in 1u32..9,
+        picks in prop::collection::vec((0u32..u32::MAX, 0usize..3), 0..60),
+        k in 1usize..30,
+    ) {
+        let index = build(&corpus_codes);
+        let sharded = ShardedIndex::split(&index, n_shards).expect("split succeeds");
+        const SCORES: [f32; 3] = [0.25, 1.5, 1.5]; // pool weighted toward ties
+
+        // Scatter the drawn (doc, score) picks across shards, keeping
+        // local docIDs unique and in range, then sort each shard's list
+        // the way an engine returns it.
+        let n = sharded.n_shards();
+        let mut per_shard: Vec<Vec<SearchHit>> = vec![Vec::new(); n];
+        for (i, &(doc_draw, score_sel)) in picks.iter().enumerate() {
+            let s = i % n;
+            let shard_docs = sharded.shard(s).n_docs();
+            let doc = doc_draw % shard_docs;
+            if per_shard[s].iter().any(|h| h.doc == doc) {
+                continue;
+            }
+            per_shard[s].push(SearchHit { doc, score: SCORES[score_sel] });
+        }
+        for hits in &mut per_shard {
+            hits.sort_by(SearchHit::ranking_cmp);
+        }
+
+        let sh = &sharded;
+        let mut oracle: Vec<SearchHit> = per_shard
+            .iter()
+            .enumerate()
+            .flat_map(|(s, hits)| {
+                hits.iter().map(move |h| SearchHit {
+                    doc: sh.global_doc(s, h.doc),
+                    score: h.score,
+                })
+            })
+            .collect();
+        oracle.sort_by(SearchHit::ranking_cmp);
+        oracle.truncate(k);
+
+        let merged = sharded.merge_topk(&per_shard, k);
+        prop_assert_eq!(merged, oracle);
+    }
+
+    /// Shard-count invariance of the full pipeline: the merged result is
+    /// the same `Vec<SearchHit>` for every shard count, because each
+    /// equals the single-index oracle.
+    #[test]
+    fn merge_is_invariant_across_shard_counts(
+        codes in prop::collection::vec(0usize..TEMPLATES.len(), 8..80),
+        sel in 0usize..5,
+        k in 1usize..25,
+    ) {
+        let index = build(&codes);
+        let q = query(sel);
+        let mut previous: Option<Vec<SearchHit>> = None;
+        for n_shards in [1u32, 2, 3, 5, 8] {
+            if n_shards > index.n_docs() {
+                continue;
+            }
+            let sharded = ShardedIndex::split(&index, n_shards).expect("split succeeds");
+            let per_shard: Vec<Vec<SearchHit>> = sharded
+                .shards()
+                .iter()
+                .map(|shard| match rewrite(shard, &q) {
+                    None => Ok(Vec::new()),
+                    Some(local) => reference::evaluate(shard, &local, k),
+                })
+                .collect::<Result<_, Error>>()
+                .expect("shards evaluate");
+            let merged = sharded.merge_topk(&per_shard, k);
+            if let Some(prev) = &previous {
+                prop_assert_eq!(&merged, prev, "shard count {}", n_shards);
+            }
+            previous = Some(merged);
+        }
+    }
+}

@@ -45,5 +45,5 @@ pub mod timeline;
 pub use config::{MemoryConfig, MemoryKind};
 pub use fault::{FaultPlan, FAULT_LINE_BYTES};
 pub use sim::{AccessKind, AccessResult, MemorySim, PatternHint, MIN_TRANSFER_BYTES};
-pub use stats::{AccessCategory, MemStats, ACCESS_CATEGORIES};
+pub use stats::{AccessCategory, FaultCounts, MemStats, ACCESS_CATEGORIES};
 pub use timeline::Timeline;

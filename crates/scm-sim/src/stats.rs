@@ -64,6 +64,39 @@ impl std::fmt::Display for AccessCategory {
     }
 }
 
+/// Per-device fault-counter snapshot (see [`MemStats::fault_counts`]).
+///
+/// Each simulated memory device accumulates its own [`MemStats`]; in a
+/// multi-device (sharded) system these snapshots are what the
+/// coordinator compares to rank replica health and what benches report
+/// as the labeled per-shard breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Reads that touched an uncorrectable line.
+    pub faulted_reads: u64,
+    /// Accesses slowed by per-channel bandwidth degradation.
+    pub degraded_accesses: u64,
+    /// Accesses that started inside a latency-spike window.
+    pub latency_spikes: u64,
+}
+
+impl FaultCounts {
+    /// Total fault events of any class.
+    pub fn total(&self) -> u64 {
+        self.faulted_reads + self.degraded_accesses + self.latency_spikes
+    }
+}
+
+impl std::fmt::Display for FaultCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "faulted_reads {} degraded {} spikes {}",
+            self.faulted_reads, self.degraded_accesses, self.latency_spikes
+        )
+    }
+}
+
 /// Aggregated traffic counters for one simulation.
 ///
 /// Byte counts are *logical* (what the pipeline asked for); the device-level
@@ -139,7 +172,19 @@ impl MemStats {
 
     /// Total fault events of any class recorded so far.
     pub fn fault_events(&self) -> u64 {
-        self.faulted_reads + self.degraded_accesses + self.latency_spikes
+        self.fault_counts().total()
+    }
+
+    /// Snapshot of the fault counters alone — the per-device health
+    /// signal multi-device telemetry aggregates, labeled per class so a
+    /// degraded device's symptom (poison lines vs. bandwidth derating
+    /// vs. latency spikes) stays visible after aggregation.
+    pub fn fault_counts(&self) -> FaultCounts {
+        FaultCounts {
+            faulted_reads: self.faulted_reads,
+            degraded_accesses: self.degraded_accesses,
+            latency_spikes: self.latency_spikes,
+        }
     }
 
     /// Logical bytes moved in `cat`.
@@ -259,6 +304,20 @@ mod tests {
         s.record(AccessCategory::LdList, 2560, 2560, true, 100, 100);
         assert!((s.achieved_gbps(100) - 25.6).abs() < 1e-9);
         assert_eq!(s.achieved_gbps(0), 0.0);
+    }
+
+    #[test]
+    fn fault_counts_snapshot() {
+        let mut s = MemStats::new();
+        s.record_fault(true, false, true);
+        s.record_fault(false, true, true);
+        let fc = s.fault_counts();
+        assert_eq!(fc.faulted_reads, 1);
+        assert_eq!(fc.degraded_accesses, 1);
+        assert_eq!(fc.latency_spikes, 2);
+        assert_eq!(fc.total(), 4);
+        assert_eq!(s.fault_events(), 4);
+        assert_eq!(fc.to_string(), "faulted_reads 1 degraded 1 spikes 2");
     }
 
     #[test]
