@@ -28,21 +28,23 @@ fn pct(sorted_us: &[f64], p: f64) -> f64 {
 
 /// Per-query latencies in microseconds, sorted (cycles at the engine's
 /// own clock — host cycles for Lucene, 1 GHz device cycles otherwise),
-/// plus the engine's decoded-block cache counters and fault-skipped
-/// block count after the run.
+/// plus the engine's decoded-block cache counters and skip tallies
+/// (fault-skipped blocks, pruning-skipped blocks/docs) after the run.
 fn latencies_us<E: SearchEngine>(
     engine: &mut E,
     queries: &[boss_index::QueryExpr],
     k: usize,
-) -> (Vec<f64>, Option<BlockCacheStats>, u64) {
+) -> (Vec<f64>, Option<BlockCacheStats>, u64, (u64, u64)) {
     let clk = engine.clock_ghz();
     let mut us: Vec<f64> = queries
         .iter()
         .map(|q| engine.search(q, k).expect("runs").cycles as f64 / (clk * 1e3))
         .collect();
     us.sort_by(f64::total_cmp);
-    let skipped = engine.eval_counts().blocks_skipped_fault;
-    (us, engine.block_cache_stats(), skipped)
+    let eval = engine.eval_counts();
+    let skipped = eval.blocks_skipped_fault;
+    let pruned = (eval.blocks_skipped_prune, eval.docs_skipped_prune);
+    (us, engine.block_cache_stats(), skipped, pruned)
 }
 
 /// One engine's row data plus its out-of-band diagnostics.
@@ -51,6 +53,7 @@ struct EngineRow {
     us: Vec<f64>,
     cache: Option<BlockCacheStats>,
     skipped: u64,
+    pruned: (u64, u64),
     shard_health: Vec<ShardReplicaStats>,
 }
 
@@ -68,23 +71,25 @@ fn main() {
         let mut rows: Vec<EngineRow> = Vec::new();
         if args.engines.lucene {
             let mut luc = lucene_engine(&target, 1, MemoryConfig::host_scm_6ch(), &args.tuning());
-            let (us, cache, skipped) = latencies_us(&mut luc, queries, args.k);
+            let (us, cache, skipped, pruned) = latencies_us(&mut luc, queries, args.k);
             rows.push(EngineRow {
                 name: "Lucene",
                 us,
                 cache,
                 skipped,
+                pruned,
                 shard_health: luc.shard_stats(),
             });
         }
         if args.engines.iiu {
             let mut iiu = iiu_engine(&target, 1, MemoryConfig::optane_dcpmm(), &args.tuning());
-            let (us, cache, skipped) = latencies_us(&mut iiu, queries, args.k);
+            let (us, cache, skipped, pruned) = latencies_us(&mut iiu, queries, args.k);
             rows.push(EngineRow {
                 name: "IIU",
                 us,
                 cache,
                 skipped,
+                pruned,
                 shard_health: iiu.shard_stats(),
             });
         }
@@ -97,12 +102,13 @@ fn main() {
                 args.k,
                 &args.tuning(),
             );
-            let (us, cache, skipped) = latencies_us(&mut boss, queries, args.k);
+            let (us, cache, skipped, pruned) = latencies_us(&mut boss, queries, args.k);
             rows.push(EngineRow {
                 name: "BOSS",
                 us,
                 cache,
                 skipped,
+                pruned,
                 shard_health: boss.shard_stats(),
             });
         }
@@ -136,6 +142,18 @@ fn main() {
                     qt.label(),
                     r.name,
                     r.skipped
+                );
+            }
+            // Dynamic-pruning savings (non-zero only under --algorithm
+            // maxscore/wand/bmw/bmm): work avoided, never hits changed,
+            // so these too stay out of the diffed data rows.
+            if r.pruned.0 > 0 || r.pruned.1 > 0 {
+                println!(
+                    "# prune {} {}: blocks_skipped {} docs_skipped {}",
+                    qt.label(),
+                    r.name,
+                    r.pruned.0,
+                    r.pruned.1,
                 );
             }
             // Labeled per-shard breakdown: which device is sick, with

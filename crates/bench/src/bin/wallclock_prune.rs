@@ -1,0 +1,301 @@
+//! Wall-clock dynamic-pruning microbenchmark: exhaustive union traversal
+//! vs the MaxScore / WAND / BMW / BMM query plans.
+//!
+//! Sweeps algorithm × codec × k over union workloads on a synthetic
+//! corpus with per-block score skew (the regime block-max pruning
+//! exists for), driving the portable pruned evaluator
+//! (`boss_index::prune`) that the IIU and Lucene-like engines share.
+//! Every configuration verifies its top-k is bit-identical to the
+//! exhaustive oracle before it is timed.
+//!
+//! Outputs one TSV row per (codec, algorithm, k) with blocks decoded
+//! and documents evaluated alongside best-of-`--reps` wall-clock
+//! microseconds per query, and writes a machine-readable summary to
+//! `BENCH_prune.json` (`--json PATH` to move it).
+//!
+//! Like the other `wallclock_*` binaries, this measures *host*
+//! wall-clock time: the timing columns vary run to run, unlike the
+//! simulated figures. The counter columns (blocks decoded, documents
+//! evaluated/skipped) are deterministic.
+
+use boss_bench::{f, header, row};
+use boss_compress::Scheme;
+use boss_index::prune::{pruned_union_topk, NullSink, PruneCounters};
+use boss_index::{
+    IndexBuilder, InvertedIndex, QueryAlgorithm, QueryExpr, SchemeChoice, SearchHit, TermId,
+    ALL_ALGORITHMS,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct ConfigResult {
+    codec: String,
+    algorithm: String,
+    k: usize,
+    blocks_decoded: u64,
+    blocks_skipped: u64,
+    docs_evaluated: u64,
+    docs_skipped: u64,
+    wall_us_per_query: f64,
+    speedup_vs_exhaustive: f64,
+    bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: String,
+    docs: usize,
+    reps: usize,
+    queries: usize,
+    results: Vec<ConfigResult>,
+    /// Configurations (codec, k) where a block-max plan beat the
+    /// exhaustive traversal on wall-clock.
+    wallclock_wins: Vec<String>,
+}
+
+struct Args {
+    docs: usize,
+    reps: usize,
+    json: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        docs: 24_000,
+        reps: 5,
+        json: "BENCH_prune.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--docs" => args.docs = take("--docs").parse().expect("--docs N"),
+            "--reps" => args.reps = take("--reps").parse::<usize>().expect("--reps N").max(1),
+            "--json" => args.json = take("--json"),
+            "--help" | "-h" => {
+                println!("usage: [--docs N] [--reps N] [--json PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Corpus with per-block tf variation, so block-max scores differ enough
+/// for the block-max plans to have something to skip — the same shape as
+/// the `boss_index::prune` skip tests.
+fn skewed_corpus(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2_654_435_761);
+            let mut words: Vec<&str> = vec!["common"];
+            if h.is_multiple_of(2) {
+                let tf = 1 + (i / 128) % 7;
+                words.extend(std::iter::repeat_n("alpha", tf));
+            }
+            if h.is_multiple_of(3) {
+                words.push("beta");
+            }
+            if h.is_multiple_of(13) {
+                let tf = 1 + (i / 256) % 5;
+                words.extend(std::iter::repeat_n("mid", tf));
+            }
+            if h.is_multiple_of(97) {
+                words.push("rare");
+            }
+            words.join(" ")
+        })
+        .collect()
+}
+
+/// The union workloads of the sweep: top-heavy two-term through flat
+/// four-term unions over lists of very different lengths and skews.
+fn union_workloads(index: &InvertedIndex) -> Vec<(QueryExpr, Vec<TermId>)> {
+    let sets: [&[&str]; 3] = [
+        &["alpha", "rare"],
+        &["alpha", "mid", "rare"],
+        &["alpha", "beta", "mid", "common"],
+    ];
+    sets.iter()
+        .map(|words| {
+            let expr = QueryExpr::or(words.iter().map(|w| QueryExpr::term(*w)));
+            let terms = words
+                .iter()
+                .map(|w| index.term_id(w).expect("term exists in corpus"))
+                .collect();
+            (expr, terms)
+        })
+        .collect()
+}
+
+fn hit_key(hits: &[SearchHit]) -> Vec<(u32, u32)> {
+    hits.iter().map(|h| (h.doc, h.score.to_bits())).collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let docs = skewed_corpus(args.docs);
+
+    let codecs: [(&str, SchemeChoice); 3] = [
+        ("hybrid", SchemeChoice::Hybrid),
+        ("bp", SchemeChoice::Fixed(Scheme::Bp)),
+        ("vb", SchemeChoice::Fixed(Scheme::Vb)),
+    ];
+    let ks = [10usize, 100, 1000];
+
+    println!("# Wall-clock dynamic pruning: algorithm x codec x k on union workloads");
+    println!(
+        "# {} docs, best of {} reps; every plan verified bit-identical to exhaustive",
+        args.docs, args.reps
+    );
+    header(&[
+        "codec",
+        "algorithm",
+        "k",
+        "blocks_decoded",
+        "blocks_skipped",
+        "docs_evaluated",
+        "docs_skipped",
+        "wall_us_per_query",
+        "speedup_vs_exhaustive",
+        "bit_identical",
+    ]);
+
+    let mut results: Vec<ConfigResult> = Vec::new();
+    let mut wallclock_wins: Vec<String> = Vec::new();
+    let mut n_queries = 0usize;
+
+    for (codec_name, scheme) in codecs {
+        let index = IndexBuilder::new()
+            .scheme(scheme)
+            .add_documents(docs.iter().map(String::as_str))
+            .build()
+            .expect("index builds");
+        let workloads = union_workloads(&index);
+        n_queries = workloads.len();
+
+        for k in ks {
+            // Exhaustive oracle per query, for bit-identity checks.
+            let oracles: Vec<Vec<(u32, u32)>> = workloads
+                .iter()
+                .map(|(expr, _)| {
+                    hit_key(&boss_index::reference::evaluate(&index, expr, k).expect("oracle"))
+                })
+                .collect();
+            let mut exhaustive_us = 0.0f64;
+            for algo in ALL_ALGORITHMS {
+                // Deterministic work counters, one untimed pass.
+                let mut counters = PruneCounters::default();
+                let mut identical = true;
+                for ((_, terms), oracle) in workloads.iter().zip(&oracles) {
+                    let out = pruned_union_topk(&index, terms, algo, k, &mut counters)
+                        .expect("pruned evaluation");
+                    identical &= hit_key(&out.hits) == *oracle;
+                }
+                assert!(
+                    identical,
+                    "{algo} diverged from the exhaustive oracle (codec {codec_name}, k {k})"
+                );
+                // Best-of-reps wall-clock over the whole workload set.
+                let mut best = f64::INFINITY;
+                for _ in 0..args.reps {
+                    let start = Instant::now();
+                    for (_, terms) in &workloads {
+                        let out = pruned_union_topk(&index, terms, algo, k, &mut NullSink)
+                            .expect("pruned evaluation");
+                        std::hint::black_box(&out.hits);
+                    }
+                    best = best.min(start.elapsed().as_secs_f64());
+                }
+                let wall_us = best * 1e6 / workloads.len() as f64;
+                if algo == QueryAlgorithm::Exhaustive {
+                    exhaustive_us = wall_us;
+                }
+                let speedup = exhaustive_us / wall_us;
+                if algo.is_block_max() && speedup > 1.0 {
+                    wallclock_wins.push(format!("{codec_name}/k{k}/{algo}"));
+                }
+                row(&[
+                    codec_name.into(),
+                    algo.label().into(),
+                    k.to_string(),
+                    counters.blocks_decoded.to_string(),
+                    counters.blocks_skipped.to_string(),
+                    counters.docs_scored.to_string(),
+                    (counters.docs_skipped + counters.docs_skipped_blocks).to_string(),
+                    f(wall_us),
+                    f(speedup),
+                    identical.to_string(),
+                ]);
+                results.push(ConfigResult {
+                    codec: codec_name.into(),
+                    algorithm: algo.label().into(),
+                    k,
+                    blocks_decoded: counters.blocks_decoded,
+                    blocks_skipped: counters.blocks_skipped,
+                    docs_evaluated: counters.docs_scored,
+                    docs_skipped: counters.docs_skipped + counters.docs_skipped_blocks,
+                    wall_us_per_query: wall_us,
+                    speedup_vs_exhaustive: speedup,
+                    bit_identical: identical,
+                });
+            }
+        }
+    }
+
+    // Acceptance: the block-max plans must decode strictly fewer blocks
+    // than the exhaustive traversal on every codec x k configuration.
+    for (codec_name, _) in codecs {
+        for k in ks {
+            let blocks = |label: &str| {
+                results
+                    .iter()
+                    .find(|r| r.codec == codec_name && r.k == k && r.algorithm == label)
+                    .map(|r| r.blocks_decoded)
+                    .expect("configuration ran")
+            };
+            let exhaustive = blocks("exhaustive");
+            for label in ["bmw", "bmm"] {
+                assert!(
+                    blocks(label) < exhaustive,
+                    "{label} decoded {} blocks, exhaustive {exhaustive} (codec {codec_name}, k {k})",
+                    blocks(label)
+                );
+            }
+        }
+    }
+    println!(
+        "# block-max plans decoded strictly fewer blocks than exhaustive on all {} configs",
+        codecs.len() * ks.len()
+    );
+    println!(
+        "# wall-clock wins (block-max vs exhaustive): {}",
+        if wallclock_wins.is_empty() {
+            "none".to_string()
+        } else {
+            wallclock_wins.join(", ")
+        }
+    );
+
+    let report = Report {
+        bench: "wallclock_prune".into(),
+        docs: args.docs,
+        reps: args.reps,
+        queries: n_queries,
+        results,
+        wallclock_wins,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&args.json, json + "\n").expect("report written");
+    eprintln!("wrote {}", args.json);
+}

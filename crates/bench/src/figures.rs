@@ -12,12 +12,25 @@ use crate::{
     BenchTarget, SystemRun, TypedSuite,
 };
 use boss_core::power::AreaPowerModel;
-use boss_core::EtMode;
+use boss_core::{EtMode, QueryAlgorithm};
 use boss_scm::{AccessCategory, MemoryConfig};
 use boss_workload::queries::QueryType;
 
 /// Core counts swept by Figures 9–12.
 pub const CORE_SWEEP: [u32; 4] = [1, 2, 4, 8];
+
+/// The dynamic-pruning plans must be opt-in only: under the default
+/// `--algorithm exhaustive`, no simulated system may book pruning work,
+/// i.e. the figures' counts are unchanged from before pruning existed.
+fn assert_exhaustive_untouched(args: &BenchArgs, system: &str, run: &SystemRun) {
+    if args.algorithm == QueryAlgorithm::Exhaustive {
+        assert_eq!(
+            (run.eval.blocks_skipped_prune, run.eval.docs_skipped_prune),
+            (0, 0),
+            "exhaustive {system} run booked dynamic-pruning work"
+        );
+    }
+}
 
 /// Figures 9/10: per-query-type throughput of IIU and BOSS with 1/2/4/8
 /// cores, normalized to 8-thread Lucene on SCM.
@@ -274,6 +287,9 @@ pub fn evaluated_docs(name: &str, target: &BenchTarget, suite: &TypedSuite, args
             k,
             args.threads,
         );
+        assert_exhaustive_untouched(args, "IIU", &iiu);
+        assert_exhaustive_untouched(args, "BOSS-block-only", &block);
+        assert_exhaustive_untouched(args, "BOSS", &full);
         let base = iiu.eval.docs_scored.max(1) as f64;
         row(&[
             qt.label().into(),
@@ -325,6 +341,8 @@ pub fn memory_accesses(name: &str, target: &BenchTarget, suite: &TypedSuite, arg
             k,
             args.threads,
         );
+        assert_exhaustive_untouched(args, "IIU", &iiu);
+        assert_exhaustive_untouched(args, "BOSS", &boss);
         let base = iiu.mem.total_bytes().max(1) as f64;
         for (label, m) in [("IIU", &iiu.mem), ("BOSS", &boss.mem)] {
             let ld_list = m.bytes(AccessCategory::LdList) + m.bytes(AccessCategory::LdMeta);

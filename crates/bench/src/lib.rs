@@ -17,7 +17,7 @@
 pub mod corruption;
 pub mod figures;
 
-use boss_core::{BossConfig, DegradePolicy, EtMode, EvalCounts, QueryOutcome};
+use boss_core::{BossConfig, DegradePolicy, EtMode, EvalCounts, QueryAlgorithm, QueryOutcome};
 use boss_engine::{BatchExecutor, Boss, Iiu, Lucene, SearchEngine, ShardTiming, Sharded};
 use boss_iiu::IiuConfig;
 use boss_index::shard::ShardedIndex;
@@ -133,6 +133,11 @@ pub struct BenchArgs {
     /// Without it the plan applies to the canonical engine and all
     /// leaves uniformly.
     pub shard_fault: Option<usize>,
+    /// Dynamic-pruning query plan (`--algorithm exhaustive|maxscore|
+    /// wand|bmw|bmm`) installed on every selected engine. Safe pruning:
+    /// hits stay bit-identical to the default exhaustive traversal at
+    /// every thread and shard count; only the work/timing columns move.
+    pub algorithm: QueryAlgorithm,
 }
 
 impl Default for BenchArgs {
@@ -152,6 +157,7 @@ impl Default for BenchArgs {
             shards: 1,
             replicas: 1,
             shard_fault: None,
+            algorithm: QueryAlgorithm::Exhaustive,
         }
     }
 }
@@ -210,6 +216,9 @@ impl BenchArgs {
                 "--shard-fault" => {
                     args.shard_fault = Some(parsed_value(&take("--shard-fault"), "--shard-fault"));
                 }
+                "--algorithm" => {
+                    args.algorithm = parsed_value(&take("--algorithm"), "--algorithm");
+                }
                 "--degrade" => match take("--degrade").as_str() {
                     "fail" => args.degrade_skip = false,
                     "skip" => args.degrade_skip = true,
@@ -223,7 +232,8 @@ impl BenchArgs {
                         "usage: [--scale smoke|small|full] [--seed N] [--queries-per-type N] \
                          [--k N] [--threads N] [--engines boss,iiu,lucene] [--block-cache BLOCKS] \
                          [--no-bulk] [--fault-plan SEED] [--fault-rate F] [--degrade fail|skip] \
-                         [--shards N] [--replicas N] [--shard-fault S]"
+                         [--shards N] [--replicas N] [--shard-fault S] \
+                         [--algorithm exhaustive|maxscore|wand|bmw|bmm]"
                     );
                     std::process::exit(0);
                 }
@@ -246,6 +256,7 @@ impl BenchArgs {
             degrade_skip: self.degrade_skip,
             replicas: self.replicas.max(1) as usize,
             shard_fault: self.shard_fault,
+            algorithm: self.algorithm,
         }
     }
 
@@ -277,6 +288,9 @@ impl BenchArgs {
         println!("# threads {}", self.threads);
         if self.shards > 1 {
             println!("# shards {} replicas {}", self.shards, self.replicas.max(1));
+        }
+        if self.algorithm != QueryAlgorithm::Exhaustive {
+            println!("# algorithm {}", self.algorithm);
         }
     }
 }
@@ -391,6 +405,9 @@ pub struct EngineTuning {
     /// Confine the fault plan to (shard S, replica 0); see
     /// [`BenchArgs::shard_fault`].
     pub shard_fault: Option<usize>,
+    /// Dynamic-pruning query plan installed on every engine the helpers
+    /// build (leaves included). Hits are bit-identical to exhaustive.
+    pub algorithm: QueryAlgorithm,
 }
 
 impl EngineTuning {
@@ -404,7 +421,15 @@ impl EngineTuning {
             degrade_skip: false,
             replicas: 1,
             shard_fault: None,
+            algorithm: QueryAlgorithm::Exhaustive,
         }
+    }
+
+    /// The same tuning with `algorithm` replaced.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: QueryAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
     }
 
     /// The fault plan these knobs describe, if any.
@@ -521,6 +546,7 @@ pub fn boss_engine<'a>(
                 .on_memory(memory.clone())
                 .with_block_cache(tuning.block_cache)
                 .with_bulk_score(tuning.bulk_score)
+                .with_algorithm(tuning.algorithm)
                 .with_fault_plan(plan)
                 .with_degrade(degrade),
         )
@@ -542,7 +568,8 @@ pub fn iiu_engine<'a>(
             IiuConfig::with_cores(cores)
                 .on_memory(memory.clone())
                 .with_block_cache(tuning.block_cache)
-                .with_bulk_score(tuning.bulk_score),
+                .with_bulk_score(tuning.bulk_score)
+                .with_algorithm(tuning.algorithm),
         )
     })
 }
@@ -561,7 +588,8 @@ pub fn lucene_engine<'a>(
             LuceneConfig::with_threads(threads)
                 .on_memory(memory.clone())
                 .with_block_cache(tuning.block_cache)
-                .with_bulk_score(tuning.bulk_score),
+                .with_bulk_score(tuning.bulk_score)
+                .with_algorithm(tuning.algorithm),
         )
     })
 }

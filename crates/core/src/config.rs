@@ -1,6 +1,7 @@
 //! Accelerator configuration and timing constants.
 
 use crate::pipeline::TimingFidelity;
+use boss_index::QueryAlgorithm;
 use boss_scm::MemoryConfig;
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +100,12 @@ pub struct BossConfig {
     pub k: usize,
     /// Early-termination mode.
     pub et_mode: EtMode,
+    /// Dynamic-pruning query plan for union-bearing queries. The default
+    /// ([`QueryAlgorithm::Exhaustive`]) keeps the paper's traversal with
+    /// `et_mode` as the early-termination axis; any other value replaces
+    /// the union traversal with that pruning algorithm (`crate::prune`),
+    /// still returning bit-identical top-k results.
+    pub algorithm: QueryAlgorithm,
     /// Decompression modules per core.
     pub decompressors_per_core: u32,
     /// Scoring modules per core.
@@ -137,6 +144,7 @@ impl Default for BossConfig {
             clock_ghz: 1.0,
             k: 1000,
             et_mode: EtMode::Full,
+            algorithm: QueryAlgorithm::Exhaustive,
             decompressors_per_core: 4,
             scorers_per_core: 4,
             max_terms_per_core: 4,
@@ -171,6 +179,13 @@ impl BossConfig {
     #[must_use]
     pub fn with_et(mut self, et: EtMode) -> Self {
         self.et_mode = et;
+        self
+    }
+
+    /// Replaces the dynamic-pruning query algorithm.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: QueryAlgorithm) -> Self {
+        self.algorithm = algorithm;
         self
     }
 
@@ -230,6 +245,7 @@ mod tests {
     #[test]
     fn defaults_match_table1() {
         let c = BossConfig::default();
+        assert_eq!(c.algorithm, QueryAlgorithm::Exhaustive);
         assert_eq!(c.n_cores, 8);
         assert_eq!(c.k, 1000);
         assert_eq!(c.decompressors_per_core, 4);

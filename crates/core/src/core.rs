@@ -13,11 +13,12 @@ use crate::config::{BossConfig, EtMode};
 use crate::fetch::{ExecCtx, ListCursor};
 use crate::intersect::intersect_group;
 use crate::plan::QueryPlan;
+use crate::prune::pruned_union_topk;
 use crate::stats::QueryOutcome;
 use crate::topk::TopK;
 use crate::union::{union_topk, BulkScratch, UnionStream};
 use boss_index::layout::IndexImage;
-use boss_index::{BlockCache, InvertedIndex};
+use boss_index::{BlockCache, InvertedIndex, QueryAlgorithm};
 use boss_scm::AccessCategory;
 
 /// Reusable per-core (or per-worker) query buffers: the top-k queue and
@@ -64,6 +65,12 @@ impl BossCore {
     /// host-merged subqueries without pruning).
     pub(crate) fn set_et_mode(&mut self, et: EtMode) {
         self.config.et_mode = et;
+    }
+
+    /// Overrides the dynamic-pruning query algorithm (the device uses
+    /// this to force host-merged subqueries onto the exhaustive plan).
+    pub(crate) fn set_algorithm(&mut self, algorithm: QueryAlgorithm) {
+        self.config.algorithm = algorithm;
     }
 
     /// Executes one planned query against `index` laid out at `image`,
@@ -116,6 +123,26 @@ impl BossCore {
         cache: Option<&BlockCache>,
         scratch: &mut CoreScratch,
     ) -> Result<QueryOutcome, boss_index::Error> {
+        self.execute_with_scratch_seeded(index, image, plan, k, cache, scratch, f32::NEG_INFINITY)
+    }
+
+    /// [`BossCore::execute_with_scratch`] with an externally seeded
+    /// top-k score floor ([`TopK::seed_cutoff`]). A sharded coordinator
+    /// passes the running k-th score of its scatter-gather merge so a
+    /// later shard's pruning plan can skip against the global threshold
+    /// before its local queue fills; `f32::NEG_INFINITY` (what the plain
+    /// entry points pass) restores unseeded behavior exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_with_scratch_seeded(
+        &self,
+        index: &InvertedIndex,
+        image: &IndexImage,
+        plan: &QueryPlan,
+        k: usize,
+        cache: Option<&BlockCache>,
+        scratch: &mut CoreScratch,
+        floor: f32,
+    ) -> Result<QueryOutcome, boss_index::Error> {
         let mut ctx = ExecCtx::with_cache(index, image, &self.config, cache);
         let fill = self.config.timing.decomp_fill;
 
@@ -146,7 +173,15 @@ impl BossCore {
         let CoreScratch { topk, bulk } = scratch;
         let topk = topk.get_or_insert_with(|| TopK::new(k));
         topk.reset(k);
-        union_topk(&mut ctx, streams, et, topk, bulk)?;
+        topk.seed_cutoff(floor);
+        // A pruning algorithm replaces the union traversal wholesale;
+        // pure intersections keep the existing path (their matches are
+        // already small), mirroring the ET gate above.
+        if self.config.algorithm.prunes() && !plan.is_pure_intersection() {
+            pruned_union_topk(&mut ctx, streams, self.config.algorithm, topk, bulk)?;
+        } else {
+            union_topk(&mut ctx, streams, et, topk, bulk)?;
+        }
 
         // The top-k list crosses the shared interconnect: 8 B per entry
         // (docID + score), written once at the end of the query.
@@ -378,6 +413,210 @@ mod tests {
                     assert_eq!(base.mem, bulk.mem, "mem {label}");
                     assert_eq!(base.cycles, bulk.cycles, "cycles {label}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_matches_reference_on_every_query_shape() {
+        // The signature invariant, at the core level: each pruning plan
+        // returns the exhaustive oracle's top-k bit for bit, across
+        // query shapes (term, union, intersection, mixed) and k.
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let queries = [
+            QueryExpr::term("bb"),
+            QueryExpr::or([QueryExpr::term("aa"), QueryExpr::term("dd")]),
+            QueryExpr::or([
+                QueryExpr::term("aa"),
+                QueryExpr::term("bb"),
+                QueryExpr::term("cc"),
+                QueryExpr::term("dd"),
+            ]),
+            QueryExpr::and([QueryExpr::term("aa"), QueryExpr::term("bb")]),
+            QueryExpr::and([
+                QueryExpr::term("aa"),
+                QueryExpr::or([
+                    QueryExpr::term("bb"),
+                    QueryExpr::term("cc"),
+                    QueryExpr::term("dd"),
+                ]),
+            ]),
+        ];
+        for q in &queries {
+            for k in [1usize, 10, 300] {
+                let expect = reference::evaluate(&idx, q, k).unwrap();
+                for algo in boss_index::ALL_ALGORITHMS {
+                    let cfg = BossConfig::default().with_k(k).with_algorithm(algo);
+                    let core = BossCore::new(cfg.clone());
+                    let plan = QueryPlan::from_expr(&idx, q, &cfg).unwrap();
+                    let got = core.execute(&idx, &image, &plan, k).unwrap();
+                    assert_eq!(got.hits, expect, "{q} k={k} {algo}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_plans_skip_work_and_attribute_it() {
+        // A pruning plan on a small-k union scores fewer documents than
+        // the exhaustive traversal and books every saving under the
+        // dedicated prune counters; the exhaustive plan keeps those
+        // counters at zero in every ET mode (the Figure 14/15
+        // invariance).
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let q = QueryExpr::or([
+            QueryExpr::term("aa"),
+            QueryExpr::term("bb"),
+            QueryExpr::term("cc"),
+            QueryExpr::term("dd"),
+        ]);
+        let run = |algo: boss_index::QueryAlgorithm, et: EtMode| {
+            let cfg = BossConfig::default()
+                .with_k(10)
+                .with_et(et)
+                .with_algorithm(algo);
+            let core = BossCore::new(cfg.clone());
+            let plan = QueryPlan::from_expr(&idx, &q, &cfg).unwrap();
+            core.execute(&idx, &image, &plan, 10).unwrap()
+        };
+        let ex = run(QueryAlgorithm::Exhaustive, EtMode::Exhaustive);
+        assert_eq!(ex.eval.docs_skipped_prune, 0);
+        assert_eq!(ex.eval.blocks_skipped_prune, 0);
+        for et in [EtMode::Exhaustive, EtMode::BlockOnly, EtMode::Full] {
+            let o = run(QueryAlgorithm::Exhaustive, et);
+            assert_eq!(o.eval.docs_skipped_prune, 0, "{et:?}");
+            assert_eq!(o.eval.blocks_skipped_prune, 0, "{et:?}");
+        }
+        for algo in boss_index::ALL_ALGORITHMS {
+            if !algo.prunes() {
+                continue;
+            }
+            let o = run(algo, EtMode::Full);
+            assert!(
+                o.eval.docs_scored < ex.eval.docs_scored,
+                "{algo} should score fewer docs: {} vs {}",
+                o.eval.docs_scored,
+                ex.eval.docs_scored
+            );
+            assert!(o.eval.docs_skipped_prune > 0, "{algo} attributes skips");
+            assert_eq!(o.eval.docs_skipped_wand, 0, "{algo} books under prune");
+            assert_eq!(o.eval.docs_skipped_block, 0, "{algo} books under prune");
+            assert!(o.eval.blocks_fetched <= ex.eval.blocks_fetched, "{algo}");
+        }
+    }
+
+    #[test]
+    fn pruned_plans_leave_pure_intersections_untouched() {
+        // `algorithm` only replaces the union traversal; a pure
+        // intersection's outcome is bit-identical whatever the plan.
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let q = QueryExpr::and([QueryExpr::term("aa"), QueryExpr::term("bb")]);
+        let run = |algo: boss_index::QueryAlgorithm| {
+            let cfg = BossConfig::default().with_k(20).with_algorithm(algo);
+            let core = BossCore::new(cfg.clone());
+            let plan = QueryPlan::from_expr(&idx, &q, &cfg).unwrap();
+            core.execute(&idx, &image, &plan, 20).unwrap()
+        };
+        let base = run(QueryAlgorithm::Exhaustive);
+        for algo in boss_index::ALL_ALGORITHMS {
+            let got = run(algo);
+            assert_eq!(got.hits, base.hits, "{algo}");
+            assert_eq!(got.eval, base.eval, "{algo}");
+            assert_eq!(got.mem, base.mem, "{algo}");
+            assert_eq!(got.cycles, base.cycles, "{algo}");
+        }
+    }
+
+    #[test]
+    fn bulk_score_changes_nothing_observable_under_pruned_plans() {
+        // The WAND-family tail drain is wall-clock only: with any
+        // pruning algorithm, hits, counters, traffic and cycles are
+        // bit-identical with the bulk path on or off.
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let queries = [
+            QueryExpr::term("bb"),
+            QueryExpr::or([QueryExpr::term("aa"), QueryExpr::term("dd")]),
+            QueryExpr::or([
+                QueryExpr::term("aa"),
+                QueryExpr::term("bb"),
+                QueryExpr::term("cc"),
+                QueryExpr::term("dd"),
+            ]),
+            QueryExpr::and([
+                QueryExpr::term("cc"),
+                QueryExpr::or([QueryExpr::term("bb"), QueryExpr::term("dd")]),
+            ]),
+        ];
+        for algo in boss_index::ALL_ALGORITHMS {
+            for q in &queries {
+                for k in [5usize, 300] {
+                    let run_with = |bulk_on: bool| {
+                        let cfg = BossConfig::default()
+                            .with_k(k)
+                            .with_algorithm(algo)
+                            .with_bulk_score(bulk_on);
+                        let core = BossCore::new(cfg.clone());
+                        let plan = QueryPlan::from_expr(&idx, q, &cfg).unwrap();
+                        core.execute(&idx, &image, &plan, k).unwrap()
+                    };
+                    let base = run_with(false);
+                    let bulk = run_with(true);
+                    let label = format!("{q} k={k} {algo}");
+                    assert_eq!(base.hits, bulk.hits, "hits {label}");
+                    assert_eq!(base.eval, bulk.eval, "eval {label}");
+                    assert_eq!(base.mem, bulk.mem, "mem {label}");
+                    assert_eq!(base.cycles, bulk.cycles, "cycles {label}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_floor_prunes_more_but_keeps_at_or_above_floor_hits() {
+        // With a floor seeded from a (simulated) earlier shard, the plan
+        // may drop hits at or below the floor (a tie at the running k-th
+        // loses to the earlier shard's smaller-docID incumbents) but
+        // must keep every hit strictly above it, in the same order — the
+        // contract the sharded scatter-gather merge relies on.
+        let idx = corpus();
+        let image = IndexImage::new(&idx);
+        let q = QueryExpr::or([
+            QueryExpr::term("aa"),
+            QueryExpr::term("bb"),
+            QueryExpr::term("cc"),
+            QueryExpr::term("dd"),
+        ]);
+        let k = 10;
+        let expect = reference::evaluate(&idx, &q, k).unwrap();
+        // Floor between the 3rd and 4th score, so a strict subset
+        // survives any pruning.
+        let floor = expect[3].score;
+        for algo in boss_index::ALL_ALGORITHMS {
+            let cfg = BossConfig::default().with_k(k).with_algorithm(algo);
+            let core = BossCore::new(cfg.clone());
+            let plan = QueryPlan::from_expr(&idx, &q, &cfg).unwrap();
+            let got = core
+                .execute_with_scratch_seeded(
+                    &idx,
+                    &image,
+                    &plan,
+                    k,
+                    None,
+                    &mut CoreScratch::new(),
+                    floor,
+                )
+                .unwrap();
+            let kept: Vec<_> = expect.iter().filter(|h| h.score > floor).collect();
+            assert!(
+                got.hits.len() >= kept.len(),
+                "{algo}: floor must not drop above-floor hits"
+            );
+            for (g, e) in got.hits.iter().zip(&kept) {
+                assert_eq!(&g, e, "{algo}");
             }
         }
     }

@@ -141,10 +141,13 @@ impl<'a> BossDevice<'a> {
         // Host-side split into <=16-term subqueries.
         let exhaustive_k = self.index.n_docs() as usize;
         let original_et = self.config.et_mode;
+        let original_algorithm = self.config.algorithm;
         // Subqueries run without pruning (their local cutoffs would be
-        // wrong for the combined query).
+        // wrong for the combined query) — both the ET machinery and any
+        // dynamic-pruning plan are forced off.
         for c in &mut self.cores {
             c.set_et_mode(crate::config::EtMode::Exhaustive);
+            c.set_algorithm(boss_index::QueryAlgorithm::Exhaustive);
         }
         let mut scores: std::collections::HashMap<boss_index::DocId, f32> =
             std::collections::HashMap::new();
@@ -171,6 +174,7 @@ impl<'a> BossDevice<'a> {
         }
         for c in &mut self.cores {
             c.set_et_mode(original_et);
+            c.set_algorithm(original_algorithm);
         }
         result?;
         let mut hits: Vec<boss_index::SearchHit> = scores
@@ -196,14 +200,33 @@ impl<'a> BossDevice<'a> {
     /// Returns planning errors ([`Error::UnknownTerm`],
     /// [`Error::InvalidQuery`]) without touching the cores.
     pub fn search_expr(&mut self, expr: &QueryExpr, k: usize) -> Result<QueryOutcome, Error> {
+        self.search_expr_seeded(expr, k, f32::NEG_INFINITY)
+    }
+
+    /// [`BossDevice::search_expr`] with an externally seeded top-k score
+    /// floor: a sharded coordinator passes the running k-th score of its
+    /// scatter-gather merge so this device's pruning plan can skip
+    /// against the global threshold from the first posting. Passing
+    /// `f32::NEG_INFINITY` is exactly [`BossDevice::search_expr`].
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`BossDevice::search_expr`].
+    pub fn search_expr_seeded(
+        &mut self,
+        expr: &QueryExpr,
+        k: usize,
+        floor: f32,
+    ) -> Result<QueryOutcome, Error> {
         let plan = QueryPlan::from_expr(self.index, expr, &self.config)?;
-        self.cores[0].execute_with_scratch(
+        self.cores[0].execute_with_scratch_seeded(
             self.index,
             &self.image,
             &plan,
             k,
             self.cache.as_ref(),
             &mut self.scratch,
+            floor,
         )
     }
 

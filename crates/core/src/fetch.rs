@@ -21,6 +21,10 @@ pub(crate) enum SkipReason {
     Block,
     /// Skipped by the union module's WAND (popped without scoring).
     Wand,
+    /// Skipped by a dynamic-pruning query plan (`QueryAlgorithm` other
+    /// than `Exhaustive`): attributed separately so the exhaustive
+    /// counters stay untouched by the pruning plumbing.
+    Prune,
 }
 
 /// Mutable state shared by all modules while one query executes on a core.
@@ -448,13 +452,20 @@ impl<'a> ListCursor<'a> {
                 };
                 if self.scratch.is_empty() {
                     ctx.eval.blocks_skipped += 1;
-                    ctx.eval.docs_skipped_block += remaining_in_block;
+                    match reason {
+                        SkipReason::Prune => {
+                            ctx.eval.blocks_skipped_prune += 1;
+                            ctx.eval.docs_skipped_prune += remaining_in_block;
+                        }
+                        _ => ctx.eval.docs_skipped_block += remaining_in_block,
+                    }
                 } else {
                     // Partially consumed block: the tail was decoded already,
                     // so this is a pop, attributed to whichever module asked.
                     match reason {
                         SkipReason::Block => ctx.eval.docs_skipped_block += remaining_in_block,
                         SkipReason::Wand => ctx.eval.docs_skipped_wand += remaining_in_block,
+                        SkipReason::Prune => ctx.eval.docs_skipped_prune += remaining_in_block,
                     }
                 }
                 let next = self.block + 1;
@@ -475,6 +486,7 @@ impl<'a> ListCursor<'a> {
                 match reason {
                     SkipReason::Block => ctx.eval.docs_skipped_block += 1,
                     SkipReason::Wand => ctx.eval.docs_skipped_wand += 1,
+                    SkipReason::Prune => ctx.eval.docs_skipped_prune += 1,
                 }
             }
             if self.pos >= self.scratch.len() {

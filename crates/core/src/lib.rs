@@ -50,12 +50,14 @@ pub mod pipeline;
 mod plan;
 pub mod pool;
 pub mod power;
+mod prune;
 mod queueing;
 mod stats;
 mod topk;
 mod union;
 
 pub use api::{BossHandle, SearchRequest};
+pub use boss_index::{QueryAlgorithm, ALL_ALGORITHMS};
 pub use config::{BossConfig, DegradePolicy, EtMode, TimingModel};
 pub use core::{BossCore, CoreScratch};
 pub use device::{BatchOutcome, BossDevice, SchedPolicy};

@@ -41,13 +41,25 @@ pub struct EvalCounts {
     /// because their read faulted or their bytes failed to decode. Always
     /// zero without an active fault plan (or with uncorrupted data).
     pub blocks_skipped_fault: u64,
+    /// Blocks skipped undecoded by a dynamic-pruning query plan
+    /// (`QueryAlgorithm` other than `Exhaustive`). Also counted in
+    /// `blocks_skipped`; this field attributes them to the pruning
+    /// algorithm. Always zero on the exhaustive path.
+    pub blocks_skipped_prune: u64,
+    /// Documents skipped by a dynamic-pruning query plan — inside
+    /// prune-skipped blocks, popped from decoded blocks, or abandoned
+    /// mid-probe. Always zero on the exhaustive path.
+    pub docs_skipped_prune: u64,
 }
 
 impl EvalCounts {
     /// Documents whose evaluation was attempted or skipped — the
     /// denominator of Figure 14's normalization.
     pub fn docs_total(&self) -> u64 {
-        self.docs_scored + self.docs_skipped_wand + self.docs_skipped_block
+        self.docs_scored
+            + self.docs_skipped_wand
+            + self.docs_skipped_block
+            + self.docs_skipped_prune
     }
 
     /// Merges counters (across queries or cores).
@@ -62,6 +74,8 @@ impl EvalCounts {
         self.topk_inserts += o.topk_inserts;
         self.pivot_rounds += o.pivot_rounds;
         self.blocks_skipped_fault += o.blocks_skipped_fault;
+        self.blocks_skipped_prune += o.blocks_skipped_prune;
+        self.docs_skipped_prune += o.docs_skipped_prune;
     }
 }
 

@@ -16,6 +16,10 @@ pub struct TopK {
     entries: Vec<SearchHit>,
     inserts: u64,
     offers: u64,
+    /// Externally seeded score floor (sharded scatter-gather threshold
+    /// sharing): the cutoff never reports below this, so pruning can
+    /// engage before the local queue fills. `-inf` when unseeded.
+    floor: f32,
 }
 
 impl TopK {
@@ -31,6 +35,7 @@ impl TopK {
             entries: Vec::with_capacity(k.min(4096)),
             inserts: 0,
             offers: 0,
+            floor: f32::NEG_INFINITY,
         }
     }
 
@@ -52,6 +57,18 @@ impl TopK {
         self.entries.clear();
         self.inserts = 0;
         self.offers = 0;
+        self.floor = f32::NEG_INFINITY;
+    }
+
+    /// Seeds the cutoff with an externally known score floor (the running
+    /// k-th score of a scatter-gather merge across earlier shards, whose
+    /// documents precede this shard's in global docID order). Documents
+    /// provably below the floor cannot enter the *merged* top-k, so
+    /// pruning may engage against it before this queue fills. Safe only
+    /// under that merge contract; plain single-index queries leave it at
+    /// `-inf`.
+    pub fn seed_cutoff(&mut self, floor: f32) {
+        self.floor = floor;
     }
 
     /// The current cutoff θ: the score of the lowest-ranked entry once the
@@ -63,9 +80,13 @@ impl TopK {
     /// docID order).
     pub fn cutoff(&self) -> f32 {
         if self.entries.len() < self.k {
-            f32::NEG_INFINITY
+            self.floor
         } else {
-            self.entries.last().expect("queue is full").score
+            self.entries
+                .last()
+                .expect("queue is full")
+                .score
+                .max(self.floor)
         }
     }
 

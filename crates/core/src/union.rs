@@ -63,14 +63,14 @@ pub(crate) enum UnionStream<'a> {
 }
 
 impl<'a> UnionStream<'a> {
-    fn exhausted(&self) -> bool {
+    pub(crate) fn exhausted(&self) -> bool {
         match self {
             UnionStream::List(c) => c.exhausted(),
             UnionStream::Mat(m) => m.exhausted(),
         }
     }
 
-    fn current_doc(&self) -> DocId {
+    pub(crate) fn current_doc(&self) -> DocId {
         match self {
             UnionStream::List(c) => c.current_doc(),
             UnionStream::Mat(m) => m.current_doc(),
@@ -78,7 +78,7 @@ impl<'a> UnionStream<'a> {
     }
 
     /// List-level (or group-level) max score: the WAND lookup-table value.
-    fn max_score(&self) -> f32 {
+    pub(crate) fn max_score(&self) -> f32 {
         match self {
             UnionStream::List(c) => c.list_max(),
             UnionStream::Mat(m) => m.max_score,
@@ -89,7 +89,7 @@ impl<'a> UnionStream<'a> {
     /// of the block that covers (or would cover) `target`, and that
     /// block's last docID. Materialized streams have no block structure,
     /// so their global max and last doc stand in.
-    fn shallow_block_max(&self, target: DocId) -> Option<(f32, DocId)> {
+    pub(crate) fn shallow_block_max(&self, target: DocId) -> Option<(f32, DocId)> {
         match self {
             UnionStream::List(c) => c.shallow_block_max(target),
             UnionStream::Mat(m) => {
@@ -106,7 +106,7 @@ impl<'a> UnionStream<'a> {
     /// the current document) and advances past it. If the stream's block
     /// turns out unusable and the `SkipBlock` policy drops it, the stream
     /// simply contributes nothing for `doc`.
-    fn take_entries(
+    pub(crate) fn take_entries(
         &mut self,
         ctx: &mut ExecCtx<'_>,
         out: &mut Vec<(TermId, u32)>,
@@ -128,7 +128,7 @@ impl<'a> UnionStream<'a> {
 
     /// Skips to the first document `>= target`, attributing the bypassed
     /// documents to `reason`.
-    fn seek(
+    pub(crate) fn seek(
         &mut self,
         ctx: &mut ExecCtx<'_>,
         target: DocId,
@@ -143,6 +143,7 @@ impl<'a> UnionStream<'a> {
                     match reason {
                         SkipReason::Block => ctx.eval.docs_skipped_block += 1,
                         SkipReason::Wand => ctx.eval.docs_skipped_wand += 1,
+                        SkipReason::Prune => ctx.eval.docs_skipped_prune += 1,
                     }
                 }
             }
@@ -150,7 +151,7 @@ impl<'a> UnionStream<'a> {
         Ok(())
     }
 
-    fn remaining(&self) -> u64 {
+    pub(crate) fn remaining(&self) -> u64 {
         match self {
             UnionStream::List(c) => c.remaining(),
             UnionStream::Mat(m) => (m.docs.len() - m.pos) as u64,
@@ -202,7 +203,7 @@ impl ScoreLut {
 /// "cannot beat the cutoff" only if it trails by more than the worst-case
 /// f32 rounding drift, so early termination never drops a document the
 /// exhaustive reference would keep.
-fn cannot_beat(upper: f64, theta: f32) -> bool {
+pub(crate) fn cannot_beat(upper: f64, theta: f32) -> bool {
     if !theta.is_finite() {
         return false;
     }
@@ -507,53 +508,93 @@ fn drain_single_list(
                 drain_run(ctx, c, topk, bulk, pre)?;
             }
         }
-        EtMode::Full => {
-            let list_ub = f64::from(c.list_max());
-            let mut run_valid = false;
-            let mut run_j = 0usize;
-            while !c.exhausted() {
-                ctx.eval.pivot_rounds += 1;
-                let theta = topk.cutoff();
-                if cannot_beat(list_ub, theta) {
-                    // Document-level WAND termination.
-                    ctx.eval.docs_skipped_wand += c.remaining();
-                    break;
-                }
-                let pivot = c.current_doc();
-                if cannot_beat(f64::from(c.block_max()), theta) {
-                    let next = c
-                        .block_last_doc()
-                        .saturating_add(1)
-                        .max(pivot.saturating_add(1));
-                    c.seek(ctx, next, SkipReason::Block)?;
-                    run_valid = false;
-                    continue;
-                }
-                if !c.is_decoded() {
-                    run_valid = false;
-                }
-                if !run_valid {
-                    if !c.fetch_block(ctx)? {
-                        // Fault-skipped block: the cursor already moved on.
-                        continue;
-                    }
-                    c.prefetch_next(cache);
-                    let (rdocs, rtfs) = c.run();
-                    bulk.docs.clear();
-                    bulk.docs.extend_from_slice(rdocs);
-                    bm25.score_block(idf, rdocs, rtfs, norms, &mut bulk.scores);
-                    run_valid = true;
-                    run_j = 0;
-                }
-                let score = bulk.scores.scores()[run_j];
-                run_j += 1;
-                c.advance_run(ctx, 1);
-                ctx.load_norm(pivot);
-                ctx.scored += 1;
-                ctx.eval.docs_scored += 1;
-                topk.offer(pivot, score);
+        EtMode::Full => drain_wand_tail(ctx, c, topk, bulk, true, false)?,
+    }
+    Ok(())
+}
+
+/// Drains a single live posting-list stream with per-posting θ feedback:
+/// the `Full` ET arm of [`drain_single_list`] and, with `prune` set, the
+/// bulk tail of the WAND-family pruned query plans.
+///
+/// * `block_check` gates the block-max skip test (on for `Full` ET and
+///   the block-max algorithms, off for plain WAND, whose scalar loop
+///   consults only list-level bounds).
+/// * `prune` attributes skipped work to the pruning counters
+///   ([`SkipReason::Prune`] / `docs_skipped_prune`) instead of the
+///   exhaustive-path ET counters, so the exhaustive plan's figures stay
+///   untouched by the new plans.
+///
+/// Counter for counter, charge for charge, this loop is the scalar
+/// per-posting round structure with the stream dispatch stripped and the
+/// run's scores precomputed by the block kernel — the property the
+/// `bulk_*_changes_nothing_observable` tests pin down.
+pub(crate) fn drain_wand_tail(
+    ctx: &mut ExecCtx<'_>,
+    c: &mut ListCursor<'_>,
+    topk: &mut TopK,
+    bulk: &mut BulkScratch,
+    block_check: bool,
+    prune: bool,
+) -> Result<(), Error> {
+    let cache = ctx.cache;
+    let bm25 = *ctx.index.bm25();
+    let norms = ctx.index.doc_norms();
+    let idf = ctx.index.term_info(c.term).idf;
+    let skip_reason = if prune {
+        SkipReason::Prune
+    } else {
+        SkipReason::Block
+    };
+    let list_ub = f64::from(c.list_max());
+    let mut run_valid = false;
+    let mut run_j = 0usize;
+    while !c.exhausted() {
+        ctx.eval.pivot_rounds += 1;
+        let theta = topk.cutoff();
+        if cannot_beat(list_ub, theta) {
+            // Document-level termination: nothing left can beat θ.
+            let rem = c.remaining();
+            if prune {
+                ctx.eval.docs_skipped_prune += rem;
+            } else {
+                ctx.eval.docs_skipped_wand += rem;
             }
+            break;
         }
+        let pivot = c.current_doc();
+        if block_check && cannot_beat(f64::from(c.block_max()), theta) {
+            let next = c
+                .block_last_doc()
+                .saturating_add(1)
+                .max(pivot.saturating_add(1));
+            c.seek(ctx, next, skip_reason)?;
+            run_valid = false;
+            continue;
+        }
+        if !c.is_decoded() {
+            run_valid = false;
+        }
+        if !run_valid {
+            if !c.fetch_block(ctx)? {
+                // Fault-skipped block: the cursor already moved on.
+                continue;
+            }
+            c.prefetch_next(cache);
+            let (rdocs, rtfs) = c.run();
+            bulk.docs.clear();
+            bulk.docs.extend_from_slice(rdocs);
+            bm25.score_block(idf, rdocs, rtfs, norms, &mut bulk.scores);
+            run_valid = true;
+            run_j = 0;
+        }
+        let score = bulk.scores.scores()[run_j];
+        run_j += 1;
+        c.advance_run(ctx, 1);
+        ctx.load_norm(pivot);
+        ctx.scored += 1;
+        ctx.eval.docs_scored += 1;
+        topk.offer(pivot, score);
     }
     Ok(())
 }

@@ -94,6 +94,18 @@ impl SearchEngine for Boss<'_> {
         Ok(out)
     }
 
+    fn search_seeded(
+        &mut self,
+        expr: &QueryExpr,
+        k: usize,
+        floor: f32,
+    ) -> Result<QueryOutcome, Error> {
+        let out = self.device.search_expr_seeded(expr, k, floor)?;
+        self.mem.merge(&out.mem);
+        self.eval.merge(&out.eval);
+        Ok(out)
+    }
+
     fn mem_stats(&self) -> &MemStats {
         &self.mem
     }

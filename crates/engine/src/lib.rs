@@ -101,6 +101,32 @@ pub trait SearchEngine {
     /// are left untouched on error.
     fn search(&mut self, expr: &QueryExpr, k: usize) -> Result<QueryOutcome, Error>;
 
+    /// Executes one query with the top-k score floor pre-seeded at
+    /// `floor`, merging stats like [`search`](SearchEngine::search).
+    ///
+    /// The floor is a pruning hint with a drop contract: the engine may
+    /// discard hits scoring at or below `floor` (and skip the work of
+    /// producing them), but must keep every hit strictly above it. The
+    /// [`Sharded`] coordinator uses this to share the running global
+    /// threshold of its scatter-gather merge with later shards — a later
+    /// shard's tie at the running k-th score loses the merge to the
+    /// earlier shard's smaller-docID incumbents (shards are contiguous
+    /// ascending document ranges), so dropping it never changes the
+    /// merged top-k. The default ignores the floor and runs a plain
+    /// [`search`](SearchEngine::search): always correct, never faster.
+    ///
+    /// # Errors
+    ///
+    /// As [`search`](SearchEngine::search).
+    fn search_seeded(
+        &mut self,
+        expr: &QueryExpr,
+        k: usize,
+        _floor: f32,
+    ) -> Result<QueryOutcome, Error> {
+        self.search(expr, k)
+    }
+
     /// Memory traffic accumulated since the last reset.
     fn mem_stats(&self) -> &MemStats;
 

@@ -50,7 +50,7 @@
 use crate::{EvalCounts, MemStats, QueryOutcome, SearchEngine};
 use boss_core::pool::InterconnectConfig;
 use boss_index::shard::ShardedIndex;
-use boss_index::{Error, InvertedIndex, QueryExpr};
+use boss_index::{Error, InvertedIndex, QueryExpr, SearchHit};
 use boss_scm::FaultCounts;
 
 /// How [`Sharded`] charges time for a scatter-gather query.
@@ -260,17 +260,31 @@ impl<'a, E: SearchEngine> Sharded<'a, E> {
         let mut slowest_leaf = 0u64;
         let mut mem = MemStats::new();
         let mut eval = EvalCounts::default();
+        // Running merge of the shards processed so far. Shards are
+        // contiguous ascending document ranges visited in order, so once
+        // it holds k hits its k-th score is a safe floor for every later
+        // shard: a later-shard tie at that score loses the final merge
+        // to the earlier shard's smaller-docID incumbents (see
+        // `SearchEngine::search_seeded`). The floor is computed once per
+        // shard, before the replica loop, so clean replica outcomes stay
+        // bit-identical and health routing is undisturbed.
+        let mut running: Vec<boss_index::SearchHit> = Vec::new();
         for s in 0..n {
             let Some(sub) = Self::rewrite(sh.shard(s), expr) else {
                 per_shard.push(Vec::new());
                 continue;
+            };
+            let floor = if running.len() >= k {
+                running[k - 1].score
+            } else {
+                f32::NEG_INFINITY
             };
             let order = self.replica_order(s);
             let mut best: Option<(usize, QueryOutcome)> = None;
             let mut first_err: Option<Error> = None;
             for r in order {
                 self.attempts[s][r] += 1;
-                match self.leaves[s][r].search(&sub, k) {
+                match self.leaves[s][r].search_seeded(&sub, k, floor) {
                     Ok(out) => {
                         let clean =
                             out.mem.fault_events() == 0 && out.eval.blocks_skipped_fault == 0;
@@ -301,6 +315,9 @@ impl<'a, E: SearchEngine> Sharded<'a, E> {
                     slowest_leaf = slowest_leaf.max(out.cycles);
                     mem.merge(&out.mem);
                     eval.merge(&out.eval);
+                    running.extend(out.hits.iter().copied());
+                    running.sort_by(SearchHit::ranking_cmp);
+                    running.truncate(k);
                     per_shard.push(out.hits);
                 }
                 // Every replica of this shard failed: the shard is down
@@ -551,6 +568,42 @@ mod tests {
             }
             assert_eq!(single.mem_stats(), multi.mem_stats());
             assert_eq!(single.eval_counts(), multi.eval_counts());
+        }
+    }
+
+    #[test]
+    fn pruned_leaves_keep_sharded_hits_bit_identical() {
+        let idx = corpus();
+        let mut reference = Sharded::single(Boss::new(&idx, BossConfig::default()));
+        for algo in boss_core::ALL_ALGORITHMS {
+            for n in [2u32, 4] {
+                let sh = ShardedIndex::split(&idx, n).unwrap();
+                for timing in [ShardTiming::Logical, ShardTiming::ScatterGather] {
+                    let pruned_leaves: Vec<Vec<Boss>> = sh
+                        .shards()
+                        .iter()
+                        .map(|shard| {
+                            vec![Boss::new(shard, BossConfig::default().with_algorithm(algo))]
+                        })
+                        .collect();
+                    let mut multi = Sharded::new(
+                        Boss::new(&idx, BossConfig::default()),
+                        &sh,
+                        pruned_leaves,
+                        timing,
+                    );
+                    for q in queries() {
+                        for k in [3usize, 10] {
+                            let a = reference.search(&q, k).unwrap();
+                            let b = multi.search(&q, k).unwrap();
+                            assert_eq!(
+                                a.hits, b.hits,
+                                "{algo} over {n} shards ({timing:?}), k={k}, {q}"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 

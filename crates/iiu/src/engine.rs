@@ -3,9 +3,10 @@
 use boss_core::{BossConfig, TimingModel};
 use boss_core::{EvalCounts, QueryOutcome, QueryPlan, TopK};
 use boss_index::layout::{IndexImage, ScratchRegion};
+use boss_index::prune::{self, PruneSink};
 use boss_index::{
-    decode_block_cached, BlockCache, BlockCacheStats, DocId, Error, InvertedIndex, QueryExpr,
-    ScoreScratch, TermId, BLOCK_META_BYTES,
+    decode_block_cached, BlockCache, BlockCacheStats, BlockMeta, DocId, Error, InvertedIndex,
+    QueryAlgorithm, QueryExpr, ScoreScratch, TermId, BLOCK_META_BYTES,
 };
 use boss_scm::{AccessCategory, AccessKind, MemoryConfig, MemorySim, PatternHint};
 
@@ -31,6 +32,12 @@ pub struct IiuConfig {
     /// Whether single-term queries score block-at-a-time on the host.
     /// Wall-clock only: simulated figures are bit-identical either way.
     pub bulk_score: bool,
+    /// Dynamic-pruning plan for pure union queries. The default
+    /// ([`QueryAlgorithm::Exhaustive`]) keeps IIU's original
+    /// merge-everything traversal; any other value routes unions through
+    /// the portable pruned evaluator (`boss_index::prune`) with IIU's
+    /// memory charges, still returning bit-identical top-k results.
+    pub algorithm: QueryAlgorithm,
 }
 
 impl Default for IiuConfig {
@@ -43,6 +50,7 @@ impl Default for IiuConfig {
             timing: TimingModel::default(),
             block_cache_blocks: 0,
             bulk_score: true,
+            algorithm: QueryAlgorithm::Exhaustive,
         }
     }
 }
@@ -74,6 +82,13 @@ impl IiuConfig {
     #[must_use]
     pub fn with_bulk_score(mut self, on: bool) -> Self {
         self.bulk_score = on;
+        self
+    }
+
+    /// Replaces the dynamic-pruning query algorithm.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: QueryAlgorithm) -> Self {
+        self.algorithm = algorithm;
         self
     }
 }
@@ -272,6 +287,78 @@ impl<'a> Run<'a> {
     }
 }
 
+/// [`PruneSink`] that charges the pruned traversal to IIU's memory and
+/// timing model: metadata records stream sequentially from the block
+/// directory, surviving blocks are fetched with pattern auto-detection
+/// (a pruned traversal jumps, so contiguity is not assumed) and decoded
+/// round-robin across units, and each scored document loads its norm
+/// through the 64-byte line buffer — exactly the charges the unpruned
+/// paths make for the same physical events. Skips are attributed to the
+/// `*_prune` counters.
+struct IiuPruneSink<'r, 'a> {
+    run: &'r mut Run<'a>,
+    /// Deduplicated ascending terms; `slot` in callbacks indexes this.
+    terms: Vec<TermId>,
+    /// Metadata records already charged per slot (directory read cursor).
+    metas_charged: Vec<u64>,
+}
+
+impl PruneSink for IiuPruneSink<'_, '_> {
+    fn meta_read(&mut self, slot: usize, blocks: u64) {
+        let addr = self.run.image.meta_addr(self.terms[slot])
+            + self.metas_charged[slot] * BLOCK_META_BYTES;
+        self.run.mem.access(
+            addr,
+            blocks * BLOCK_META_BYTES,
+            AccessKind::Read,
+            AccessCategory::LdMeta,
+            PatternHint::Sequential,
+            0,
+        );
+        self.metas_charged[slot] += blocks;
+        self.run.eval.metas_read += blocks;
+    }
+
+    fn block_decoded(&mut self, slot: usize, meta: &BlockMeta) {
+        self.run.mem.access(
+            self.run.image.data_addr(self.terms[slot]) + u64::from(meta.offset),
+            u64::from(meta.len).max(1),
+            AccessKind::Read,
+            AccessCategory::LdList,
+            PatternHint::Auto,
+            0,
+        );
+        self.run.eval.blocks_fetched += 1;
+        let unit = self.run.eval.blocks_fetched as usize % self.run.dec_cycles.len();
+        self.run.dec_cycles[unit] += u64::from(meta.len).max(meta.count() as u64 * 2) / 2 + 4;
+    }
+
+    fn blocks_skipped(&mut self, _slot: usize, blocks: u64, docs: u64) {
+        self.run.eval.blocks_skipped += blocks;
+        self.run.eval.blocks_skipped_prune += blocks;
+        self.run.eval.docs_skipped_prune += docs;
+    }
+
+    fn docs_skipped(&mut self, _slot: usize, docs: u64) {
+        self.run.eval.docs_skipped_prune += docs;
+    }
+
+    fn doc_abandoned(&mut self) {
+        self.run.eval.docs_skipped_prune += 1;
+    }
+
+    fn doc_scored(&mut self, doc: DocId) {
+        self.run.charge_norm(doc);
+        self.run.scored += 1;
+        self.run.eval.docs_scored += 1;
+    }
+
+    fn round(&mut self) {
+        self.run.eval.pivot_rounds += 1;
+        self.run.eval.comparisons += 1;
+    }
+}
+
 impl<'a> IiuEngine<'a> {
     /// Binds the engine to an index.
     pub fn new(index: &'a InvertedIndex, config: IiuConfig) -> Self {
@@ -320,6 +407,29 @@ impl<'a> IiuEngine<'a> {
             norm_line: u64::MAX,
             cache: self.cache.as_ref(),
         };
+
+        // Pruned path: a pure union under a dynamic-pruning plan routes
+        // through the portable evaluator, charging IIU's model via the
+        // sink. Only surviving hits are materialized, so the result
+        // writeback shrinks to the top-k — the rest of the pipeline
+        // (timing maxima, free host-side top-k) is unchanged.
+        if self.config.algorithm.prunes()
+            && plan.groups().len() > 1
+            && plan.groups().iter().all(|g| g.len() == 1)
+        {
+            let mut ids: Vec<TermId> = plan.groups().iter().map(|g| g[0]).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let mut sink = IiuPruneSink {
+                run: &mut run,
+                metas_charged: vec![0; ids.len()],
+                terms: ids.clone(),
+            };
+            let outcome =
+                prune::pruned_union_topk(self.index, &ids, self.config.algorithm, k, &mut sink)?;
+            let scored: Vec<(DocId, f32)> = outcome.hits.iter().map(|h| (h.doc, h.score)).collect();
+            return Ok(self.finish(run, &plan, scored, k));
+        }
 
         // Bulk path: a single-term query needs no merging, so the decoded
         // list can be scored block-at-a-time with the shared kernel. The
@@ -586,5 +696,83 @@ mod tests {
         let idx = corpus();
         let engine = IiuEngine::new(&idx, IiuConfig::default());
         assert!(engine.execute(&QueryExpr::term("zzz"), 5).is_err());
+    }
+
+    #[test]
+    fn pruned_unions_match_reference_on_all_algorithms() {
+        let idx = corpus();
+        let t = |s: &str| QueryExpr::term(s);
+        let queries = [
+            QueryExpr::or([t("aa"), t("cc")]),
+            QueryExpr::or([t("aa"), t("bb"), t("cc"), t("fill")]),
+        ];
+        for algo in boss_index::ALL_ALGORITHMS {
+            let engine = IiuEngine::new(&idx, IiuConfig::default().with_algorithm(algo));
+            for q in &queries {
+                for k in [3usize, 10, 200] {
+                    let got = engine.execute(q, k).unwrap();
+                    let expect = reference::evaluate(&idx, q, k).unwrap();
+                    assert_eq!(got.hits, expect, "{algo} {q} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_unions_skip_work_and_attribute_it() {
+        let idx = corpus();
+        let q = QueryExpr::or([QueryExpr::term("aa"), QueryExpr::term("cc")]);
+        let base = IiuEngine::new(&idx, IiuConfig::default())
+            .execute(&q, 10)
+            .unwrap();
+        assert_eq!(base.eval.docs_skipped_prune, 0);
+        assert_eq!(base.eval.blocks_skipped_prune, 0);
+        for algo in boss_index::ALL_ALGORITHMS {
+            if !algo.prunes() {
+                continue;
+            }
+            let engine = IiuEngine::new(&idx, IiuConfig::default().with_algorithm(algo));
+            let out = engine.execute(&q, 10).unwrap();
+            assert!(
+                out.eval.docs_scored < base.eval.docs_scored,
+                "{algo} should score fewer docs: {} vs {}",
+                out.eval.docs_scored,
+                base.eval.docs_scored
+            );
+            assert!(out.eval.docs_skipped_prune > 0, "{algo}");
+            assert!(
+                out.eval.blocks_fetched <= base.eval.blocks_fetched,
+                "{algo}"
+            );
+            // Pruned traversal only materializes the top-k result list.
+            assert_eq!(
+                out.mem.bytes(AccessCategory::StResult),
+                out.hits.len() as u64 * 8
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_leaves_intersections_and_single_terms_untouched() {
+        let idx = corpus();
+        let queries = [
+            QueryExpr::term("aa"),
+            QueryExpr::and([QueryExpr::term("aa"), QueryExpr::term("bb")]),
+        ];
+        for q in &queries {
+            let a = IiuEngine::new(&idx, IiuConfig::default())
+                .execute(q, 10)
+                .unwrap();
+            let b = IiuEngine::new(
+                &idx,
+                IiuConfig::default().with_algorithm(QueryAlgorithm::BlockMaxWand),
+            )
+            .execute(q, 10)
+            .unwrap();
+            assert_eq!(a.hits, b.hits, "{q}");
+            assert_eq!(a.eval, b.eval, "{q}");
+            assert_eq!(a.mem, b.mem, "{q}");
+            assert_eq!(a.cycles, b.cycles, "{q}");
+        }
     }
 }

@@ -238,6 +238,39 @@ impl EncodedList {
         self.blocks.len() as u64 * BLOCK_META_BYTES
     }
 
+    /// The sanitized block-max upper bound of block `i`: the stored
+    /// per-block max term score, or `+∞` when the stored value cannot be
+    /// an upper bound of anything (NaN, negative, or out of range).
+    ///
+    /// Pruning built on this accessor degrades safely under metadata
+    /// corruption: an implausible block-max turns into "never skip this
+    /// block", so the block is decoded and scored exhaustively instead of
+    /// silently dropping documents. A *plausible* finite lowering is
+    /// undetectable without decoding the block — that case is covered by
+    /// the decode-time containment checks and the score-vs-bound
+    /// verification in [`crate::prune`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (callers iterate `0..n_blocks()`).
+    pub fn block_max_ub(&self, i: usize) -> f32 {
+        let m = self.blocks[i].max_score;
+        if m.is_finite() && m >= 0.0 {
+            m
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// The first block at or after `from` that can contain `target`
+    /// (i.e. whose `last_doc >= target`), or `n_blocks()` when no such
+    /// block remains. A binary search over the block directory — the
+    /// skip-advance primitive of the block-max algorithms.
+    pub fn skip_to_block(&self, from: usize, target: DocId) -> usize {
+        let tail = &self.blocks[from.min(self.blocks.len())..];
+        from.min(self.blocks.len()) + tail.partition_point(|m| m.last_doc < target)
+    }
+
     /// The docID the d-gap prefix sum of block `i` is seeded with: the
     /// previous block's last docID, or 0 for the first block (whose first
     /// stored gap is the absolute docID).

@@ -36,6 +36,7 @@
 // per-site justification.
 #![warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
+mod algorithm;
 mod bm25;
 mod builder;
 pub mod cache;
@@ -45,6 +46,11 @@ mod index;
 pub mod io;
 pub mod layout;
 mod posting;
+// Pruned traversals take skip decisions on untrusted metadata, so —
+// like the shard layer — every failure must be a typed `Error`, never
+// a panic.
+#[deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+pub mod prune;
 mod query;
 pub mod reference;
 mod score;
@@ -54,6 +60,7 @@ mod score;
 #[deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 pub mod shard;
 
+pub use algorithm::{QueryAlgorithm, ALL_ALGORITHMS};
 pub use bm25::{Bm25, Bm25Params};
 pub use builder::{IndexBuilder, SchemeChoice};
 pub use cache::{decode_block_cached, BlockCache, BlockCacheStats, DecodedBlock};

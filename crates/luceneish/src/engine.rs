@@ -2,9 +2,10 @@
 
 use boss_core::{EvalCounts, QueryOutcome, QueryPlan, TopK};
 use boss_index::layout::IndexImage;
+use boss_index::prune::{self, PruneSink};
 use boss_index::{
-    decode_block_cached, BlockCache, BlockCacheStats, Error, InvertedIndex, QueryExpr,
-    ScoreScratch, TermId, BLOCK_META_BYTES,
+    decode_block_cached, BlockCache, BlockCacheStats, BlockMeta, DocId, Error, InvertedIndex,
+    QueryAlgorithm, QueryExpr, ScoreScratch, TermId, BLOCK_META_BYTES,
 };
 use boss_scm::{AccessCategory, AccessKind, MemStats, MemoryConfig, MemorySim, PatternHint};
 
@@ -58,6 +59,12 @@ pub struct LuceneConfig {
     /// single ranking pass. Wall-clock only: hits, counters, and simulated
     /// figures are bit-identical either way.
     pub bulk_score: bool,
+    /// Dynamic-pruning plan for pure union queries. The default
+    /// ([`QueryAlgorithm::Exhaustive`]) keeps the score-everything
+    /// collector; any other value routes unions through the portable
+    /// pruned evaluator (`boss_index::prune`) with this engine's cost
+    /// model, still returning bit-identical top-k results.
+    pub algorithm: QueryAlgorithm,
 }
 
 impl Default for LuceneConfig {
@@ -69,6 +76,7 @@ impl Default for LuceneConfig {
             cost: LuceneCostModel::default(),
             block_cache_blocks: 0,
             bulk_score: true,
+            algorithm: QueryAlgorithm::Exhaustive,
         }
     }
 }
@@ -101,6 +109,90 @@ impl LuceneConfig {
     pub fn with_bulk_score(mut self, on: bool) -> Self {
         self.bulk_score = on;
         self
+    }
+
+    /// Replaces the dynamic-pruning query algorithm.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: QueryAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+/// [`PruneSink`] that charges a pruned union to the Lucene cost model:
+/// skip data streams sequentially, surviving blocks are fetched with
+/// pattern auto-detection and their postings counted toward the
+/// per-posting decode cost, each scored document streams its 4-byte norm
+/// through the cacheable host hierarchy, and pivot rounds count as merge
+/// steps. Skips are attributed to the `*_prune` counters.
+struct LucenePruneSink<'r> {
+    image: &'r IndexImage,
+    mem: &'r mut MemorySim,
+    eval: &'r mut EvalCounts,
+    /// Deduplicated ascending terms; `slot` in callbacks indexes this.
+    terms: Vec<TermId>,
+    /// Metadata records already charged per slot (skip-data cursor).
+    metas_charged: Vec<u64>,
+    postings_decoded: u64,
+}
+
+impl PruneSink for LucenePruneSink<'_> {
+    fn meta_read(&mut self, slot: usize, blocks: u64) {
+        let addr =
+            self.image.meta_addr(self.terms[slot]) + self.metas_charged[slot] * BLOCK_META_BYTES;
+        self.mem.access(
+            addr,
+            blocks * BLOCK_META_BYTES,
+            AccessKind::Read,
+            AccessCategory::LdMeta,
+            PatternHint::Sequential,
+            0,
+        );
+        self.metas_charged[slot] += blocks;
+        self.eval.metas_read += blocks;
+    }
+
+    fn block_decoded(&mut self, slot: usize, meta: &BlockMeta) {
+        self.mem.access(
+            self.image.data_addr(self.terms[slot]) + u64::from(meta.offset),
+            u64::from(meta.len).max(1),
+            AccessKind::Read,
+            AccessCategory::LdList,
+            PatternHint::Auto,
+            0,
+        );
+        self.eval.blocks_fetched += 1;
+        self.postings_decoded += meta.count() as u64;
+    }
+
+    fn blocks_skipped(&mut self, _slot: usize, blocks: u64, docs: u64) {
+        self.eval.blocks_skipped += blocks;
+        self.eval.blocks_skipped_prune += blocks;
+        self.eval.docs_skipped_prune += docs;
+    }
+
+    fn docs_skipped(&mut self, _slot: usize, docs: u64) {
+        self.eval.docs_skipped_prune += docs;
+    }
+
+    fn doc_abandoned(&mut self) {
+        self.eval.docs_skipped_prune += 1;
+    }
+
+    fn doc_scored(&mut self, doc: DocId) {
+        self.mem.access(
+            self.image.norm_addr(doc),
+            4,
+            AccessKind::Read,
+            AccessCategory::LdScore,
+            PatternHint::Sequential,
+            0,
+        );
+        self.eval.docs_scored += 1;
+    }
+
+    fn round(&mut self) {
+        self.eval.comparisons += 1;
     }
 }
 
@@ -151,6 +243,16 @@ impl<'a> LuceneEngine<'a> {
         // Reuse the hardware planner's validation/normalization so all
         // three engines accept the same query language.
         let plan = QueryPlan::from_expr(self.index, expr, &self.plan_config)?;
+
+        // Pruned path: a pure union under a dynamic-pruning plan routes
+        // through the portable evaluator with this engine's charges.
+        if self.config.algorithm.prunes()
+            && plan.groups().len() > 1
+            && plan.groups().iter().all(|g| g.len() == 1)
+        {
+            return self.execute_pruned(&plan, k);
+        }
+
         let mut mem = MemorySim::new(self.config.memory.clone());
         let mut eval = EvalCounts::default();
 
@@ -357,6 +459,46 @@ impl<'a> LuceneEngine<'a> {
         })
     }
 
+    /// Pure-union execution under the configured pruning algorithm: the
+    /// portable evaluator drives the traversal, [`LucenePruneSink`]
+    /// charges the memory system, and the cost model prices the (now
+    /// smaller) decode/merge/score/heap work with the same constants as
+    /// the exhaustive collector.
+    fn execute_pruned(&self, plan: &QueryPlan, k: usize) -> Result<QueryOutcome, Error> {
+        let mut mem = MemorySim::new(self.config.memory.clone());
+        let mut eval = EvalCounts::default();
+        let mut ids: Vec<TermId> = plan.groups().iter().map(|g| g[0]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut sink = LucenePruneSink {
+            image: &self.image,
+            mem: &mut mem,
+            eval: &mut eval,
+            metas_charged: vec![0; ids.len()],
+            terms: ids.clone(),
+            postings_decoded: 0,
+        };
+        let outcome =
+            prune::pruned_union_topk(self.index, &ids, self.config.algorithm, k, &mut sink)?;
+        let postings_decoded = sink.postings_decoded;
+        eval.topk_inserts = outcome.topk_inserts;
+
+        let c = &self.config.cost;
+        let compute = postings_decoded as f64 * c.cycles_per_posting
+            + eval.comparisons as f64 * c.cycles_per_merge_step
+            + eval.docs_scored as f64 * c.cycles_per_scored_doc
+            + eval.topk_inserts as f64 * c.cycles_per_heap_op
+            + c.query_overhead;
+        let mem_cycles_host = mem.stats().last_done_cycle as f64 * self.config.clock_ghz;
+        let cycles = (compute + mem_cycles_host) as u64;
+        Ok(QueryOutcome {
+            hits: outcome.hits,
+            cycles,
+            mem: mem.take_stats(),
+            eval,
+        })
+    }
+
     /// Batch execution with query-level parallelism: greedy assignment of
     /// queries to the earliest-free thread. Returns per-query outcomes and
     /// the makespan in host cycles.
@@ -502,6 +644,79 @@ mod tests {
         let idx = corpus();
         let engine = LuceneEngine::new(&idx, LuceneConfig::default());
         assert!(engine.execute(&QueryExpr::term("zzz"), 3).is_err());
+    }
+
+    #[test]
+    fn pruned_unions_match_reference_on_all_algorithms() {
+        let idx = corpus();
+        let t = |s: &str| QueryExpr::term(s);
+        let queries = [
+            QueryExpr::or([t("aa"), t("cc")]),
+            QueryExpr::or([t("aa"), t("bb"), t("cc"), t("x")]),
+        ];
+        for algo in boss_index::ALL_ALGORITHMS {
+            let engine = LuceneEngine::new(&idx, LuceneConfig::default().with_algorithm(algo));
+            for q in &queries {
+                for k in [3usize, 10, 200] {
+                    let got = engine.execute(q, k).unwrap();
+                    let expect = reference::evaluate(&idx, q, k).unwrap();
+                    assert_eq!(got.hits, expect, "{algo} {q} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_unions_skip_work_and_attribute_it() {
+        let idx = corpus();
+        let q = QueryExpr::or([QueryExpr::term("aa"), QueryExpr::term("cc")]);
+        let base = LuceneEngine::new(&idx, LuceneConfig::default())
+            .execute(&q, 10)
+            .unwrap();
+        assert_eq!(base.eval.docs_skipped_prune, 0);
+        assert_eq!(base.eval.blocks_skipped_prune, 0);
+        for algo in boss_index::ALL_ALGORITHMS {
+            if !algo.prunes() {
+                continue;
+            }
+            let engine = LuceneEngine::new(&idx, LuceneConfig::default().with_algorithm(algo));
+            let out = engine.execute(&q, 10).unwrap();
+            assert!(
+                out.eval.docs_scored < base.eval.docs_scored,
+                "{algo} should score fewer docs: {} vs {}",
+                out.eval.docs_scored,
+                base.eval.docs_scored
+            );
+            assert!(out.eval.docs_skipped_prune > 0, "{algo}");
+            assert!(
+                out.eval.blocks_fetched <= base.eval.blocks_fetched,
+                "{algo}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_leaves_intersections_and_single_terms_untouched() {
+        let idx = corpus();
+        let queries = [
+            QueryExpr::term("aa"),
+            QueryExpr::and([QueryExpr::term("aa"), QueryExpr::term("bb")]),
+        ];
+        for q in &queries {
+            let a = LuceneEngine::new(&idx, LuceneConfig::default())
+                .execute(q, 10)
+                .unwrap();
+            let b = LuceneEngine::new(
+                &idx,
+                LuceneConfig::default().with_algorithm(QueryAlgorithm::BlockMaxMaxScore),
+            )
+            .execute(q, 10)
+            .unwrap();
+            assert_eq!(a.hits, b.hits, "{q}");
+            assert_eq!(a.eval, b.eval, "{q}");
+            assert_eq!(a.mem, b.mem, "{q}");
+            assert_eq!(a.cycles, b.cycles, "{q}");
+        }
     }
 
     #[test]
