@@ -55,7 +55,11 @@ fn bench_programmable_engine(c: &mut Criterion) {
         let mut buf = Vec::new();
         let info = codec.encode(&values, &mut buf).unwrap();
         let engine = DecompEngine::for_scheme(s).unwrap();
+        let interp = engine.clone().with_interpreter(true);
         group.bench_with_input(BenchmarkId::new("interpret", s.label()), &buf, |b, data| {
+            b.iter(|| interp.decode(black_box(data), &info).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("compiled", s.label()), &buf, |b, data| {
             b.iter(|| engine.decode(black_box(data), &info).unwrap());
         });
     }

@@ -10,10 +10,21 @@
 //! * **kernel** — [`Codec::decode`], which for BP and the regular part
 //!   of OptPFD now runs the word-level unpack kernels.
 //!
+//! A second sweep times the Fig. 8 stage-2 netlist over the same blocks:
+//!
+//! * **interpreted** — the structural-netlist interpreter
+//!   ([`DecompEngine::with_interpreter`]), hashing wire names per unit;
+//! * **compiled** — the default straight-line plan compiled from the
+//!   same netlist (dense slots, zero per-unit allocation).
+//!
 //! Outputs decoded MB/s (decoded output bytes over wall time, best of
-//! `--reps` repetitions) per scheme as TSV on stdout, verifies the two
-//! paths decode bit-identically, and writes a machine-readable summary
-//! to `BENCH_decode.json` (`--json PATH` to move it).
+//! `--reps` repetitions) per scheme as TSV on stdout, verifies each
+//! path pair decodes bit-identically (the netlist pair must also charge
+//! identical simulated cycles), and writes a machine-readable summary
+//! to `BENCH_decode.json` (`--json PATH` to move it). Each JSON row
+//! carries a `path` tag: `codec` rows compare seed vs kernel,
+//! `netlist_compiled` rows put the interpreter in `seed_mbps` and the
+//! compiled plan in `kernel_mbps`.
 //!
 //! This is the one binary in the harness that measures *host* wall-clock
 //! time: its numbers vary run to run and machine to machine, unlike the
@@ -21,6 +32,7 @@
 
 use boss_bench::{f, header, row};
 use boss_compress::{codec_for, BlockInfo, Scheme, ALL_SCHEMES};
+use boss_decomp::DecompEngine;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -31,6 +43,9 @@ const VALUES_PER_BLOCK: usize = 128;
 #[derive(Debug, Serialize)]
 struct SchemeResult {
     scheme: String,
+    /// `codec` (seed vs kernel) or `netlist_compiled` (interpreter vs
+    /// compiled plan, in the same `seed_mbps`/`kernel_mbps` slots).
+    path: String,
     blocks: usize,
     values_per_block: usize,
     encoded_bytes: usize,
@@ -138,6 +153,9 @@ fn main() {
         "seed_mbps",
         "kernel_mbps",
         "speedup",
+        "netlist_interp_mbps",
+        "netlist_compiled_mbps",
+        "netlist_speedup",
     ]);
 
     let mut results = Vec::new();
@@ -176,15 +194,52 @@ fn main() {
             codec.decode(d, i, out).expect("decodes");
         });
         let speedup = kernel_mbps / seed_mbps;
+
+        // Netlist sweep: the same blocks through the Fig. 8 stage-2
+        // engine, interpreter vs compiled plan. The pair must agree on
+        // the whole outcome — values *and* simulated cycles — and match
+        // the codec reference bit-for-bit.
+        let engine = DecompEngine::for_scheme(scheme).expect("stock netlist parses");
+        let interp = engine.clone().with_interpreter(true);
+        let mut netlist_identical = true;
+        for (data, info) in &blocks {
+            let compiled = engine.decode(data, info).expect("netlist decodes");
+            let interpreted = interp.decode(data, info).expect("netlist decodes");
+            if compiled != interpreted {
+                netlist_identical = false;
+            }
+            let mut reference = Vec::new();
+            codec.decode(data, info, &mut reference).expect("decodes");
+            if compiled.values != reference {
+                netlist_identical = false;
+            }
+        }
+        assert!(
+            netlist_identical,
+            "{scheme}: compiled plan diverged from netlist interpreter"
+        );
+
+        let netlist_interp_mbps = throughput_mbps(args.reps, &blocks, |d, i, out| {
+            interp.decode_into(d, i, out).expect("netlist decodes");
+        });
+        let netlist_compiled_mbps = throughput_mbps(args.reps, &blocks, |d, i, out| {
+            engine.decode_into(d, i, out).expect("netlist decodes");
+        });
+        let netlist_speedup = netlist_compiled_mbps / netlist_interp_mbps;
+
         row(&[
             scheme.to_string(),
             f(encoded_bytes as f64 / 1e6),
             f(seed_mbps),
             f(kernel_mbps),
             f(speedup),
+            f(netlist_interp_mbps),
+            f(netlist_compiled_mbps),
+            f(netlist_speedup),
         ]);
         results.push(SchemeResult {
             scheme: scheme.to_string(),
+            path: "codec".into(),
             blocks: args.blocks,
             values_per_block: VALUES_PER_BLOCK,
             encoded_bytes,
@@ -193,16 +248,37 @@ fn main() {
             speedup,
             bit_identical: identical,
         });
+        results.push(SchemeResult {
+            scheme: scheme.to_string(),
+            path: "netlist_compiled".into(),
+            blocks: args.blocks,
+            values_per_block: VALUES_PER_BLOCK,
+            encoded_bytes,
+            seed_mbps: netlist_interp_mbps,
+            kernel_mbps: netlist_compiled_mbps,
+            speedup: netlist_speedup,
+            bit_identical: netlist_identical,
+        });
     }
 
     let bp = results
         .iter()
-        .find(|r| r.scheme == Scheme::Bp.to_string())
+        .find(|r| r.scheme == Scheme::Bp.to_string() && r.path == "codec")
         .expect("BP is benchmarked");
     println!(
         "# BP kernel speedup over seed path: {}x (target >= 2x on 128-value blocks)",
         f(bp.speedup)
     );
+    for target in [Scheme::Bp, Scheme::OptPfd] {
+        let r = results
+            .iter()
+            .find(|r| r.scheme == target.to_string() && r.path == "netlist_compiled")
+            .expect("netlist sweep covers target scheme");
+        println!(
+            "# {target} netlist compiled speedup over interpreter: {}x (target >= 2x)",
+            f(r.speedup)
+        );
+    }
 
     let report = Report {
         bench: "wallclock_decode".into(),

@@ -246,10 +246,19 @@ pub fn codec_trial(scheme: Scheme, seed: u64, tally: &mut Tally) {
     }
 }
 
-/// One netlist-data trial: the Fig. 8 interpreter over a mutated block
-/// must return `Ok` with exactly `info.count` values or a typed error —
-/// never panic, never over-reserve.
-pub fn netlist_data_trial(engine: &DecompEngine, scheme: Scheme, seed: u64, tally: &mut Tally) {
+/// One netlist-data trial: the Fig. 8 engine over a mutated block must
+/// return `Ok` with exactly `info.count` values or a typed error — never
+/// panic, never over-reserve. When `oracle` is given (the same
+/// configuration on the other execution path), both paths must agree on
+/// the *entire* outcome: values and cycles when they accept, the
+/// identical typed error when they reject.
+pub fn netlist_data_trial(
+    engine: &DecompEngine,
+    oracle: Option<&DecompEngine>,
+    scheme: Scheme,
+    seed: u64,
+    tally: &mut Tally,
+) {
     let mut rng = Xorshift64::new(seed ^ 0xD1C0_0000 ^ ((scheme as u64) << 56));
     let Some((mut data, mut info)) = encoded_block(&mut rng, scheme) else {
         return;
@@ -257,28 +266,41 @@ pub fn netlist_data_trial(engine: &DecompEngine, scheme: Scheme, seed: u64, tall
     let mutation = ALL_MUTATIONS[rng.below(ALL_MUTATIONS.len())];
     apply_mutation(mutation, &mut rng, &mut data, &mut info);
 
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        engine.decode(&data, &info).map(|d| d.values)
-    }));
+    let outcome = catch_unwind(AssertUnwindSafe(|| engine.decode(&data, &info)));
     match outcome {
         Err(_) => tally.violations.push(format!(
             "{scheme} netlist: PANIC on {mutation:?} seed {seed}"
         )),
         Ok(res) => {
             tally.record(res.is_ok());
-            if let Ok(values) = res {
-                if values.len() != info.count as usize {
+            if let Ok(decoded) = &res {
+                if decoded.values.len() != info.count as usize {
                     tally.violations.push(format!(
                         "{scheme} netlist: accepted but produced {} of {} values on {mutation:?} seed {seed}",
-                        values.len(),
+                        decoded.values.len(),
                         info.count
                     ));
                 }
-                if values.capacity() > RESERVE_BOUND {
+                if decoded.values.capacity() > RESERVE_BOUND {
                     tally.violations.push(format!(
                         "{scheme} netlist: reserved {} (> {RESERVE_BOUND}) on {mutation:?} seed {seed}",
-                        values.capacity()
+                        decoded.values.capacity()
                     ));
+                }
+            }
+            if let Some(oracle) = oracle {
+                let oracle_outcome = catch_unwind(AssertUnwindSafe(|| oracle.decode(&data, &info)));
+                match oracle_outcome {
+                    Err(_) => tally.violations.push(format!(
+                        "{scheme} netlist oracle: PANIC on {mutation:?} seed {seed}"
+                    )),
+                    Ok(oracle_res) => {
+                        if res != oracle_res {
+                            tally.violations.push(format!(
+                                "{scheme} netlist: compiled/interpreted outcome disagreement on {mutation:?} seed {seed}"
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -307,12 +329,15 @@ pub fn netlist_config_trial(scheme: Scheme, seed: u64, tally: &mut Tally) {
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         match DecompEngine::from_config_text(&text) {
-            Err(_) => false,
+            Err(_) => (false, true),
             Ok(engine) => {
                 // Whatever program survived the mangling, running it must
-                // stay inside the typed-error contract.
-                let _ = engine.decode(&data, &info);
-                true
+                // stay inside the typed-error contract — on both paths,
+                // with the identical outcome (values and cycles, or the
+                // same typed error).
+                let compiled = engine.decode(&data, &info);
+                let interpreted = engine.clone().with_interpreter(true).decode(&data, &info);
+                (true, compiled == interpreted)
             }
         }
     }));
@@ -320,7 +345,14 @@ pub fn netlist_config_trial(scheme: Scheme, seed: u64, tally: &mut Tally) {
         Err(_) => tally
             .violations
             .push(format!("{scheme} netlist config: PANIC at seed {seed}")),
-        Ok(parsed) => tally.record(parsed),
+        Ok((parsed, paths_agree)) => {
+            tally.record(parsed);
+            if !paths_agree {
+                tally.violations.push(format!(
+                    "{scheme} netlist config: compiled/interpreted outcome disagreement at seed {seed}"
+                ));
+            }
+        }
     }
 }
 
@@ -543,15 +575,28 @@ pub fn lists_per_scheme() -> Vec<(Scheme, EncodedList)> {
 }
 
 /// Runs `trials_per_scheme` seeded mutations of every category against
-/// every stock scheme plus the netlist interpreter, starting at
-/// `base_seed`. This is the whole harness; the binary just picks the
-/// counts and prints the tally.
+/// every stock scheme plus the netlist engine, starting at `base_seed`.
+/// This is the whole harness; the binary just picks the counts and
+/// prints the tally. Equivalent to [`run_with`] on the compiled path.
 ///
 /// # Panics
 ///
 /// Panics only if harness *setup* fails (corpus build, stock netlist
 /// parse) — trial panics are caught and reported as violations.
 pub fn run(base_seed: u64, trials_per_scheme: u64) -> Tally {
+    run_with(base_seed, trials_per_scheme, false)
+}
+
+/// [`run`] with the netlist execution path selectable: the primary
+/// engine runs the compiled plan (default) or, with `interpret_netlist`,
+/// the interpreter; either way every netlist-data trial cross-checks the
+/// other path as an oracle and any outcome divergence is a violation.
+///
+/// # Panics
+///
+/// Panics only if harness *setup* fails (corpus build, stock netlist
+/// parse) — trial panics are caught and reported as violations.
+pub fn run_with(base_seed: u64, trials_per_scheme: u64, interpret_netlist: bool) -> Tally {
     let mut tally = Tally::default();
     // Codec + netlist-data trials split the budget; config and metadata
     // trials add a quarter each so every surface sees real volume.
@@ -559,10 +604,13 @@ pub fn run(base_seed: u64, trials_per_scheme: u64) -> Tally {
     let side_trials = trials_per_scheme / 4;
     let lists = lists_per_scheme();
     for &scheme in &ALL_SCHEMES {
-        let engine = DecompEngine::for_scheme(scheme).expect("stock netlist parses");
+        let engine = DecompEngine::for_scheme(scheme)
+            .expect("stock netlist parses")
+            .with_interpreter(interpret_netlist);
+        let oracle = engine.clone().with_interpreter(!interpret_netlist);
         for t in 0..data_trials {
             codec_trial(scheme, base_seed + t, &mut tally);
-            netlist_data_trial(&engine, scheme, base_seed + t, &mut tally);
+            netlist_data_trial(&engine, Some(&oracle), scheme, base_seed + t, &mut tally);
         }
         for t in 0..side_trials {
             netlist_config_trial(scheme, base_seed + t, &mut tally);

@@ -21,7 +21,7 @@ use boss_core::{BossConfig, DegradePolicy, EtMode, EvalCounts, QueryAlgorithm, Q
 use boss_engine::{BatchExecutor, Boss, Iiu, Lucene, SearchEngine, ShardTiming, Sharded};
 use boss_iiu::IiuConfig;
 use boss_index::shard::ShardedIndex;
-use boss_index::{InvertedIndex, QueryExpr};
+use boss_index::{DecodeBackend, InvertedIndex, QueryExpr};
 use boss_luceneish::LuceneConfig;
 use boss_scm::{FaultPlan, MemStats, MemoryConfig};
 use boss_workload::corpus::{CorpusSpec, Scale};
@@ -138,6 +138,12 @@ pub struct BenchArgs {
     /// hits stay bit-identical to the default exhaustive traversal at
     /// every thread and shard count; only the work/timing columns move.
     pub algorithm: QueryAlgorithm,
+    /// Host decode implementation (`--decode-netlist` routes block
+    /// decodes through the compiled Fig. 8 netlist engine,
+    /// `--interpret-netlist` through its interpreter oracle). All three
+    /// backends are bit-equal: figure data rows must stay byte-identical,
+    /// only wall-clock moves.
+    pub decode_backend: DecodeBackend,
 }
 
 impl Default for BenchArgs {
@@ -158,6 +164,7 @@ impl Default for BenchArgs {
             replicas: 1,
             shard_fault: None,
             algorithm: QueryAlgorithm::Exhaustive,
+            decode_backend: DecodeBackend::Codec,
         }
     }
 }
@@ -219,6 +226,8 @@ impl BenchArgs {
                 "--algorithm" => {
                     args.algorithm = parsed_value(&take("--algorithm"), "--algorithm");
                 }
+                "--decode-netlist" => args.decode_backend = DecodeBackend::NetlistCompiled,
+                "--interpret-netlist" => args.decode_backend = DecodeBackend::NetlistInterpreted,
                 "--degrade" => match take("--degrade").as_str() {
                     "fail" => args.degrade_skip = false,
                     "skip" => args.degrade_skip = true,
@@ -233,7 +242,8 @@ impl BenchArgs {
                          [--k N] [--threads N] [--engines boss,iiu,lucene] [--block-cache BLOCKS] \
                          [--no-bulk] [--fault-plan SEED] [--fault-rate F] [--degrade fail|skip] \
                          [--shards N] [--replicas N] [--shard-fault S] \
-                         [--algorithm exhaustive|maxscore|wand|bmw|bmm]"
+                         [--algorithm exhaustive|maxscore|wand|bmw|bmm] \
+                         [--decode-netlist] [--interpret-netlist]"
                     );
                     std::process::exit(0);
                 }
@@ -243,6 +253,9 @@ impl BenchArgs {
                 }
             }
         }
+        // The backend is a process-wide switch; install it once at parse
+        // time so every decode in the run takes the selected path.
+        boss_index::set_decode_backend(args.decode_backend);
         args
     }
 
@@ -291,6 +304,11 @@ impl BenchArgs {
         }
         if self.algorithm != QueryAlgorithm::Exhaustive {
             println!("# algorithm {}", self.algorithm);
+        }
+        match self.decode_backend {
+            DecodeBackend::Codec => {}
+            DecodeBackend::NetlistCompiled => println!("# decode netlist-compiled"),
+            DecodeBackend::NetlistInterpreted => println!("# decode netlist-interpreted"),
         }
     }
 }

@@ -1,10 +1,15 @@
-//! The decompression engine: interprets a four-stage configuration.
+//! The decompression engine: executes a four-stage configuration, by
+//! default through a compiled straight-line plan (see [`crate::compile`])
+//! with the original interpreter retained as a switchable oracle.
 
+use crate::compile::CompiledProgram;
 use crate::config::EngineConfig;
 use crate::extract::Extractor;
 use crate::program::ExecError;
 use crate::schemes;
 use boss_compress::{BlockInfo, Scheme};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Depth of the hardware pipeline; added once per block to the cycle count.
 const PIPELINE_FILL_CYCLES: u64 = 4;
@@ -79,21 +84,32 @@ pub struct Decoded {
 
 /// A configured decompression module.
 ///
-/// Cheap to clone; holds only the configuration.
+/// Cheap to clone; holds the configuration plus a shared reference to its
+/// compiled plan. Decoding runs the compiled plan unless
+/// [`DecompEngine::with_interpreter`] selected the interpreter oracle.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecompEngine {
     config: EngineConfig,
+    plan: Arc<CompiledProgram>,
+    interpret: bool,
 }
 
 impl DecompEngine {
-    /// Wraps a parsed configuration (the stage-2 program is re-validated).
+    /// Wraps a parsed configuration (the stage-2 program is re-validated)
+    /// and compiles its stage-2 plan, hitting the process-wide plan cache
+    /// for configurations seen before.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Exec`] if the program does not validate.
     pub fn new(config: EngineConfig) -> Result<Self, EngineError> {
         config.program.validate()?;
-        Ok(DecompEngine { config })
+        let plan = crate::compile::plan_for(&config)?;
+        Ok(DecompEngine {
+            config,
+            plan,
+            interpret: false,
+        })
     }
 
     /// Parses a configuration file and wraps it.
@@ -102,8 +118,10 @@ impl DecompEngine {
     ///
     /// Returns the parse error formatted as an execution fault.
     pub fn from_config_text(text: &str) -> Result<Self, crate::ParseError> {
-        Ok(DecompEngine {
-            config: EngineConfig::parse(text)?,
+        let config = EngineConfig::parse(text)?;
+        Self::new(config).map_err(|e| crate::ParseError {
+            line: 0,
+            reason: e.to_string(),
         })
     }
 
@@ -123,6 +141,26 @@ impl DecompEngine {
         &self.config
     }
 
+    /// Selects the execution path: `true` runs the stage-2 program
+    /// through the original interpreter (the correctness oracle), `false`
+    /// (the default) runs the compiled plan.
+    #[must_use]
+    pub fn with_interpreter(mut self, interpret: bool) -> Self {
+        self.interpret = interpret;
+        self
+    }
+
+    /// Whether this engine runs the interpreter oracle instead of the
+    /// compiled plan.
+    pub fn is_interpreted(&self) -> bool {
+        self.interpret
+    }
+
+    /// Optimization statistics of the compiled stage-2 plan.
+    pub fn plan_stats(&self) -> crate::compile::PlanStats {
+        self.plan.stats()
+    }
+
     /// Decodes one block to its raw encoded values (gaps / tf-minus-one),
     /// without stage 4.
     ///
@@ -131,6 +169,26 @@ impl DecompEngine {
     /// Propagates codec truncation/corruption, program faults, and the
     /// stall guard.
     pub fn decode(&self, data: &[u8], info: &BlockInfo) -> Result<Decoded, EngineError> {
+        let mut values = Vec::new();
+        let cycles = self.decode_into(data, info, &mut values)?;
+        Ok(Decoded { values, cycles })
+    }
+
+    /// Decodes one block, appending its values to `out`, and returns the
+    /// cycle cost. Identical semantics (values, errors, cycles) to
+    /// [`DecompEngine::decode`] without allocating a fresh vector.
+    ///
+    /// On error, `out` may retain values produced before the fault.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DecompEngine::decode`].
+    pub fn decode_into(
+        &self,
+        data: &[u8],
+        info: &BlockInfo,
+        out: &mut Vec<u32>,
+    ) -> Result<u64, EngineError> {
         // Reject corrupt descriptors before sizing anything from them.
         let count = boss_compress::check_count(info)?;
         let exc_off = info.exception_offset as usize;
@@ -146,21 +204,44 @@ impl DecompEngine {
         };
 
         let mut extractor = Extractor::new(self.config.extractor.kind, payload, *info);
-        let mut state = self.config.program.fresh_state();
-        let mut values = Vec::with_capacity(count);
+        let base = out.len();
+        out.reserve(count);
+        let target = base + count;
         // VB is the worst stock case at 5 units/value; 64 gives a generous
         // margin for custom programs while still catching livelock.
         let unit_limit = (count as u64 + 1) * 64;
-        while values.len() < count {
-            if extractor.units() >= unit_limit {
-                return Err(EngineError::Stall {
-                    produced: values.len(),
-                    requested: count,
-                });
+        if self.interpret {
+            // Oracle path: the original statement-walking interpreter,
+            // with the wire environment hoisted out of the unit loop.
+            let program = &self.config.program;
+            let mut state = program.fresh_state();
+            let mut wires = HashMap::new();
+            while out.len() < target {
+                if extractor.units() >= unit_limit {
+                    return Err(EngineError::Stall {
+                        produced: out.len() - base,
+                        requested: count,
+                    });
+                }
+                let unit = extractor.next_unit()?;
+                if let Some(v) = program.step_in(unit, &mut state, &mut wires)? {
+                    out.push(v);
+                }
             }
-            let unit = extractor.next_unit()?;
-            if let Some(v) = self.config.program.step(unit, &mut state)? {
-                values.push(v);
+        } else {
+            let plan = &*self.plan;
+            let mut state = plan.new_state();
+            while out.len() < target {
+                if extractor.units() >= unit_limit {
+                    return Err(EngineError::Stall {
+                        produced: out.len() - base,
+                        requested: count,
+                    });
+                }
+                let unit = extractor.next_unit()?;
+                if let Some(v) = plan.step(unit, &mut state) {
+                    out.push(v);
+                }
             }
         }
         let mut cycles = extractor.units() + PIPELINE_FILL_CYCLES;
@@ -180,20 +261,20 @@ impl DecompEngine {
             for chunk in patch.chunks_exact(6) {
                 let idx = u16::from_le_bytes([chunk[0], chunk[1]]) as usize;
                 let high = u32::from_le_bytes([chunk[2], chunk[3], chunk[4], chunk[5]]);
-                if idx >= values.len() {
+                if idx >= count {
                     return Err(boss_compress::Error::Corrupt {
                         reason: "exception index out of range",
                     }
                     .into());
                 }
                 if b < 32 {
-                    values[idx] |= high << b;
+                    out[base + idx] |= high << b;
                 }
                 cycles += 1;
             }
         }
 
-        Ok(Decoded { values, cycles })
+        Ok(cycles)
     }
 
     /// Decodes one block and applies stage 4: values become docIDs by
@@ -212,16 +293,35 @@ impl DecompEngine {
         info: &BlockInfo,
         base: u32,
     ) -> Result<Decoded, EngineError> {
-        let mut out = self.decode(data, info)?;
+        let mut values = Vec::new();
+        let cycles = self.decode_docids_into(data, info, base, &mut values)?;
+        Ok(Decoded { values, cycles })
+    }
+
+    /// Appending variant of [`DecompEngine::decode_docids`]: decoded
+    /// docIDs are pushed onto `out`, and the cycle cost is returned.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DecompEngine::decode`].
+    pub fn decode_docids_into(
+        &self,
+        data: &[u8],
+        info: &BlockInfo,
+        base: u32,
+        out: &mut Vec<u32>,
+    ) -> Result<u64, EngineError> {
+        let start = out.len();
+        let cycles = self.decode_into(data, info, out)?;
         if self.config.delta.use_delta {
             let mut prev = base;
-            for v in &mut out.values {
+            for v in &mut out[start..] {
                 let doc = prev.wrapping_add(*v);
                 *v = doc;
                 prev = doc;
             }
         }
-        Ok(out)
+        Ok(cycles)
     }
 }
 

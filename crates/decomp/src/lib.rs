@@ -39,12 +39,14 @@
 //! # }
 //! ```
 
+mod compile;
 mod config;
 mod engine;
 mod extract;
 mod program;
 pub mod schemes;
 
+pub use compile::{compile_count, CompiledProgram, CompiledState, PlanStats};
 pub use config::{DeltaConfig, EngineConfig, ExceptionConfig, ExtractorConfig, ParseError};
 pub use engine::{Decoded, DecompEngine, EngineError};
 pub use extract::ExtractorKind;

@@ -37,20 +37,24 @@ impl Op {
         }
     }
 
-    /// Parses an op mnemonic as written in config files.
+    /// Parses an op mnemonic as written in config files
+    /// (case-insensitive, without allocating).
     pub fn parse(s: &str) -> Option<Op> {
-        Some(match s.to_ascii_uppercase().as_str() {
-            "SHR" => Op::Shr,
-            "SHL" => Op::Shl,
-            "AND" => Op::And,
-            "OR" => Op::Or,
-            "XOR" => Op::Xor,
-            "ADD" => Op::Add,
-            "SUB" => Op::Sub,
-            "MUX" => Op::Mux,
-            "ID" => Op::Id,
-            _ => return None,
-        })
+        const MNEMONICS: [(&str, Op); 9] = [
+            ("SHR", Op::Shr),
+            ("SHL", Op::Shl),
+            ("AND", Op::And),
+            ("OR", Op::Or),
+            ("XOR", Op::Xor),
+            ("ADD", Op::Add),
+            ("SUB", Op::Sub),
+            ("MUX", Op::Mux),
+            ("ID", Op::Id),
+        ];
+        MNEMONICS
+            .iter()
+            .find(|(m, _)| s.eq_ignore_ascii_case(m))
+            .map(|&(_, op)| op)
     }
 }
 
@@ -209,7 +213,22 @@ impl Program {
     /// Returns [`ExecError`] on reads of undefined wires (a validated
     /// program cannot fault).
     pub fn step(&self, input: u32, state: &mut RegFile) -> Result<Option<u32>, ExecError> {
-        let mut wires: HashMap<&str, u32> = HashMap::new();
+        self.step_in(input, state, &mut HashMap::new())
+    }
+
+    /// Like [`Program::step`], but reuses a caller-provided wire map so a
+    /// block-decode loop does not rebuild the environment on every unit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Program::step`].
+    pub fn step_in<'p>(
+        &'p self,
+        input: u32,
+        state: &mut RegFile,
+        wires: &mut HashMap<&'p str, u32>,
+    ) -> Result<Option<u32>, ExecError> {
+        wires.clear();
         let read =
             |name: &str, wires: &HashMap<&str, u32>, state: &RegFile| -> Result<u32, ExecError> {
                 if name == "Input" {
@@ -240,7 +259,7 @@ impl Program {
             let vals: Vec<u32> = st
                 .args
                 .iter()
-                .map(|a| eval(a, &wires, state))
+                .map(|a| eval(a, wires, state))
                 .collect::<Result<_, _>>()?;
             let v = match st.op {
                 Op::Shr => vals[0].checked_shr(vals[1]).unwrap_or(0),

@@ -17,6 +17,11 @@ fn check_equivalence(scheme: Scheme, values: &[u32]) {
     let mut expect = Vec::new();
     codec.decode(&data, &info, &mut expect).unwrap();
     assert_eq!(decoded.values, expect, "scheme {scheme}");
+    // The compiled plan (the default path above) must match the
+    // interpreter oracle bit-for-bit, including the cycle charge.
+    let oracle = engine.clone().with_interpreter(true);
+    let interpreted = oracle.decode(&data, &info).unwrap();
+    assert_eq!(decoded, interpreted, "compiled vs interpreted, {scheme}");
 }
 
 fn gap_stream() -> impl Strategy<Value = Vec<u32>> {
@@ -87,7 +92,10 @@ proptest! {
                 let got = engine.decode_docids(&data, &info, base).unwrap();
                 let mut expect = Vec::new();
                 codec.decode_d1(&data, &info, base, &mut expect).unwrap();
-                prop_assert_eq!(got.values, expect, "scheme {} width {}", s, width);
+                prop_assert_eq!(&got.values, &expect, "scheme {} width {}", s, width);
+                let oracle = engine.clone().with_interpreter(true);
+                let interpreted = oracle.decode_docids(&data, &info, base).unwrap();
+                prop_assert_eq!(got, interpreted, "compiled vs interpreted, {} width {}", s, width);
             }
         }
     }

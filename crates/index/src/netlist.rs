@@ -1,0 +1,103 @@
+//! Optional decode backend that routes block decodes through the Fig. 8
+//! programmable decompression engine (`boss-decomp`) instead of the
+//! scheme's software codec.
+//!
+//! The backend is a process-wide switch set by the bench binaries
+//! (`--decode-netlist` / `--interpret-netlist`). All three backends are
+//! bit-equal by construction — the netlist configurations decode every
+//! scheme identically to the codecs (enforced by `boss-decomp`'s
+//! equivalence tests), and figure timing charges cycles analytically from
+//! block metadata, never from the host decode path — so switching
+//! backends must leave every figure TSV byte-identical (CI-diffed). Only
+//! wall-clock changes.
+
+use crate::error::Error;
+use boss_compress::Scheme;
+use boss_decomp::{DecompEngine, EngineError};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which implementation [`crate::EncodedList::decode_block`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodeBackend {
+    /// The scheme's software codec (the default).
+    #[default]
+    Codec,
+    /// The decompression engine running its compiled stage-2 plan.
+    NetlistCompiled,
+    /// The decompression engine running the interpreter oracle.
+    NetlistInterpreted,
+}
+
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the process-wide decode backend.
+pub fn set_decode_backend(backend: DecodeBackend) {
+    let code = match backend {
+        DecodeBackend::Codec => 0,
+        DecodeBackend::NetlistCompiled => 1,
+        DecodeBackend::NetlistInterpreted => 2,
+    };
+    BACKEND.store(code, Ordering::SeqCst);
+}
+
+/// The currently selected decode backend.
+pub fn decode_backend() -> DecodeBackend {
+    match BACKEND.load(Ordering::SeqCst) {
+        1 => DecodeBackend::NetlistCompiled,
+        2 => DecodeBackend::NetlistInterpreted,
+        _ => DecodeBackend::Codec,
+    }
+}
+
+/// Lazily built engines, one per scheme discriminant, for each path.
+fn engines(interpret: bool) -> &'static [Option<DecompEngine>] {
+    static COMPILED: OnceLock<Vec<Option<DecompEngine>>> = OnceLock::new();
+    static INTERPRETED: OnceLock<Vec<Option<DecompEngine>>> = OnceLock::new();
+    let cell = if interpret { &INTERPRETED } else { &COMPILED };
+    cell.get_or_init(|| {
+        let all = [
+            Scheme::Bp,
+            Scheme::Vb,
+            Scheme::OptPfd,
+            Scheme::S16,
+            Scheme::S8b,
+            Scheme::GroupVarint,
+        ];
+        let max = all.iter().map(|&s| s as usize).max().unwrap_or(0);
+        let mut v: Vec<Option<DecompEngine>> = vec![None; max + 1];
+        for s in all {
+            v[s as usize] = DecompEngine::for_scheme(s)
+                .ok()
+                .map(|e| e.with_interpreter(interpret));
+        }
+        v
+    })
+}
+
+/// The engine for `scheme`, or a typed error if its shipped configuration
+/// failed to build (guarded against by `boss-decomp` tests).
+pub(crate) fn engine_for(scheme: Scheme, interpret: bool) -> Result<&'static DecompEngine, Error> {
+    engines(interpret)
+        .get(scheme as usize)
+        .and_then(|e| e.as_ref())
+        .ok_or(Error::CorruptMetadata {
+            reason: "no netlist configuration for scheme",
+        })
+}
+
+/// Maps engine failures onto the index crate's typed errors.
+pub(crate) fn netlist_error(e: EngineError) -> Error {
+    match e {
+        EngineError::Codec(c) => Error::Codec(c),
+        EngineError::Exec(_) => Error::CorruptMetadata {
+            reason: "netlist program fault",
+        },
+        EngineError::Stall { .. } => Error::CorruptMetadata {
+            reason: "netlist decompression stalled",
+        },
+        _ => Error::CorruptMetadata {
+            reason: "netlist decode failed",
+        },
+    }
+}

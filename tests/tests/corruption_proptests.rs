@@ -152,13 +152,15 @@ proptest! {
     ) {
         for &scheme in &ALL_SCHEMES {
             let engine = DecompEngine::for_scheme(scheme).expect("stock netlist parses");
-            match engine.decode(&data, &info) {
-                Ok(out) => {
-                    prop_assert_eq!(out.values.len(), info.count as usize, "{}", scheme);
-                    prop_assert!(out.values.capacity() <= 2 * MAX_BLOCK_VALUES);
-                }
-                Err(_) => {} // typed rejection is the other legal outcome
+            let res = engine.decode(&data, &info);
+            if let Ok(out) = &res {
+                prop_assert_eq!(out.values.len(), info.count as usize, "{}", scheme);
+                prop_assert!(out.values.capacity() <= 2 * MAX_BLOCK_VALUES);
             }
+            // Typed rejection is the other legal outcome — and whichever
+            // it is, the interpreter oracle must reach the same one.
+            let oracle = engine.clone().with_interpreter(true).decode(&data, &info);
+            prop_assert_eq!(res, oracle, "{} compiled/interpreted disagreement", scheme);
         }
     }
 
