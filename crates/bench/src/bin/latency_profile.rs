@@ -7,12 +7,15 @@
 //! the invariance diffs compare. The same rule covers the shard layer
 //! (`--shards`/`--replicas`): per-(shard, replica) fault counters and
 //! routing tallies are diagnostics, printed as labeled `# shard-health`
-//! comments.
+//! comments, and the serving harness (`--serve`/`--serve-*`): each
+//! engine's open-loop rejected/expired/shed breakdown and served-tail
+//! percentiles print as a `# serving` block after the data rows.
 
 use boss_bench::{
-    boss_engine, f, header, iiu_engine, lucene_engine, row, BenchArgs, BenchTarget, TypedSuite,
+    boss_engine, f, header, iiu_engine, lucene_engine, row, run_serving, BenchArgs, BenchTarget,
+    ServingSpec, TypedSuite,
 };
-use boss_core::EtMode;
+use boss_core::{EtMode, QueryAlgorithm};
 use boss_engine::{SearchEngine, ShardReplicaStats};
 use boss_index::BlockCacheStats;
 use boss_scm::MemoryConfig;
@@ -45,6 +48,57 @@ fn latencies_us<E: SearchEngine>(
     let skipped = eval.blocks_skipped_fault;
     let pruned = (eval.blocks_skipped_prune, eval.docs_skipped_prune);
     (us, engine.block_cache_stats(), skipped, pruned)
+}
+
+/// Prints one engine family's `# serving` diagnostic line: the open-loop
+/// scenario of `--serve-*` replayed over this engine's measured service
+/// table. Comment-only by the same rule as the cache and shard-health
+/// counters — serving outcomes depend on the scenario knobs, never on
+/// `--threads`, but they are diagnostics, not figure data.
+fn serving_comment<E: SearchEngine + Send>(
+    name: &str,
+    engine: &E,
+    pruned: Option<&E>,
+    queries: &[boss_index::QueryExpr],
+    spec: &ServingSpec,
+    args: &BenchArgs,
+) {
+    match run_serving(
+        engine,
+        pruned,
+        queries,
+        args.k,
+        spec,
+        args.seed,
+        args.threads,
+    ) {
+        Ok((run, _mean)) => {
+            let clk = engine.clock_ghz();
+            let us = |c: u64| c as f64 / (clk * 1e3);
+            println!(
+                "# serving {name} {} load {} policy {} degrade {}: served {}/{} \
+                 (normal {} pruned {} brownout {}) rejected {} expired {} shed {} late {} \
+                 p50 {}us p99 {}us goodput {} qps",
+                spec.arrivals,
+                f(spec.load),
+                spec.policy,
+                if spec.degrade { "on" } else { "off" },
+                run.served(),
+                queries.len(),
+                run.served_by_level[0],
+                run.served_by_level[1],
+                run.served_by_level[2],
+                run.rejected,
+                run.expired,
+                run.shed,
+                run.served_late,
+                f(us(run.sojourn_percentile(0.50))),
+                f(us(run.sojourn_percentile(0.99))),
+                f(run.goodput_qps(clk)),
+            );
+        }
+        Err(e) => println!("# serving {name}: measurement failed: {e}"),
+    }
 }
 
 /// One engine's row data plus its out-of-band diagnostics.
@@ -173,6 +227,57 @@ fn main() {
                     );
                 }
             }
+        }
+    }
+
+    // Open-loop serving diagnostics over the whole suite, one line per
+    // engine family. Degradation needs a pruned companion engine (the
+    // overload controller's cheaper service level), built only when the
+    // scenario can actually use it.
+    if let Some(spec) = &args.serving {
+        let queries: Vec<_> = suite
+            .per_type
+            .iter()
+            .flat_map(|(_, qs)| qs.iter().cloned())
+            .collect();
+        let tuning = args.tuning();
+        let pruned_tuning = tuning
+            .clone()
+            .with_algorithm(QueryAlgorithm::BlockMaxMaxScore);
+        if args.engines.lucene {
+            let e = lucene_engine(&target, 1, MemoryConfig::host_scm_6ch(), &tuning);
+            let p = spec
+                .degrade
+                .then(|| lucene_engine(&target, 1, MemoryConfig::host_scm_6ch(), &pruned_tuning));
+            serving_comment("Lucene", &e, p.as_ref(), &queries, spec, &args);
+        }
+        if args.engines.iiu {
+            let e = iiu_engine(&target, 1, MemoryConfig::optane_dcpmm(), &tuning);
+            let p = spec
+                .degrade
+                .then(|| iiu_engine(&target, 1, MemoryConfig::optane_dcpmm(), &pruned_tuning));
+            serving_comment("IIU", &e, p.as_ref(), &queries, spec, &args);
+        }
+        if args.engines.boss {
+            let e = boss_engine(
+                &target,
+                1,
+                EtMode::Full,
+                MemoryConfig::optane_dcpmm(),
+                args.k,
+                &tuning,
+            );
+            let p = spec.degrade.then(|| {
+                boss_engine(
+                    &target,
+                    1,
+                    EtMode::Full,
+                    MemoryConfig::optane_dcpmm(),
+                    args.k,
+                    &pruned_tuning,
+                )
+            });
+            serving_comment("BOSS", &e, p.as_ref(), &queries, spec, &args);
         }
     }
 }

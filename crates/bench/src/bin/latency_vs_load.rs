@@ -1,44 +1,81 @@
-//! Latency vs offered load: the command queue (Figure 4(a)) under an
-//! open-loop arrival process — mean and p99 sojourn time as load
-//! approaches the device's capacity, plus admission drops beyond it.
+//! Latency vs offered load — the M/M/k-style sanity view of the serving
+//! harness: mean and p99 sojourn time as Poisson load approaches the
+//! device's capacity, plus admission drops beyond it.
+//!
+//! This is the simplest serving scenario the harness supports (FIFO, no
+//! deadlines, no degradation, queue bound 64) swept across load, so the
+//! hockey stick is pure queueing theory: waits explode past load 1.0 and
+//! the bounded queue starts rejecting. The full scheduler × degradation
+//! × load matrix — and the machine-readable report — lives in
+//! `serving_latency`; at the same seed and query set both replay the
+//! same measured service table, so this binary is the quick cross-check,
+//! not a second model.
 
-use boss_bench::{f, header, row, BenchArgs};
-use boss_core::BossConfig;
-use boss_engine::{Boss, SearchEngine};
+use boss_bench::{boss_engine, f, header, row, BenchArgs, BenchTarget, ServingSpec};
+use boss_core::EtMode;
+use boss_engine::{simulate, SearchEngine, ServePolicy, ServiceTable};
+use boss_scm::MemoryConfig;
+use boss_workload::arrivals::ArrivalKind;
 use boss_workload::corpus::CorpusSpec;
 use boss_workload::queries::QuerySampler;
 
+/// Admission bound of the sanity view (the command-queue depth of the
+/// seed's Figure 4(a) model).
+const QUEUE_BOUND: usize = 64;
+
+fn bail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("latency_vs_load: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale)
-        .build()
-        .expect("corpus builds");
-    let mut sampler = QuerySampler::new(&index, args.seed).expect("corpus vocabulary");
-    let queries: Vec<_> = sampler
-        .trec_like_mix((args.queries_per_type * 6).max(60))
-        .expect("corpus samples")
-        .into_iter()
-        .map(|t| t.expr)
-        .collect();
+    let index = match CorpusSpec::ccnews_like(args.scale).build() {
+        Ok(i) => i,
+        Err(e) => bail(format!("corpus build failed: {e}")),
+    };
+    let shard_split = args.shard_split(&index);
+    let target = BenchTarget::new(&index, shard_split.as_ref());
+    let mut sampler = match QuerySampler::new(&index, args.seed) {
+        Ok(s) => s,
+        Err(e) => bail(format!("corpus has no usable vocabulary: {e}")),
+    };
+    let queries: Vec<_> = match sampler.trec_like_mix((args.queries_per_type * 6).max(60)) {
+        Ok(qs) => qs.into_iter().map(|t| t.expr).collect(),
+        Err(e) => bail(format!("query sampling failed: {e}")),
+    };
 
-    // Capacity estimate: mean service time over the mix on 8 cores.
-    let mut engine = Boss::new(&index, BossConfig::with_cores(8).with_k(args.k));
-    let mean_service: f64 = queries
-        .iter()
-        .map(|q| engine.search(q, args.k).expect("runs").cycles as f64)
-        .sum::<f64>()
-        / queries.len() as f64;
-    let capacity_period = mean_service / 8.0; // 8 cores drain in parallel
+    let engine = boss_engine(
+        &target,
+        8,
+        EtMode::Full,
+        MemoryConfig::optane_dcpmm(),
+        args.k,
+        &args.tuning(),
+    );
+    // One deterministic measurement pass; the load sweep replays it.
+    let table = match ServiceTable::measure(&engine, None, &queries, args.k, args.k, args.threads) {
+        Ok(t) => t,
+        Err(e) => bail(format!(
+            "service measurement failed: {e} (use --degrade skip on a faulty device)"
+        )),
+    };
+    let mean_service = table.mean_normal_cycles();
+    let servers = engine.lanes();
 
     println!(
-        "# Latency vs offered load (8 cores, queue depth 64, k={})",
+        "# Latency vs offered load ({servers} cores, queue depth {QUEUE_BOUND}, k={})",
         args.k
     );
     println!(
         "# mean service {:.1} us; capacity ~{:.0} qps",
         mean_service / 1e3,
-        1e9 / capacity_period
+        servers as f64 * 1e9 / mean_service.max(1.0)
     );
+    println!(
+        "# full scheduler x degrade x load matrix: serving_latency (same table at the same seed)"
+    );
+    args.print_threads_comment();
     header(&[
         "load_frac",
         "mean_latency_us",
@@ -47,17 +84,23 @@ fn main() {
         "dropped",
     ]);
     for load in [0.2, 0.5, 0.7, 0.9, 1.1, 1.5] {
-        let period = (capacity_period / load).max(1.0) as u64;
-        let r = engine
-            .device_mut()
-            .run_open_loop(&queries, args.k, period, 64)
-            .expect("runs");
+        let spec = ServingSpec {
+            arrivals: ArrivalKind::Poisson,
+            load,
+            queue: QUEUE_BOUND,
+            deadline_x: 0.0,
+            policy: ServePolicy::Fifo,
+            degrade: false,
+        };
+        let arrivals = spec.arrival_trace(queries.len(), mean_service, servers, args.seed);
+        let run = simulate(&spec.config(servers, mean_service), &arrivals, &table);
+        let mean_sojourn = run.mean_sojourn_cycles();
         row(&[
             f(load),
-            f(r.mean_latency_cycles / 1e3),
-            f(r.p99_latency_cycles as f64 / 1e3),
-            f(r.mean_queue_wait_cycles / 1e3),
-            r.dropped.to_string(),
+            f(mean_sojourn / 1e3),
+            f(run.sojourn_percentile(0.99) as f64 / 1e3),
+            f((mean_sojourn - mean_service).max(0.0) / 1e3),
+            run.rejected.to_string(),
         ]);
     }
     println!("# the hockey stick: waits explode past load 1.0 and the queue starts dropping");

@@ -18,12 +18,16 @@ pub mod corruption;
 pub mod figures;
 
 use boss_core::{BossConfig, DegradePolicy, EtMode, EvalCounts, QueryAlgorithm, QueryOutcome};
-use boss_engine::{BatchExecutor, Boss, Iiu, Lucene, SearchEngine, ShardTiming, Sharded};
+use boss_engine::{
+    BatchExecutor, Boss, Iiu, Lucene, OverloadConfig, SearchEngine, ServePolicy, ServingConfig,
+    ShardTiming, Sharded,
+};
 use boss_iiu::IiuConfig;
 use boss_index::shard::ShardedIndex;
 use boss_index::{DecodeBackend, InvertedIndex, QueryExpr};
 use boss_luceneish::LuceneConfig;
 use boss_scm::{FaultPlan, MemStats, MemoryConfig};
+use boss_workload::arrivals::{self, ArrivalKind};
 use boss_workload::corpus::{CorpusSpec, Scale};
 use boss_workload::queries::{QuerySampler, QueryType, ALL_QUERY_TYPES};
 
@@ -144,6 +148,11 @@ pub struct BenchArgs {
     /// backends are bit-equal: figure data rows must stay byte-identical,
     /// only wall-clock moves.
     pub decode_backend: DecodeBackend,
+    /// Open-loop serving scenario (`--serve` and the `--serve-*`
+    /// knobs); `None` keeps the closed-batch figure path untouched.
+    /// Serving counters are reported only in `#` comment lines, so the
+    /// data-row invariance contract is unaffected.
+    pub serving: Option<ServingSpec>,
 }
 
 impl Default for BenchArgs {
@@ -165,6 +174,7 @@ impl Default for BenchArgs {
             shard_fault: None,
             algorithm: QueryAlgorithm::Exhaustive,
             decode_backend: DecodeBackend::Codec,
+            serving: None,
         }
     }
 }
@@ -228,6 +238,37 @@ impl BenchArgs {
                 }
                 "--decode-netlist" => args.decode_backend = DecodeBackend::NetlistCompiled,
                 "--interpret-netlist" => args.decode_backend = DecodeBackend::NetlistInterpreted,
+                "--serve" => {
+                    args.serving.get_or_insert_with(ServingSpec::default);
+                }
+                "--serve-load" => {
+                    args.serving.get_or_insert_with(ServingSpec::default).load =
+                        parsed_value(&take("--serve-load"), "--serve-load");
+                }
+                "--serve-queue" => {
+                    args.serving.get_or_insert_with(ServingSpec::default).queue =
+                        parsed_value::<usize>(&take("--serve-queue"), "--serve-queue").max(1);
+                }
+                "--serve-deadline-x" => {
+                    args.serving
+                        .get_or_insert_with(ServingSpec::default)
+                        .deadline_x =
+                        parsed_value(&take("--serve-deadline-x"), "--serve-deadline-x");
+                }
+                "--serve-policy" => {
+                    args.serving.get_or_insert_with(ServingSpec::default).policy =
+                        parsed_value(&take("--serve-policy"), "--serve-policy");
+                }
+                "--serve-arrivals" => {
+                    args.serving
+                        .get_or_insert_with(ServingSpec::default)
+                        .arrivals = parsed_value(&take("--serve-arrivals"), "--serve-arrivals");
+                }
+                "--serve-degrade" => {
+                    args.serving
+                        .get_or_insert_with(ServingSpec::default)
+                        .degrade = true;
+                }
                 "--degrade" => match take("--degrade").as_str() {
                     "fail" => args.degrade_skip = false,
                     "skip" => args.degrade_skip = true,
@@ -243,7 +284,10 @@ impl BenchArgs {
                          [--no-bulk] [--fault-plan SEED] [--fault-rate F] [--degrade fail|skip] \
                          [--shards N] [--replicas N] [--shard-fault S] \
                          [--algorithm exhaustive|maxscore|wand|bmw|bmm] \
-                         [--decode-netlist] [--interpret-netlist]"
+                         [--decode-netlist] [--interpret-netlist] \
+                         [--serve] [--serve-load F] [--serve-queue N] [--serve-deadline-x F] \
+                         [--serve-policy fifo|sjf|edf|shed] [--serve-arrivals poisson|bursty] \
+                         [--serve-degrade]"
                     );
                     std::process::exit(0);
                 }
@@ -270,6 +314,7 @@ impl BenchArgs {
             replicas: self.replicas.max(1) as usize,
             shard_fault: self.shard_fault,
             algorithm: self.algorithm,
+            serving: self.serving.clone(),
         }
     }
 
@@ -403,6 +448,115 @@ pub fn run_system<E: SearchEngine + Send>(
     }
 }
 
+/// Open-loop serving scenario: which arrival process hits the engine,
+/// how hard, and what the admission/deadline/degradation posture is.
+/// The CLI builds one from the `--serve-*` flags; the [`ServingConfig`]
+/// it compiles to is relative to the engine's measured mean service time
+/// and lane count, so one spec describes the same *relative* load on any
+/// engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingSpec {
+    /// Arrival process shape.
+    pub arrivals: ArrivalKind,
+    /// Offered load as a fraction of pool capacity (arrival rate ×
+    /// mean normal service time ÷ servers); 1.0 is saturation.
+    pub load: f64,
+    /// Admission queue bound.
+    pub queue: usize,
+    /// Per-query deadline as a multiple of the mean normal service
+    /// time; 0 disables deadlines.
+    pub deadline_x: f64,
+    /// Dequeue policy.
+    pub policy: ServePolicy,
+    /// Overload controller (degrade-under-pressure) on or off.
+    pub degrade: bool,
+}
+
+impl Default for ServingSpec {
+    fn default() -> Self {
+        ServingSpec {
+            arrivals: ArrivalKind::Poisson,
+            load: 0.8,
+            queue: 64,
+            deadline_x: 20.0,
+            policy: ServePolicy::Edf,
+            degrade: false,
+        }
+    }
+}
+
+impl ServingSpec {
+    /// Mean inter-arrival time in cycles that offers `self.load` to a
+    /// pool of `servers` lanes with the given mean service time.
+    pub fn mean_interarrival(&self, mean_svc_cycles: f64, servers: usize) -> f64 {
+        mean_svc_cycles.max(1.0) / (servers.max(1) as f64 * self.load.max(1e-3))
+    }
+
+    /// Absolute deadline budget in cycles, `None` when disabled.
+    pub fn deadline_cycles(&self, mean_svc_cycles: f64) -> Option<u64> {
+        (self.deadline_x > 0.0).then(|| (self.deadline_x * mean_svc_cycles.max(1.0)).round() as u64)
+    }
+
+    /// Compiles the spec against a measured engine: `servers` lanes and
+    /// the table's mean normal service time.
+    pub fn config(&self, servers: usize, mean_svc_cycles: f64) -> ServingConfig {
+        ServingConfig {
+            servers: servers.max(1),
+            queue_bound: self.queue.max(1),
+            deadline_cycles: self.deadline_cycles(mean_svc_cycles),
+            policy: self.policy,
+            overload: self.degrade.then(OverloadConfig::default),
+        }
+    }
+
+    /// The deterministic arrival trace this spec offers to a pool of
+    /// `servers` lanes: `n` arrivals at the spec's load and shape.
+    pub fn arrival_trace(
+        &self,
+        n: usize,
+        mean_svc_cycles: f64,
+        servers: usize,
+        seed: u64,
+    ) -> Vec<u64> {
+        arrivals::generate(
+            self.arrivals,
+            n,
+            self.mean_interarrival(mean_svc_cycles, servers),
+            seed,
+        )
+    }
+}
+
+/// One serving simulation over an engine: measures the per-query
+/// [`boss_engine::ServiceTable`] (on `pruned` too when the spec enables
+/// degradation), generates the spec's arrival trace, and replays it.
+/// Returns the run plus the measured mean normal service time in cycles
+/// (the capacity anchor the spec's load and deadline were scaled by).
+/// Deterministic: bit-identical at every `threads` value.
+///
+/// # Errors
+///
+/// The first query that fails to plan or decode on either engine.
+pub fn run_serving<E: SearchEngine + Send>(
+    engine: &E,
+    pruned: Option<&E>,
+    queries: &[QueryExpr],
+    k: usize,
+    spec: &ServingSpec,
+    seed: u64,
+    threads: usize,
+) -> Result<(boss_engine::ServingRun, f64), boss_engine::Error> {
+    let degraded = if spec.degrade { pruned } else { None };
+    let brownout_k = (k / 4).max(1);
+    let table =
+        boss_engine::ServiceTable::measure(engine, degraded, queries, k, brownout_k, threads)?;
+    let mean_svc = table.mean_normal_cycles();
+    let servers = engine.lanes();
+    let arrivals = spec.arrival_trace(queries.len(), mean_svc, servers, seed);
+    let config = spec.config(servers, mean_svc);
+    Ok((boss_engine::simulate(&config, &arrivals, &table), mean_svc))
+}
+
 /// Engine knobs shared by the figure binaries: decoded-block cache,
 /// bulk-scoring toggle, and (BOSS-only) the SCM fault plan and
 /// degradation policy. [`BenchArgs::tuning`] builds one from the CLI.
@@ -426,6 +580,9 @@ pub struct EngineTuning {
     /// Dynamic-pruning query plan installed on every engine the helpers
     /// build (leaves included). Hits are bit-identical to exhaustive.
     pub algorithm: QueryAlgorithm,
+    /// Open-loop serving scenario, when the binary should also report
+    /// serving counters (`# serving` comment block); `None` otherwise.
+    pub serving: Option<ServingSpec>,
 }
 
 impl EngineTuning {
@@ -440,6 +597,7 @@ impl EngineTuning {
             replicas: 1,
             shard_fault: None,
             algorithm: QueryAlgorithm::Exhaustive,
+            serving: None,
         }
     }
 

@@ -53,10 +53,15 @@
 
 mod engines;
 mod executor;
+mod serving;
 mod sharded;
 
 pub use engines::{Boss, Iiu, Lucene};
 pub use executor::{BatchExecutor, EngineBatch};
+pub use serving::{
+    simulate, DegradeLevel, Disposition, OverloadConfig, QueryRecord, ServePolicy, ServiceTable,
+    ServingConfig, ServingRun, ALL_SERVE_POLICIES,
+};
 pub use sharded::{ShardReplicaStats, ShardTiming, Sharded};
 
 // Engine-level result vocabulary: the per-query outcome and the two stat

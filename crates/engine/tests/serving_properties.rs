@@ -1,0 +1,196 @@
+//! Property tests for the open-loop serving simulator: the invariants
+//! the ISSUE's determinism and robustness contract rests on, checked
+//! over randomized service tables, arrival traces, and configurations.
+
+use boss_engine::{
+    simulate, Disposition, OverloadConfig, ServePolicy, ServiceTable, ServingConfig,
+    ALL_SERVE_POLICIES,
+};
+use proptest::prelude::*;
+
+/// A random scenario: per-query service cycles, arrival gaps, and a
+/// serving configuration. Gaps (not absolute times) keep the trace
+/// non-decreasing by construction, like the real generators.
+#[derive(Debug, Clone)]
+struct Scenario {
+    svc: Vec<u64>,
+    pruned: Option<Vec<u64>>,
+    arrivals: Vec<u64>,
+    config: ServingConfig,
+}
+
+fn any_policy() -> impl Strategy<Value = ServePolicy> {
+    prop_oneof![
+        Just(ServePolicy::Fifo),
+        Just(ServePolicy::Sjf),
+        Just(ServePolicy::Edf),
+        Just(ServePolicy::EdfShed),
+    ]
+}
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        prop::collection::vec((1u64..2_000, 1u64..500), 1..200),
+        (any::<bool>(), any::<bool>()),
+        1usize..5,
+        1usize..32,
+        (any::<bool>(), 1u64..20_000),
+        any_policy(),
+    )
+        .prop_map(
+            |(svc_and_gaps, (with_pruned, degrade), servers, queue_bound, deadline, policy)| {
+                let svc: Vec<u64> = svc_and_gaps.iter().map(|&(s, _)| s).collect();
+                // Pruned level: each query at ~1/4 its normal cost.
+                let pruned = with_pruned.then(|| svc.iter().map(|&s| (s / 4).max(1)).collect());
+                let deadline = deadline.0.then_some(deadline.1);
+                let arrivals: Vec<u64> = svc_and_gaps
+                    .iter()
+                    .scan(0u64, |t, &(_, gap)| {
+                        *t += gap;
+                        Some(*t)
+                    })
+                    .collect();
+                Scenario {
+                    svc,
+                    pruned,
+                    arrivals,
+                    config: ServingConfig {
+                        servers,
+                        queue_bound,
+                        deadline_cycles: deadline,
+                        policy,
+                        overload: degrade.then(OverloadConfig::default),
+                    },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The admission queue never exceeds its configured bound — there is
+    /// no unbounded buffering under any load, policy, or controller
+    /// state.
+    #[test]
+    fn queue_never_exceeds_its_bound(sc in any_scenario()) {
+        let table = ServiceTable::from_cycles(sc.svc.clone(), sc.pruned.clone(), None);
+        let run = simulate(&sc.config, &sc.arrivals, &table);
+        prop_assert!(
+            run.max_queue_depth <= sc.config.queue_bound.max(1),
+            "depth {} over bound {}",
+            run.max_queue_depth,
+            sc.config.queue_bound
+        );
+    }
+
+    /// Every query is accounted for exactly once, and the counters agree
+    /// with the per-query records.
+    #[test]
+    fn dispositions_partition_the_arrivals(sc in any_scenario()) {
+        let table = ServiceTable::from_cycles(sc.svc.clone(), sc.pruned.clone(), None);
+        let run = simulate(&sc.config, &sc.arrivals, &table);
+        let n = sc.arrivals.len();
+        prop_assert_eq!(run.records.len(), n);
+        prop_assert_eq!(run.served() + run.rejected + run.expired + run.shed, n);
+        let mut counts = [0usize; 4];
+        for r in &run.records {
+            match r.disposition {
+                Disposition::Served { .. } => counts[0] += 1,
+                Disposition::Rejected => counts[1] += 1,
+                Disposition::Expired { .. } => counts[2] += 1,
+                Disposition::Shed { .. } => counts[3] += 1,
+            }
+        }
+        prop_assert_eq!(counts, [run.served(), run.rejected, run.expired, run.shed]);
+        prop_assert_eq!(
+            run.served_by_level.iter().sum::<usize>(),
+            run.served()
+        );
+    }
+
+    /// An expired query is never served: every served query *starts*
+    /// strictly before its absolute deadline, and under the shed policy
+    /// it also *finishes* by it.
+    #[test]
+    fn expired_queries_are_never_served(sc in any_scenario()) {
+        let table = ServiceTable::from_cycles(sc.svc.clone(), sc.pruned.clone(), None);
+        let run = simulate(&sc.config, &sc.arrivals, &table);
+        let Some(d) = sc.config.deadline_cycles else { return Ok(()) };
+        for (r, &arrival) in run.records.iter().zip(&sc.arrivals) {
+            let abs = arrival.saturating_add(d);
+            match r.disposition {
+                Disposition::Served { start, finish, .. } => {
+                    prop_assert!(start < abs, "served query started at {start} >= deadline {abs}");
+                    if sc.config.policy == ServePolicy::EdfShed {
+                        prop_assert!(finish <= abs, "shed policy served past deadline");
+                    }
+                }
+                Disposition::Expired { at } => {
+                    prop_assert!(at >= abs, "expired at {at} before its deadline {abs}");
+                }
+                _ => {}
+            }
+        }
+        if sc.config.policy == ServePolicy::EdfShed {
+            prop_assert_eq!(run.served_late, 0);
+        }
+    }
+
+    /// The simulation is a pure function: replaying the same inputs
+    /// yields identical records, for every policy.
+    #[test]
+    fn simulate_is_deterministic(sc in any_scenario()) {
+        let table = ServiceTable::from_cycles(sc.svc.clone(), sc.pruned.clone(), None);
+        for policy in ALL_SERVE_POLICIES {
+            let config = ServingConfig { policy, ..sc.config.clone() };
+            let a = simulate(&config, &sc.arrivals, &table);
+            let b = simulate(&config, &sc.arrivals, &table);
+            prop_assert_eq!(a.records, b.records, "{:?}", policy);
+        }
+    }
+
+    /// Policy orderings are total and deterministic under ties: with no
+    /// deadlines EDF's key is constant, so its tie-break must reproduce
+    /// FIFO exactly; with uniform service times SJF's must too.
+    #[test]
+    fn tie_breaks_reproduce_arrival_order(
+        gaps in prop::collection::vec(1u64..400, 1..150),
+        servers in 1usize..5,
+        queue_bound in 1usize..32,
+        svc in 1u64..2_000,
+    ) {
+        let arrivals: Vec<u64> = gaps
+            .iter()
+            .scan(0u64, |t, &g| { *t += g; Some(*t) })
+            .collect();
+        let table = ServiceTable::from_cycles(vec![svc; arrivals.len()], None, None);
+        let base = ServingConfig {
+            servers,
+            queue_bound,
+            deadline_cycles: None,
+            policy: ServePolicy::Fifo,
+            overload: None,
+        };
+        let fifo = simulate(&base, &arrivals, &table);
+        for policy in [ServePolicy::Edf, ServePolicy::Sjf] {
+            let run = simulate(&ServingConfig { policy, ..base.clone() }, &arrivals, &table);
+            prop_assert_eq!(&fifo.records, &run.records, "{:?} ties broke from FIFO", policy);
+        }
+    }
+
+    /// Sojourn percentiles are monotone in `p` and bracketed by the
+    /// extremes of the served set.
+    #[test]
+    fn percentiles_are_monotone(sc in any_scenario()) {
+        let table = ServiceTable::from_cycles(sc.svc.clone(), sc.pruned.clone(), None);
+        let run = simulate(&sc.config, &sc.arrivals, &table);
+        let p50 = run.sojourn_percentile(0.50);
+        let p99 = run.sojourn_percentile(0.99);
+        let p100 = run.sojourn_percentile(1.0);
+        prop_assert!(p50 <= p99 && p99 <= p100);
+        if run.served() > 0 {
+            prop_assert!(run.sojourn_percentile(0.0) >= 1, "service is at least one cycle");
+        }
+    }
+}

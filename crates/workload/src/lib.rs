@@ -1,6 +1,6 @@
 //! Workload generation for the BOSS evaluation.
 //!
-//! Three generators, all deterministic under an explicit seed:
+//! Four generators, all deterministic under an explicit seed:
 //!
 //! * [`streams`] — the seven synthetic integer streams of Figure 3
 //!   (uniform sparse/dense, clustered sparse/dense, outlier 10 %/30 %,
@@ -10,7 +10,9 @@
 //!   geometric term frequencies (see `DESIGN.md` for why these match the
 //!   properties the paper's experiments exercise);
 //! * [`queries`] — the Q1–Q6 query types of Table II and a TREC-like
-//!   sampler that draws terms by document frequency.
+//!   sampler that draws terms by document frequency;
+//! * [`arrivals`] — open-loop arrival processes (Poisson and bursty
+//!   MMPP-2) feeding the serving harness in `boss-engine`.
 //!
 //! # Example
 //!
@@ -27,6 +29,7 @@
 //! # }
 //! ```
 
+pub mod arrivals;
 pub mod corpus;
 pub mod queries;
 pub mod rng;
