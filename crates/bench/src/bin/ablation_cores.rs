@@ -9,9 +9,7 @@ use boss_workload::queries::QuerySampler;
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::clueweb12_like(args.scale)
-        .build()
-        .expect("corpus builds");
+    let index = args.build_corpus("clueweb12-like", &CorpusSpec::clueweb12_like(args.scale));
     let sharded = args.shard_split(&index);
     let target = BenchTarget::new(&index, sharded.as_ref());
     let mut sampler = QuerySampler::new(&index, args.seed).expect("corpus vocabulary");

@@ -9,9 +9,7 @@ use boss_workload::corpus::CorpusSpec;
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale)
-        .build()
-        .expect("corpus builds");
+    let index = args.build_corpus("ccnews-like", &CorpusSpec::ccnews_like(args.scale));
     let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
     println!("# Ablation: timing fidelity (1 BOSS core, k={})", args.k);
     header(&["qtype", "roofline_us", "pipelined_us", "ratio"]);

@@ -12,9 +12,7 @@ use boss_workload::queries::QueryType;
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale)
-        .build()
-        .expect("corpus builds");
+    let index = args.build_corpus("ccnews-like", &CorpusSpec::ccnews_like(args.scale));
     let sharded = args.shard_split(&index);
     let target = BenchTarget::new(&index, sharded.as_ref());
     let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);

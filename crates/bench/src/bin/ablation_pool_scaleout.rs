@@ -14,9 +14,7 @@ use boss_workload::queries::{QuerySampler, QueryType};
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale)
-        .build()
-        .expect("corpus builds");
+    let index = args.build_corpus("ccnews-like", &CorpusSpec::ccnews_like(args.scale));
     let mut sampler = QuerySampler::new(&index, args.seed).expect("corpus vocabulary");
     let queries: Vec<_> = (0..args.queries_per_type.max(4))
         .map(|i| {

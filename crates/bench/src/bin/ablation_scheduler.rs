@@ -11,9 +11,7 @@ use boss_workload::queries::QuerySampler;
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::ccnews_like(args.scale)
-        .build()
-        .expect("corpus builds");
+    let index = args.build_corpus("ccnews-like", &CorpusSpec::ccnews_like(args.scale));
     let mut sampler = QuerySampler::new(&index, args.seed).expect("corpus vocabulary");
     let queries: Vec<_> = sampler
         .trec_like_mix(args.queries_per_type * 6)

@@ -3,12 +3,12 @@
 //! experiments exercise (Zipfian df, small clustered d-gaps, skewed tf,
 //! per-list scheme diversity).
 
-use boss_bench::{both_corpora, f, header, row, BenchArgs};
+use boss_bench::{both_corpora_for, f, header, row, BenchArgs};
 use boss_compress::ALL_SCHEMES;
 
 fn main() {
     let args = BenchArgs::parse();
-    for (name, index) in both_corpora(args.scale) {
+    for (name, index) in both_corpora_for(&args) {
         println!(
             "# {name}: {} docs, {} terms",
             index.n_docs(),

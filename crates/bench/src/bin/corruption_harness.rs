@@ -4,12 +4,16 @@
 //! extensions, descriptor corruption — to every stock codec's fast and
 //! reference decode paths, the Fig. 8 netlist interpreter (encoded data
 //! *and* configuration text), index-level `decode_block` with corrupted
-//! `BlockMeta`, and single shards of a sharded index run through the
-//! BOSS engine under the `SkipBlock` degradation policy. Passes iff
-//! every mutated input produces a typed error or a bit-correct decode:
-//! no panics, no fast/reference disagreement, no out-of-bounds reserve,
-//! and no degradation leaking past the shard that owns the mutated
-//! bytes (sibling shards must stay byte-identical to a quiet run).
+//! `BlockMeta`, the on-disk SPIMI segment format (header, dictionary,
+//! descriptor, payload, and checksum mutations plus whole-file
+//! truncation/extension), and single shards of a sharded index run
+//! through the BOSS engine under the `SkipBlock` degradation policy.
+//! Passes iff every mutated input produces a typed error or a
+//! bit-correct decode: no panics, no fast/reference disagreement, no
+//! out-of-bounds reserve, no segment checksum accepting a changed byte
+//! image, and no degradation leaking past the shard that owns the
+//! mutated bytes (sibling shards must stay byte-identical to a quiet
+//! run).
 //!
 //! ```text
 //! corruption_harness [--seed N] [--trials-per-scheme N] [--interpret-netlist]

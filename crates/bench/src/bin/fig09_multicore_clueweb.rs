@@ -8,9 +8,7 @@ use boss_workload::corpus::CorpusSpec;
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = CorpusSpec::clueweb12_like(args.scale)
-        .build()
-        .expect("corpus builds");
+    let index = args.build_corpus("clueweb12-like", &CorpusSpec::clueweb12_like(args.scale));
     let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
     let sharded = args.shard_split(&index);
     let target = BenchTarget::new(&index, sharded.as_ref());

@@ -1,11 +1,11 @@
 //! Figure 14: normalized number of evaluated documents (Q1/Q3/Q5) for
 //! IIU, BOSS-block-only, and full BOSS.
 
-use boss_bench::{both_corpora, figures, BenchArgs, BenchTarget, TypedSuite};
+use boss_bench::{both_corpora_for, figures, BenchArgs, BenchTarget, TypedSuite};
 
 fn main() {
     let args = BenchArgs::parse();
-    for (name, index) in both_corpora(args.scale) {
+    for (name, index) in both_corpora_for(&args) {
         let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
         let sharded = args.shard_split(&index);
         let target = BenchTarget::new(&index, sharded.as_ref());

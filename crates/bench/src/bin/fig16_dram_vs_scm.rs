@@ -1,11 +1,11 @@
 //! Figure 16: Lucene / IIU / BOSS on DRAM vs SCM at 8 cores, normalized
 //! to 8-core Lucene on SCM.
 
-use boss_bench::{both_corpora, figures, BenchArgs, BenchTarget, TypedSuite};
+use boss_bench::{both_corpora_for, figures, BenchArgs, BenchTarget, TypedSuite};
 
 fn main() {
     let args = BenchArgs::parse();
-    for (name, index) in both_corpora(args.scale) {
+    for (name, index) in both_corpora_for(&args) {
         let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
         let sharded = args.shard_split(&index);
         let target = BenchTarget::new(&index, sharded.as_ref());

@@ -1,11 +1,11 @@
 //! Figure 17: energy consumption of BOSS (8 cores) normalized to 8-core
 //! Lucene on SCM. The paper reports ~189x average savings.
 
-use boss_bench::{both_corpora, figures, BenchArgs, BenchTarget, TypedSuite};
+use boss_bench::{both_corpora_for, figures, BenchArgs, BenchTarget, TypedSuite};
 
 fn main() {
     let args = BenchArgs::parse();
-    for (name, index) in both_corpora(args.scale) {
+    for (name, index) in both_corpora_for(&args) {
         let suite = TypedSuite::sample(&index, args.queries_per_type, args.seed);
         let sharded = args.shard_split(&index);
         let target = BenchTarget::new(&index, sharded.as_ref());

@@ -30,7 +30,7 @@ fn bail(msg: impl std::fmt::Display) -> ! {
 
 fn main() {
     let args = BenchArgs::parse();
-    let index = match CorpusSpec::ccnews_like(args.scale).build() {
+    let index = match args.try_build_corpus("ccnews-like", &CorpusSpec::ccnews_like(args.scale)) {
         Ok(i) => i,
         Err(e) => bail(format!("corpus build failed: {e}")),
     };

@@ -1,9 +1,10 @@
 //! Deterministic corruption harness: seeded mutations of encoded blocks,
-//! block metadata, netlist configuration text, and single shards of a
-//! sharded index, with one invariant — **typed error or bit-correct
-//! decode, never a panic, never an out-of-bounds reserve** (and for the
-//! sharded trials: degradation confined to the shard that owns the
-//! mutated bytes).
+//! block metadata, netlist configuration text, on-disk SPIMI segment
+//! files, and single shards of a sharded index, with one invariant —
+//! **typed error or bit-correct decode, never a panic, never an
+//! out-of-bounds reserve** (and for the sharded trials: degradation
+//! confined to the shard that owns the mutated bytes; for the segment
+//! trials: the checksum must reject every changed byte image).
 //!
 //! The `corruption_harness` binary drives these trials at CI scale
 //! (≥ 10,000 mutations across the five schemes and the netlist
@@ -20,8 +21,9 @@ use boss_compress::{codec_for, BlockInfo, Scheme, ALL_SCHEMES, MAX_BLOCK_VALUES}
 use boss_core::{BossConfig, DegradePolicy};
 use boss_decomp::{schemes, DecompEngine};
 use boss_engine::{Boss, SearchEngine};
+use boss_index::segment::{write_segment, SegmentReader};
 use boss_index::shard::ShardedIndex;
-use boss_index::{EncodedList, IndexBuilder, QueryExpr, SchemeChoice};
+use boss_index::{EncodedList, IndexBuilder, QueryExpr, SchemeChoice, SegmentRegions};
 
 /// Output vectors start empty and every decode path reserves at most
 /// [`MAX_BLOCK_VALUES`] slots up front, so allocator round-up aside the
@@ -541,6 +543,130 @@ pub fn sharded_trial(base: &ShardedIndex, seed: u64, tally: &mut Tally) {
     }
 }
 
+/// Builds one in-memory SPIMI segment file for the segment-format trials:
+/// the harness's stock 700-document corpus written through
+/// [`write_segment`], with its [`SegmentRegions`] byte map so trials can
+/// aim mutations at a specific structure (header, dictionary entry,
+/// descriptor array, block payload, checksum trailer).
+///
+/// # Panics
+///
+/// Panics if the synthetic corpus fails to build or serialize —
+/// impossible by construction, and a harness that cannot set up must
+/// fail loudly.
+pub fn segment_fixture() -> (Vec<u8>, SegmentRegions) {
+    let docs: Vec<String> = (0u32..700)
+        .map(|i| {
+            if i.wrapping_mul(2654435761) % 3 == 0 {
+                "probe filler".to_string()
+            } else {
+                "probe".to_string()
+            }
+        })
+        .collect();
+    let index = IndexBuilder::new()
+        .add_documents(docs.iter().map(String::as_str))
+        .build()
+        .expect("harness corpus builds");
+    let mut terms: Vec<(String, EncodedList)> = index
+        .term_ids()
+        .map(|id| (index.term_info(id).text.clone(), index.list(id).clone()))
+        .collect();
+    terms.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut bytes = Vec::new();
+    let (_, regions) = write_segment(
+        &mut bytes,
+        0,
+        index.doc_lens(),
+        index.bm25().params(),
+        &terms,
+    )
+    .expect("harness segment serializes");
+    (bytes, regions)
+}
+
+/// The segment structure a [`segment_trial`] mutation lands in, chosen
+/// round-robin so every region sees volume.
+const SEGMENT_REGIONS: usize = 6;
+
+fn segment_region_range(
+    regions: &SegmentRegions,
+    pick: usize,
+    rng: &mut Xorshift64,
+) -> std::ops::Range<usize> {
+    let r = match pick {
+        0 => regions.header.clone(),
+        1 => regions.doc_lens.clone(),
+        2 => regions.term_headers[rng.below(regions.term_headers.len())].clone(),
+        3 => regions.descriptors[rng.below(regions.descriptors.len())].clone(),
+        4 => regions.payloads[rng.below(regions.payloads.len())].clone(),
+        _ => regions.checksum.clone(),
+    };
+    r.start as usize..r.end as usize
+}
+
+/// One segment-format trial: mutate the on-disk byte image of a SPIMI
+/// segment — a bit flip or byte overwrite aimed at a specific region
+/// (header, doc-length array, a dictionary entry, a descriptor array, a
+/// block payload, the checksum trailer), or a whole-file truncation or
+/// garbage extension — then drain a [`SegmentReader`] over it. Require a
+/// typed [`boss_index::io::IoError`] or a clean parse, never a panic;
+/// and because every byte up to the trailer is checksummed, any flip
+/// that actually changed a byte must be rejected by the time the reader
+/// drains (accepting a *changed* image is a violation).
+pub fn segment_trial(bytes: &[u8], regions: &SegmentRegions, seed: u64, tally: &mut Tally) {
+    let mut rng = Xorshift64::new(seed ^ 0x5E6_0000);
+    let mut mutated = bytes.to_vec();
+    match rng.below(4) {
+        0 => {
+            let range = segment_region_range(regions, rng.below(SEGMENT_REGIONS), &mut rng);
+            let i = range.start + rng.below(range.len().max(1));
+            if let Some(b) = mutated.get_mut(i) {
+                *b ^= 1 << rng.below(8);
+            }
+        }
+        1 => {
+            let range = segment_region_range(regions, rng.below(SEGMENT_REGIONS), &mut rng);
+            let i = range.start + rng.below(range.len().max(1));
+            if let Some(b) = mutated.get_mut(i) {
+                *b = rng.next_u64() as u8;
+            }
+        }
+        2 => mutated.truncate(rng.below(mutated.len() + 1)),
+        _ => {
+            for _ in 0..1 + rng.below(16) {
+                mutated.push(rng.next_u64() as u8);
+            }
+        }
+    }
+    let changed = mutated != bytes;
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let len = mutated.len() as u64;
+        let mut reader = SegmentReader::new(&mutated[..], len)?;
+        let mut n_terms = 0usize;
+        while let Some((_term, list)) = reader.next_term()? {
+            n_terms += 1;
+            // Touch the decoded structure so lazily-validated fields run.
+            let _ = list.n_blocks();
+        }
+        Ok::<usize, boss_index::io::IoError>(n_terms)
+    }));
+    match outcome {
+        Err(_) => tally
+            .violations
+            .push(format!("segment: PANIC at seed {seed}")),
+        Ok(res) => {
+            tally.record(res.is_ok());
+            if changed && res.is_ok() {
+                tally.violations.push(format!(
+                    "segment: checksum accepted a changed byte image at seed {seed}"
+                ));
+            }
+        }
+    }
+}
+
 /// Builds one multi-block [`EncodedList`] per stock scheme for the
 /// metadata trials, via a small deterministic synthetic corpus.
 ///
@@ -625,6 +751,10 @@ pub fn run_with(base_seed: u64, trials_per_scheme: u64, interpret_netlist: bool)
         for t in 0..side_trials {
             sharded_trial(base, base_seed + t, &mut tally);
         }
+    }
+    let (segment_bytes, segment_regions) = segment_fixture();
+    for t in 0..side_trials {
+        segment_trial(&segment_bytes, &segment_regions, base_seed + t, &mut tally);
     }
     tally
 }

@@ -153,6 +153,11 @@ pub struct BenchArgs {
     /// Serving counters are reported only in `#` comment lines, so the
     /// data-row invariance contract is unaffected.
     pub serving: Option<ServingSpec>,
+    /// Build the corpora through the SPIMI spill/merge path with this
+    /// many on-disk segments (`--segments N`) instead of in memory.
+    /// The merge is bit-identical to the in-memory build, so figure
+    /// data rows must stay byte-identical — CI diffs the two paths.
+    pub segments: Option<u32>,
 }
 
 impl Default for BenchArgs {
@@ -175,6 +180,7 @@ impl Default for BenchArgs {
             algorithm: QueryAlgorithm::Exhaustive,
             decode_backend: DecodeBackend::Codec,
             serving: None,
+            segments: None,
         }
     }
 }
@@ -233,6 +239,10 @@ impl BenchArgs {
                 "--shard-fault" => {
                     args.shard_fault = Some(parsed_value(&take("--shard-fault"), "--shard-fault"));
                 }
+                "--segments" => {
+                    args.segments =
+                        Some(parsed_value::<u32>(&take("--segments"), "--segments").max(1));
+                }
                 "--algorithm" => {
                     args.algorithm = parsed_value(&take("--algorithm"), "--algorithm");
                 }
@@ -282,7 +292,7 @@ impl BenchArgs {
                         "usage: [--scale smoke|small|full] [--seed N] [--queries-per-type N] \
                          [--k N] [--threads N] [--engines boss,iiu,lucene] [--block-cache BLOCKS] \
                          [--no-bulk] [--fault-plan SEED] [--fault-rate F] [--degrade fail|skip] \
-                         [--shards N] [--replicas N] [--shard-fault S] \
+                         [--shards N] [--replicas N] [--shard-fault S] [--segments N] \
                          [--algorithm exhaustive|maxscore|wand|bmw|bmm] \
                          [--decode-netlist] [--interpret-netlist] \
                          [--serve] [--serve-load F] [--serve-queue N] [--serve-deadline-x F] \
@@ -786,6 +796,60 @@ pub fn both_corpora(scale: Scale) -> Vec<(&'static str, InvertedIndex)> {
                 .expect("corpus builds"),
         ),
     ]
+}
+
+impl BenchArgs {
+    /// Builds one corpus through the path `--segments` selects: the
+    /// in-memory `IndexBuilder` (default), or a SPIMI spill to `N`
+    /// on-disk segments in a scratch directory merged back
+    /// (bit-identical, so figure data rows must not move). `name` only
+    /// scopes the scratch directory.
+    ///
+    /// # Errors
+    ///
+    /// The build/spill/merge failure, rendered for the binaries' exit-2
+    /// diagnostics.
+    pub fn try_build_corpus(&self, name: &str, spec: &CorpusSpec) -> Result<InvertedIndex, String> {
+        let Some(n_segments) = self.segments else {
+            return spec.build().map_err(|e| e.to_string());
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "boss-bench-seg-{name}-{}-{n_segments}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let set = spec
+            .build_segments(&dir, n_segments)
+            .map_err(|e| e.to_string())?;
+        let index = set.merge().map_err(|e| e.to_string())?;
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(index)
+    }
+
+    /// [`BenchArgs::try_build_corpus`] for binaries that treat a corpus
+    /// build failure as fatal.
+    ///
+    /// # Panics
+    ///
+    /// On any build/spill/merge failure.
+    pub fn build_corpus(&self, name: &str, spec: &CorpusSpec) -> InvertedIndex {
+        self.try_build_corpus(name, spec).expect("corpus builds")
+    }
+}
+
+/// [`both_corpora`], routed through the build path `args` selects:
+/// `--segments N` spills each corpus to `N` on-disk SPIMI segments in a
+/// scratch directory and merges them back; otherwise the plain in-memory
+/// build. The merge is bit-identical, so every figure's data rows must
+/// not move — CI diffs the two paths.
+pub fn both_corpora_for(args: &BenchArgs) -> Vec<(&'static str, InvertedIndex)> {
+    [
+        ("clueweb12-like", CorpusSpec::clueweb12_like(args.scale)),
+        ("ccnews-like", CorpusSpec::ccnews_like(args.scale)),
+    ]
+    .into_iter()
+    .map(|(name, spec)| (name, args.build_corpus(name, &spec)))
+    .collect()
 }
 
 /// Prints a TSV header row.

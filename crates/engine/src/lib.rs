@@ -74,6 +74,24 @@ pub use boss_scm::MemStats;
 
 use boss_index::QueryExpr;
 
+/// Loads a SPIMI segment directory (written by
+/// [`boss_index::SpimiBuilder`]) and merges it into the one owned
+/// [`boss_index::InvertedIndex`] every engine in this crate borrows.
+/// The merge re-encodes against global statistics, so an engine opened
+/// this way is bit-identical — hits, cycles, traffic — to the same
+/// engine over an in-memory build of the same corpus.
+///
+/// # Errors
+///
+/// Propagates manifest/segment validation and I/O failures
+/// ([`boss_index::io::IoError`]); every corrupt-file condition is a
+/// typed error, never a panic.
+pub fn open_segments(
+    dir: impl AsRef<std::path::Path>,
+) -> Result<boss_index::InvertedIndex, boss_index::io::IoError> {
+    boss_index::SegmentSet::open_dir(dir)?.merge()
+}
+
 /// One simulated search system bound to an index: BOSS, IIU, or the
 /// Lucene-like software baseline.
 ///

@@ -16,6 +16,104 @@ pub enum SchemeChoice {
     Fixed(Scheme),
 }
 
+impl std::fmt::Display for SchemeChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeChoice::Hybrid => f.write_str("hybrid"),
+            SchemeChoice::Fixed(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::str::FromStr for SchemeChoice {
+    type Err = String;
+
+    /// Parses the [`std::fmt::Display`] form back: `"hybrid"` or a scheme
+    /// label (`BP`, `VB`, `OptPFD`, `S16`, `S8b`, `GVB`) — used by the
+    /// segment manifest and CLI flags.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("hybrid") {
+            return Ok(SchemeChoice::Hybrid);
+        }
+        for scheme in [
+            Scheme::Bp,
+            Scheme::Vb,
+            Scheme::OptPfd,
+            Scheme::S16,
+            Scheme::S8b,
+            Scheme::GroupVarint,
+        ] {
+            if s.eq_ignore_ascii_case(scheme.label()) {
+                return Ok(SchemeChoice::Fixed(scheme));
+            }
+        }
+        Err(format!(
+            "unknown scheme {s:?} (use hybrid|BP|VB|OptPFD|S16|S8b|GVB)"
+        ))
+    }
+}
+
+/// Fills zero (unknown) document lengths with the documents' tf sums —
+/// the builder's fallback for injected posting lists without explicit
+/// lengths. `tf_sums` must be indexed by docID like `doc_lens`.
+pub(crate) fn fill_doc_lens(doc_lens: &mut [u32], tf_sums: &[u64]) {
+    for (len, &sum) in doc_lens.iter_mut().zip(tf_sums) {
+        if *len == 0 {
+            *len = sum.min(u64::from(u32::MAX)) as u32;
+        }
+    }
+}
+
+/// Corpus-level scoring state derived from final document lengths: the
+/// BM25 scorer (avgdl guarded away from zero) and the per-document
+/// precomputed norms. Shared verbatim by the in-memory build and the
+/// segment merge so both produce bit-identical scores.
+///
+/// # Panics
+///
+/// Panics if `doc_lens` is empty (callers reject empty corpora first).
+pub(crate) fn scoring_from_lens(params: Bm25Params, doc_lens: &[u32]) -> (Bm25, Vec<f32>) {
+    let n_docs = doc_lens.len();
+    let total_len: u64 = doc_lens.iter().map(|&l| u64::from(l)).sum();
+    let avgdl = (total_len as f64 / n_docs as f64).max(1.0) as f32;
+    let bm25 = Bm25::new(params, n_docs as u32, avgdl);
+    let doc_norms: Vec<f32> = doc_lens.iter().map(|&l| bm25.doc_norm(l)).collect();
+    (bm25, doc_norms)
+}
+
+/// Encodes one posting list under the builder's scheme policy. The
+/// hybrid tie-break (first scheme in [`ALL_SCHEMES`] order wins ties,
+/// strictly smaller replaces) is the index's on-disk identity, so every
+/// construction path — in-memory build and segment merge — must go
+/// through this one function.
+pub(crate) fn encode_term_list(
+    plist: &PostingList,
+    choice: SchemeChoice,
+    bm25: &Bm25,
+    idf: f32,
+    norms: &[f32],
+) -> Result<EncodedList, Error> {
+    match choice {
+        SchemeChoice::Fixed(s) => EncodedList::encode(plist, s, bm25, idf, norms),
+        SchemeChoice::Hybrid => {
+            let mut best: Option<EncodedList> = None;
+            for s in ALL_SCHEMES {
+                if let Ok(enc) = EncodedList::encode(plist, s, bm25, idf, norms) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| enc.data_bytes() < b.data_bytes())
+                    {
+                        best = Some(enc);
+                    }
+                }
+            }
+            // Infallible: BitPacking encodes every u32 slice.
+            #[allow(clippy::expect_used)]
+            Ok(best.expect("BP is total, so hybrid always has a candidate"))
+        }
+    }
+}
+
 /// Builder for [`InvertedIndex`].
 ///
 /// Two input paths:
@@ -24,13 +122,26 @@ pub enum SchemeChoice {
 /// * [`IndexBuilder::add_posting_list`] injects pre-built posting lists —
 ///   used by the synthetic corpus generators, together with
 ///   [`IndexBuilder::doc_lens`] to supply document lengths.
+///
+/// Conflicting inputs are rejected at [`IndexBuilder::build`] with a
+/// typed error instead of silently resolving last-write-wins:
+/// * supplying explicit [`IndexBuilder::doc_lens`] *and* tokenized
+///   [`IndexBuilder::add_documents`] (both define document lengths) is
+///   [`Error::ConflictingDocLens`];
+/// * injecting the same term twice via
+///   [`IndexBuilder::add_posting_list`] is [`Error::DuplicateTerm`].
 #[derive(Debug, Default)]
 pub struct IndexBuilder {
     postings: BTreeMap<String, Vec<(u32, u32)>>,
     doc_lens: Vec<u32>,
+    explicit_doc_lens: bool,
+    tokenized_docs: bool,
     n_docs_from_text: u32,
     params: Bm25Params,
     scheme: SchemeChoice,
+    /// First input conflict observed; surfaced by `build()`. Deferred so
+    /// the chained `self -> Self` builder API stays panic-free.
+    conflict: Option<Error>,
 }
 
 impl IndexBuilder {
@@ -54,15 +165,26 @@ impl IndexBuilder {
 
     /// Supplies explicit document lengths (token counts). Required when
     /// building from injected posting lists whose tf sums do not reflect
-    /// full document lengths; optional otherwise.
+    /// full document lengths. Conflicts with [`IndexBuilder::add_documents`]
+    /// (which derives lengths from tokenization): mixing the two makes
+    /// [`IndexBuilder::build`] return [`Error::ConflictingDocLens`].
     pub fn doc_lens(mut self, lens: Vec<u32>) -> Self {
+        if self.tokenized_docs {
+            self.conflict.get_or_insert(Error::ConflictingDocLens);
+        }
+        self.explicit_doc_lens = true;
         self.doc_lens = lens;
         self
     }
 
     /// Tokenizes and adds documents; docIDs are assigned in input order
-    /// continuing from any previously added documents.
+    /// continuing from any previously added documents. Conflicts with
+    /// explicit [`IndexBuilder::doc_lens`]; see there.
     pub fn add_documents<'a, I: IntoIterator<Item = &'a str>>(mut self, docs: I) -> Self {
+        if self.explicit_doc_lens {
+            self.conflict.get_or_insert(Error::ConflictingDocLens);
+        }
+        self.tokenized_docs = true;
         for text in docs {
             let doc = self.n_docs_from_text;
             self.n_docs_from_text += 1;
@@ -86,11 +208,20 @@ impl IndexBuilder {
         self
     }
 
-    /// Adds a pre-built posting list for `term`. Lists for the same term
-    /// accumulate (postings are merged and must stay strictly increasing).
+    /// Adds a pre-built posting list for `term`. Each term may be
+    /// injected exactly once; a second list for the same term makes
+    /// [`IndexBuilder::build`] return [`Error::DuplicateTerm`].
     pub fn add_posting_list(mut self, term: &str, list: &PostingList) -> Self {
-        let entry = self.postings.entry(term.to_owned()).or_default();
-        entry.extend(list.iter().map(|p| (p.doc, p.tf)));
+        if self.postings.contains_key(term) {
+            self.conflict.get_or_insert(Error::DuplicateTerm {
+                term: term.to_owned(),
+            });
+            return self;
+        }
+        self.postings.insert(
+            term.to_owned(),
+            list.iter().map(|p| (p.doc, p.tf)).collect(),
+        );
         self
     }
 
@@ -98,17 +229,23 @@ impl IndexBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnsortedPostings`] / [`Error::ZeroTermFrequency`]
-    /// for invalid posting data, [`Error::InvalidQuery`] never, and codec
-    /// errors if no scheme can encode a list (cannot happen with hybrid).
+    /// Returns [`Error::DuplicateTerm`] / [`Error::ConflictingDocLens`]
+    /// for conflicting inputs, [`Error::UnsortedPostings`] /
+    /// [`Error::ZeroTermFrequency`] for invalid posting data,
+    /// [`Error::InvalidQuery`] for an empty corpus, and codec errors if
+    /// no scheme can encode a list (cannot happen with hybrid).
     pub fn build(self) -> Result<InvertedIndex, Error> {
         let IndexBuilder {
             postings,
             mut doc_lens,
             params,
             scheme,
+            conflict,
             ..
         } = self;
+        if let Some(e) = conflict {
+            return Err(e);
+        }
 
         // Determine corpus size.
         let max_doc = postings
@@ -134,17 +271,10 @@ impl IndexBuilder {
                 tf_sums[d as usize] += u64::from(tf);
             }
         }
-        for (len, &sum) in doc_lens.iter_mut().zip(&tf_sums) {
-            if *len == 0 {
-                *len = sum.min(u64::from(u32::MAX)) as u32;
-            }
-        }
+        fill_doc_lens(&mut doc_lens, &tf_sums);
         // Guard against zero-length docs distorting avgdl of an index with
         // injected lists shorter than reality.
-        let total_len: u64 = doc_lens.iter().map(|&l| u64::from(l)).sum();
-        let avgdl = (total_len as f64 / n_docs as f64).max(1.0) as f32;
-        let bm25 = Bm25::new(params, n_docs as u32, avgdl);
-        let doc_norms: Vec<f32> = doc_lens.iter().map(|&l| bm25.doc_norm(l)).collect();
+        let (bm25, doc_norms) = scoring_from_lens(params, &doc_lens);
 
         let mut terms = Vec::with_capacity(postings.len());
         let mut lists = Vec::with_capacity(postings.len());
@@ -156,25 +286,7 @@ impl IndexBuilder {
             let df = plist.len() as u32;
             let idf = bm25.idf(df);
 
-            let encoded = match scheme {
-                SchemeChoice::Fixed(s) => EncodedList::encode(&plist, s, &bm25, idf, &doc_norms)?,
-                SchemeChoice::Hybrid => {
-                    let mut best: Option<EncodedList> = None;
-                    for s in ALL_SCHEMES {
-                        if let Ok(enc) = EncodedList::encode(&plist, s, &bm25, idf, &doc_norms) {
-                            if best
-                                .as_ref()
-                                .is_none_or(|b| enc.data_bytes() < b.data_bytes())
-                            {
-                                best = Some(enc);
-                            }
-                        }
-                    }
-                    // Infallible: BitPacking encodes every u32 slice.
-                    #[allow(clippy::expect_used)]
-                    best.expect("BP is total, so hybrid always has a candidate")
-                }
-            };
+            let encoded = encode_term_list(&plist, scheme, &bm25, idf, &doc_norms)?;
 
             let id = terms.len() as u32;
             vocab.insert(text.clone(), id);
@@ -264,15 +376,59 @@ mod tests {
     }
 
     #[test]
-    fn unsorted_injected_postings_rejected() {
+    fn duplicate_injected_term_rejected() {
         let good = PostingList::from_columns(vec![5], vec![1]).unwrap();
         let also = PostingList::from_columns(vec![3], vec![1]).unwrap();
-        // Accumulating 5 then 3 for the same term violates ordering.
+        // A second list for the same term used to accumulate silently;
+        // it is now a typed build error.
         let err = IndexBuilder::new()
             .add_posting_list("t", &good)
             .add_posting_list("t", &also)
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::UnsortedPostings { .. }));
+        assert!(
+            matches!(err, Error::DuplicateTerm { ref term } if term == "t"),
+            "{err}"
+        );
+        // The first conflict wins even when later inputs are fine.
+        let err = IndexBuilder::new()
+            .add_posting_list("t", &good)
+            .add_posting_list("t", &also)
+            .add_posting_list("u", &good)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateTerm { ref term } if term == "t"));
+    }
+
+    #[test]
+    fn doc_lens_then_add_documents_rejected() {
+        let err = IndexBuilder::new()
+            .doc_lens(vec![4, 4])
+            .add_documents(["a b", "b c"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::ConflictingDocLens), "{err}");
+    }
+
+    #[test]
+    fn add_documents_then_doc_lens_rejected() {
+        let err = IndexBuilder::new()
+            .add_documents(["a b", "b c"])
+            .doc_lens(vec![4, 4])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::ConflictingDocLens), "{err}");
+    }
+
+    #[test]
+    fn posting_lists_with_doc_lens_still_fine() {
+        let l = PostingList::from_columns(vec![0, 1], vec![1, 1]).unwrap();
+        let idx = IndexBuilder::new()
+            .doc_lens(vec![3, 3])
+            .add_posting_list("t", &l)
+            .build()
+            .unwrap();
+        assert_eq!(idx.n_docs(), 2);
+        assert_eq!(idx.doc_lens(), &[3, 3]);
     }
 }

@@ -180,6 +180,28 @@ impl EncodedList {
         })
     }
 
+    /// Reassembles a list from its serialized parts — the segment-file
+    /// load path. Crate-private: callers outside the crate go through
+    /// [`crate::segment`], whose readers validate the parts; the decode
+    /// paths themselves treat blocks/data as untrusted regardless.
+    pub(crate) fn from_parts(
+        scheme: Scheme,
+        blocks: Vec<BlockMeta>,
+        data: Vec<u8>,
+        df: u32,
+        idf: f32,
+        max_score: f32,
+    ) -> Self {
+        EncodedList {
+            scheme,
+            blocks,
+            data,
+            df,
+            idf,
+            max_score,
+        }
+    }
+
     /// The compression scheme used.
     pub fn scheme(&self) -> Scheme {
         self.scheme

@@ -53,6 +53,18 @@ pub enum Error {
         /// Documents in the corpus being split.
         n_docs: u32,
     },
+    /// The same term was injected twice via
+    /// [`crate::IndexBuilder::add_posting_list`]. Accumulating lists for
+    /// one term used to be silent last-write-wins territory; it is now a
+    /// build-time error so conflicting inputs cannot merge unnoticed.
+    DuplicateTerm {
+        /// The term injected more than once.
+        term: String,
+    },
+    /// Both explicit document lengths and tokenized documents were
+    /// supplied to the builder. Tokenization derives lengths itself, so
+    /// one source would silently overwrite the other.
+    ConflictingDocLens,
 }
 
 impl std::fmt::Display for Error {
@@ -78,6 +90,15 @@ impl std::fmt::Display for Error {
             }
             Error::InvalidShardCount { n_shards, n_docs } => {
                 write!(f, "cannot split {n_docs} documents into {n_shards} shards")
+            }
+            Error::DuplicateTerm { term } => {
+                write!(f, "posting list for term {term:?} was injected twice")
+            }
+            Error::ConflictingDocLens => {
+                write!(
+                    f,
+                    "explicit doc_lens conflict with tokenized add_documents lengths"
+                )
             }
         }
     }

@@ -22,7 +22,7 @@ pub struct TermInfo {
 ///
 /// Built with [`crate::IndexBuilder`]; once created it is read-only, like
 /// the production indexes the paper targets.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InvertedIndex {
     pub(crate) vocab: HashMap<String, TermId>,
     pub(crate) terms: Vec<TermInfo>,

@@ -103,11 +103,24 @@ pub fn read_index<R: Read>(mut reader: R) -> Result<InvertedIndex, IoError> {
     }
     let mut len = [0u8; 8];
     reader.read_exact(&mut len)?;
-    let len = u64::from_le_bytes(len) as usize;
-    let mut body = vec![0u8; len];
+    let len = u64::from_le_bytes(len);
+    // The length field is untrusted on-disk data: never allocate from the
+    // claim. `take(len)` bounds the read to whatever the input actually
+    // holds (same cap rule as `boss_compress::check_count`), and the
+    // post-read length check turns a short body into a typed error
+    // instead of an allocator abort on a corrupt multi-terabyte claim.
+    let mut body = Vec::new();
     reader
-        .read_exact(&mut body)
-        .map_err(|e| IoError::Corrupt(format!("body shorter than header says: {e}")))?;
+        .by_ref()
+        .take(len)
+        .read_to_end(&mut body)
+        .map_err(|e| IoError::Corrupt(format!("body unreadable: {e}")))?;
+    if (body.len() as u64) < len {
+        return Err(IoError::Corrupt(format!(
+            "body shorter than header says: {} of {len} bytes present",
+            body.len()
+        )));
+    }
     let index: InvertedIndex =
         serde_json::from_slice(&body).map_err(|e| IoError::Corrupt(e.to_string()))?;
     // Cheap structural sanity check.
@@ -202,6 +215,23 @@ mod tests {
         buf.truncate(buf.len() - 10);
         let err = read_index(buf.as_slice()).unwrap_err();
         assert!(matches!(err, IoError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn huge_claimed_length_is_not_allocated() {
+        // A header claiming an 8 EB body over a 5-byte input must fail
+        // with a typed error after reading 5 bytes — not abort trying to
+        // allocate the claim.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(b"@@@@@");
+        let err = read_index(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, IoError::Corrupt(ref m) if m.contains("shorter")),
+            "{err}"
+        );
     }
 
     #[test]

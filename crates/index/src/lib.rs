@@ -58,11 +58,20 @@ pub mod prune;
 mod query;
 pub mod reference;
 mod score;
+// Segment files come from disk and are untrusted end to end: every
+// claimed length is capped against the real input size before any
+// allocation and every failure is a typed `IoError`, never a panic.
+#[deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+pub mod segment;
 // The shard layer is driven by untrusted CLI parameters (`--shards N`),
 // so the crate-wide warn gate above is hardened to a deny here: shard
 // code must surface every failure as a typed `Error`.
 #[deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 pub mod shard;
+// The SPIMI spill/merge pipeline reads segment files back from disk, so
+// it inherits the segment module's untrusted-input contract.
+#[deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+pub mod spimi;
 
 pub use algorithm::{QueryAlgorithm, ALL_ALGORITHMS};
 pub use bm25::{Bm25, Bm25Params};
@@ -75,6 +84,11 @@ pub use netlist::{decode_backend, set_decode_backend, DecodeBackend};
 pub use posting::{Posting, PostingList};
 pub use query::{QueryExpr, SearchHit};
 pub use score::ScoreScratch;
+pub use segment::{SegmentHeader, SegmentReader, SegmentRegions};
+pub use spimi::{
+    SegmentEntry, SegmentSet, SpimiBuilder, SpimiConfig, SpimiStats, POSTING_BYTES,
+    TERM_OVERHEAD_BYTES,
+};
 
 /// Document identifier within a shard.
 pub type DocId = u32;

@@ -1,0 +1,798 @@
+//! On-disk sealed-segment format — the unit the SCM device reads.
+//!
+//! A segment is an immutable, self-contained slice of the corpus: a
+//! contiguous docID range `[doc_base, doc_base + n_docs)` with every
+//! posting of those documents, encoded in the same 128-value blocks +
+//! 19 B [`crate::BlockMeta`] records the in-memory index uses, plus the
+//! per-block max-score so PR 6 pruning works on loaded segments
+//! unchanged. Segments are produced by [`crate::spimi::SpimiBuilder`]
+//! spills and consumed by the k-way streaming merge.
+//!
+//! # Layout (all integers little-endian)
+//!
+//! ```text
+//! header     magic "BOSSSEG\0" | version u32 | flags u32 | doc_base u32
+//!            | n_docs u32 | n_terms u32 | k1 f32 | b f32 | reserved u32
+//! doc_lens   n_docs × u32          (token counts, segment-local docIDs)
+//! terms      n_terms entries, strictly increasing lexical order:
+//!              term_len u16 | term utf-8 bytes
+//!              scheme u8 | df u32 | idf f32 | max_score f32
+//!              n_blocks u32 | data_len u32
+//!              n_blocks × 34 B descriptors:
+//!                first_doc u32 | last_doc u32 | max_score f32
+//!                | offset u32 | len u32 | tf_offset u32
+//!                | delta (count u16, bit_width u8, exc_off u16)
+//!                | tf    (count u16, bit_width u8, exc_off u16)
+//!              data_len bytes of block payload
+//! trailer    FNV-1a 64 checksum of every preceding byte
+//! ```
+//!
+//! docIDs inside a segment are segment-local (0-based); `doc_base` maps
+//! them to global. Stored `idf`/`max_score` values are computed against
+//! the *segment's own* statistics, making each segment a valid
+//! standalone index ([`load_segment`]); the merge recomputes both from
+//! global statistics, so they are transport metadata, not final scores.
+//!
+//! # Hardening
+//!
+//! Every length field read from disk is untrusted. The reader caps each
+//! claimed size against the bytes actually remaining in the input before
+//! any allocation (the PR-4 `check_count` rule lifted to file scope), so
+//! a corrupt segment can cost at most one pass over the real file — never
+//! an abort in the allocator. All failures are typed [`IoError`]s.
+
+use crate::builder::scoring_from_lens;
+use crate::index::{InvertedIndex, TermInfo};
+use crate::io::IoError;
+use crate::{BlockMeta, Bm25Params, EncodedList};
+use boss_compress::{BlockInfo, Scheme};
+use std::io::{Read, Write};
+use std::ops::Range;
+use std::path::Path;
+
+/// Segment file magic: "BOSSSEG\0".
+pub const SEG_MAGIC: [u8; 8] = *b"BOSSSEG\0";
+
+/// Current segment format version.
+pub const SEG_VERSION: u32 = 1;
+
+/// Fixed header size in bytes: magic + 7 × u32-sized fields.
+pub const SEG_HEADER_BYTES: u64 = 8 + 7 * 4;
+
+/// On-disk size of one block descriptor.
+pub const SEG_DESCRIPTOR_BYTES: u64 = 34;
+
+/// Size of the FNV-1a checksum trailer that ends every segment file.
+pub const SEG_CHECKSUM_BYTES: u64 = 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn scheme_tag(s: Scheme) -> u8 {
+    match s {
+        Scheme::Bp => 0,
+        Scheme::Vb => 1,
+        Scheme::OptPfd => 2,
+        Scheme::S16 => 3,
+        Scheme::S8b => 4,
+        Scheme::GroupVarint => 5,
+    }
+}
+
+fn scheme_from_tag(tag: u8) -> Option<Scheme> {
+    Some(match tag {
+        0 => Scheme::Bp,
+        1 => Scheme::Vb,
+        2 => Scheme::OptPfd,
+        3 => Scheme::S16,
+        4 => Scheme::S8b,
+        5 => Scheme::GroupVarint,
+        _ => return None,
+    })
+}
+
+/// Byte ranges of the regions of a written segment file — the targeting
+/// map the corruption harness uses to aim its mutation families (header,
+/// dictionary entry, descriptor, payload, checksum) at specific regions.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentRegions {
+    /// The fixed header.
+    pub header: Range<u64>,
+    /// The document-length array.
+    pub doc_lens: Range<u64>,
+    /// Per-term dictionary entry headers (term text + list stats).
+    pub term_headers: Vec<Range<u64>>,
+    /// Per-term block-descriptor arrays.
+    pub descriptors: Vec<Range<u64>>,
+    /// Per-term encoded block payloads.
+    pub payloads: Vec<Range<u64>>,
+    /// The FNV-1a checksum trailer.
+    pub checksum: Range<u64>,
+}
+
+/// The parsed fixed header of a segment file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentHeader {
+    /// First global docID covered by this segment.
+    pub doc_base: u32,
+    /// Number of documents in the segment.
+    pub n_docs: u32,
+    /// Number of terms in the segment dictionary.
+    pub n_terms: u32,
+    /// BM25 parameters the segment's local scores were computed with.
+    pub params: Bm25Params,
+}
+
+/// `Write` adapter that maintains the running FNV-1a checksum and byte
+/// count of everything written through it.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: u64,
+    written: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter {
+            inner,
+            hash: FNV_OFFSET,
+            written: 0,
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<(), IoError> {
+        self.inner.write_all(bytes)?;
+        for &b in bytes {
+            self.hash = (self.hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn put_u16(&mut self, v: u16) -> Result<(), IoError> {
+        self.put(&v.to_le_bytes())
+    }
+
+    fn put_u32(&mut self, v: u32) -> Result<(), IoError> {
+        self.put(&v.to_le_bytes())
+    }
+
+    fn put_f32(&mut self, v: f32) -> Result<(), IoError> {
+        self.put(&v.to_le_bytes())
+    }
+}
+
+/// Writes one sealed segment. `terms` must be in strictly increasing
+/// lexical order (a [`std::collections::BTreeMap`] iteration qualifies)
+/// with every list's docIDs segment-local; `doc_lens` are the final
+/// per-document token counts of the segment's documents.
+///
+/// Returns the total bytes written and the region map for targeted
+/// corruption testing.
+///
+/// # Errors
+///
+/// [`IoError::Invalid`] if the segment would be structurally invalid
+/// (no documents, a term out of order or too long, a docID outside
+/// `0..n_docs`); [`IoError::Io`] on write failure.
+pub fn write_segment<W: Write>(
+    writer: W,
+    doc_base: u32,
+    doc_lens: &[u32],
+    params: Bm25Params,
+    terms: &[(String, EncodedList)],
+) -> Result<(u64, SegmentRegions), IoError> {
+    if doc_lens.is_empty() {
+        return Err(IoError::Invalid(crate::Error::InvalidQuery {
+            reason: "cannot write a segment with no documents".into(),
+        }));
+    }
+    let n_docs = u32::try_from(doc_lens.len())
+        .map_err(|_| IoError::Corrupt("segment has more than u32::MAX documents".into()))?;
+    let n_terms = u32::try_from(terms.len())
+        .map_err(|_| IoError::Corrupt("segment has more than u32::MAX terms".into()))?;
+
+    let mut w = HashingWriter::new(writer);
+    let mut regions = SegmentRegions::default();
+
+    w.put(&SEG_MAGIC)?;
+    w.put_u32(SEG_VERSION)?;
+    w.put_u32(0)?; // flags
+    w.put_u32(doc_base)?;
+    w.put_u32(n_docs)?;
+    w.put_u32(n_terms)?;
+    w.put_f32(params.k1)?;
+    w.put_f32(params.b)?;
+    w.put_u32(0)?; // reserved
+    regions.header = 0..w.written;
+
+    let doc_lens_start = w.written;
+    for &len in doc_lens {
+        w.put_u32(len)?;
+    }
+    regions.doc_lens = doc_lens_start..w.written;
+
+    let mut prev: Option<&str> = None;
+    for (term, list) in terms {
+        if prev.is_some_and(|p| p >= term.as_str()) {
+            return Err(IoError::Invalid(crate::Error::DuplicateTerm {
+                term: term.clone(),
+            }));
+        }
+        prev = Some(term);
+        let term_len = u16::try_from(term.len()).map_err(|_| {
+            IoError::Invalid(crate::Error::InvalidQuery {
+                reason: format!(
+                    "term longer than 65535 bytes: {:?}…",
+                    &term[..32.min(term.len())]
+                ),
+            })
+        })?;
+        if list.blocks().last().is_some_and(|b| b.last_doc >= n_docs) {
+            return Err(IoError::Invalid(crate::Error::InvalidQuery {
+                reason: format!("term {term:?} has docIDs outside the segment's {n_docs} docs"),
+            }));
+        }
+
+        let entry_start = w.written;
+        w.put_u16(term_len)?;
+        w.put(term.as_bytes())?;
+        w.put(&[scheme_tag(list.scheme())])?;
+        w.put_u32(list.df())?;
+        w.put_f32(list.idf())?;
+        w.put_f32(list.max_score())?;
+        w.put_u32(list.n_blocks() as u32)?;
+        w.put_u32(list.data_bytes() as u32)?;
+        regions.term_headers.push(entry_start..w.written);
+
+        let desc_start = w.written;
+        for b in list.blocks() {
+            w.put_u32(b.first_doc)?;
+            w.put_u32(b.last_doc)?;
+            w.put_f32(b.max_score)?;
+            w.put_u32(b.offset)?;
+            w.put_u32(b.len)?;
+            w.put_u32(b.tf_offset)?;
+            for info in [b.delta_info, b.tf_info] {
+                w.put_u16(info.count)?;
+                w.put(&[info.bit_width])?;
+                w.put_u16(info.exception_offset)?;
+            }
+        }
+        regions.descriptors.push(desc_start..w.written);
+
+        let data_start = w.written;
+        w.put(list.data())?;
+        regions.payloads.push(data_start..w.written);
+    }
+
+    let checksum = w.hash;
+    let body = w.written;
+    w.inner.write_all(&checksum.to_le_bytes())?;
+    w.inner.flush()?;
+    regions.checksum = body..body + 8;
+    Ok((body + 8, regions))
+}
+
+/// `Read` adapter that maintains the running FNV-1a checksum and the
+/// number of bytes consumed.
+#[derive(Debug)]
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: u64,
+    consumed: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn take(&mut self, buf: &mut [u8]) -> Result<(), IoError> {
+        self.inner
+            .read_exact(buf)
+            .map_err(|e| IoError::Corrupt(format!("segment truncated: {e}")))?;
+        for &b in buf.iter() {
+            self.hash = (self.hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.consumed += buf.len() as u64;
+        Ok(())
+    }
+}
+
+/// Streaming segment reader: parses the header and doc-length array up
+/// front, then yields `(term, list)` pairs one at a time so a k-way merge
+/// holds one term per open segment, never a whole segment.
+///
+/// The FNV-1a trailer is verified when the last term has been consumed;
+/// until then, per-field validation (claim caps, monotone terms, df
+/// bounds) catches structural corruption early.
+#[derive(Debug)]
+pub struct SegmentReader<R: Read> {
+    r: HashingReader<R>,
+    input_len: u64,
+    header: SegmentHeader,
+    doc_lens: Vec<u32>,
+    terms_left: u32,
+    prev_term: Option<String>,
+    verified: bool,
+}
+
+impl<R: Read> SegmentReader<R> {
+    /// Opens a segment from `reader`; `input_len` is the total byte size
+    /// of the underlying input (file length), used to cap every claimed
+    /// allocation against reality.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::BadMagic`] / [`IoError::BadVersion`] for foreign files,
+    /// [`IoError::Corrupt`] for truncation or implausible counts.
+    pub fn new(reader: R, input_len: u64) -> Result<Self, IoError> {
+        let mut r = HashingReader {
+            inner: reader,
+            hash: FNV_OFFSET,
+            consumed: 0,
+        };
+        let mut magic = [0u8; 8];
+        r.take(&mut magic)?;
+        if magic != SEG_MAGIC {
+            return Err(IoError::BadMagic);
+        }
+        let mut sr = SegmentReader {
+            r,
+            input_len,
+            header: SegmentHeader {
+                doc_base: 0,
+                n_docs: 0,
+                n_terms: 0,
+                params: Bm25Params::default(),
+            },
+            doc_lens: Vec::new(),
+            terms_left: 0,
+            prev_term: None,
+            verified: false,
+        };
+        let version = sr.read_u32()?;
+        if version != SEG_VERSION {
+            return Err(IoError::BadVersion { found: version });
+        }
+        let _flags = sr.read_u32()?;
+        let doc_base = sr.read_u32()?;
+        let n_docs = sr.read_u32()?;
+        let n_terms = sr.read_u32()?;
+        let k1 = sr.read_f32()?;
+        let b = sr.read_f32()?;
+        let _reserved = sr.read_u32()?;
+        if n_docs == 0 {
+            return Err(IoError::Corrupt("segment claims zero documents".into()));
+        }
+        sr.check_claim(u64::from(n_docs) * 4, "doc_lens array")?;
+        // Each term entry costs ≥ 2 + 1 + 4 + 4 + 4 + 4 + 4 bytes.
+        sr.check_claim(u64::from(n_terms) * 23, "term dictionary")?;
+        sr.header = SegmentHeader {
+            doc_base,
+            n_docs,
+            n_terms,
+            params: Bm25Params { k1, b },
+        };
+        sr.doc_lens = Vec::with_capacity(n_docs as usize);
+        for _ in 0..n_docs {
+            let len = sr.read_u32()?;
+            sr.doc_lens.push(len);
+        }
+        sr.terms_left = n_terms;
+        Ok(sr)
+    }
+
+    /// The parsed segment header.
+    pub fn header(&self) -> &SegmentHeader {
+        &self.header
+    }
+
+    /// Per-document token counts (segment-local docIDs).
+    pub fn doc_lens(&self) -> &[u32] {
+        &self.doc_lens
+    }
+
+    /// Rejects any on-disk claim that exceeds the bytes actually left in
+    /// the input — the rule that keeps corrupt counts from ever reaching
+    /// an allocator.
+    fn check_claim(&self, claimed: u64, what: &str) -> Result<(), IoError> {
+        let remaining = self.input_len.saturating_sub(self.r.consumed);
+        if claimed > remaining {
+            return Err(IoError::Corrupt(format!(
+                "{what} claims {claimed} bytes but only {remaining} remain in the segment"
+            )));
+        }
+        Ok(())
+    }
+
+    fn read_u16(&mut self) -> Result<u16, IoError> {
+        let mut b = [0u8; 2];
+        self.r.take(&mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    fn read_u32(&mut self) -> Result<u32, IoError> {
+        let mut b = [0u8; 4];
+        self.r.take(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_f32(&mut self) -> Result<f32, IoError> {
+        let mut b = [0u8; 4];
+        self.r.take(&mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+
+    fn read_u8(&mut self) -> Result<u8, IoError> {
+        let mut b = [0u8; 1];
+        self.r.take(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads the next dictionary term and its encoded list, or `None`
+    /// after the last term — at which point the checksum trailer has been
+    /// read and verified.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Corrupt`] on any structural violation: claims beyond
+    /// the file size, terms out of lexical order, invalid UTF-8, df
+    /// above the segment's document count, descriptor counts that do not
+    /// sum to df, or a checksum mismatch.
+    #[allow(clippy::too_many_lines)]
+    pub fn next_term(&mut self) -> Result<Option<(String, EncodedList)>, IoError> {
+        if self.terms_left == 0 {
+            if !self.verified {
+                let expect = self.r.hash;
+                let mut tail = [0u8; 8];
+                self.r
+                    .inner
+                    .read_exact(&mut tail)
+                    .map_err(|e| IoError::Corrupt(format!("segment checksum missing: {e}")))?;
+                if u64::from_le_bytes(tail) != expect {
+                    return Err(IoError::Corrupt(
+                        "segment checksum mismatch (file corrupted)".into(),
+                    ));
+                }
+                // The trailer must also be the end of the file: trailing
+                // bytes mean a truncated rewrite or concatenation bug,
+                // and silently ignoring them would let a corrupt image
+                // pass the checksum.
+                let consumed = self.r.consumed + SEG_CHECKSUM_BYTES;
+                if consumed < self.input_len {
+                    return Err(IoError::Corrupt(format!(
+                        "{} trailing bytes after the segment checksum",
+                        self.input_len - consumed
+                    )));
+                }
+                self.verified = true;
+            }
+            return Ok(None);
+        }
+        self.terms_left -= 1;
+
+        let term_len = u64::from(self.read_u16()?);
+        self.check_claim(term_len, "term text")?;
+        let mut term_bytes = vec![0u8; term_len as usize];
+        self.r.take(&mut term_bytes)?;
+        let term = String::from_utf8(term_bytes)
+            .map_err(|_| IoError::Corrupt("term text is not valid UTF-8".into()))?;
+        if self
+            .prev_term
+            .as_deref()
+            .is_some_and(|p| p >= term.as_str())
+        {
+            return Err(IoError::Corrupt(format!(
+                "segment dictionary out of lexical order at term {term:?}"
+            )));
+        }
+
+        let scheme_tag = self.read_u8()?;
+        let scheme = scheme_from_tag(scheme_tag)
+            .ok_or_else(|| IoError::Corrupt(format!("unknown scheme tag {scheme_tag}")))?;
+        let df = self.read_u32()?;
+        let idf = self.read_f32()?;
+        let max_score = self.read_f32()?;
+        let n_blocks = self.read_u32()?;
+        let data_len = self.read_u32()?;
+
+        if df == 0 || df > self.header.n_docs {
+            return Err(IoError::Corrupt(format!(
+                "term {term:?} claims df {df} in a {}-doc segment",
+                self.header.n_docs
+            )));
+        }
+        if u64::from(n_blocks) > u64::from(df) {
+            return Err(IoError::Corrupt(format!(
+                "term {term:?} claims {n_blocks} blocks for {df} postings"
+            )));
+        }
+        self.check_claim(
+            u64::from(n_blocks) * SEG_DESCRIPTOR_BYTES + u64::from(data_len),
+            "posting blocks",
+        )?;
+
+        let mut blocks = Vec::with_capacity(n_blocks as usize);
+        let mut count_sum = 0u64;
+        for _ in 0..n_blocks {
+            let first_doc = self.read_u32()?;
+            let last_doc = self.read_u32()?;
+            let bmax = self.read_f32()?;
+            let offset = self.read_u32()?;
+            let len = self.read_u32()?;
+            let tf_offset = self.read_u32()?;
+            let mut infos = [BlockInfo::default(); 2];
+            for info in &mut infos {
+                info.count = self.read_u16()?;
+                info.bit_width = self.read_u8()?;
+                info.exception_offset = self.read_u16()?;
+            }
+            count_sum += u64::from(infos[0].count);
+            blocks.push(BlockMeta {
+                first_doc,
+                last_doc,
+                max_score: bmax,
+                offset,
+                len,
+                tf_offset,
+                delta_info: infos[0],
+                tf_info: infos[1],
+            });
+        }
+        if count_sum != u64::from(df) {
+            return Err(IoError::Corrupt(format!(
+                "term {term:?} descriptors hold {count_sum} postings, dictionary says {df}"
+            )));
+        }
+        if blocks
+            .last()
+            .is_some_and(|b| b.last_doc >= self.header.n_docs)
+        {
+            return Err(IoError::Corrupt(format!(
+                "term {term:?} last docID outside the segment's {} docs",
+                self.header.n_docs
+            )));
+        }
+
+        let mut data = vec![0u8; data_len as usize];
+        self.r.take(&mut data)?;
+
+        self.prev_term = Some(term.clone());
+        Ok(Some((
+            term,
+            EncodedList::from_parts(scheme, blocks, data, df, idf, max_score),
+        )))
+    }
+}
+
+/// Opens a segment file as a streaming reader.
+///
+/// # Errors
+///
+/// As for [`SegmentReader::new`], plus I/O failures opening the file.
+pub fn open_segment(
+    path: impl AsRef<Path>,
+) -> Result<SegmentReader<std::io::BufReader<std::fs::File>>, IoError> {
+    let file = std::fs::File::open(path)?;
+    let len = file.metadata()?.len();
+    SegmentReader::new(std::io::BufReader::new(file), len)
+}
+
+/// Loads one segment file as a standalone [`InvertedIndex`] over its own
+/// docID range (docIDs are segment-local; add the header's `doc_base`
+/// for global IDs). The checksum trailer is verified.
+///
+/// # Errors
+///
+/// As for [`SegmentReader`].
+pub fn load_segment(path: impl AsRef<Path>) -> Result<InvertedIndex, IoError> {
+    let mut reader = open_segment(path)?;
+    let mut vocab = std::collections::HashMap::new();
+    let mut terms = Vec::new();
+    let mut lists = Vec::new();
+    while let Some((text, list)) = reader.next_term()? {
+        let id = terms.len() as u32;
+        vocab.insert(text.clone(), id);
+        terms.push(TermInfo {
+            text,
+            df: list.df(),
+            idf: list.idf(),
+        });
+        lists.push(list);
+    }
+    let doc_lens = std::mem::take(&mut reader.doc_lens);
+    let (bm25, doc_norms) = scoring_from_lens(reader.header.params, &doc_lens);
+    Ok(InvertedIndex {
+        vocab,
+        terms,
+        lists,
+        doc_norms,
+        doc_lens,
+        bm25,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+    use crate::builder::encode_term_list;
+    use crate::{PostingList, SchemeChoice};
+
+    /// A small hand-built segment: 3 terms, 6 docs, segment-local scores.
+    fn sample_terms(doc_lens: &[u32]) -> Vec<(String, EncodedList)> {
+        let (bm25, norms) = scoring_from_lens(Bm25Params::default(), doc_lens);
+        let mut out = Vec::new();
+        for (name, docs, tfs) in [
+            ("alpha", vec![0u32, 2, 5], vec![1u32, 2, 1]),
+            ("beta", vec![1, 2], vec![3, 1]),
+            ("gamma", vec![0, 1, 2, 3, 4, 5], vec![1, 1, 2, 1, 1, 4]),
+        ] {
+            let plist = PostingList::from_columns(docs, tfs).unwrap();
+            let idf = bm25.idf(plist.len() as u32);
+            let enc =
+                encode_term_list(&plist, SchemeChoice::default(), &bm25, idf, &norms).unwrap();
+            out.push((name.to_owned(), enc));
+        }
+        out
+    }
+
+    fn sample_segment() -> (Vec<u8>, SegmentRegions) {
+        let doc_lens = vec![4u32, 5, 5, 1, 1, 6];
+        let terms = sample_terms(&doc_lens);
+        let mut buf = Vec::new();
+        let (n, regions) = write_segment(&mut buf, 100, &doc_lens, Bm25Params::default(), &terms)
+            .expect("write sample segment");
+        assert_eq!(n as usize, buf.len());
+        (buf, regions)
+    }
+
+    #[test]
+    fn roundtrip_streaming() {
+        let (buf, regions) = sample_segment();
+        let mut r = SegmentReader::new(buf.as_slice(), buf.len() as u64).unwrap();
+        assert_eq!(r.header().doc_base, 100);
+        assert_eq!(r.header().n_docs, 6);
+        assert_eq!(r.header().n_terms, 3);
+        assert_eq!(r.doc_lens(), &[4, 5, 5, 1, 1, 6]);
+
+        let doc_lens = vec![4u32, 5, 5, 1, 1, 6];
+        let expect = sample_terms(&doc_lens);
+        for (name, enc) in &expect {
+            let (term, list) = r.next_term().unwrap().expect("term present");
+            assert_eq!(&term, name);
+            assert_eq!(&list, enc, "lists roundtrip bit-identically");
+        }
+        assert!(r.next_term().unwrap().is_none(), "checksum verifies");
+        assert_eq!(regions.term_headers.len(), 3);
+        assert_eq!(regions.checksum.end, buf.len() as u64);
+    }
+
+    #[test]
+    fn load_as_standalone_index() {
+        let dir = std::env::temp_dir().join(format!("boss-seg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s0.bosseg");
+        let (buf, _) = sample_segment();
+        std::fs::write(&path, &buf).unwrap();
+        let idx = load_segment(&path).unwrap();
+        assert_eq!(idx.n_docs(), 6);
+        assert_eq!(idx.n_terms(), 3);
+        let g = idx.term_id("gamma").unwrap();
+        let (docs, tfs) = idx.list(g).decode_all().unwrap();
+        assert_eq!(docs, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(tfs, vec![1, 1, 2, 1, 1, 4]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let (mut buf, _) = sample_segment();
+        buf[0] = b'X';
+        let err = SegmentReader::new(buf.as_slice(), buf.len() as u64).unwrap_err();
+        assert!(matches!(err, IoError::BadMagic));
+
+        let (mut buf, _) = sample_segment();
+        buf[8] = 99;
+        let err = SegmentReader::new(buf.as_slice(), buf.len() as u64).unwrap_err();
+        assert!(matches!(err, IoError::BadVersion { found: 99 }));
+    }
+
+    #[test]
+    fn huge_claimed_doc_count_is_capped_not_allocated() {
+        let (mut buf, _) = sample_segment();
+        // n_docs field at offset 20: claim 4 billion docs in a 1 KB file.
+        buf[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = SegmentReader::new(buf.as_slice(), buf.len() as u64).unwrap_err();
+        assert!(
+            matches!(err, IoError::Corrupt(ref m) if m.contains("claims")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn huge_claimed_term_len_is_capped() {
+        let (mut buf, regions) = sample_segment();
+        let at = regions.term_headers[0].start as usize;
+        buf[at..at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        let mut r = SegmentReader::new(buf.as_slice(), buf.len() as u64).unwrap();
+        let err = r.next_term().unwrap_err();
+        assert!(matches!(err, IoError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn checksum_catches_payload_flip() {
+        let (mut buf, regions) = sample_segment();
+        // Flip one bit in the last payload: the list may still decode, but
+        // the trailer must catch it at end-of-segment.
+        let at = regions.payloads.last().unwrap().start as usize;
+        buf[at] ^= 0x40;
+        let mut r = SegmentReader::new(buf.as_slice(), buf.len() as u64).unwrap();
+        let mut saw_error = false;
+        loop {
+            match r.next_term() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    assert!(matches!(e, IoError::Corrupt(_)), "{e}");
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_error, "flipped payload bit must not verify");
+    }
+
+    #[test]
+    fn truncation_is_typed_error() {
+        let (buf, _) = sample_segment();
+        for cut in [10, 50, buf.len() / 2, buf.len() - 3] {
+            let short = &buf[..cut];
+            let mut r = match SegmentReader::new(short, short.len() as u64) {
+                Ok(r) => r,
+                Err(e) => {
+                    assert!(
+                        matches!(e, IoError::Corrupt(_) | IoError::BadMagic),
+                        "cut {cut}: {e}"
+                    );
+                    continue;
+                }
+            };
+            loop {
+                match r.next_term() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => panic!("cut {cut}: truncated segment verified"),
+                    Err(e) => {
+                        assert!(matches!(e, IoError::Corrupt(_)), "cut {cut}: {e}");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn writer_rejects_invalid_segments() {
+        let doc_lens = vec![4u32, 5, 5, 1, 1, 6];
+        let terms = sample_terms(&doc_lens);
+        // No documents.
+        let err =
+            write_segment(&mut Vec::new(), 0, &[], Bm25Params::default(), &terms).unwrap_err();
+        assert!(matches!(err, IoError::Invalid(_)));
+        // Out-of-order dictionary.
+        let mut rev = sample_terms(&doc_lens);
+        rev.reverse();
+        let err =
+            write_segment(&mut Vec::new(), 0, &doc_lens, Bm25Params::default(), &rev).unwrap_err();
+        assert!(matches!(err, IoError::Invalid(_)));
+        // docIDs outside the segment.
+        let err = write_segment(
+            &mut Vec::new(),
+            0,
+            &doc_lens[..2],
+            Bm25Params::default(),
+            &terms,
+        )
+        .unwrap_err();
+        assert!(matches!(err, IoError::Invalid(_)));
+    }
+}

@@ -1,0 +1,721 @@
+//! Memory-bounded SPIMI indexing (single-pass in-memory indexing with
+//! spill-and-merge), ROADMAP item 2.
+//!
+//! [`SpimiBuilder`] accumulates postings doc-major in an in-memory map
+//! under a configurable byte budget. When the budget (or an optional
+//! per-segment document cap) is hit, the map is sealed into an immutable
+//! on-disk segment ([`crate::segment`]) covering a contiguous docID
+//! range, and accumulation restarts empty — so building a corpus of any
+//! size needs only the budget plus one segment's encode scratch.
+//!
+//! [`SegmentSet::merge`] streams all spilled segments back term-at-a-time
+//! (k open segments ⇒ k candidate terms in memory) and re-encodes each
+//! merged list against *global* corpus statistics through the exact same
+//! code path as [`crate::IndexBuilder::build`]
+//! ([`crate::builder::encode_term_list`] + `scoring_from_lens`). Spilled
+//! segments therefore act as transport — their segment-local scores are
+//! discarded — and the merged index is bit-identical to a single-pass
+//! in-memory build of the same corpus: same terms, postings,
+//! [`crate::BlockMeta`] records, and block-max scores.
+
+use crate::builder::{encode_term_list, fill_doc_lens, scoring_from_lens};
+use crate::index::{InvertedIndex, TermInfo};
+use crate::io::IoError;
+use crate::segment::{open_segment, write_segment, SegmentReader};
+use crate::{Bm25Params, DecodeScratch, DocId, EncodedList, Error, PostingList, SchemeChoice};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Name of the segment-directory manifest file.
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Estimated heap bytes of one in-memory posting `(doc, tf)`.
+pub const POSTING_BYTES: usize = 8;
+
+/// Estimated fixed heap overhead of one new term entry in the postings
+/// map (`String` + `Vec` headers plus map-node share), on top of the
+/// term's UTF-8 bytes. An accounting constant, not an exact allocator
+/// measurement — the budget bounds growth, it does not meter the malloc.
+pub const TERM_OVERHEAD_BYTES: usize = 64;
+
+/// Configuration of a SPIMI build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpimiConfig {
+    /// In-memory postings budget in bytes; reaching it seals the current
+    /// segment. The budget bounds the accumulation map only — encode
+    /// scratch during a spill is additional and proportional to the
+    /// largest single posting list.
+    pub budget_bytes: usize,
+    /// Optional cap on documents per segment (0 = unlimited). Gives
+    /// deterministic segment boundaries independent of the byte budget —
+    /// used by tests and the `--segments N` bench path.
+    pub max_docs_per_segment: u32,
+    /// BM25 parameters of the final index.
+    pub params: Bm25Params,
+    /// Compression policy of the final index (and of spilled segments).
+    pub scheme: SchemeChoice,
+}
+
+impl Default for SpimiConfig {
+    fn default() -> Self {
+        SpimiConfig {
+            budget_bytes: 64 << 20,
+            max_docs_per_segment: 0,
+            params: Bm25Params::default(),
+            scheme: SchemeChoice::default(),
+        }
+    }
+}
+
+/// Build-time statistics of a SPIMI run — the numbers `segment_build`
+/// reports to `BENCH_segment.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpimiStats {
+    /// Documents indexed.
+    pub docs: u64,
+    /// Postings accumulated (pre-merge).
+    pub postings: u64,
+    /// Segments spilled to disk.
+    pub spills: u32,
+    /// Peak estimated bytes of the in-memory postings map — the
+    /// RSS-proxy the byte budget bounds.
+    pub peak_inmem_bytes: usize,
+    /// Total bytes of all segment files written.
+    pub segment_bytes: u64,
+}
+
+/// One segment file in a [`SegmentSet`] manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentEntry {
+    /// File name within the segment directory.
+    pub file: String,
+    /// First global docID of the segment.
+    pub doc_base: u32,
+    /// Number of documents in the segment.
+    pub n_docs: u32,
+    /// Number of terms in the segment dictionary.
+    pub n_terms: u32,
+    /// Total file size in bytes.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    params: Bm25Params,
+    scheme: String,
+    n_docs: u32,
+    segments: Vec<SegmentEntry>,
+}
+
+/// Single-pass in-memory indexer with bounded memory and disk spills.
+#[derive(Debug)]
+pub struct SpimiBuilder {
+    dir: PathBuf,
+    cfg: SpimiConfig,
+    /// Postings of the segment being accumulated; docIDs segment-local.
+    map: BTreeMap<String, Vec<(u32, u32)>>,
+    /// Token counts of the current segment's documents (0 = unknown,
+    /// filled with the doc's tf sum at spill time — the same fallback
+    /// rule as [`crate::IndexBuilder`], valid because a document's
+    /// postings are complete within its segment).
+    seg_doc_lens: Vec<u32>,
+    doc_base: u32,
+    inmem_bytes: usize,
+    stats: SpimiStats,
+    entries: Vec<SegmentEntry>,
+}
+
+impl SpimiBuilder {
+    /// Creates a builder spilling segments into `dir` (created if
+    /// missing; existing segment files are overwritten by name).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn create(dir: impl AsRef<Path>, cfg: SpimiConfig) -> Result<Self, IoError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SpimiBuilder {
+            dir,
+            cfg,
+            map: BTreeMap::new(),
+            seg_doc_lens: Vec::new(),
+            doc_base: 0,
+            inmem_bytes: 0,
+            stats: SpimiStats::default(),
+            entries: Vec::new(),
+        })
+    }
+
+    /// Build statistics so far.
+    pub fn stats(&self) -> &SpimiStats {
+        &self.stats
+    }
+
+    /// Adds one document given its distinct terms with frequencies and
+    /// its length in tokens (`0` = unknown; the tf sum is used). Returns
+    /// the document's global docID. Duplicate terms in the input are
+    /// aggregated. May spill a segment to disk before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Invalid`] wrapping [`Error::ZeroTermFrequency`] on a
+    /// zero tf; I/O and encoding failures from a triggered spill.
+    pub fn add_document<'a, I>(&mut self, terms: I, doc_len: u32) -> Result<DocId, IoError>
+    where
+        I: IntoIterator<Item = (&'a str, u32)>,
+    {
+        let local = self.seg_doc_lens.len() as u32;
+        let global = self.doc_base + local;
+
+        let mut agg: BTreeMap<&'a str, u32> = BTreeMap::new();
+        for (at, (term, tf)) in terms.into_iter().enumerate() {
+            if tf == 0 {
+                return Err(IoError::Invalid(Error::ZeroTermFrequency { at }));
+            }
+            *agg.entry(term).or_insert(0) += tf;
+        }
+        for (term, tf) in agg {
+            match self.map.get_mut(term) {
+                Some(list) => list.push((local, tf)),
+                None => {
+                    self.inmem_bytes += term.len() + TERM_OVERHEAD_BYTES;
+                    self.map.insert(term.to_owned(), vec![(local, tf)]);
+                }
+            }
+            self.inmem_bytes += POSTING_BYTES;
+            self.stats.postings += 1;
+        }
+        self.seg_doc_lens.push(doc_len);
+        self.inmem_bytes += 4;
+        self.stats.docs += 1;
+        self.stats.peak_inmem_bytes = self.stats.peak_inmem_bytes.max(self.inmem_bytes);
+
+        let doc_cap = self.cfg.max_docs_per_segment;
+        if self.inmem_bytes >= self.cfg.budget_bytes
+            || (doc_cap > 0 && self.seg_doc_lens.len() as u32 >= doc_cap)
+        {
+            self.spill()?;
+        }
+        Ok(global)
+    }
+
+    /// Tokenizes and adds one document — the same whitespace +
+    /// punctuation split and lowercasing as
+    /// [`crate::IndexBuilder::add_documents`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`SpimiBuilder::add_document`].
+    pub fn add_document_text(&mut self, text: &str) -> Result<DocId, IoError> {
+        let mut len = 0u32;
+        let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+        for tok in text
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+        {
+            *counts.entry(tok.to_lowercase()).or_insert(0) += 1;
+            len += 1;
+        }
+        self.add_document(counts.iter().map(|(t, &tf)| (t.as_str(), tf)), len)
+    }
+
+    /// Seals the current in-memory map into an on-disk segment. No-op if
+    /// no documents have been added since the last spill.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the segment file; encoding failures for a
+    /// fixed scheme that cannot represent some list (hybrid never fails).
+    pub fn spill(&mut self) -> Result<(), IoError> {
+        if self.seg_doc_lens.is_empty() {
+            return Ok(());
+        }
+        let n_docs = self.seg_doc_lens.len();
+
+        // Per-segment doc-length fallback + segment-local scoring.
+        let mut tf_sums = vec![0u64; n_docs];
+        for list in self.map.values() {
+            for &(d, tf) in list {
+                tf_sums[d as usize] += u64::from(tf);
+            }
+        }
+        let mut doc_lens = std::mem::take(&mut self.seg_doc_lens);
+        fill_doc_lens(&mut doc_lens, &tf_sums);
+        let (bm25, norms) = scoring_from_lens(self.cfg.params, &doc_lens);
+
+        let map = std::mem::take(&mut self.map);
+        let mut terms: Vec<(String, EncodedList)> = Vec::with_capacity(map.len());
+        for (text, pairs) in map {
+            let docs: Vec<u32> = pairs.iter().map(|&(d, _)| d).collect();
+            let tfs: Vec<u32> = pairs.iter().map(|&(_, tf)| tf).collect();
+            let plist = PostingList::from_columns(docs, tfs).map_err(IoError::Invalid)?;
+            let idf = bm25.idf(plist.len() as u32);
+            let enc = encode_term_list(&plist, self.cfg.scheme, &bm25, idf, &norms)
+                .map_err(IoError::Invalid)?;
+            terms.push((text, enc));
+        }
+
+        let file = format!("segment-{:05}.bosseg", self.entries.len());
+        let path = self.dir.join(&file);
+        let out = std::fs::File::create(&path)?;
+        let (bytes, _regions) = write_segment(
+            std::io::BufWriter::new(out),
+            self.doc_base,
+            &doc_lens,
+            self.cfg.params,
+            &terms,
+        )?;
+
+        self.entries.push(SegmentEntry {
+            file,
+            doc_base: self.doc_base,
+            n_docs: n_docs as u32,
+            n_terms: terms.len() as u32,
+            bytes,
+        });
+        self.doc_base += n_docs as u32;
+        self.inmem_bytes = 0;
+        self.stats.spills += 1;
+        self.stats.segment_bytes += bytes;
+        Ok(())
+    }
+
+    /// Spills any remaining documents, writes the directory manifest,
+    /// and returns the sealed [`SegmentSet`].
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Invalid`] if no documents were ever added; spill and
+    /// manifest I/O failures otherwise.
+    pub fn finish(mut self) -> Result<SegmentSet, IoError> {
+        self.spill()?;
+        if self.entries.is_empty() {
+            return Err(IoError::Invalid(Error::InvalidQuery {
+                reason: "cannot build an empty index".into(),
+            }));
+        }
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            params: self.cfg.params,
+            scheme: self.cfg.scheme.to_string(),
+            n_docs: self.doc_base,
+            segments: self.entries.clone(),
+        };
+        let body = serde_json::to_vec(&manifest).map_err(|e| IoError::Corrupt(e.to_string()))?;
+        let mut f = std::fs::File::create(self.dir.join(MANIFEST_NAME))?;
+        f.write_all(&body)?;
+        f.flush()?;
+        Ok(SegmentSet {
+            dir: self.dir,
+            params: self.cfg.params,
+            scheme: self.cfg.scheme,
+            n_docs: self.doc_base,
+            entries: self.entries,
+            stats: self.stats,
+        })
+    }
+}
+
+/// A sealed directory of spilled segments plus its manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentSet {
+    dir: PathBuf,
+    params: Bm25Params,
+    scheme: SchemeChoice,
+    n_docs: u32,
+    entries: Vec<SegmentEntry>,
+    stats: SpimiStats,
+}
+
+impl SegmentSet {
+    /// Opens a segment directory written by [`SpimiBuilder::finish`],
+    /// validating that the manifest's segments tile the docID space
+    /// contiguously from zero.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Corrupt`] on a malformed manifest, a gap or overlap in
+    /// the docID ranges, or a manifest/total mismatch.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, IoError> {
+        let dir = dir.as_ref().to_path_buf();
+        let body = std::fs::read(dir.join(MANIFEST_NAME))?;
+        let manifest: Manifest = serde_json::from_slice(&body)
+            .map_err(|e| IoError::Corrupt(format!("bad segment manifest: {e}")))?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(IoError::BadVersion {
+                found: manifest.version,
+            });
+        }
+        let scheme: SchemeChoice = manifest
+            .scheme
+            .parse()
+            .map_err(|e| IoError::Corrupt(format!("bad segment manifest: {e}")))?;
+        if manifest.segments.is_empty() {
+            return Err(IoError::Corrupt(
+                "segment manifest lists no segments".into(),
+            ));
+        }
+        let mut next_base = 0u32;
+        for e in &manifest.segments {
+            if e.doc_base != next_base || e.n_docs == 0 {
+                return Err(IoError::Corrupt(format!(
+                    "segment {} does not tile the docID space: doc_base {} (expected {next_base}), n_docs {}",
+                    e.file, e.doc_base, e.n_docs
+                )));
+            }
+            next_base = next_base
+                .checked_add(e.n_docs)
+                .ok_or_else(|| IoError::Corrupt("segment docID ranges overflow u32".into()))?;
+        }
+        if next_base != manifest.n_docs {
+            return Err(IoError::Corrupt(format!(
+                "segment manifest claims {} docs but segments cover {next_base}",
+                manifest.n_docs
+            )));
+        }
+        Ok(SegmentSet {
+            dir,
+            params: manifest.params,
+            scheme,
+            n_docs: manifest.n_docs,
+            entries: manifest.segments,
+            stats: SpimiStats::default(),
+        })
+    }
+
+    /// The segment directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total documents across all segments.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// The manifest's segment entries, in docID order.
+    pub fn entries(&self) -> &[SegmentEntry] {
+        &self.entries
+    }
+
+    /// Build statistics (zeroed for a set opened from disk).
+    pub fn stats(&self) -> &SpimiStats {
+        &self.stats
+    }
+
+    /// k-way streaming merge of all segments into one [`InvertedIndex`]
+    /// bit-identical to a single-pass in-memory build of the same corpus
+    /// with the same parameters and scheme policy.
+    ///
+    /// Memory: the global doc-length/norm arrays (the final index holds
+    /// these anyway) plus one in-flight term per open segment.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Corrupt`] on any structural violation in a segment
+    /// file (including checksum mismatch at segment end) or a
+    /// header/manifest disagreement; [`IoError::Invalid`] if merged
+    /// postings fail index invariants.
+    pub fn merge(&self) -> Result<InvertedIndex, IoError> {
+        // Open every segment and pull the global doc-length array
+        // together from the per-segment headers.
+        let mut readers: Vec<SegmentReader<BufReader<std::fs::File>>> =
+            Vec::with_capacity(self.entries.len());
+        let mut doc_lens: Vec<u32> = Vec::with_capacity(self.n_docs as usize);
+        for e in &self.entries {
+            let r = open_segment(self.dir.join(&e.file))?;
+            let h = *r.header();
+            if h.doc_base != e.doc_base || h.n_docs != e.n_docs || h.n_terms != e.n_terms {
+                return Err(IoError::Corrupt(format!(
+                    "segment {} header disagrees with the manifest",
+                    e.file
+                )));
+            }
+            if h.params != self.params {
+                return Err(IoError::Corrupt(format!(
+                    "segment {} was built with different BM25 parameters",
+                    e.file
+                )));
+            }
+            doc_lens.extend_from_slice(r.doc_lens());
+            readers.push(r);
+        }
+        let (bm25, doc_norms) = scoring_from_lens(self.params, &doc_lens);
+
+        let mut heads: Vec<Option<(String, EncodedList)>> = Vec::with_capacity(readers.len());
+        for r in &mut readers {
+            heads.push(r.next_term()?);
+        }
+
+        let mut vocab = std::collections::HashMap::new();
+        let mut terms: Vec<TermInfo> = Vec::new();
+        let mut lists: Vec<EncodedList> = Vec::new();
+        let mut scratch = DecodeScratch::new();
+        let mut docs: Vec<u32> = Vec::new();
+        let mut tfs: Vec<u32> = Vec::new();
+
+        // The smallest in-flight term is the next one in the merged
+        // (lexically ordered) dictionary — exactly the order the
+        // in-memory builder's BTreeMap would visit it.
+        while let Some(min) = heads
+            .iter()
+            .filter_map(|h| h.as_ref().map(|(t, _)| t.as_str()))
+            .min()
+            .map(str::to_owned)
+        {
+            docs.clear();
+            tfs.clear();
+            // Contributing segments in docID order (entries tile the
+            // docID space ascending), so concatenation is the sorted
+            // global posting list.
+            for (i, head) in heads.iter_mut().enumerate() {
+                let contributes = head.as_ref().is_some_and(|(t, _)| *t == min);
+                if !contributes {
+                    continue;
+                }
+                let Some((_, list)) = head.take() else {
+                    continue;
+                };
+                list.decode_all_into(&mut scratch)
+                    .map_err(IoError::Invalid)?;
+                let base = self.entries[i].doc_base;
+                let seg_docs = self.entries[i].n_docs;
+                if scratch.docs.last().is_some_and(|&d| d >= seg_docs) {
+                    return Err(IoError::Corrupt(format!(
+                        "segment {} term {min:?} decodes docIDs outside its {seg_docs}-doc range",
+                        self.entries[i].file
+                    )));
+                }
+                docs.extend(scratch.docs.iter().map(|&d| base + d));
+                tfs.extend_from_slice(&scratch.tfs);
+                *head = readers[i].next_term()?;
+            }
+
+            let plist =
+                PostingList::from_columns(docs.clone(), tfs.clone()).map_err(IoError::Invalid)?;
+            let df = plist.len() as u32;
+            let idf = bm25.idf(df);
+            let enc = encode_term_list(&plist, self.scheme, &bm25, idf, &doc_norms)
+                .map_err(IoError::Invalid)?;
+
+            let id = terms.len() as u32;
+            vocab.insert(min.clone(), id);
+            terms.push(TermInfo { text: min, df, idf });
+            lists.push(enc);
+        }
+
+        // Drain to the checksum trailer of any segment that still has
+        // one (all heads are None here, so each reader has already
+        // verified its trailer in next_term — this is just a belt check).
+        for (r, e) in readers.iter_mut().zip(&self.entries) {
+            if r.next_term()?.is_some() {
+                return Err(IoError::Corrupt(format!(
+                    "segment {} yielded terms past its dictionary",
+                    e.file
+                )));
+            }
+        }
+
+        Ok(InvertedIndex {
+            vocab,
+            terms,
+            lists,
+            doc_norms,
+            doc_lens,
+            bm25,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+    use crate::IndexBuilder;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("boss-spimi-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    const DOCS: &[&str] = &[
+        "the cat sat on the mat",
+        "the dog sat",
+        "a cat and a dog and a bird",
+        "storage class memory holds the index",
+        "bandwidth optimized search accelerator",
+        "the index lives in storage class memory",
+        "a bird sat on the accelerator",
+    ];
+
+    fn spimi_index(max_docs: u32, budget: usize) -> (SegmentSet, InvertedIndex) {
+        let dir = tmpdir(&format!("m{max_docs}-b{budget}"));
+        let cfg = SpimiConfig {
+            budget_bytes: budget,
+            max_docs_per_segment: max_docs,
+            ..SpimiConfig::default()
+        };
+        let mut b = SpimiBuilder::create(&dir, cfg).unwrap();
+        for d in DOCS {
+            b.add_document_text(d).unwrap();
+        }
+        let set = b.finish().unwrap();
+        let merged = set.merge().unwrap();
+        (set, merged)
+    }
+
+    fn inmem_index() -> InvertedIndex {
+        IndexBuilder::new()
+            .add_documents(DOCS.iter().copied())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_segment_merge_is_bit_identical() {
+        let (set, merged) = spimi_index(0, usize::MAX >> 1);
+        assert_eq!(set.entries().len(), 1);
+        assert_eq!(merged, inmem_index());
+        std::fs::remove_dir_all(set.dir()).ok();
+    }
+
+    #[test]
+    fn multi_segment_merge_is_bit_identical() {
+        for max_docs in [1, 2, 3] {
+            let (set, merged) = spimi_index(max_docs, usize::MAX >> 1);
+            assert_eq!(
+                set.entries().len(),
+                DOCS.len().div_ceil(max_docs as usize),
+                "doc cap {max_docs}"
+            );
+            assert_eq!(merged, inmem_index(), "doc cap {max_docs}");
+            std::fs::remove_dir_all(set.dir()).ok();
+        }
+    }
+
+    #[test]
+    fn byte_budget_forces_spills() {
+        let (set, merged) = spimi_index(0, 256);
+        assert!(
+            set.stats().spills >= 2,
+            "a 256-byte budget must spill repeatedly: {:?}",
+            set.stats()
+        );
+        assert!(
+            set.stats().peak_inmem_bytes < 256 + 512,
+            "budget bounds the map"
+        );
+        assert_eq!(merged, inmem_index());
+        std::fs::remove_dir_all(set.dir()).ok();
+    }
+
+    #[test]
+    fn reopen_from_manifest_matches() {
+        let (set, merged) = spimi_index(3, usize::MAX >> 1);
+        let reopened = SegmentSet::open_dir(set.dir()).unwrap();
+        assert_eq!(reopened.n_docs(), set.n_docs());
+        assert_eq!(reopened.entries(), set.entries());
+        assert_eq!(reopened.merge().unwrap(), merged);
+        std::fs::remove_dir_all(set.dir()).ok();
+    }
+
+    #[test]
+    fn open_dir_rejects_gapped_manifest() {
+        let (set, _) = spimi_index(2, usize::MAX >> 1);
+        let path = set.dir().join(MANIFEST_NAME);
+        let body = std::fs::read_to_string(&path).unwrap();
+        // Shift the second segment's doc_base to punch a hole (tolerate
+        // either JSON spacing style).
+        let broken = body
+            .replacen("\"doc_base\":2", "\"doc_base\":3", 1)
+            .replacen("\"doc_base\": 2", "\"doc_base\": 3", 1);
+        assert_ne!(body, broken, "manifest edit must apply");
+        std::fs::write(&path, broken).unwrap();
+        let err = SegmentSet::open_dir(set.dir()).unwrap_err();
+        assert!(matches!(err, IoError::Corrupt(_)), "{err}");
+        std::fs::remove_dir_all(set.dir()).ok();
+    }
+
+    #[test]
+    fn empty_build_is_typed_error() {
+        let dir = tmpdir("empty");
+        let b = SpimiBuilder::create(&dir, SpimiConfig::default()).unwrap();
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, IoError::Invalid(Error::InvalidQuery { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_tf_rejected() {
+        let dir = tmpdir("zerotf");
+        let mut b = SpimiBuilder::create(&dir, SpimiConfig::default()).unwrap();
+        let err = b.add_document([("ok", 1u32), ("bad", 0)], 2).unwrap_err();
+        assert!(matches!(
+            err,
+            IoError::Invalid(Error::ZeroTermFrequency { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_documents_with_explicit_lens_match_builder() {
+        // Posting-list style input: per-doc term bags with explicit
+        // lengths, mirrored into IndexBuilder via doc_lens + lists.
+        let docs: Vec<Vec<(&str, u32)>> = vec![
+            vec![("alpha", 1), ("gamma", 1)],
+            vec![("beta", 3), ("gamma", 2)],
+            vec![("alpha", 2)],
+            vec![("gamma", 1)],
+        ];
+        let lens = [10u32, 12, 7, 9];
+
+        let dir = tmpdir("inject");
+        let cfg = SpimiConfig {
+            max_docs_per_segment: 2,
+            ..SpimiConfig::default()
+        };
+        let mut b = SpimiBuilder::create(&dir, cfg).unwrap();
+        for (terms, &len) in docs.iter().zip(&lens) {
+            b.add_document(terms.iter().copied(), len).unwrap();
+        }
+        let set = b.finish().unwrap();
+        let merged = set.merge().unwrap();
+
+        let mut columns: BTreeMap<&str, (Vec<u32>, Vec<u32>)> = BTreeMap::new();
+        for (doc, terms) in docs.iter().enumerate() {
+            for &(t, tf) in terms {
+                let e = columns.entry(t).or_default();
+                e.0.push(doc as u32);
+                e.1.push(tf);
+            }
+        }
+        let mut builder = IndexBuilder::new().doc_lens(lens.to_vec());
+        for (t, (d, f)) in columns {
+            let list = PostingList::from_columns(d, f).unwrap();
+            builder = builder.add_posting_list(t, &list);
+        }
+        assert_eq!(merged, builder.build().unwrap());
+        std::fs::remove_dir_all(set.dir()).ok();
+    }
+
+    #[test]
+    fn stats_account_for_work() {
+        let (set, _) = spimi_index(2, usize::MAX >> 1);
+        let s = set.stats();
+        assert_eq!(s.docs, DOCS.len() as u64);
+        assert!(s.postings > 0);
+        assert_eq!(s.spills, DOCS.len().div_ceil(2) as u32);
+        assert!(s.peak_inmem_bytes > 0);
+        assert!(s.segment_bytes > 0);
+        std::fs::remove_dir_all(set.dir()).ok();
+    }
+}

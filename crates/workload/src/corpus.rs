@@ -102,18 +102,21 @@ impl CorpusSpec {
         }
     }
 
-    /// Builds the inverted index (hybrid-compressed, like BOSS's index).
+    /// Generates the corpus as term-major posting lists in lexical term
+    /// order — the common substrate of [`CorpusSpec::build`] (in-memory)
+    /// and [`CorpusSpec::build_segments`] (SPIMI), so both paths index
+    /// the identical corpus.
     ///
     /// # Errors
     ///
-    /// Propagates index-construction failures (cannot occur for the
-    /// generated, always-valid posting data).
-    pub fn build(&self) -> Result<InvertedIndex, boss_index::Error> {
+    /// Propagates posting-list construction failures (cannot occur for
+    /// the generated, always-valid posting data).
+    pub fn term_lists(&self) -> Result<Vec<(String, PostingList)>, boss_index::Error> {
         let mut r = rng::rng(self.seed);
         let total_postings = u64::from(self.n_docs) * u64::from(self.avg_unique_terms);
         let zipf = Zipf::new(self.vocab_size, self.zipf_s);
 
-        let mut builder = IndexBuilder::new();
+        let mut lists = Vec::with_capacity(self.vocab_size);
         let width = (self.vocab_size as f64).log10().ceil().max(1.0) as usize;
         for rank in 1..=self.vocab_size {
             let df = ((total_postings as f64 * zipf.weight(rank)).round() as u64)
@@ -125,9 +128,93 @@ impl CorpusSpec {
             let list = PostingList::from_columns(docs, tfs)?;
             // Lexical order == rank order thanks to zero padding, so rank-r
             // terms are cheap to find in tests and samplers.
-            builder = builder.add_posting_list(&format!("t{rank:0width$}"), &list);
+            lists.push((format!("t{rank:0width$}"), list));
+        }
+        Ok(lists)
+    }
+
+    /// Builds the inverted index (hybrid-compressed, like BOSS's index).
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures (cannot occur for the
+    /// generated, always-valid posting data).
+    pub fn build(&self) -> Result<InvertedIndex, boss_index::Error> {
+        let mut builder = IndexBuilder::new();
+        for (term, list) in self.term_lists()? {
+            builder = builder.add_posting_list(&term, &list);
         }
         builder.build()
+    }
+
+    /// Builds the same corpus through the SPIMI spill/merge path: the
+    /// term-major lists are transposed doc-major and fed to a
+    /// [`boss_index::SpimiBuilder`] capped at `n_segments` on-disk
+    /// segments in `dir`. The returned set's
+    /// [`boss_index::SegmentSet::merge`] is bit-identical to
+    /// [`CorpusSpec::build`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates segment I/O and index-construction failures.
+    pub fn build_segments(
+        &self,
+        dir: &std::path::Path,
+        n_segments: u32,
+    ) -> Result<boss_index::SegmentSet, boss_index::io::IoError> {
+        self.build_segments_with(dir, n_segments, boss_index::SchemeChoice::Hybrid)
+    }
+
+    /// [`CorpusSpec::build_segments`] with an explicit compression
+    /// policy, mirroring `IndexBuilder::scheme` — used by the
+    /// `segment_build --verify` codec sweep.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CorpusSpec::build_segments`], plus encoding failures for
+    /// a fixed scheme that cannot represent some list.
+    pub fn build_segments_with(
+        &self,
+        dir: &std::path::Path,
+        n_segments: u32,
+        scheme: boss_index::SchemeChoice,
+    ) -> Result<boss_index::SegmentSet, boss_index::io::IoError> {
+        use boss_index::io::IoError;
+
+        let lists = self.term_lists().map_err(IoError::Invalid)?;
+        // Transpose term-major → doc-major. Documents no term sampled
+        // stay as empty tail entries, exactly like the in-memory build
+        // (which sizes the corpus by the highest docID seen).
+        let n_docs = lists
+            .iter()
+            .filter_map(|(_, l)| l.docs().last().copied())
+            .max()
+            .map_or(0, |d| d as usize + 1);
+        let mut docs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_docs];
+        for (term_id, (_, list)) in lists.iter().enumerate() {
+            for p in list.iter() {
+                docs[p.doc as usize].push((term_id as u32, p.tf));
+            }
+        }
+
+        let per_segment = (n_docs as u32).div_ceil(n_segments.max(1));
+        let cfg = boss_index::SpimiConfig {
+            max_docs_per_segment: per_segment,
+            scheme,
+            ..boss_index::SpimiConfig::default()
+        };
+        let mut builder = boss_index::SpimiBuilder::create(dir, cfg)?;
+        for terms in &docs {
+            // doc_len 0 → tf-sum fallback, matching the in-memory build
+            // of injected lists without explicit lengths.
+            builder.add_document(
+                terms
+                    .iter()
+                    .map(|&(t, tf)| (lists[t as usize].0.as_str(), tf)),
+                0,
+            )?;
+        }
+        builder.finish()
     }
 
     fn sample_docs(&self, r: &mut SeededRng, df: usize) -> Vec<u32> {
@@ -150,6 +237,76 @@ impl CorpusSpec {
         docs.sort_unstable();
         docs.dedup();
         docs
+    }
+}
+
+/// A doc-major synthetic corpus that is never materialized: each
+/// document's term bag is generated on demand from a per-document RNG, so
+/// a 10–100M-document corpus can be fed straight into a
+/// [`boss_index::SpimiBuilder`] with memory bounded by one document plus
+/// the SPIMI budget. Document frequencies still come out Zipfian (terms
+/// are drawn rank-wise from a Zipf sampler) and term frequencies
+/// geometric, like [`CorpusSpec`]; unlike `CorpusSpec` there is no docID
+/// clustering knob — streaming generation is docID-order by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingCorpusSpec {
+    /// Number of documents.
+    pub n_docs: u32,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Zipf exponent of the term-draw distribution.
+    pub zipf_s: f64,
+    /// Term draws per document (distinct terms ≤ this; repeated draws
+    /// aggregate into the term's frequency).
+    pub terms_per_doc: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl StreamingCorpusSpec {
+    /// Prepares the per-run sampling state (the Zipf cdf, built once).
+    pub fn streamer(&self) -> DocStreamer {
+        DocStreamer {
+            spec: self.clone(),
+            zipf: Zipf::new(self.vocab_size, self.zipf_s),
+            width: (self.vocab_size as f64).log10().ceil().max(1.0) as usize,
+        }
+    }
+}
+
+/// Sampling state of a [`StreamingCorpusSpec`] run.
+#[derive(Debug, Clone)]
+pub struct DocStreamer {
+    spec: StreamingCorpusSpec,
+    zipf: Zipf,
+    width: usize,
+}
+
+impl DocStreamer {
+    /// Generates document `doc`'s term bag into `out` (cleared first) as
+    /// `(term, tf)` pairs with distinct terms, and returns the document
+    /// length in tokens. Deterministic per `(seed, doc)` — documents can
+    /// be generated in any order or in parallel.
+    pub fn doc_terms(&self, doc: u32, out: &mut Vec<(String, u32)>) -> u32 {
+        out.clear();
+        // SplitMix-style per-document stream so doc i+1 does not depend
+        // on how many draws doc i consumed.
+        let mix = (u64::from(doc) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut r = rng::rng(self.spec.seed ^ mix);
+        let mut counts: std::collections::BTreeMap<usize, u32> = std::collections::BTreeMap::new();
+        let mut len = 0u32;
+        for _ in 0..self.spec.terms_per_doc {
+            let rank = self.zipf.sample(&mut r);
+            *counts.entry(rank).or_insert(0) += 1;
+            len += 1;
+        }
+        let width = self.width;
+        out.extend(
+            counts
+                .into_iter()
+                .map(|(rank, tf)| (format!("t{rank:0width$}"), tf)),
+        );
+        len
     }
 }
 
@@ -195,6 +352,82 @@ mod tests {
             idx.total_data_bytes(),
             idx.total_raw_bytes()
         );
+    }
+
+    #[test]
+    fn segment_build_matches_in_memory_build() {
+        let spec = CorpusSpec::ccnews_like(Scale::Smoke);
+        let dir = std::env::temp_dir().join(format!("boss-corpus-seg-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let set = spec.build_segments(&dir, 4).unwrap();
+        assert_eq!(set.entries().len(), 4);
+        assert_eq!(set.merge().unwrap(), spec.build().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_docs_deterministic_and_zipfian() {
+        let spec = StreamingCorpusSpec {
+            n_docs: 500,
+            vocab_size: 200,
+            zipf_s: 1.1,
+            terms_per_doc: 8,
+            seed: 7,
+        };
+        let s = spec.streamer();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut head = 0u32;
+        let mut total = 0u32;
+        for doc in 0..spec.n_docs {
+            let len = s.doc_terms(doc, &mut a);
+            assert_eq!(len, spec.terms_per_doc);
+            assert!(!a.is_empty() && a.len() <= spec.terms_per_doc as usize);
+            // Order-independent regeneration.
+            s.doc_terms(doc, &mut b);
+            assert_eq!(a, b);
+            for (t, tf) in &a {
+                assert!(*tf >= 1);
+                if t == "t001" {
+                    head += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!(
+            head * 10 > total / spec.terms_per_doc,
+            "rank-1 term should be frequent: {head} of {total}"
+        );
+    }
+
+    #[test]
+    fn streaming_feeds_spimi() {
+        let spec = StreamingCorpusSpec {
+            n_docs: 300,
+            vocab_size: 100,
+            zipf_s: 1.05,
+            terms_per_doc: 6,
+            seed: 11,
+        };
+        let dir = std::env::temp_dir().join(format!("boss-stream-seg-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = boss_index::SpimiConfig {
+            budget_bytes: 16 << 10,
+            ..boss_index::SpimiConfig::default()
+        };
+        let mut b = boss_index::SpimiBuilder::create(&dir, cfg).unwrap();
+        let s = spec.streamer();
+        let mut terms = Vec::new();
+        for doc in 0..spec.n_docs {
+            let len = s.doc_terms(doc, &mut terms);
+            b.add_document(terms.iter().map(|(t, tf)| (t.as_str(), *tf)), len)
+                .unwrap();
+        }
+        let set = b.finish().unwrap();
+        assert!(set.stats().spills >= 2, "16 KB budget must spill");
+        let idx = set.merge().unwrap();
+        assert_eq!(idx.n_docs(), spec.n_docs);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
